@@ -1,0 +1,64 @@
+// Shared helpers for the experiment benches (EXPERIMENTS.md E1-E9).
+//
+// Quality experiments report their table rows through google-benchmark
+// counters: one benchmark invocation = one row; counters are the measured
+// columns (ratio_mean, ratio_max, ...). Timing experiments use
+// google-benchmark's own timing machinery.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "algo/common.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/validate.hpp"
+#include "sim/workloads.hpp"
+#include "util/stats.hpp"
+
+namespace msrs::bench {
+
+using AlgoFn = std::function<AlgoResult(const Instance&)>;
+
+struct QualityRow {
+  double ratio_mean = 0.0;  // makespan / T (combined lower bound)
+  double ratio_max = 0.0;
+  double invalid = 0.0;     // count of validation failures (must be 0)
+  double seeds = 0.0;
+};
+
+// Runs `algorithm` over `seeds` instances of (family, jobs, machines) and
+// aggregates ratios versus the combined lower bound.
+inline QualityRow quality_row(const AlgoFn& algorithm, Family family, int jobs,
+                              int machines, int seeds) {
+  QualityRow row;
+  std::vector<double> ratios;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    const Instance instance =
+        generate(family, jobs, machines, static_cast<std::uint64_t>(seed));
+    const AlgoResult result = algorithm(instance);
+    if (!is_valid(instance, result.schedule)) {
+      row.invalid += 1.0;
+      continue;
+    }
+    const Time T = lower_bounds(instance).combined;
+    ratios.push_back(result.schedule.makespan(instance) /
+                     static_cast<double>(T));
+  }
+  const Summary summary = summarize(ratios);
+  row.ratio_mean = summary.mean;
+  row.ratio_max = summary.max;
+  row.seeds = static_cast<double>(seeds);
+  return row;
+}
+
+inline void report(benchmark::State& state, const QualityRow& row) {
+  state.counters["ratio_mean"] = row.ratio_mean;
+  state.counters["ratio_max"] = row.ratio_max;
+  state.counters["invalid"] = row.invalid;
+  state.counters["seeds"] = row.seeds;
+}
+
+}  // namespace msrs::bench

@@ -1,0 +1,66 @@
+// E3 — paper Section 1 ("Results"): the 5/3- and 3/2-approximations beat
+// the prior (2m/(m+1))-approximations once m >= 6 resp. m >= 4. This bench
+// sweeps m and reports measured ratios per algorithm together with the
+// theoretical 2m/(m+1) curve; the crossovers appear both in the guarantees
+// and in the measured worst cases on the adversarial family.
+#include "algo/baselines.hpp"
+#include "algo/five_thirds.hpp"
+#include "algo/three_halves.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace msrs;
+using namespace msrs::bench;
+
+const char* kAlgoNames[] = {"merge_lpt", "hebrard", "five_thirds",
+                            "three_halves"};
+
+AlgoResult run_algo(int which, const Instance& instance) {
+  switch (which) {
+    case 0: return merge_lpt(instance);
+    case 1: return hebrard_insertion(instance);
+    case 2: return five_thirds(instance);
+    default: return three_halves(instance);
+  }
+}
+
+void BM_VsBaseline(benchmark::State& state) {
+  const int which = static_cast<int>(state.range(0));
+  const int machines = static_cast<int>(state.range(1));
+  QualityRow row;
+  for (auto _ : state) {
+    // Aggregate over the two families where class merging hurts most plus a
+    // neutral one.
+    QualityRow adv = quality_row(
+        [&](const Instance& i) { return run_algo(which, i); },
+        Family::kAdversarialLpt, 12 * machines, machines, 10);
+    QualityRow fat = quality_row(
+        [&](const Instance& i) { return run_algo(which, i); },
+        Family::kFewFatClasses, 10 * machines, machines, 10);
+    QualityRow uni = quality_row(
+        [&](const Instance& i) { return run_algo(which, i); },
+        Family::kUniform, 10 * machines, machines, 10);
+    row.ratio_mean = (adv.ratio_mean + fat.ratio_mean + uni.ratio_mean) / 3.0;
+    row.ratio_max = std::max({adv.ratio_max, fat.ratio_max, uni.ratio_max});
+    row.invalid = adv.invalid + fat.invalid + uni.invalid;
+    row.seeds = 30;
+  }
+  report(state, row);
+  state.counters["guarantee"] =
+      which == 0 || which == 1
+          ? 2.0 * machines / (machines + 1.0)
+          : (which == 2 ? 5.0 / 3.0 : 1.5);
+  state.SetLabel(std::string(kAlgoNames[which]) + "/m=" +
+                 std::to_string(machines));
+}
+
+void args(benchmark::internal::Benchmark* bench) {
+  for (int which = 0; which < 4; ++which)
+    for (int m : {2, 3, 4, 6, 8, 12, 16}) bench->Args({which, m});
+}
+BENCHMARK(BM_VsBaseline)->Apply(args)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

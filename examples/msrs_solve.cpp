@@ -1,0 +1,172 @@
+// msrs_solve — command-line solver for MSRS instances.
+//
+// Reads an instance in the text format of core/instance_io.hpp (or generates
+// one of the built-in workload families), runs the requested algorithm,
+// validates the schedule and prints the result.
+//
+//   $ ./examples/msrs_solve --algo=three_halves --file=instance.txt
+//   $ ./examples/msrs_solve --algo=all --family=satellite --jobs=120 \
+//         --machines=6 --seed=7 [--gantt]
+//   $ ./examples/msrs_solve --algo=exact --family=uniform --jobs=9 --machines=3
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "algo/baselines.hpp"
+#include "algo/exact.hpp"
+#include "algo/five_thirds.hpp"
+#include "algo/greedy.hpp"
+#include "algo/three_halves.hpp"
+#include "core/instance_io.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/validate.hpp"
+#include "ptas/eptas.hpp"
+#include "sim/workloads.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace msrs;
+
+struct Options {
+  std::string algo = "three_halves";
+  std::string file;
+  std::string family = "uniform";
+  int jobs = 100;
+  int machines = 8;
+  std::uint64_t seed = 1;
+  bool gantt = false;
+};
+
+std::optional<std::string> arg_value(const char* arg, const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) == 0)
+    return std::string(arg + prefix.size());
+  return std::nullopt;
+}
+
+std::optional<Family> family_by_name(const std::string& name) {
+  for (const Family family : kAllFamilies)
+    if (name == family_name(family)) return family;
+  return std::nullopt;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: msrs_solve [--algo=five_thirds|three_halves|merge_lpt|hebrard|"
+      "list|eptas|exact|all]\n"
+      "                  [--file=INSTANCE.txt | --family=NAME --jobs=N "
+      "--machines=M --seed=S]\n"
+      "                  [--gantt]\n"
+      "families:");
+  for (const Family family : kAllFamilies)
+    std::fprintf(stderr, " %s", family_name(family));
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+void run_one(const Instance& instance, const std::string& name,
+             const AlgoResult& result, Table& table) {
+  const auto report = validate(instance, result.schedule);
+  const Time T = lower_bounds(instance).combined;
+  table.add_row({name, Table::num(result.schedule.makespan(instance), 3),
+                 Table::num(static_cast<std::int64_t>(T)),
+                 Table::num(result.schedule.makespan(instance) /
+                                static_cast<double>(T),
+                            4),
+                 report.ok() ? "yes" : "NO"});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    if (auto v = arg_value(argv[i], "algo")) options.algo = *v;
+    else if (auto v2 = arg_value(argv[i], "file")) options.file = *v2;
+    else if (auto v3 = arg_value(argv[i], "family")) options.family = *v3;
+    else if (auto v4 = arg_value(argv[i], "jobs")) options.jobs = std::stoi(*v4);
+    else if (auto v5 = arg_value(argv[i], "machines"))
+      options.machines = std::stoi(*v5);
+    else if (auto v6 = arg_value(argv[i], "seed"))
+      options.seed = std::stoull(*v6);
+    else if (std::strcmp(argv[i], "--gantt") == 0) options.gantt = true;
+    else return usage();
+  }
+
+  Instance instance;
+  if (!options.file.empty()) {
+    std::ifstream in(options.file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", options.file.c_str());
+      return 1;
+    }
+    std::string error;
+    auto parsed = read_text(in, &error);
+    if (!parsed) {
+      std::fprintf(stderr, "parse error: %s\n", error.c_str());
+      return 1;
+    }
+    instance = std::move(*parsed);
+  } else {
+    const auto family = family_by_name(options.family);
+    if (!family) return usage();
+    instance = generate(*family, options.jobs, options.machines, options.seed);
+  }
+  std::printf("instance: %s\n\n", instance.summary().c_str());
+
+  Table table({"algorithm", "makespan", "lower bound", "ratio", "valid"});
+  Schedule to_render;
+  if (options.algo == "exact") {
+    const ExactResult exact = exact_makespan(instance);
+    std::printf("exact makespan: %lld (%s, %llu nodes)\n",
+                static_cast<long long>(exact.makespan),
+                exact.optimal ? "proven optimal" : "node limit hit",
+                static_cast<unsigned long long>(exact.nodes));
+    to_render = exact.schedule;
+  } else if (options.algo == "eptas") {
+    const EptasResult result = eptas(instance, {.e = 3, .m_constant = true});
+    AlgoResult wrapped;
+    wrapped.schedule = result.schedule;
+    wrapped.lower_bound = result.guess;
+    run_one(instance, result.used_fallback ? "eptas(->3/2)" : "eptas", wrapped,
+            table);
+    to_render = result.schedule;
+    std::printf("%s", table.str().c_str());
+  } else {
+    const struct {
+      const char* name;
+      AlgoResult (*fn)(const Instance&);
+    } algos[] = {
+        {"five_thirds", five_thirds},
+        {"three_halves", three_halves},
+        {"merge_lpt", merge_lpt},
+        {"hebrard", hebrard_insertion},
+    };
+    bool matched = false;
+    for (const auto& algo : algos) {
+      if (options.algo == "all" || options.algo == algo.name) {
+        const AlgoResult result = algo.fn(instance);
+        run_one(instance, algo.name, result, table);
+        to_render = result.schedule;
+        matched = true;
+      }
+    }
+    if (options.algo == "all" || options.algo == "list") {
+      const AlgoResult result =
+          list_schedule(instance, ListPriority::kLptJob);
+      run_one(instance, "list(LPT)", result, table);
+      if (!matched) to_render = result.schedule;
+      matched = true;
+    }
+    if (!matched) return usage();
+    std::printf("%s", table.str().c_str());
+  }
+
+  if (options.gantt && to_render.num_jobs() > 0)
+    std::printf("\n%s", to_render.render(instance).c_str());
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Regenerates the paper's figures as ASCII Gantt charts.
+//
+//  * Figure 1 (a-c): the three steps of Algorithm_5/3 on a five-big-job
+//    instance.
+//  * Figure 2/3/4 flavor: Algorithm_no_huge / Algorithm_3/2 on instances
+//    exercising the respective steps.
+//  * Figure 6a: the dummy structure of the Theorem-23 reduction schedule.
+//
+//   $ ./examples/paper_figures
+#include <cstdio>
+
+#include "algo/five_thirds.hpp"
+#include "algo/no_huge.hpp"
+#include "algo/three_halves.hpp"
+#include "core/validate.hpp"
+#include "multires/reduction.hpp"
+#include "multires/sat.hpp"
+#include "util/gantt.hpp"
+
+namespace {
+
+void show(const char* title, const msrs::Instance& instance,
+          const msrs::AlgoResult& result) {
+  std::printf("=== %s ===\n", title);
+  std::printf("T = %lld, makespan = %.3f, ratio vs T = %.3f (%s)\n",
+              static_cast<long long>(result.lower_bound),
+              result.schedule.makespan(instance),
+              result.ratio_vs_bound(instance),
+              msrs::is_valid(instance, result.schedule) ? "valid" : "INVALID");
+  std::printf("%s\n", result.schedule.render(instance).c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace msrs;
+
+  // --- Figure 1: Algorithm_5/3. Five classes with a job > T/2 (J1..J5),
+  // two large classes, small filler (the paper's running shapes). ---
+  {
+    Instance instance(5, {
+                             {60, 30},  // class with big job J1
+                             {70},      // J2
+                             {55, 20},  // J3
+                             {90},      // J4
+                             {80, 10},  // J5
+                             {40, 35},  // large class (> 2/3 T)
+                             {30, 30, 15},
+                             {12, 10}, {9, 8}, {7, 6},
+                         });
+    show("Figure 1: Algorithm_5/3 (steps 1-3 combined)", instance,
+         five_thirds(instance));
+  }
+
+  // --- Figure 2 flavor: Algorithm_no_huge step 2/3 shapes: mid-size class
+  // pairs and heavy quadruples. ---
+  {
+    Instance instance(4, {
+                             {40, 25},  // p(c) in (T/2, 3/4 T)
+                             {38, 24},
+                             {45, 45},  // heavy classes (>= 3/4 T)
+                             {44, 43},
+                             {42, 42},
+                             {41, 41},
+                             {20, 12}, {10, 8},
+                         });
+    show("Figures 2-3: Algorithm_no_huge (pairing and quadruples)", instance,
+         no_huge(instance));
+  }
+
+  // --- Figure 4 flavor: Algorithm_3/2 with huge-job machines topped up. ---
+  {
+    Instance instance(4, {
+                             {85},       // huge job -> own machine
+                             {88},       // huge job -> own machine
+                             {30, 28},   // mid class, split across the two
+                             {29, 27},
+                             {15, 14, 10},  // small filler classes
+                             {12, 9, 6},
+                         });
+    show("Figure 4: Algorithm_3/2 (steps 2-4)", instance,
+         three_halves(instance));
+  }
+
+  // --- Figure 6a: the reduction's dummy structure at makespan 4. ---
+  {
+    const Cnf formula = generate_monotone22(3, 5);
+    std::printf("=== Figure 6a: Theorem-23 gadget, formula %s===\n",
+                formula.str().c_str());
+    const auto model = dpll(formula);
+    const Reduction red = build_reduction(formula);
+    const MSchedule schedule = model.has_value()
+                                   ? schedule_from_assignment(red, *model)
+                                   : trivial_schedule(red);
+    std::printf("satisfiable=%s -> makespan %lld schedule\n",
+                model.has_value() ? "yes" : "no",
+                static_cast<long long>(schedule.makespan(red.instance)));
+    std::vector<GanttBlock> blocks;
+    for (JobId j = 0; j < red.instance.num_jobs(); ++j) {
+      GanttBlock block;
+      block.machine = schedule.machine[static_cast<std::size_t>(j)];
+      block.start = static_cast<double>(schedule.start[static_cast<std::size_t>(j)]);
+      block.end = static_cast<double>(schedule.end(red.instance, j));
+      block.label = "j" + std::to_string(j);
+      blocks.push_back(block);
+    }
+    GanttOptions options;
+    options.width = 48;
+    std::printf("%s\n", render_gantt(blocks, options).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Quickstart: build an MSRS instance, run the paper's algorithms, validate
+// and render the schedules.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "algo/baselines.hpp"
+#include "algo/exact.hpp"
+#include "algo/five_thirds.hpp"
+#include "algo/three_halves.hpp"
+#include "core/instance.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/validate.hpp"
+
+int main() {
+  using namespace msrs;
+
+  // Three machines; five resources (classes). Jobs belonging to the same
+  // class can never run in parallel — the resource is exclusive.
+  Instance instance(/*machines=*/3, {
+                        {7, 4},     // class 0: a download channel with 2 jobs
+                        {9},        // class 1: one long exclusive job
+                        {5, 5},     // class 2
+                        {3, 2, 2},  // class 3
+                        {6, 1},     // class 4
+                    });
+  std::printf("instance: %s\n", instance.summary().c_str());
+
+  const LowerBounds bounds = lower_bounds(instance);
+  std::printf("lower bounds: area=%lld class=%lld pair=%lld -> T=%lld\n\n",
+              static_cast<long long>(bounds.area),
+              static_cast<long long>(bounds.class_bound),
+              static_cast<long long>(bounds.pair),
+              static_cast<long long>(bounds.combined));
+
+  for (const auto& result :
+       {five_thirds(instance), three_halves(instance), merge_lpt(instance)}) {
+    const auto report = validate(instance, result.schedule);
+    std::printf("%-14s makespan=%.3f  ratio vs T=%.3f  (%s)\n",
+                result.name.c_str(), result.schedule.makespan(instance),
+                result.ratio_vs_bound(instance), report.summary().c_str());
+  }
+
+  const ExactResult exact = exact_makespan(instance);
+  std::printf("%-14s makespan=%lld  (optimal=%s, %llu nodes)\n\n", "exact",
+              static_cast<long long>(exact.makespan),
+              exact.optimal ? "yes" : "no",
+              static_cast<unsigned long long>(exact.nodes));
+
+  const AlgoResult best = three_halves(instance);
+  std::printf("Algorithm_3/2 schedule (time axis left to right):\n%s\n",
+              best.schedule.render(instance).c_str());
+  return 0;
+}

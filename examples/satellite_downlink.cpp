@@ -1,0 +1,50 @@
+// Earth-observation satellite downlink planning — the application that
+// motivated MSRS in Hebrard et al. [17].
+//
+// Ground stations expose a handful of reception antennas (machines); every
+// image acquisition must be downlinked through the channel of the satellite
+// that captured it (one shared resource per satellite channel), and a
+// channel transmits to one antenna at a time. Makespan = time until the
+// daily downlink plan completes.
+//
+//   $ ./examples/satellite_downlink [antennas] [transfers] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "algo/baselines.hpp"
+#include "algo/five_thirds.hpp"
+#include "algo/three_halves.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/validate.hpp"
+#include "sim/workloads.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace msrs;
+  const int antennas = argc > 1 ? std::atoi(argv[1]) : 6;
+  const int transfers = argc > 2 ? std::atoi(argv[2]) : 120;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
+
+  const Instance plan = generate(Family::kSatellite, transfers, antennas, seed);
+  std::printf("downlink plan: %s (channels=%d)\n\n", plan.summary().c_str(),
+              plan.num_classes());
+  const Time T = lower_bounds(plan).combined;
+
+  Table table({"scheduler", "makespan", "vs lower bound", "valid"});
+  for (const auto& result : {merge_lpt(plan), hebrard_insertion(plan),
+                             five_thirds(plan), three_halves(plan)}) {
+    table.add_row({result.name,
+                   Table::num(result.schedule.makespan(plan), 1),
+                   Table::num(result.schedule.makespan(plan) /
+                                  static_cast<double>(T),
+                              4),
+                   is_valid(plan, result.schedule) ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("lower bound on any plan: %lld\n", static_cast<long long>(T));
+  std::printf(
+      "\nInterpretation: Algorithm_3/2 guarantees completion within 1.5x of\n"
+      "the optimal plan, independent of the number of antennas; the classic\n"
+      "2m/(m+1) baselines degrade as antennas are added (paper, Section 1).\n");
+  return 0;
+}

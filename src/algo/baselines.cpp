@@ -1,0 +1,107 @@
+#include "algo/baselines.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "algo/greedy.hpp"
+#include "core/lower_bounds.hpp"
+
+namespace msrs {
+
+AlgoResult merge_lpt(const Instance& instance) {
+  AlgoResult result;
+  result.name = "merge_lpt";
+  result.lower_bound = lower_bounds(instance).combined;
+  result.schedule = Schedule(instance.num_jobs(), /*scale=*/1);
+
+  // LPT over merged class-jobs: repeatedly give the largest remaining class
+  // to the machine with minimum load.
+  std::vector<ClassId> classes(static_cast<std::size_t>(instance.num_classes()));
+  std::iota(classes.begin(), classes.end(), 0);
+  std::sort(classes.begin(), classes.end(), [&](ClassId a, ClassId b) {
+    if (instance.class_load(a) != instance.class_load(b))
+      return instance.class_load(a) > instance.class_load(b);
+    return a < b;
+  });
+
+  // min-heap of (load, machine)
+  using Entry = std::pair<Time, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (int k = 0; k < instance.machines(); ++k) heap.emplace(0, k);
+
+  for (ClassId c : classes) {
+    auto [load, machine] = heap.top();
+    heap.pop();
+    const Time end =
+        place_block(instance, result.schedule, instance.class_jobs(c), machine,
+                    load);
+    heap.emplace(end, machine);
+  }
+  return result;
+}
+
+AlgoResult hebrard_insertion(const Instance& instance) {
+  AlgoResult result;
+  result.name = "hebrard_insertion";
+  result.lower_bound = lower_bounds(instance).combined;
+  result.schedule = Schedule(instance.num_jobs(), /*scale=*/1);
+
+  // Dynamic priority: repeatedly take the largest unscheduled job of the
+  // class with maximum remaining load ("chooses jobs based on their size
+  // and the size of the remaining jobs in their class"), placed at the
+  // earliest feasible start. Re-evaluating after every placement
+  // interleaves the heavy classes instead of serializing them.
+  std::vector<Time> remaining(static_cast<std::size_t>(instance.num_classes()));
+  std::vector<std::vector<JobId>> queue(
+      static_cast<std::size_t>(instance.num_classes()));
+  for (ClassId c = 0; c < instance.num_classes(); ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    remaining[ci] = instance.class_load(c);
+    queue[ci] = instance.class_jobs(c);
+    std::sort(queue[ci].begin(), queue[ci].end(), [&](JobId a, JobId b) {
+      return instance.size(a) > instance.size(b);
+    });
+  }
+  std::vector<Time> machine_free(static_cast<std::size_t>(instance.machines()),
+                                 0);
+  std::vector<Time> class_free(static_cast<std::size_t>(instance.num_classes()),
+                               0);
+  std::vector<std::size_t> next_in_class(
+      static_cast<std::size_t>(instance.num_classes()), 0);
+
+  for (int placed = 0; placed < instance.num_jobs(); ++placed) {
+    // Class with maximum remaining load; break ties towards the earlier
+    // resource release so machines do not starve.
+    ClassId best_class = kInvalidClass;
+    for (ClassId c = 0; c < instance.num_classes(); ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      if (next_in_class[ci] >= queue[ci].size()) continue;
+      if (best_class == kInvalidClass ||
+          remaining[ci] > remaining[static_cast<std::size_t>(best_class)] ||
+          (remaining[ci] == remaining[static_cast<std::size_t>(best_class)] &&
+           class_free[ci] < class_free[static_cast<std::size_t>(best_class)]))
+        best_class = c;
+    }
+    const auto ci = static_cast<std::size_t>(best_class);
+    const JobId j = queue[ci][next_in_class[ci]++];
+
+    std::size_t best = 0;
+    Time best_start = std::max(machine_free[0], class_free[ci]);
+    for (std::size_t k = 1; k < machine_free.size(); ++k) {
+      const Time start = std::max(machine_free[k], class_free[ci]);
+      if (start < best_start ||
+          (start == best_start && machine_free[k] < machine_free[best])) {
+        best = k;
+        best_start = start;
+      }
+    }
+    result.schedule.assign(j, static_cast<int>(best), best_start);
+    machine_free[best] = best_start + instance.size(j);
+    class_free[ci] = best_start + instance.size(j);
+    remaining[ci] -= instance.size(j);
+  }
+  return result;
+}
+
+}  // namespace msrs

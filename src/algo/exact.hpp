@@ -1,0 +1,40 @@
+// Exact makespan via chronological branch-and-bound.
+//
+// Used as ground truth for the empirical approximation-ratio experiments
+// (EXPERIMENTS.md E1/E2/E6/E9) on small instances. The search is complete:
+// any left-shifted schedule is reproducible by the branching scheme
+// (schedule an available job on the earliest-free machine / idle that
+// machine to the next class release / retire the machine), so the returned
+// value is OPT whenever the node limit is not hit.
+#pragma once
+
+#include <cstdint>
+
+#include "algo/common.hpp"
+#include "core/instance.hpp"
+
+namespace msrs {
+
+struct ExactOptions {
+  std::uint64_t node_limit = 20'000'000;
+  // Disables lower-bound pruning (exhaustive search); used by tests to
+  // validate the pruned search on tiny instances.
+  bool prune = true;
+};
+
+struct ExactResult {
+  Time makespan = 0;       // best makespan found (instance units)
+  Schedule schedule;       // scale 1; a schedule attaining `makespan`
+  bool optimal = false;    // true iff search completed within the node limit
+  std::uint64_t nodes = 0;
+};
+
+ExactResult exact_makespan(const Instance& instance,
+                           const ExactOptions& options = {});
+
+// Decision variant: is there a schedule with makespan <= deadline?
+// Returns 1 (yes), 0 (no), -1 (node limit hit, unknown).
+int exact_decide(const Instance& instance, Time deadline,
+                 const ExactOptions& options = {});
+
+}  // namespace msrs

@@ -1,0 +1,152 @@
+#include "algo/five_thirds.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+#include "core/class_partition.hpp"
+#include "core/lower_bounds.hpp"
+
+namespace msrs {
+
+AlgoResult five_thirds(const Instance& instance) {
+  // Trivial cases first (paper: assume m < |C|, otherwise one machine per
+  // class is optimal).
+  if (instance.num_jobs() == 0) {
+    AlgoResult empty;
+    empty.name = "five_thirds";
+    empty.schedule = Schedule(0, 1);
+    return empty;
+  }
+  if (instance.machines() >= instance.num_classes()) {
+    AlgoResult result = one_machine_per_class(instance);
+    result.name = "five_thirds";
+    return result;
+  }
+
+  const Time T = lower_bounds(instance).combined;
+  const int m = instance.machines();
+
+  AlgoResult result;
+  result.name = "five_thirds";
+  result.lower_bound = T;
+  Schedule& sched = result.schedule;
+  sched = Schedule(instance.num_jobs(), /*scale=*/3);
+  const Time deadline = 5 * T;  // "(5/3)T" in scale-3 units; "1" is 3T.
+
+  // Per-machine contiguous load in scaled units; every open machine carries
+  // its jobs in [0, load).
+  std::vector<Time> load(static_cast<std::size_t>(m), 0);
+  std::vector<bool> closed(static_cast<std::size_t>(m), false);
+
+  // Partition classes: C_{B+} (a job > T/2), then C_{>2/3}, then the rest.
+  std::vector<ClassId> with_big, large, rest;
+  for (ClassId c = 0; c < instance.num_classes(); ++c) {
+    if (2 * instance.class_max(c) > T) {
+      with_big.push_back(c);
+    } else if (3 * instance.class_load(c) > 2 * T) {
+      large.push_back(c);
+    } else {
+      rest.push_back(c);
+    }
+  }
+  // Observation 4: at most m classes contain a job > T/2 (pair bound).
+  assert(static_cast<int>(with_big.size()) <= m);
+
+  // --- Step 1: one machine per class of C_{B+}, jobs consecutive from 0. ---
+  for (std::size_t i = 0; i < with_big.size(); ++i) {
+    const auto machine = static_cast<int>(i);
+    load[i] = place_block(instance, sched, instance.class_jobs(with_big[i]),
+                          machine, 0);
+    assert(load[i] <= 3 * T);
+  }
+
+  // --- Step 2: classes with p(c) > (2/3)T; fill the C_{B+} machines first,
+  // then empty machines. A machine is closed once its load reaches 1 (i.e.
+  // 3T scaled) — the feasibility argument of Lemma 6 needs every closed
+  // machine to carry load >= 1, so whole-class placements that leave the
+  // machine below 1 keep it open for further classes.
+  int mi = 0;  // current machine
+  for (ClassId c : large) {
+    if (mi >= m) throw std::logic_error("five_thirds: ran out of machines (step 2)");
+    const Time class_len = 3 * instance.class_load(c);
+    {
+      const auto midx = static_cast<std::size_t>(mi);
+      if (load[midx] + class_len <= deadline) {
+        // Entire class fits below the 5/3 deadline.
+        load[midx] = place_block(instance, sched, instance.class_jobs(c), mi,
+                                 load[midx]);
+        if (load[midx] >= 3 * T) {
+          closed[midx] = true;
+          ++mi;
+        }
+        continue;
+      }
+      // The class does not fit whole; this only happens on machines that
+      // already carry load > 2T (an empty machine always fits a class, as
+      // p(c) <= T). Split by Lemma 5; place the larger part at the top of
+      // the current machine, the smaller part at the bottom of the next one
+      // (whose existing jobs are delayed past it).
+      assert(load[midx] > 2 * T);
+      ClassSplit split = split_lemma5(instance, c, T);
+      if (split.hat_load < split.check_load) {
+        std::swap(split.hat, split.check);
+        std::swap(split.hat_load, split.check_load);
+      }
+      [[maybe_unused]] const Time hat_len = 3 * split.hat_load;
+      const Time check_len = 3 * split.check_load;
+
+      // Larger part c1 ends at the deadline; close this machine. Its start
+      // 5T - hat_len >= 3T > load, so it cannot collide with existing jobs.
+      assert(load[midx] <= deadline - hat_len);
+      place_block_ending(instance, sched, split.hat, mi, deadline);
+      closed[midx] = true;
+      ++mi;
+      if (mi >= m)
+        throw std::logic_error("five_thirds: ran out of machines (step 2b)");
+
+      // Delay existing jobs on the next machine so the first starts at
+      // p(c2), then place c2 in [0, p(c2)).
+      const auto nidx = static_cast<std::size_t>(mi);
+      if (load[nidx] > 0) {
+        for (JobId j = 0; j < instance.num_jobs(); ++j)
+          if (sched.assigned(j) && sched.machine(j) == mi)
+            sched.assign(j, mi, sched.start(j) + check_len);
+      }
+      place_block(instance, sched, split.check, mi, 0);
+      load[nidx] += check_len;
+      assert(load[nidx] <= deadline);
+      if (load[nidx] >= 3 * T) {  // "load of at least 1"
+        closed[nidx] = true;
+        ++mi;
+      }
+    }
+  }
+
+  // --- Step 3: greedily stack all residual classes on open machines. ---
+  int greedy_machine = 0;
+  auto next_open = [&](int from) {
+    while (from < m && closed[static_cast<std::size_t>(from)]) ++from;
+    return from;
+  };
+  greedy_machine = next_open(0);
+  for (ClassId c : rest) {
+    if (greedy_machine >= m)
+      throw std::logic_error("five_thirds: ran out of machines (step 3)");
+    const auto midx = static_cast<std::size_t>(greedy_machine);
+    load[midx] = place_block(instance, sched, instance.class_jobs(c),
+                             greedy_machine, load[midx]);
+    assert(load[midx] <= deadline);
+    if (load[midx] >= 3 * T) {  // machine full ("exceeds 1"): close it
+      closed[midx] = true;
+      greedy_machine = next_open(greedy_machine + 1);
+    }
+  }
+
+  assert(sched.complete());
+  assert(sched.makespan_scaled(instance) <= deadline);
+  return result;
+}
+
+}  // namespace msrs

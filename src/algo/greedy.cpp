@@ -1,0 +1,77 @@
+#include "algo/greedy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/lower_bounds.hpp"
+
+namespace msrs {
+
+std::vector<JobId> priority_order(const Instance& instance,
+                                  ListPriority priority) {
+  std::vector<JobId> order(static_cast<std::size_t>(instance.num_jobs()));
+  std::iota(order.begin(), order.end(), 0);
+  switch (priority) {
+    case ListPriority::kInputOrder:
+      break;
+    case ListPriority::kLptJob:
+      std::stable_sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+        return instance.size(a) > instance.size(b);
+      });
+      break;
+    case ListPriority::kClassLoadDesc:
+      std::stable_sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+        const Time la = instance.class_load(instance.job_class(a));
+        const Time lb = instance.class_load(instance.job_class(b));
+        if (la != lb) return la > lb;
+        if (instance.job_class(a) != instance.job_class(b))
+          return instance.job_class(a) < instance.job_class(b);
+        return instance.size(a) > instance.size(b);
+      });
+      break;
+  }
+  return order;
+}
+
+AlgoResult list_schedule(const Instance& instance, ListPriority priority) {
+  AlgoResult result;
+  result.name = "list_schedule";
+  result.lower_bound = lower_bounds(instance).combined;
+  result.schedule = Schedule(instance.num_jobs(), /*scale=*/1);
+
+  std::vector<Time> machine_free(static_cast<std::size_t>(instance.machines()), 0);
+  std::vector<Time> class_free(static_cast<std::size_t>(instance.num_classes()), 0);
+
+  for (JobId j : priority_order(instance, priority)) {
+    const auto c = static_cast<std::size_t>(instance.job_class(j));
+    // Earliest feasible start over machines (resource-aware); ties broken
+    // towards the machine that frees up first, then lower index.
+    std::size_t best = 0;
+    Time best_start = std::max(machine_free[0], class_free[c]);
+    for (std::size_t k = 1; k < machine_free.size(); ++k) {
+      const Time start = std::max(machine_free[k], class_free[c]);
+      if (start < best_start ||
+          (start == best_start && machine_free[k] < machine_free[best])) {
+        best = k;
+        best_start = start;
+      }
+    }
+    result.schedule.assign(j, static_cast<int>(best), best_start);
+    machine_free[best] = best_start + instance.size(j);
+    class_free[c] = best_start + instance.size(j);
+  }
+  return result;
+}
+
+AlgoResult one_machine_per_class(const Instance& instance) {
+  AlgoResult result;
+  result.name = "one_machine_per_class";
+  result.lower_bound = lower_bounds(instance).combined;
+  result.schedule = Schedule(instance.num_jobs(), /*scale=*/1);
+  for (ClassId c = 0; c < instance.num_classes(); ++c)
+    place_block(instance, result.schedule, instance.class_jobs(c),
+                /*machine=*/c, /*start=*/0);
+  return result;
+}
+
+}  // namespace msrs

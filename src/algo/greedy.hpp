@@ -1,0 +1,27 @@
+// Resource-aware list scheduling: the workhorse behind the prior-art
+// baselines (Section 1 of the paper) and a sanity baseline of its own.
+#pragma once
+
+#include <vector>
+
+#include "algo/common.hpp"
+#include "core/instance.hpp"
+
+namespace msrs {
+
+enum class ListPriority {
+  kInputOrder,      // jobs in instance order
+  kLptJob,          // largest processing time first
+  kClassLoadDesc,   // classes by total load (desc), jobs within class by size
+};
+
+// Schedules jobs one by one in priority order. Each job starts at
+// max(min_k machine_free[k], class_free[class]) on a machine attaining the
+// earliest such start. Resource conflicts are avoided by construction.
+AlgoResult list_schedule(const Instance& instance, ListPriority priority);
+
+// Returns the job order used by `list_schedule` (exposed for tests).
+std::vector<JobId> priority_order(const Instance& instance,
+                                  ListPriority priority);
+
+}  // namespace msrs

@@ -1,0 +1,355 @@
+#include "algo/no_huge.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <deque>
+#include <stdexcept>
+
+#include "core/class_partition.hpp"
+#include "core/lower_bounds.hpp"
+
+namespace msrs {
+namespace {
+
+// Split of a virtual class per Lemma 10 (classes with p(c) >= (3/4)T).
+struct VSplit {
+  std::vector<JobId> hat, check;
+  Time hat_load = 0, check_load = 0;
+};
+
+VSplit vsplit10(const Instance& instance, const VirtualClass& vc, Time T) {
+  ClassSplit s = split_lemma10_jobs(instance, vc.jobs, T);
+  return {std::move(s.hat), std::move(s.check), s.hat_load, s.check_load};
+}
+
+// Machine allocation + greedy bookkeeping shared by the terminal steps.
+class Runner {
+ public:
+  Runner(const Instance& instance, std::span<const int> machines, Time T,
+         Schedule& sched)
+      : inst_(instance), machines_(machines), T_(T), sched_(sched) {
+    assert(sched_.scale() == 2);
+  }
+
+  Time deadline() const { return 3 * T_; }  // "3/2" in scale-2 units
+  Time unit() const { return 2 * T_; }      // "1" in scale-2 units
+
+  int alloc() {
+    if (next_ >= machines_.size())
+      throw std::logic_error("no_huge: ran out of machines");
+    return machines_[next_++];
+  }
+
+  // Places `jobs` consecutively from `start`; returns end.
+  Time place(std::span<const JobId> jobs, int machine, Time start) {
+    return place_block(inst_, sched_, jobs, machine, start);
+  }
+  // Places `jobs` consecutively ending at `end`; returns start.
+  Time place_ending(std::span<const JobId> jobs, int machine, Time end) {
+    return place_block_ending(inst_, sched_, jobs, machine, end);
+  }
+
+  // A machine still accepting greedy classes. Its occupied region is
+  // [0, cursor) plus, for the gap machine of Step 6.2b, a reserved block
+  // [top_start, 3T). `load` tracks total load for the close rule.
+  struct GreedyTarget {
+    int machine = -1;
+    Time cursor = 0;                       // next free position
+    Time top_start = -1;                   // <0: none
+    Time load = 0;                         // scaled
+  };
+
+  // Greedily places the remaining small classes (p <= T/2) on the given
+  // partially-filled targets first, then on fresh machines; a machine closes
+  // once its load reaches "1" (2T scaled).
+  void greedy_finish(std::vector<GreedyTarget> targets,
+                     std::deque<VirtualClass>& smalls) {
+    std::size_t ti = 0;
+    while (!smalls.empty()) {
+      if (ti >= targets.size()) {
+        targets.push_back(GreedyTarget{alloc(), 0, -1, 0});
+      }
+      GreedyTarget& t = targets[ti];
+      if (t.load >= unit()) {  // machine full: close, move on
+        ++ti;
+        continue;
+      }
+      const VirtualClass vc = std::move(smalls.front());
+      smalls.pop_front();
+      assert(2 * vc.load <= T_);
+      const Time end = place(vc.jobs, t.machine, t.cursor);
+      t.cursor = end;
+      t.load += 2 * vc.load;
+      assert(t.top_start < 0 || t.cursor <= t.top_start);
+      assert(t.cursor <= deadline());
+    }
+  }
+
+ private:
+  const Instance& inst_;
+  std::span<const int> machines_;
+  std::size_t next_ = 0;
+  Time T_;
+  Schedule& sched_;
+};
+
+}  // namespace
+
+VirtualClass make_virtual(const Instance& instance, ClassId c) {
+  return make_virtual(instance, instance.class_jobs(c));
+}
+
+VirtualClass make_virtual(const Instance& instance,
+                          std::span<const JobId> jobs) {
+  VirtualClass vc;
+  vc.jobs.assign(jobs.begin(), jobs.end());
+  for (JobId j : jobs) {
+    vc.load += instance.size(j);
+    vc.max_size = std::max(vc.max_size, instance.size(j));
+  }
+  return vc;
+}
+
+void no_huge_run(const Instance& instance, std::vector<VirtualClass> classes,
+                 std::span<const int> machines, Time T, Schedule& sched) {
+  Runner run(instance, machines, T, sched);
+  const Time D = run.deadline();  // 3T, i.e. "3/2"
+
+  // Bucket the classes. Boundaries (scaled by 2 resp. 4 for exactness):
+  //   heavy: p(c) >= (3/4)T ; mid: p(c) in (T/2, (3/4)T) ; small: p(c) <= T/2
+  std::deque<VirtualClass> heavy, mid, smalls;
+  for (auto& vc : classes) {
+    assert(vc.load <= T);
+    assert(4 * vc.max_size <= 3 * T);  // "no huge jobs"
+    if (4 * vc.load >= 3 * T) {
+      heavy.push_back(std::move(vc));
+    } else if (2 * vc.load > T) {
+      mid.push_back(std::move(vc));
+    } else {
+      smalls.push_back(std::move(vc));
+    }
+  }
+
+  // --- Step 1: Lemma-10 splits for every heavy class (computed lazily via
+  // vsplit10 where needed). ---
+
+  // --- Step 2: pairs of mid classes fill one machine each. ---
+  while (mid.size() >= 2) {
+    const VirtualClass c1 = std::move(mid.front());
+    mid.pop_front();
+    const VirtualClass c2 = std::move(mid.front());
+    mid.pop_front();
+    const int machine = run.alloc();
+    run.place(c1.jobs, machine, 0);
+    run.place_ending(c2.jobs, machine, D);
+    // p(c1)+p(c2) > 1 (closed with load > 1) and both < 3/4 => no overlap.
+  }
+
+  // --- Step 3: quadruples of heavy classes fill three machines. ---
+  while (heavy.size() >= 4) {
+    VirtualClass c1 = std::move(heavy.front());
+    heavy.pop_front();
+    VirtualClass c2 = std::move(heavy.front());
+    heavy.pop_front();
+    VirtualClass c3 = std::move(heavy.front());
+    heavy.pop_front();
+    VirtualClass c4 = std::move(heavy.front());
+    heavy.pop_front();
+    const VSplit s1 = vsplit10(instance, c1, T);
+    const VSplit s2 = vsplit10(instance, c2, T);
+    const int m1 = run.alloc();
+    const int m2 = run.alloc();
+    const int m3 = run.alloc();
+    run.place(s1.hat, m1, 0);
+    run.place_ending(s2.hat, m1, D);
+    run.place(c3.jobs, m2, 0);
+    run.place_ending(s1.check, m2, D);
+    const Time check2_end = run.place(s2.check, m3, 0);
+    run.place(c4.jobs, m3, check2_end);
+  }
+
+  // --- Step 4: two heavy + the lone mid class fill two machines. ---
+  if (heavy.size() >= 2 && mid.size() == 1) {
+    VirtualClass c1 = std::move(heavy.front());
+    heavy.pop_front();
+    VirtualClass c2 = std::move(heavy.front());
+    heavy.pop_front();
+    VirtualClass c3 = std::move(mid.front());
+    mid.pop_front();
+    const VSplit s1 = vsplit10(instance, c1, T);
+    const int m1 = run.alloc();
+    const int m2 = run.alloc();
+    run.place(c3.jobs, m1, 0);
+    run.place_ending(s1.hat, m1, D);
+    const Time check1_end = run.place(s1.check, m2, 0);
+    run.place(c2.jobs, m2, check1_end);
+  }
+
+  // Classes with p > T/2 still open. After steps 2-4: |mid| + |heavy| <= 3,
+  // and if three remain they are all heavy.
+  std::vector<VirtualClass> over;
+  while (!heavy.empty()) {
+    over.push_back(std::move(heavy.front()));
+    heavy.pop_front();
+  }
+  while (!mid.empty()) {
+    over.push_back(std::move(mid.front()));
+    mid.pop_front();
+  }
+  assert(over.size() <= 3);
+
+  // --- Step 5: at most one class > 1/2 left. ---
+  if (over.size() <= 1) {
+    std::vector<Runner::GreedyTarget> targets;
+    if (over.size() == 1) {
+      const int machine = run.alloc();
+      const Time end = run.place(over[0].jobs, machine, 0);
+      targets.push_back({machine, end, -1, end});
+    }
+    run.greedy_finish(std::move(targets), smalls);
+    return;
+  }
+
+  // --- Step 6: exactly two classes > 1/2 left. ---
+  if (over.size() == 2) {
+    // c1 is the larger; it is heavy (p(c1) >= 3/4).
+    if (over[0].load < over[1].load) std::swap(over[0], over[1]);
+    const VirtualClass& c1 = over[0];
+    const VirtualClass& c2 = over[1];
+    assert(4 * c1.load >= 3 * T);
+
+    if (4 * c2.load <= 3 * T) {  // p(c2) <= 3/4
+      if (2 * (c1.load + c2.load) <= 3 * T) {  // 6.1a: both fit on one machine
+        const int machine = run.alloc();
+        run.place(c1.jobs, machine, 0);
+        run.place_ending(c2.jobs, machine, D);
+        run.greedy_finish({}, smalls);
+        return;
+      }
+      // 6.1b: c2 + hat(c1) on one machine; check(c1) starts the next.
+      const VSplit s1 = vsplit10(instance, c1, T);
+      const int m1 = run.alloc();
+      run.place(c2.jobs, m1, 0);
+      run.place_ending(s1.hat, m1, D);
+      const int m2 = run.alloc();
+      const Time end = run.place(s1.check, m2, 0);
+      run.greedy_finish({{m2, end, -1, end}}, smalls);
+      return;
+    }
+
+    // p(c2) > 3/4: both heavy.
+    const VSplit s1 = vsplit10(instance, c1, T);
+    const VSplit s2 = vsplit10(instance, c2, T);
+    if (2 * (s1.hat_load + s2.hat_load) <= 2 * T) {  // 6.2a
+      const int m1 = run.alloc();
+      run.place(c2.jobs, m1, 0);
+      run.place_ending(s1.hat, m1, D);
+      const int m2 = run.alloc();
+      const Time end = run.place(s1.check, m2, 0);
+      run.greedy_finish({{m2, end, -1, end}}, smalls);
+      return;
+    }
+    // 6.2b: hats on one machine; checks at bottom/top of the next, greedy
+    // classes fill the gap in between.
+    const int m1 = run.alloc();
+    run.place(s1.hat, m1, 0);
+    run.place_ending(s2.hat, m1, D);
+    const int m2 = run.alloc();
+    const Time bottom_end = run.place(s2.check, m2, 0);
+    const Time top_start = run.place_ending(s1.check, m2, D);
+    run.greedy_finish(
+        {{m2, bottom_end, top_start, bottom_end + (D - top_start)}}, smalls);
+    return;
+  }
+
+  // --- Step 7: exactly three classes > 1/2 left; all heavy. ---
+  assert(over.size() == 3);
+  for (const auto& vc : over) {
+    assert(4 * vc.load >= 3 * T);
+    (void)vc;
+  }
+
+  // 7.1: some hat part is <= 1/2 — reorder it to the front.
+  std::array<VSplit, 3> splits = {vsplit10(instance, over[0], T),
+                                  vsplit10(instance, over[1], T),
+                                  vsplit10(instance, over[2], T)};
+  int small_hat = -1;
+  for (int i = 0; i < 3; ++i)
+    if (2 * splits[static_cast<std::size_t>(i)].hat_load <= T) small_hat = i;
+  if (small_hat >= 0) {
+    std::swap(over[0], over[static_cast<std::size_t>(small_hat)]);
+    std::swap(splits[0], splits[static_cast<std::size_t>(small_hat)]);
+    const int m1 = run.alloc();
+    const Time hat_end = run.place(splits[0].hat, m1, 0);
+    run.place(over[1].jobs, m1, hat_end);
+    const int m2 = run.alloc();
+    run.place(over[2].jobs, m2, 0);
+    run.place_ending(splits[0].check, m2, D);
+    run.greedy_finish({}, smalls);
+    return;
+  }
+
+  // 7.2: all hats > 1/2.
+  if (2 * (splits[0].check_load + splits[1].check_load + over[2].load) <=
+      3 * T) {
+    // 7.2a: hats of c1,c2 on one machine; checks + whole c3 on the next.
+    const int m1 = run.alloc();
+    run.place(splits[0].hat, m1, 0);
+    run.place_ending(splits[1].hat, m1, D);
+    const int m2 = run.alloc();
+    const Time b_end = run.place(splits[1].check, m2, 0);
+    run.place(over[2].jobs, m2, b_end);
+    run.place_ending(splits[0].check, m2, D);
+    run.greedy_finish({}, smalls);
+    return;
+  }
+  // 7.2b: w.l.o.g. p(check(c1)) > 1/4 (at least one of the two checks is).
+  if (4 * splits[0].check_load <= T) {
+    std::swap(over[0], over[1]);
+    std::swap(splits[0], splits[1]);
+  }
+  assert(4 * splits[0].check_load > T);
+  const int m1 = run.alloc();
+  run.place(splits[0].hat, m1, 0);
+  run.place_ending(splits[1].hat, m1, D);
+  const int m2 = run.alloc();
+  run.place(over[2].jobs, m2, 0);
+  run.place_ending(splits[0].check, m2, D);
+  const int m3 = run.alloc();
+  const Time end = run.place(splits[1].check, m3, 0);
+  run.greedy_finish({{m3, end, -1, end}}, smalls);
+}
+
+AlgoResult no_huge(const Instance& instance) {
+  AlgoResult result;
+  result.name = "no_huge";
+  if (instance.num_jobs() == 0) {
+    result.schedule = Schedule(0, 1);
+    return result;
+  }
+  if (instance.machines() >= instance.num_classes()) {
+    result = one_machine_per_class(instance);
+    result.name = "no_huge";
+    return result;
+  }
+  const Time T = lower_bounds(instance).combined;
+  result.lower_bound = T;
+  if (4 * instance.max_size() > 3 * T)
+    throw std::invalid_argument(
+        "no_huge: instance contains a huge job (> 3T/4); use three_halves");
+
+  result.schedule = Schedule(instance.num_jobs(), /*scale=*/2);
+  std::vector<VirtualClass> classes;
+  classes.reserve(static_cast<std::size_t>(instance.num_classes()));
+  for (ClassId c = 0; c < instance.num_classes(); ++c)
+    classes.push_back(make_virtual(instance, c));
+  std::vector<int> machines(static_cast<std::size_t>(instance.machines()));
+  for (int k = 0; k < instance.machines(); ++k)
+    machines[static_cast<std::size_t>(k)] = k;
+  no_huge_run(instance, std::move(classes), machines, T, result.schedule);
+  assert(result.schedule.complete());
+  return result;
+}
+
+}  // namespace msrs

@@ -1,0 +1,42 @@
+// Algorithm_no_huge (paper Section 3.1, Lemma 12).
+//
+// Schedules instances without huge jobs (no job > (3/4)T) with makespan at
+// most (3/2)T, where T = max{ceil(p(J)/m), max_c p(c), p~_m + p~_{m+1}}.
+// Also used as the subroutine of Algorithm_3/2 (Section 3.2), which hands it
+// residual class sets — including at most one *fragment* of a class — and a
+// set of still-empty machines. Class fragments are modelled as VirtualClass.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "algo/common.hpp"
+#include "core/instance.hpp"
+
+namespace msrs {
+
+// A class or class fragment treated as one resource unit by no_huge.
+struct VirtualClass {
+  std::vector<JobId> jobs;
+  Time load = 0;
+  Time max_size = 0;
+};
+
+VirtualClass make_virtual(const Instance& instance, ClassId c);
+VirtualClass make_virtual(const Instance& instance,
+                          std::span<const JobId> jobs);
+
+// Core routine: schedules `classes` onto the (empty) machine ids `machines`
+// within the scaled deadline 3T. `sched` must have scale 2. Requirements
+// (Lemma 12): every class load <= T, no job > (3/4)T, total load <=
+// |machines| * T, and at most |machines| jobs with size > T/2.
+// Throws std::logic_error if it runs out of machines (i.e. the requirements
+// were violated).
+void no_huge_run(const Instance& instance, std::vector<VirtualClass> classes,
+                 std::span<const int> machines, Time T, Schedule& sched);
+
+// Standalone wrapper: computes T from the instance's lower bounds and runs
+// the algorithm. Requires the instance to contain no job > (3/4)T.
+AlgoResult no_huge(const Instance& instance);
+
+}  // namespace msrs

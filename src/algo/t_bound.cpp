@@ -1,0 +1,110 @@
+#include "algo/t_bound.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/lower_bounds.hpp"
+
+namespace msrs {
+namespace {
+
+// Category of a class relative to T. Exactly one of:
+//   kHuge:  max job > (3/4)T          <=> 4a > 3T
+//   kBig:   else, max job > T/2       <=> 2a > T
+//   kHeavy: else, p(c) >= (3/4)T      <=> 4L >= 3T
+//   kNone:  otherwise
+enum class Cat { kHuge, kBig, kHeavy, kNone };
+
+Cat categorize(Time a, Time L, Time T) {
+  if (4 * a > 3 * T) return Cat::kHuge;
+  if (2 * a > T) return Cat::kBig;
+  if (4 * L >= 3 * T) return Cat::kHeavy;
+  return Cat::kNone;
+}
+
+}  // namespace
+
+Census census(const Instance& instance, Time T) {
+  Census counts;
+  for (ClassId c = 0; c < instance.num_classes(); ++c) {
+    switch (categorize(instance.class_max(c), instance.class_load(c), T)) {
+      case Cat::kHuge: ++counts.huge; break;
+      case Cat::kBig: ++counts.big; break;
+      case Cat::kHeavy: ++counts.heavy; break;
+      case Cat::kNone: break;
+    }
+  }
+  return counts;
+}
+
+bool census_ok(const Instance& instance, Time T) {
+  return census(instance, T).ok(instance.machines());
+}
+
+Time three_halves_bound(const Instance& instance) {
+  const Time base = lower_bounds(instance).combined;
+  if (census_ok(instance, base)) return base;
+
+  // Event sweep: each class changes category at up to three thresholds
+  //   leaves huge at   T >= ceil(4a/3)
+  //   leaves big at    T >= 2a
+  //   leaves heavy at  T >  (4/3)L, i.e. T >= floor(4L/3)+1
+  // The census is constant between consecutive thresholds, so the smallest
+  // satisfying T is one of them (or `base`, checked above). Lemma 8
+  // guarantees the census holds at OPT >= base, hence the returned value is
+  // <= OPT.
+  struct Event {
+    Time t;
+    ClassId c;
+  };
+  std::vector<Event> events;
+  events.reserve(static_cast<std::size_t>(instance.num_classes()) * 3);
+  for (ClassId c = 0; c < instance.num_classes(); ++c) {
+    const Time a = instance.class_max(c);
+    const Time L = instance.class_load(c);
+    for (Time t : {ceil_div(4 * a, 3), 2 * a, floor_div(4 * L, 3) + 1})
+      if (t > base) events.push_back({t, c});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& x, const Event& y) {
+    return x.t != y.t ? x.t < y.t : x.c < y.c;
+  });
+
+  Census counts = census(instance, base);
+  const int m = instance.machines();
+  Time prev = base;
+  std::size_t i = 0;
+  while (i < events.size()) {
+    const Time t = events[i].t;
+    // Apply all transitions at time t (deduplicating per class).
+    ClassId last = kInvalidClass;
+    for (; i < events.size() && events[i].t == t; ++i) {
+      const ClassId c = events[i].c;
+      if (c == last) continue;  // several thresholds of c coincide
+      last = c;
+      const Time a = instance.class_max(c);
+      const Time L = instance.class_load(c);
+      const Cat before = categorize(a, L, prev);
+      const Cat after = categorize(a, L, t);
+      if (before == after) continue;
+      switch (before) {
+        case Cat::kHuge: --counts.huge; break;
+        case Cat::kBig: --counts.big; break;
+        case Cat::kHeavy: --counts.heavy; break;
+        case Cat::kNone: break;
+      }
+      switch (after) {
+        case Cat::kHuge: ++counts.huge; break;
+        case Cat::kBig: ++counts.big; break;
+        case Cat::kHeavy: ++counts.heavy; break;
+        case Cat::kNone: break;
+      }
+    }
+    if (counts.ok(m)) return t;
+    prev = t;
+  }
+  // All categories eventually empty, so the last event always satisfies the
+  // census; reaching here means there were no events and base satisfied it.
+  return base;
+}
+
+}  // namespace msrs

@@ -1,0 +1,438 @@
+#include "algo/three_halves.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+#include "algo/no_huge.hpp"
+#include "algo/t_bound.hpp"
+#include "core/class_partition.hpp"
+
+namespace msrs {
+namespace {
+
+// Mutable algorithm state; the steps below mirror the paper's Steps 2-10.
+class ThreeHalves {
+ public:
+  ThreeHalves(const Instance& instance, Time T, Schedule& sched)
+      : inst_(instance), T_(T), D_(3 * T), sched_(sched) {}
+
+  void run() {
+    classify();
+    if (huge_.empty()) {
+      finish_no_huge();
+      return;
+    }
+    step2_open_huge_machines();
+    if (residual_empty()) return;
+    if (bar_mh_.empty()) {
+      finish_no_huge();
+      return;
+    }
+    step3_greedy_smalls();
+    if (residual_empty()) return;
+    if (bar_mh_.empty()) {
+      finish_no_huge();
+      return;
+    }
+    if (step4_pair_mids()) return;
+    if (bar_mh_.size() == 1) {
+      step5_or_10_single_mh();
+      return;
+    }
+    // Defensive steps 6/7: with |barMH| >= 2 the mid\C_B classes are already
+    // exhausted by step 4, so these loops are normally no-ops; they are kept
+    // to mirror the paper and as a safety net.
+    if (step6_mid_heavy_pairs()) return;
+    step7_own_machines_for_mids();
+    if (residual_empty()) return;
+    if (bar_mh_.empty()) {
+      finish_no_huge();
+      return;
+    }
+    if (bar_mh_.size() == 1) {
+      step5_or_10_single_mh();
+      return;
+    }
+    if (step8_heavy_pairs()) return;
+    step9_endgame();
+  }
+
+ private:
+  // --- machine bookkeeping --------------------------------------------------
+  struct MachineInfo {
+    std::vector<JobId> jobs;  // contiguous block starting at `origin`
+    Time load = 0;            // scaled total
+    Time origin = 0;          // scaled start of the block
+  };
+
+  int alloc_fresh() {
+    if (next_fresh_ >= inst_.machines())
+      throw std::logic_error("three_halves: ran out of machines");
+    return next_fresh_++;
+  }
+
+  Time place(std::span<const JobId> jobs, int machine, Time start) {
+    return place_block(inst_, sched_, jobs, machine, start);
+  }
+  Time place_ending(std::span<const JobId> jobs, int machine, Time end) {
+    return place_block_ending(inst_, sched_, jobs, machine, end);
+  }
+
+  // Appends `jobs` to the tracked contiguous block of machine `mi`.
+  void stack_on(int mi, std::span<const JobId> jobs) {
+    MachineInfo& info = mh_info_[static_cast<std::size_t>(mi)];
+    const Time end = place(jobs, mi, info.origin + info.load);
+    info.jobs.insert(info.jobs.end(), jobs.begin(), jobs.end());
+    info.load = end - info.origin;
+  }
+
+  // Shifts the tracked block of machine `mi` so that it ends at D.
+  void shift_to_top(int mi) {
+    MachineInfo& info = mh_info_[static_cast<std::size_t>(mi)];
+    const Time offset = D_ - (info.origin + info.load);
+    assert(offset >= 0);
+    for (JobId j : info.jobs) sched_.assign(j, mi, sched_.start(j) + offset);
+    info.origin += offset;
+  }
+
+  // --- classification --------------------------------------------------------
+  void classify() {
+    for (ClassId c = 0; c < inst_.num_classes(); ++c) {
+      const Time a = inst_.class_max(c);
+      const Time L = inst_.class_load(c);
+      assert(L <= T_);
+      if (4 * a > 3 * T_) {
+        huge_.push_back(c);
+      } else if (2 * a > T_) {  // C_B: big job in (T/2, 3T/4]
+        if (4 * L >= 3 * T_) {
+          cb_heavy_.push_back(c);
+        } else {
+          cb_mid_.push_back(c);
+        }
+      } else if (4 * L >= 3 * T_) {
+        noncb_heavy_.push_back(c);
+      } else if (2 * L > T_) {
+        noncb_mid_.push_back(c);
+      } else {
+        smalls_.push_back(c);
+      }
+    }
+  }
+
+  bool residual_empty() const {
+    return smalls_.empty() && noncb_mid_.empty() && cb_mid_.empty() &&
+           cb_heavy_.empty() && noncb_heavy_.empty();
+  }
+
+  int heavy_count() const {
+    return static_cast<int>(cb_heavy_.size() + noncb_heavy_.size());
+  }
+
+  ClassId pop_heavy_cb_first() {
+    if (!cb_heavy_.empty()) {
+      const ClassId c = cb_heavy_.front();
+      cb_heavy_.pop_front();
+      return c;
+    }
+    const ClassId c = noncb_heavy_.front();
+    noncb_heavy_.pop_front();
+    return c;
+  }
+
+  // --- steps -----------------------------------------------------------------
+  // Step 2: one machine per huge class, jobs consecutive from 0.
+  void step2_open_huge_machines() {
+    assert(static_cast<int>(huge_.size()) <= inst_.machines());
+    mh_info_.resize(huge_.size());
+    for (std::size_t i = 0; i < huge_.size(); ++i) {
+      const int machine = static_cast<int>(i);
+      const auto& jobs = inst_.class_jobs(huge_[i]);
+      const Time end = place(jobs, machine, 0);
+      mh_info_[i].jobs.assign(jobs.begin(), jobs.end());
+      mh_info_[i].load = end;
+      // Close machines with load exactly "1" (2T); the rest stay open.
+      if (end < 2 * T_) bar_mh_.push_back(machine);
+    }
+    next_fresh_ = static_cast<int>(huge_.size());
+  }
+
+  // Step 3: greedily top up the open huge machines with small classes.
+  void step3_greedy_smalls() {
+    while (!bar_mh_.empty() && !smalls_.empty()) {
+      const int mi = bar_mh_.front();
+      if (mh_info_[static_cast<std::size_t>(mi)].load >= 2 * T_) {
+        bar_mh_.pop_front();
+        continue;
+      }
+      const ClassId c = smalls_.front();
+      smalls_.pop_front();
+      stack_on(mi, inst_.class_jobs(c));
+      assert(mh_info_[static_cast<std::size_t>(mi)].load <= D_);
+      if (mh_info_[static_cast<std::size_t>(mi)].load >= 2 * T_)
+        bar_mh_.pop_front();
+    }
+  }
+
+  // Step 4: pair two open huge machines with one mid class (not in C_B).
+  // Returns true if everything was scheduled.
+  bool step4_pair_mids() {
+    while (bar_mh_.size() >= 2 && !noncb_mid_.empty()) {
+      const ClassId c = noncb_mid_.front();
+      noncb_mid_.pop_front();
+      const ClassSplit split = split_lemma11(inst_, c, T_);
+      const int m1 = bar_mh_.front();
+      bar_mh_.pop_front();
+      const int m2 = bar_mh_.front();
+      bar_mh_.pop_front();
+      place_ending(split.hat, m1, D_);  // above m1's block; both <= 3/2
+      shift_to_top(m2);
+      place(split.check, m2, 0);
+      if (residual_empty()) return true;
+    }
+    if (bar_mh_.empty()) {
+      finish_no_huge();
+      return true;
+    }
+    return false;
+  }
+
+  // Steps 5 and 10 share their mechanics: a single open huge machine m0.
+  void step5_or_10_single_mh() {
+    assert(bar_mh_.size() == 1);
+    const int m0 = bar_mh_.front();
+    bar_mh_.pop_front();
+    if (!noncb_mid_.empty() || !noncb_heavy_.empty()) {
+      finish_with_rotation(m0);
+      return;
+    }
+    // All residual classes are in C_B: one fresh machine each.
+    own_machines_for_all_residual();
+  }
+
+  // Step 6 (defensive): one open huge machine + one mid-class + one heavy
+  // class fill the huge machine and one fresh machine.
+  bool step6_mid_heavy_pairs() {
+    while (!bar_mh_.empty() && !noncb_mid_.empty() && heavy_count() >= 1) {
+      const ClassId b = noncb_mid_.front();
+      noncb_mid_.pop_front();
+      const ClassId c = pop_heavy_cb_first();
+      const ClassSplit split = split_lemma10(inst_, c, T_);
+      const int m1 = bar_mh_.front();
+      bar_mh_.pop_front();
+      const int m2 = alloc_fresh();
+      place_ending(split.check, m1, D_);
+      place(split.hat, m2, 0);
+      place_ending(inst_.class_jobs(b), m2, D_);
+      if (residual_empty()) return true;
+      if (bar_mh_.empty()) {
+        finish_no_huge();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Step 7 (defensive): any remaining mid classes not in C_B get their own
+  // machines.
+  void step7_own_machines_for_mids() {
+    while (!noncb_mid_.empty()) {
+      const ClassId c = noncb_mid_.front();
+      noncb_mid_.pop_front();
+      place(inst_.class_jobs(c), alloc_fresh(), 0);
+    }
+  }
+
+  // Step 8: two open huge machines + two heavy classes fill three machines.
+  bool step8_heavy_pairs() {
+    while (bar_mh_.size() >= 2 && heavy_count() >= 2) {
+      const ClassId c1 = pop_heavy_cb_first();
+      const ClassId c2 = pop_heavy_cb_first();
+      const ClassSplit s1 = split_lemma10(inst_, c1, T_);
+      const ClassSplit s2 = split_lemma10(inst_, c2, T_);
+      const int m1 = bar_mh_.front();
+      bar_mh_.pop_front();
+      const int m2 = bar_mh_.front();
+      bar_mh_.pop_front();
+      const int m3 = alloc_fresh();
+      place_ending(s1.check, m1, D_);
+      shift_to_top(m2);
+      place(s2.check, m2, 0);
+      place(s1.hat, m3, 0);
+      place_ending(s2.hat, m3, D_);
+      if (residual_empty()) return true;
+      if (bar_mh_.empty()) {
+        finish_no_huge();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Step 9: the |barMH| >= 2 endgame. At most one heavy class remains and no
+  // mid class outside C_B. A remaining heavy class outside C_B is paired
+  // with a C_B mid class (step-6 mechanics) when possible so the machine
+  // budget |M_u| >= |C_B| suffices; everything else gets its own machine.
+  void step9_endgame() {
+    if (bar_mh_.size() == 1) {
+      step5_or_10_single_mh();
+      return;
+    }
+    assert(heavy_count() <= 1);
+    if (!noncb_heavy_.empty() && !cb_mid_.empty()) {
+      const ClassId e = noncb_heavy_.front();
+      noncb_heavy_.pop_front();
+      const ClassId b = cb_mid_.front();
+      cb_mid_.pop_front();
+      const ClassSplit split = split_lemma10(inst_, e, T_);
+      const int m1 = bar_mh_.front();
+      bar_mh_.pop_front();
+      const int m2 = alloc_fresh();
+      place_ending(split.check, m1, D_);
+      place(split.hat, m2, 0);
+      place_ending(inst_.class_jobs(b), m2, D_);
+    }
+    own_machines_for_all_residual();
+  }
+
+  void own_machines_for_all_residual() {
+    for (auto* queue : {&cb_mid_, &cb_heavy_, &noncb_mid_, &noncb_heavy_,
+                        &smalls_}) {
+      while (!queue->empty()) {
+        const ClassId c = queue->front();
+        queue->pop_front();
+        place(inst_.class_jobs(c), alloc_fresh(), 0);
+      }
+    }
+  }
+
+  // Runs Algorithm_no_huge on all residual classes over the remaining fresh
+  // machines.
+  void finish_no_huge() {
+    std::vector<VirtualClass> classes;
+    for (auto* queue : {&smalls_, &noncb_mid_, &cb_mid_, &cb_heavy_,
+                        &noncb_heavy_}) {
+      for (ClassId c : *queue) classes.push_back(make_virtual(inst_, c));
+      queue->clear();
+    }
+    if (classes.empty()) return;
+    std::vector<int> machines;
+    for (int k = next_fresh_; k < inst_.machines(); ++k) machines.push_back(k);
+    no_huge_run(inst_, std::move(classes), machines, T_, sched_);
+  }
+
+  // Steps 5/10: place a part c' (load in (T/4, T/2]) of a class c not in C_B
+  // on m0, finish the rest (including the complement c'') with
+  // Algorithm_no_huge, then rearrange m0 so c' and c'' do not overlap. The
+  // complement has load < (3/4)T, so no_huge keeps it in one contiguous
+  // block, and at least one of the bottom/top positions for c' is free
+  // (2 p(c) + p(c') <= 3T/scale... see DESIGN.md / paper Step 5).
+  void finish_with_rotation(int m0) {
+    const bool use_mid = !noncb_mid_.empty();
+    ClassId c;
+    if (use_mid) {
+      c = noncb_mid_.front();
+      noncb_mid_.pop_front();
+    } else {
+      c = noncb_heavy_.front();
+      noncb_heavy_.pop_front();
+    }
+    const ClassSplit split = use_mid ? split_lemma11(inst_, c, T_)
+                                     : split_lemma10(inst_, c, T_);
+    // Pick the part with load in (T/4, T/2] as c'.
+    const bool hat_fits =
+        4 * split.hat_load > T_ && 2 * split.hat_load <= T_;
+    const std::vector<JobId>& part = hat_fits ? split.hat : split.check;
+    const std::vector<JobId>& rest = hat_fits ? split.check : split.hat;
+    const Time part_load = hat_fits ? split.hat_load : split.check_load;
+    [[maybe_unused]] const Time rest_load =
+        hat_fits ? split.check_load : split.hat_load;
+    assert(4 * part_load > T_ && 2 * part_load <= T_);
+    assert(4 * rest_load < 3 * T_);  // complement stays contiguous in no_huge
+
+    MachineInfo& info = mh_info_[static_cast<std::size_t>(m0)];
+    assert(info.origin == 0 && info.load < 2 * T_);
+    const Time part_len = 2 * part_load;
+    Time part_start = info.load;  // provisional: on top of m0's block
+    place(part, m0, part_start);
+
+    // Residual instance: everything left plus the complement c''.
+    std::vector<VirtualClass> classes;
+    if (!rest.empty()) classes.push_back(make_virtual(inst_, rest));
+    for (auto* queue : {&smalls_, &noncb_mid_, &cb_mid_, &cb_heavy_,
+                        &noncb_heavy_}) {
+      for (ClassId cc : *queue) classes.push_back(make_virtual(inst_, cc));
+      queue->clear();
+    }
+    std::vector<int> machines;
+    for (int k = next_fresh_; k < inst_.machines(); ++k) machines.push_back(k);
+    if (!classes.empty()) no_huge_run(inst_, std::move(classes), machines, T_, sched_);
+
+    if (rest.empty()) return;
+    // Locate the (contiguous) complement and resolve any overlap by moving
+    // c' to the bottom or the top of m0.
+    Time rest_start = sched_.start(rest.front());
+    Time rest_end = rest_start;
+    for (JobId j : rest) {
+      rest_start = std::min(rest_start, sched_.start(j));
+      rest_end = std::max(rest_end, sched_.end(inst_, j));
+    }
+    assert(rest_end - rest_start == 2 * rest_load);
+
+    auto overlaps = [&](Time a, Time b) {
+      return a < rest_end && rest_start < b;
+    };
+    if (!overlaps(part_start, part_start + part_len)) return;
+    if (!overlaps(0, part_len)) {
+      // Move c' to the bottom, m0's original block right after it.
+      place(part, m0, 0);
+      for (JobId j : info.jobs) sched_.assign(j, m0, sched_.start(j) + part_len);
+      info.origin += part_len;
+      return;
+    }
+    // Top position must be free: both positions blocked would require
+    // 2 p(c) + p(c') > 3T (impossible; see paper Step 5).
+    assert(!overlaps(D_ - part_len, D_));
+    place(part, m0, D_ - part_len);
+    assert(info.origin + info.load <= D_ - part_len);
+  }
+
+  const Instance& inst_;
+  Time T_;
+  Time D_;  // 3T: the scaled deadline "(3/2)T"
+  Schedule& sched_;
+
+  std::vector<ClassId> huge_;
+  std::deque<ClassId> smalls_, noncb_mid_, cb_mid_, cb_heavy_, noncb_heavy_;
+  std::vector<MachineInfo> mh_info_;
+  std::deque<int> bar_mh_;
+  int next_fresh_ = 0;
+};
+
+}  // namespace
+
+AlgoResult three_halves(const Instance& instance) {
+  AlgoResult result;
+  result.name = "three_halves";
+  if (instance.num_jobs() == 0) {
+    result.schedule = Schedule(0, 1);
+    return result;
+  }
+  if (instance.machines() >= instance.num_classes()) {
+    result = one_machine_per_class(instance);
+    result.name = "three_halves";
+    return result;
+  }
+  const Time T = three_halves_bound(instance);
+  result.lower_bound = T;
+  result.schedule = Schedule(instance.num_jobs(), /*scale=*/2);
+  ThreeHalves algorithm(instance, T, result.schedule);
+  algorithm.run();
+  assert(result.schedule.complete());
+  assert(result.schedule.makespan_scaled(instance) <= 3 * T);
+  return result;
+}
+
+}  // namespace msrs

@@ -1,0 +1,165 @@
+#include "core/class_partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace msrs {
+namespace {
+
+Time load_of(const Instance& instance, std::span<const JobId> jobs) {
+  Time total = 0;
+  for (JobId j : jobs) total += instance.size(j);
+  return total;
+}
+
+[[maybe_unused]] Time max_of(const Instance& instance,
+                             std::span<const JobId> jobs) {
+  Time best = 0;
+  for (JobId j : jobs) best = std::max(best, instance.size(j));
+  return best;
+}
+
+// Finds (an index of) a maximal job of the set.
+JobId max_job(const Instance& instance, std::span<const JobId> jobs) {
+  JobId best = jobs.front();
+  for (JobId j : jobs)
+    if (instance.size(j) > instance.size(best)) best = j;
+  return best;
+}
+
+// Splits by pulling `single` into one part, the rest into the other.
+ClassSplit split_single(const Instance& instance, std::span<const JobId> jobs,
+                        JobId single) {
+  ClassSplit split;
+  split.hat.push_back(single);
+  for (JobId j : jobs)
+    if (j != single) split.check.push_back(j);
+  split.hat_load = instance.size(single);
+  split.check_load = load_of(instance, jobs) - split.hat_load;
+  return split;
+}
+
+// Greedily moves jobs into `hat` while 4 * p(hat) <= T (i.e. until the load
+// first exceeds T/4).
+ClassSplit split_greedy_quarter(const Instance& instance,
+                                std::span<const JobId> jobs, Time T) {
+  ClassSplit split;
+  Time acc = 0;
+  for (JobId j : jobs) {
+    if (4 * acc <= T) {
+      split.hat.push_back(j);
+      acc += instance.size(j);
+    } else {
+      split.check.push_back(j);
+    }
+  }
+  split.hat_load = acc;
+  split.check_load = load_of(instance, jobs) - acc;
+  return split;
+}
+
+void order_by_load(ClassSplit& split) {
+  if (split.hat_load < split.check_load) {
+    std::swap(split.hat, split.check);
+    std::swap(split.hat_load, split.check_load);
+  }
+}
+
+}  // namespace
+
+ClassSplit split_lemma5(const Instance& instance, ClassId c, Time T) {
+  const auto& jobs = instance.class_jobs(c);
+  assert(3 * instance.class_load(c) > 2 * T);
+  assert(2 * instance.class_max(c) <= T);  // no job > T/2
+
+  // Case 1: a job with size > T/3 exists; it alone is c1 (it is <= T/2).
+  const JobId top = max_job(instance, jobs);
+  ClassSplit split;
+  if (3 * instance.size(top) > T) {
+    split = split_single(instance, jobs, top);
+  } else {
+    // Case 2: all jobs <= T/3; greedily fill c1 until p(c1) >= T/3.
+    Time acc = 0;
+    for (JobId j : jobs) {
+      if (3 * acc < T) {
+        split.hat.push_back(j);
+        acc += instance.size(j);
+      } else {
+        split.check.push_back(j);
+      }
+    }
+    split.hat_load = acc;
+    split.check_load = instance.class_load(c) - acc;
+  }
+
+  assert(3 * split.hat_load >= T);
+  assert(3 * split.hat_load <= 2 * T);
+  assert(3 * split.check_load <= 2 * T);
+  return split;
+}
+
+ClassSplit split_lemma10_jobs(const Instance& instance,
+                              std::span<const JobId> jobs, Time T) {
+  const Time load = load_of(instance, jobs);
+  assert(4 * load >= 3 * T);
+  assert(4 * max_of(instance, jobs) <= 3 * T);  // no huge job
+  (void)load;
+
+  const JobId top = max_job(instance, jobs);
+  const Time a = instance.size(top);
+  ClassSplit split;
+  if (2 * a > T) {
+    // max in (T/2, 3T/4]: it alone is ĉ; rest is < T/2 since p(c) <= T.
+    split = split_single(instance, jobs, top);
+  } else if (4 * a > T) {
+    // max in (T/4, T/2]: c' = {max}; order parts by load.
+    split = split_single(instance, jobs, top);
+    order_by_load(split);
+  } else {
+    // all jobs <= T/4: greedily fill c' until p(c') > T/4 (lands in
+    // (T/4, T/2]); order parts by load.
+    split = split_greedy_quarter(instance, jobs, T);
+    order_by_load(split);
+  }
+
+  assert(split.check_load <= split.hat_load);
+  assert(2 * split.check_load <= T);
+  assert(4 * split.hat_load <= 3 * T);
+  return split;
+}
+
+ClassSplit split_lemma10(const Instance& instance, ClassId c, Time T) {
+  return split_lemma10_jobs(instance, instance.class_jobs(c), T);
+}
+
+ClassSplit split_lemma11_jobs(const Instance& instance,
+                              std::span<const JobId> jobs, Time T) {
+  const Time load = load_of(instance, jobs);
+  assert(2 * load > T && 4 * load < 3 * T);
+  assert(2 * max_of(instance, jobs) <= T);
+  (void)load;
+
+  const JobId top = max_job(instance, jobs);
+  const Time a = instance.size(top);
+  ClassSplit split;
+  if (4 * a > T) {
+    // max in (T/4, T/2].
+    split = split_single(instance, jobs, top);
+    order_by_load(split);
+  } else {
+    // all jobs <= T/4: greedy until > T/4.
+    split = split_greedy_quarter(instance, jobs, T);
+    order_by_load(split);
+  }
+
+  assert(split.check_load <= split.hat_load);
+  assert(2 * split.hat_load <= T);
+  assert(4 * split.hat_load > T);
+  return split;
+}
+
+ClassSplit split_lemma11(const Instance& instance, ClassId c, Time T) {
+  return split_lemma11_jobs(instance, instance.class_jobs(c), T);
+}
+
+}  // namespace msrs

@@ -1,0 +1,68 @@
+#include "core/instance_io.hpp"
+
+#include <sstream>
+
+namespace msrs {
+
+void write_text(std::ostream& out, const Instance& instance) {
+  out << "msrs 1\n";
+  out << "machines " << instance.machines() << '\n';
+  out << "classes " << instance.num_classes() << '\n';
+  for (ClassId c = 0; c < instance.num_classes(); ++c) {
+    const auto& jobs = instance.class_jobs(c);
+    out << "class " << jobs.size();
+    for (JobId j : jobs) out << ' ' << instance.size(j);
+    out << '\n';
+  }
+}
+
+std::string to_text(const Instance& instance) {
+  std::ostringstream out;
+  write_text(out, instance);
+  return out.str();
+}
+
+std::optional<Instance> read_text(std::istream& in, std::string* error) {
+  auto fail = [&](const std::string& message) -> std::optional<Instance> {
+    if (error) *error = message;
+    return std::nullopt;
+  };
+
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "msrs" || version != 1)
+    return fail("bad header (expected 'msrs 1')");
+
+  std::string key;
+  int machines = 0;
+  if (!(in >> key >> machines) || key != "machines" || machines < 1)
+    return fail("bad 'machines' line");
+  int num_classes = 0;
+  if (!(in >> key >> num_classes) || key != "classes" || num_classes < 0)
+    return fail("bad 'classes' line");
+
+  Instance instance;
+  instance.set_machines(machines);
+  for (int c = 0; c < num_classes; ++c) {
+    std::size_t count = 0;
+    if (!(in >> key >> count) || key != "class")
+      return fail("bad 'class' line for class " + std::to_string(c));
+    const ClassId cls = instance.add_class();
+    for (std::size_t i = 0; i < count; ++i) {
+      Time p = 0;
+      if (!(in >> p) || p < 1)
+        return fail("bad job size in class " + std::to_string(c));
+      instance.add_job(cls, p);
+    }
+  }
+  const std::string problem = instance.check();
+  if (!problem.empty()) return fail(problem);
+  return instance;
+}
+
+std::optional<Instance> from_text(const std::string& text, std::string* error) {
+  std::istringstream in(text);
+  return read_text(in, error);
+}
+
+}  // namespace msrs

@@ -1,0 +1,28 @@
+// Plain-text instance serialization (round-trip tested).
+//
+// Format:
+//   msrs 1
+//   machines <m>
+//   classes <k>
+//   class <n_0> p p p ...
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/instance.hpp"
+
+namespace msrs {
+
+std::string to_text(const Instance& instance);
+void write_text(std::ostream& out, const Instance& instance);
+
+// Returns std::nullopt (and fills *error if given) on malformed input.
+std::optional<Instance> from_text(const std::string& text,
+                                  std::string* error = nullptr);
+std::optional<Instance> read_text(std::istream& in,
+                                  std::string* error = nullptr);
+
+}  // namespace msrs

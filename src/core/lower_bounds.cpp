@@ -1,0 +1,33 @@
+#include "core/lower_bounds.hpp"
+
+#include <algorithm>
+
+#include "util/selection.hpp"
+
+namespace msrs {
+
+LowerBounds lower_bounds(const Instance& instance) {
+  LowerBounds lb;
+  const int m = instance.machines();
+  lb.area = instance.total_load() > 0
+                ? ceil_div(instance.total_load(), m)
+                : 0;
+  for (ClassId c = 0; c < instance.num_classes(); ++c)
+    lb.class_bound = std::max(lb.class_bound, instance.class_load(c));
+
+  // Pairing bound: consider jobs j_m and j_{m+1} with the m-th and (m+1)-st
+  // largest processing time. Either j_{m+1} shares a machine with one of the
+  // m largest, or two of the m largest share a machine; either way
+  // OPT >= p_(m) + p_(m+1).
+  const auto n = static_cast<std::size_t>(instance.num_jobs());
+  if (n >= static_cast<std::size_t>(m) + 1) {
+    const Time pm = kth_largest(instance.sizes(), static_cast<std::size_t>(m) - 1);
+    const Time pm1 = kth_largest(instance.sizes(), static_cast<std::size_t>(m));
+    lb.pair = pm + pm1;
+  }
+
+  lb.combined = std::max({lb.area, lb.class_bound, lb.pair});
+  return lb;
+}
+
+}  // namespace msrs

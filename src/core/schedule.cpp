@@ -1,0 +1,53 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+
+namespace msrs {
+
+bool Schedule::complete() const {
+  return std::all_of(machine_.begin(), machine_.end(),
+                     [](int m) { return m != kUnassigned; });
+}
+
+void Schedule::rescale(Time factor) {
+  scale_ = checked_mul(scale_, factor);
+  for (auto& s : start_) s = checked_mul(s, factor);
+}
+
+Time Schedule::makespan_scaled(const Instance& instance) const {
+  Time best = 0;
+  for (JobId j = 0; j < num_jobs(); ++j)
+    if (assigned(j)) best = std::max(best, end(instance, j));
+  return best;
+}
+
+double Schedule::makespan(const Instance& instance) const {
+  return static_cast<double>(makespan_scaled(instance)) /
+         static_cast<double>(scale_);
+}
+
+std::vector<GanttBlock> Schedule::gantt_blocks(const Instance& instance,
+                                               bool label_jobs) const {
+  std::vector<GanttBlock> blocks;
+  blocks.reserve(static_cast<std::size_t>(num_jobs()));
+  for (JobId j = 0; j < num_jobs(); ++j) {
+    if (!assigned(j)) continue;
+    GanttBlock b;
+    b.machine = machine(j);
+    b.start = static_cast<double>(start(j)) / static_cast<double>(scale_);
+    b.end = static_cast<double>(end(instance, j)) / static_cast<double>(scale_);
+    b.label = label_jobs ? "j" + std::to_string(j)
+                         : "c" + std::to_string(instance.job_class(j));
+    blocks.push_back(std::move(b));
+  }
+  return blocks;
+}
+
+std::string Schedule::render(const Instance& instance, int width) const {
+  GanttOptions opt;
+  opt.width = width;
+  const auto blocks = gantt_blocks(instance);
+  return render_gantt(blocks, opt);
+}
+
+}  // namespace msrs

@@ -1,0 +1,66 @@
+// Schedule (sigma, t): machine assignment and starting time per job, with an
+// integral time scale for exact rational positions (see core/types.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/types.hpp"
+#include "util/gantt.hpp"
+
+namespace msrs {
+
+class Schedule {
+ public:
+  Schedule() = default;
+  explicit Schedule(int num_jobs, Time scale = 1)
+      : scale_(scale),
+        machine_(static_cast<std::size_t>(num_jobs), kUnassigned),
+        start_(static_cast<std::size_t>(num_jobs), 0) {}
+
+  Time scale() const noexcept { return scale_; }
+
+  int num_jobs() const noexcept { return static_cast<int>(machine_.size()); }
+
+  bool assigned(JobId j) const {
+    return machine_[static_cast<std::size_t>(j)] != kUnassigned;
+  }
+  int machine(JobId j) const { return machine_[static_cast<std::size_t>(j)]; }
+  // Start time in scaled units (divide by scale() for instance units).
+  Time start(JobId j) const { return start_[static_cast<std::size_t>(j)]; }
+  // End time in scaled units; needs the instance for the job size.
+  Time end(const Instance& instance, JobId j) const {
+    return start(j) + checked_mul(instance.size(j), scale_);
+  }
+
+  void assign(JobId j, int machine, Time start_scaled) {
+    machine_[static_cast<std::size_t>(j)] = machine;
+    start_[static_cast<std::size_t>(j)] = start_scaled;
+  }
+  void unassign(JobId j) { machine_[static_cast<std::size_t>(j)] = kUnassigned; }
+
+  bool complete() const;
+
+  // Multiplies the scale by `factor`, keeping all times fixed in scaled units
+  // semantics (i.e. all rational times are multiplied accordingly). Used by
+  // algorithms that place jobs at finer grids than instance units.
+  void rescale(Time factor);
+
+  // Largest end time over assigned jobs, in scaled units.
+  Time makespan_scaled(const Instance& instance) const;
+  // Makespan in instance units as a double (exact value is scaled/scale).
+  double makespan(const Instance& instance) const;
+
+  // Gantt adapter: one block per assigned job, labelled "c<class>" by default.
+  std::vector<GanttBlock> gantt_blocks(const Instance& instance,
+                                       bool label_jobs = false) const;
+  std::string render(const Instance& instance, int width = 72) const;
+
+ private:
+  Time scale_ = 1;
+  std::vector<int> machine_;
+  std::vector<Time> start_;
+};
+
+}  // namespace msrs

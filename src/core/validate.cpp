@@ -1,0 +1,99 @@
+#include "core/validate.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace msrs {
+namespace {
+
+std::string interval_str(const Instance& instance, const Schedule& schedule,
+                         JobId j) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "job %d (class %d) @ m%d [%lld, %lld)/%lld",
+                j, instance.job_class(j), schedule.machine(j),
+                static_cast<long long>(schedule.start(j)),
+                static_cast<long long>(schedule.end(instance, j)),
+                static_cast<long long>(schedule.scale()));
+  return buf;
+}
+
+// Checks pairwise overlap within one group of jobs, sorted by start.
+void check_group(const Instance& instance, const Schedule& schedule,
+                 std::vector<JobId>& group, Violation::Kind kind,
+                 std::vector<Violation>& out) {
+  std::sort(group.begin(), group.end(), [&](JobId x, JobId y) {
+    return schedule.start(x) < schedule.start(y);
+  });
+  for (std::size_t i = 1; i < group.size(); ++i) {
+    const JobId prev = group[i - 1];
+    const JobId cur = group[i];
+    if (schedule.end(instance, prev) > schedule.start(cur)) {
+      out.push_back({kind, prev, cur,
+                     interval_str(instance, schedule, prev) + " overlaps " +
+                         interval_str(instance, schedule, cur)});
+    }
+  }
+}
+
+}  // namespace
+
+ValidationReport validate(const Instance& instance, const Schedule& schedule,
+                          Time makespan_limit_scaled) {
+  ValidationReport report;
+  auto& out = report.violations;
+
+  std::vector<std::vector<JobId>> per_machine(
+      static_cast<std::size_t>(instance.machines()));
+  std::vector<std::vector<JobId>> per_class(
+      static_cast<std::size_t>(instance.num_classes()));
+
+  for (JobId j = 0; j < instance.num_jobs(); ++j) {
+    if (!schedule.assigned(j)) {
+      out.push_back({Violation::Kind::kUnassignedJob, j, kInvalidJob,
+                     "job " + std::to_string(j) + " unassigned"});
+      continue;
+    }
+    const int machine = schedule.machine(j);
+    if (machine < 0 || machine >= instance.machines()) {
+      out.push_back({Violation::Kind::kBadMachine, j, kInvalidJob,
+                     "job " + std::to_string(j) + " on machine " +
+                         std::to_string(machine)});
+      continue;
+    }
+    if (schedule.start(j) < 0) {
+      out.push_back({Violation::Kind::kNegativeStart, j, kInvalidJob,
+                     interval_str(instance, schedule, j)});
+      continue;
+    }
+    if (makespan_limit_scaled >= 0 &&
+        schedule.end(instance, j) > makespan_limit_scaled) {
+      out.push_back({Violation::Kind::kMakespanExceeded, j, kInvalidJob,
+                     interval_str(instance, schedule, j) + " exceeds limit " +
+                         std::to_string(makespan_limit_scaled)});
+    }
+    per_machine[static_cast<std::size_t>(machine)].push_back(j);
+    per_class[static_cast<std::size_t>(instance.job_class(j))].push_back(j);
+  }
+
+  for (auto& group : per_machine)
+    check_group(instance, schedule, group, Violation::Kind::kMachineOverlap, out);
+  for (auto& group : per_class)
+    check_group(instance, schedule, group, Violation::Kind::kClassOverlap, out);
+
+  return report;
+}
+
+std::string ValidationReport::summary() const {
+  if (ok()) return "valid";
+  std::string s = std::to_string(violations.size()) + " violation(s):";
+  const std::size_t show = std::min<std::size_t>(violations.size(), 8);
+  for (std::size_t i = 0; i < show; ++i) s += "\n  " + violations[i].detail;
+  if (violations.size() > show) s += "\n  ...";
+  return s;
+}
+
+bool is_valid(const Instance& instance, const Schedule& schedule) {
+  return validate(instance, schedule).ok();
+}
+
+}  // namespace msrs

@@ -1,0 +1,42 @@
+// Exact schedule validation: the two validity conditions of Section 1
+// (no machine overlap, no same-class overlap) plus basic sanity checks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace msrs {
+
+struct Violation {
+  enum class Kind {
+    kUnassignedJob,
+    kBadMachine,
+    kNegativeStart,
+    kMachineOverlap,
+    kClassOverlap,
+    kMakespanExceeded,
+  };
+  Kind kind;
+  JobId a = kInvalidJob;
+  JobId b = kInvalidJob;
+  std::string detail;
+};
+
+struct ValidationReport {
+  std::vector<Violation> violations;
+  bool ok() const noexcept { return violations.empty(); }
+  std::string summary() const;
+};
+
+// Validates the schedule; if `makespan_limit_scaled >= 0`, additionally checks
+// that every job finishes by that (scaled-unit) deadline.
+ValidationReport validate(const Instance& instance, const Schedule& schedule,
+                          Time makespan_limit_scaled = -1);
+
+// Convenience assertion helper for tests: returns true iff valid.
+bool is_valid(const Instance& instance, const Schedule& schedule);
+
+}  // namespace msrs

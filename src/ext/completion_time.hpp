@@ -1,0 +1,30 @@
+// Total-completion-time variant of MSRS (paper Section 1, "further related
+// work": Janssen et al. [23, 24] study P|res.111|sum C_j motivated by
+// photolithography scheduling; the SPT-style approach that is optimal
+// without resources yields a (2 - 1/m)-approximation with them).
+#pragma once
+
+#include "algo/common.hpp"
+#include "core/instance.hpp"
+
+namespace msrs {
+
+// sum over jobs of (finish time), exact in scaled units divided by scale.
+double total_completion_time(const Instance& instance,
+                             const Schedule& schedule);
+
+// Scaled-integer exact variant: sum of scaled completion times.
+Time total_completion_time_scaled(const Instance& instance,
+                                  const Schedule& schedule);
+
+// SPT list scheduling with resource awareness: jobs in non-decreasing size
+// order, each started at the earliest feasible time (machine + resource).
+// This mirrors the (2 - 1/m)-approximation discussed in [24].
+AlgoResult spt_completion(const Instance& instance);
+
+// Lower bound on the optimal total completion time: the resource-free SPT
+// relaxation (optimal for P||sumCj by Conway et al.) plus the per-class
+// serialization bound; the maximum of both.
+Time completion_time_lower_bound(const Instance& instance);
+
+}  // namespace msrs

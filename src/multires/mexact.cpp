@@ -1,0 +1,184 @@
+#include "multires/mexact.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "multires/mgreedy.hpp"
+#include "multires/mschedule.hpp"
+
+namespace msrs {
+namespace {
+
+constexpr Time kInf = std::numeric_limits<Time>::max() / 4;
+
+class Search {
+ public:
+  Search(const MultiInstance& instance, Time deadline,
+         const MExactOptions& options)
+      : inst_(instance),
+        opts_(options),
+        deadline_(deadline),
+        machine_free_(static_cast<std::size_t>(instance.machines()), 0),
+        retired_(static_cast<std::size_t>(instance.machines()), false),
+        resource_free_(static_cast<std::size_t>(instance.num_resources()), 0),
+        scheduled_(static_cast<std::size_t>(instance.num_jobs()), false),
+        current_(instance.num_jobs()),
+        best_(instance.num_jobs()) {
+    remaining_ = instance.total_load();
+    order_.resize(static_cast<std::size_t>(instance.num_jobs()));
+    for (JobId j = 0; j < instance.num_jobs(); ++j)
+      order_[static_cast<std::size_t>(j)] = j;
+    std::stable_sort(order_.begin(), order_.end(), [&](JobId a, JobId b) {
+      return instance.size(a) > instance.size(b);
+    });
+  }
+
+  int run(MSchedule* out) {
+    found_ = false;
+    dfs(0);
+    if (found_) {
+      if (out) *out = best_;
+      return 1;
+    }
+    return hit_limit_ ? -1 : 0;
+  }
+
+ private:
+  Time job_ready(JobId j) const {
+    Time ready = 0;
+    for (int r : inst_.resources(j))
+      ready = std::max(ready, resource_free_[static_cast<std::size_t>(r)]);
+    return ready;
+  }
+
+  void dfs(int count) {
+    if (found_ || hit_limit_) return;
+    if (++nodes_ > opts_.node_limit) {
+      hit_limit_ = true;
+      return;
+    }
+    if (count == inst_.num_jobs()) {
+      found_ = true;
+      best_ = current_;
+      return;
+    }
+    // Area bound over active machines.
+    Time sum_free = 0;
+    int active = 0;
+    for (std::size_t k = 0; k < machine_free_.size(); ++k)
+      if (!retired_[k]) {
+        sum_free += machine_free_[k];
+        ++active;
+      }
+    if (active == 0) return;
+    const Time capacity = static_cast<Time>(active) * deadline_ - sum_free;
+    if (remaining_ > capacity) return;
+    // Zero-slack dominance: when the remaining load exactly fills the
+    // remaining capacity (e.g. the perfectly packed Theorem-23 gadgets),
+    // idling or retiring a machine can never lead to a solution.
+    const bool zero_slack = remaining_ == capacity;
+
+    int machine = -1;
+    Time t = kInf;
+    for (std::size_t k = 0; k < machine_free_.size(); ++k)
+      if (!retired_[k] && machine_free_[k] < t) {
+        t = machine_free_[k];
+        machine = static_cast<int>(k);
+      }
+    const auto midx = static_cast<std::size_t>(machine);
+
+    // Branch 1: start an available job here.
+    for (JobId j : order_) {
+      if (scheduled_[static_cast<std::size_t>(j)]) continue;
+      if (job_ready(j) > t) continue;
+      if (t + inst_.size(j) > deadline_) continue;
+      scheduled_[static_cast<std::size_t>(j)] = true;
+      const Time saved_machine = machine_free_[midx];
+      std::vector<Time> saved_resources;
+      saved_resources.reserve(inst_.resources(j).size());
+      for (int r : inst_.resources(j))
+        saved_resources.push_back(resource_free_[static_cast<std::size_t>(r)]);
+      machine_free_[midx] = t + inst_.size(j);
+      for (int r : inst_.resources(j))
+        resource_free_[static_cast<std::size_t>(r)] = t + inst_.size(j);
+      current_.machine[static_cast<std::size_t>(j)] = machine;
+      current_.start[static_cast<std::size_t>(j)] = t;
+      remaining_ -= inst_.size(j);
+      dfs(count + 1);
+      remaining_ += inst_.size(j);
+      current_.machine[static_cast<std::size_t>(j)] = kUnassigned;
+      std::size_t ri = 0;
+      for (int r : inst_.resources(j))
+        resource_free_[static_cast<std::size_t>(r)] = saved_resources[ri++];
+      machine_free_[midx] = saved_machine;
+      scheduled_[static_cast<std::size_t>(j)] = false;
+      if (found_ || hit_limit_) return;
+    }
+
+    // Branch 2: idle until the next resource release.
+    if (zero_slack) return;
+    Time next_event = kInf;
+    for (JobId j : order_) {
+      if (scheduled_[static_cast<std::size_t>(j)]) continue;
+      const Time ready = job_ready(j);
+      if (ready > t) next_event = std::min(next_event, ready);
+    }
+    if (next_event < kInf && next_event <= deadline_) {
+      const Time saved = machine_free_[midx];
+      machine_free_[midx] = next_event;
+      dfs(count);
+      machine_free_[midx] = saved;
+      if (found_ || hit_limit_) return;
+    }
+
+    // Branch 3: retire this machine.
+    if (active > 1) {
+      retired_[midx] = true;
+      dfs(count);
+      retired_[midx] = false;
+    }
+  }
+
+  const MultiInstance& inst_;
+  const MExactOptions& opts_;
+  Time deadline_;
+  std::vector<Time> machine_free_;
+  std::vector<bool> retired_;
+  std::vector<Time> resource_free_;
+  std::vector<bool> scheduled_;
+  std::vector<JobId> order_;
+  MSchedule current_, best_;
+  Time remaining_ = 0;
+  std::uint64_t nodes_ = 0;
+  bool found_ = false;
+  bool hit_limit_ = false;
+};
+
+}  // namespace
+
+int mexact_decide(const MultiInstance& instance, Time deadline, MSchedule* out,
+                  const MExactOptions& options) {
+  if (instance.num_jobs() == 0) {
+    if (out) *out = MSchedule(0);
+    return 1;
+  }
+  Search search(instance, deadline, options);
+  return search.run(out);
+}
+
+std::optional<Time> mexact_makespan(const MultiInstance& instance,
+                                    const MExactOptions& options) {
+  if (instance.num_jobs() == 0) return 0;
+  const Time lo = ceil_div(instance.total_load(), instance.machines());
+  const MSchedule greedy_schedule = mgreedy(instance);
+  const Time hi = greedy_schedule.makespan(instance);
+  for (Time deadline = lo; deadline <= hi; ++deadline) {
+    const int verdict = mexact_decide(instance, deadline, nullptr, options);
+    if (verdict == 1) return deadline;
+    if (verdict == -1) return std::nullopt;
+  }
+  return hi;
+}
+
+}  // namespace msrs

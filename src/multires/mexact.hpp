@@ -1,0 +1,25 @@
+// Exact decision solver for small multi-resource instances (chronological
+// branch-and-bound, same scheme as algo/exact.hpp but with resource sets).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "multires/minstance.hpp"
+
+namespace msrs {
+
+struct MExactOptions {
+  std::uint64_t node_limit = 20'000'000;
+};
+
+// Is there a schedule with makespan <= deadline? 1 = yes (and *out filled if
+// non-null), 0 = no, -1 = node limit hit.
+int mexact_decide(const MultiInstance& instance, Time deadline,
+                  MSchedule* out = nullptr, const MExactOptions& options = {});
+
+// Minimum makespan by searching increasing deadlines from the area bound.
+std::optional<Time> mexact_makespan(const MultiInstance& instance,
+                                    const MExactOptions& options = {});
+
+}  // namespace msrs

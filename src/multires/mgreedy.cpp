@@ -1,0 +1,40 @@
+#include "multires/mgreedy.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace msrs {
+
+MSchedule mgreedy(const MultiInstance& instance) {
+  MSchedule schedule(instance.num_jobs());
+  std::vector<Time> machine_free(static_cast<std::size_t>(instance.machines()),
+                                 0);
+  std::vector<Time> resource_free(
+      static_cast<std::size_t>(instance.num_resources()), 0);
+
+  std::vector<JobId> order(static_cast<std::size_t>(instance.num_jobs()));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+    return instance.size(a) > instance.size(b);
+  });
+
+  for (JobId j : order) {
+    Time resource_ready = 0;
+    for (int r : instance.resources(j))
+      resource_ready =
+          std::max(resource_ready, resource_free[static_cast<std::size_t>(r)]);
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < machine_free.size(); ++k)
+      if (machine_free[k] < machine_free[best]) best = k;
+    const Time start = std::max(machine_free[best], resource_ready);
+    schedule.machine[static_cast<std::size_t>(j)] = static_cast<int>(best);
+    schedule.start[static_cast<std::size_t>(j)] = start;
+    machine_free[best] = start + instance.size(j);
+    for (int r : instance.resources(j))
+      resource_free[static_cast<std::size_t>(r)] = start + instance.size(j);
+  }
+  return schedule;
+}
+
+}  // namespace msrs

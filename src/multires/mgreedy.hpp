@@ -1,0 +1,12 @@
+// List scheduling for the multi-resource variant (upper bounds / baseline).
+#pragma once
+
+#include "multires/minstance.hpp"
+
+namespace msrs {
+
+// Jobs in LPT order, each at the earliest start where a machine and all of
+// its resources are simultaneously free.
+MSchedule mgreedy(const MultiInstance& instance);
+
+}  // namespace msrs

@@ -1,0 +1,39 @@
+#include "multires/minstance.hpp"
+
+#include <algorithm>
+
+namespace msrs {
+
+JobId MultiInstance::add_job(Time size, std::vector<int> resources) {
+  const auto job = static_cast<JobId>(size_.size());
+  size_.push_back(size);
+  resources_.push_back(std::move(resources));
+  total_ += size;
+  return job;
+}
+
+int MultiInstance::max_resources_per_job() const {
+  std::size_t best = 0;
+  for (const auto& r : resources_) best = std::max(best, r.size());
+  return static_cast<int>(best);
+}
+
+std::string MultiInstance::check() const {
+  if (machines_ < 1) return "machines must be >= 1";
+  for (std::size_t j = 0; j < size_.size(); ++j) {
+    if (size_[j] < 1) return "job " + std::to_string(j) + " has size < 1";
+    for (int r : resources_[j])
+      if (r < 0 || r >= num_resources_)
+        return "job " + std::to_string(j) + " uses unknown resource";
+  }
+  return {};
+}
+
+Time MSchedule::makespan(const MultiInstance& instance) const {
+  Time best = 0;
+  for (JobId j = 0; j < instance.num_jobs(); ++j)
+    if (assigned(j)) best = std::max(best, end(instance, j));
+  return best;
+}
+
+}  // namespace msrs

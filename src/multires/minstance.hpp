@@ -1,0 +1,61 @@
+// MSRS with multiple resources per job (paper Section 5): each job needs a
+// *set* of resources, all exclusively, for its whole processing time.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace msrs {
+
+class MultiInstance {
+ public:
+  void set_machines(int machines) { machines_ = machines; }
+  int machines() const noexcept { return machines_; }
+
+  // Creates a fresh resource id.
+  int add_resource() { return num_resources_++; }
+  int num_resources() const noexcept { return num_resources_; }
+
+  JobId add_job(Time size, std::vector<int> resources);
+  int num_jobs() const noexcept { return static_cast<int>(size_.size()); }
+  Time size(JobId j) const { return size_[static_cast<std::size_t>(j)]; }
+  std::span<const int> resources(JobId j) const {
+    return resources_[static_cast<std::size_t>(j)];
+  }
+  Time total_load() const noexcept { return total_; }
+
+  // Max resources needed by any job (Theorem 23 keeps this <= 3).
+  int max_resources_per_job() const;
+
+  std::string check() const;  // empty if well-formed
+
+ private:
+  int machines_ = 1;
+  int num_resources_ = 0;
+  std::vector<Time> size_;
+  std::vector<std::vector<int>> resources_;
+  Time total_ = 0;
+};
+
+// Machine/start assignment for a MultiInstance (scale always 1: the
+// reduction instances are unit-grid).
+struct MSchedule {
+  std::vector<int> machine;
+  std::vector<Time> start;
+
+  explicit MSchedule(int jobs = 0)
+      : machine(static_cast<std::size_t>(jobs), kUnassigned),
+        start(static_cast<std::size_t>(jobs), 0) {}
+  bool assigned(JobId j) const {
+    return machine[static_cast<std::size_t>(j)] != kUnassigned;
+  }
+  Time end(const MultiInstance& instance, JobId j) const {
+    return start[static_cast<std::size_t>(j)] + instance.size(j);
+  }
+  Time makespan(const MultiInstance& instance) const;
+};
+
+}  // namespace msrs

@@ -1,0 +1,69 @@
+#include "multires/mschedule.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace msrs {
+namespace {
+
+void check_group(const MultiInstance& instance, const MSchedule& schedule,
+                 std::vector<JobId>& group, int* counter,
+                 std::string* first_problem, const char* what) {
+  std::sort(group.begin(), group.end(), [&](JobId a, JobId b) {
+    return schedule.start[static_cast<std::size_t>(a)] <
+           schedule.start[static_cast<std::size_t>(b)];
+  });
+  for (std::size_t i = 1; i < group.size(); ++i) {
+    const JobId prev = group[i - 1];
+    const JobId cur = group[i];
+    if (schedule.end(instance, prev) >
+        schedule.start[static_cast<std::size_t>(cur)]) {
+      ++*counter;
+      if (first_problem->empty())
+        *first_problem = std::string(what) + " overlap: jobs " +
+                         std::to_string(prev) + " and " + std::to_string(cur);
+    }
+  }
+}
+
+}  // namespace
+
+MValidationReport validate_multi(const MultiInstance& instance,
+                                 const MSchedule& schedule,
+                                 Time makespan_limit) {
+  MValidationReport report;
+  std::vector<std::vector<JobId>> per_machine(
+      static_cast<std::size_t>(instance.machines()));
+  std::vector<std::vector<JobId>> per_resource(
+      static_cast<std::size_t>(instance.num_resources()));
+
+  for (JobId j = 0; j < instance.num_jobs(); ++j) {
+    if (!schedule.assigned(j)) {
+      ++report.unassigned;
+      continue;
+    }
+    const int machine = schedule.machine[static_cast<std::size_t>(j)];
+    if (machine < 0 || machine >= instance.machines() ||
+        schedule.start[static_cast<std::size_t>(j)] < 0 ||
+        (makespan_limit >= 0 &&
+         schedule.end(instance, j) > makespan_limit)) {
+      ++report.out_of_range;
+      if (report.first_problem.empty())
+        report.first_problem = "job " + std::to_string(j) + " out of range";
+      continue;
+    }
+    per_machine[static_cast<std::size_t>(machine)].push_back(j);
+    for (int r : instance.resources(j))
+      per_resource[static_cast<std::size_t>(r)].push_back(j);
+  }
+
+  for (auto& group : per_machine)
+    check_group(instance, schedule, group, &report.machine_overlaps,
+                &report.first_problem, "machine");
+  for (auto& group : per_resource)
+    check_group(instance, schedule, group, &report.resource_overlaps,
+                &report.first_problem, "resource");
+  return report;
+}
+
+}  // namespace msrs

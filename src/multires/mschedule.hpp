@@ -1,0 +1,29 @@
+// Validation for multi-resource schedules.
+#pragma once
+
+#include <string>
+
+#include "multires/minstance.hpp"
+
+namespace msrs {
+
+struct MValidationReport {
+  int machine_overlaps = 0;
+  int resource_overlaps = 0;
+  int unassigned = 0;
+  int out_of_range = 0;
+  std::string first_problem;
+
+  bool ok() const {
+    return machine_overlaps == 0 && resource_overlaps == 0 &&
+           unassigned == 0 && out_of_range == 0;
+  }
+};
+
+// Checks machine exclusivity and per-resource exclusivity; if
+// `makespan_limit >= 0`, also that all jobs finish by then.
+MValidationReport validate_multi(const MultiInstance& instance,
+                                 const MSchedule& schedule,
+                                 Time makespan_limit = -1);
+
+}  // namespace msrs

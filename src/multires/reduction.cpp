@@ -1,0 +1,271 @@
+#include "multires/reduction.hpp"
+
+#include <cassert>
+
+#include "multires/mschedule.hpp"
+
+namespace msrs {
+namespace {
+
+// Positions of the canonical makespan-4 schedule (Figure 6a orientation
+// normalized so that ja_i runs first).
+constexpr Time kJaStart = 0;   // ja_i [0,1]
+constexpr Time kJAStart = 1;   // jA_i [1,4]
+constexpr Time kJBStart = 0;   // jB_i [0,2]
+constexpr Time kJbStart = 2;   // jb_i [2,4]
+constexpr Time kJdxStart = 2;  // j_dx [2,4]
+constexpr Time kJcdStart = 0;  // j^c_d [0,1]
+
+}  // namespace
+
+Reduction build_reduction(const Cnf& formula) {
+  assert(check_monotone22(formula).empty());
+  Reduction red;
+  red.formula = formula;
+  MultiInstance& inst = red.instance;
+  const int C = static_cast<int>(formula.clauses.size());
+  const int X = formula.num_vars;
+  inst.set_machines(2 * C + 2 * X);
+
+  // Resource ids are created on demand; jobs collect their resource sets
+  // first and are added once complete (each needs all its resources known).
+  std::vector<std::vector<int>> job_resources;
+  std::vector<Time> job_sizes;
+  auto new_job = [&](Time size) {
+    job_sizes.push_back(size);
+    job_resources.emplace_back();
+    return static_cast<int>(job_sizes.size()) - 1;
+  };
+  auto share = [&](int job_a, int job_b) {
+    const int resource = inst.add_resource();
+    job_resources[static_cast<std::size_t>(job_a)].push_back(resource);
+    job_resources[static_cast<std::size_t>(job_b)].push_back(resource);
+  };
+  auto share3 = [&](int job_a, int job_b, int job_c) {
+    const int resource = inst.add_resource();
+    for (int job : {job_a, job_b, job_c})
+      job_resources[static_cast<std::size_t>(job)].push_back(resource);
+  };
+
+  // Clause dummies jA_i {3}, ja_i {1}.
+  std::vector<int> tA(static_cast<std::size_t>(C)), ta(static_cast<std::size_t>(C));
+  for (int i = 0; i < C; ++i) {
+    tA[static_cast<std::size_t>(i)] = new_job(3);
+    ta[static_cast<std::size_t>(i)] = new_job(1);
+    share(tA[static_cast<std::size_t>(i)], ta[static_cast<std::size_t>(i)]);
+    if (i > 0)
+      share(ta[static_cast<std::size_t>(i - 1)], tA[static_cast<std::size_t>(i)]);
+  }
+  // Variable dummies jB_i {2}, jb_i {2}.
+  std::vector<int> tB(static_cast<std::size_t>(X)), tb(static_cast<std::size_t>(X));
+  for (int i = 0; i < X; ++i) {
+    tB[static_cast<std::size_t>(i)] = new_job(2);
+    tb[static_cast<std::size_t>(i)] = new_job(2);
+    share(tB[static_cast<std::size_t>(i)], tb[static_cast<std::size_t>(i)]);
+    if (i > 0)
+      share(tB[static_cast<std::size_t>(i)], tb[static_cast<std::size_t>(i - 1)]);
+  }
+  if (C > 0 && X > 0) share(ta[static_cast<std::size_t>(C - 1)], tb[0]);
+
+  // Variable jobs j_x {1}, j_xbar {1}, j_dx {2}.
+  std::vector<int> tx(static_cast<std::size_t>(X)),
+      txbar(static_cast<std::size_t>(X)), tdx(static_cast<std::size_t>(X));
+  for (int i = 0; i < X; ++i) {
+    tx[static_cast<std::size_t>(i)] = new_job(1);
+    txbar[static_cast<std::size_t>(i)] = new_job(1);
+    tdx[static_cast<std::size_t>(i)] = new_job(2);
+    share3(tx[static_cast<std::size_t>(i)], txbar[static_cast<std::size_t>(i)],
+           tdx[static_cast<std::size_t>(i)]);
+    share(tdx[static_cast<std::size_t>(i)], tB[static_cast<std::size_t>(i)]);
+  }
+
+  // Clause jobs: three literal jobs {1} + j^c_d {1}.
+  std::vector<std::array<int, 3>> tlits(static_cast<std::size_t>(C));
+  std::vector<int> td(static_cast<std::size_t>(C));
+  for (int i = 0; i < C; ++i) {
+    const auto& clause = formula.clauses[static_cast<std::size_t>(i)];
+    std::array<int, 3> lits{};
+    for (int k = 0; k < 3; ++k) lits[static_cast<std::size_t>(k)] = new_job(1);
+    td[static_cast<std::size_t>(i)] = new_job(1);
+    // all four share C_ci
+    const int resource = inst.add_resource();
+    for (int k = 0; k < 3; ++k)
+      job_resources[static_cast<std::size_t>(lits[static_cast<std::size_t>(k)])]
+          .push_back(resource);
+    job_resources[static_cast<std::size_t>(td[static_cast<std::size_t>(i)])]
+        .push_back(resource);
+    // j^c_d anchored to jA_i
+    share(td[static_cast<std::size_t>(i)], tA[static_cast<std::size_t>(i)]);
+    // literal job <-> that literal's variable job
+    for (int k = 0; k < 3; ++k) {
+      const int lit = clause[static_cast<std::size_t>(k)];
+      const auto var = static_cast<std::size_t>(std::abs(lit) - 1);
+      const int var_job = lit > 0 ? tx[var] : txbar[var];
+      share(lits[static_cast<std::size_t>(k)], var_job);
+    }
+    tlits[static_cast<std::size_t>(i)] = lits;
+  }
+
+  // Materialize jobs in creation order (temp ids == final JobIds).
+  for (std::size_t j = 0; j < job_sizes.size(); ++j) {
+    const JobId id = inst.add_job(job_sizes[j], job_resources[j]);
+    assert(id == static_cast<JobId>(j));
+    (void)id;
+  }
+  auto to_jobs = [](const std::vector<int>& v) {
+    return std::vector<JobId>(v.begin(), v.end());
+  };
+  red.jA = to_jobs(tA);
+  red.ja = to_jobs(ta);
+  red.jB = to_jobs(tB);
+  red.jb = to_jobs(tb);
+  red.jx = to_jobs(tx);
+  red.jxbar = to_jobs(txbar);
+  red.jdx = to_jobs(tdx);
+  red.clause_d = to_jobs(td);
+  for (const auto& lits : tlits)
+    red.clause_jobs.push_back(
+        {static_cast<JobId>(lits[0]), static_cast<JobId>(lits[1]),
+         static_cast<JobId>(lits[2])});
+  assert(inst.check().empty());
+  assert(inst.max_resources_per_job() <= 3);
+  return red;
+}
+
+MSchedule schedule_from_assignment(const Reduction& red,
+                                   const std::vector<bool>& assignment) {
+  const int C = red.num_clauses();
+  const int X = red.num_vars();
+  MSchedule sched(red.instance.num_jobs());
+  auto put = [&](JobId j, int machine, Time start) {
+    sched.machine[static_cast<std::size_t>(j)] = machine;
+    sched.start[static_cast<std::size_t>(j)] = start;
+  };
+
+  // Dummy machines.
+  for (int i = 0; i < C; ++i) {
+    put(red.ja[static_cast<std::size_t>(i)], i, kJaStart);
+    put(red.jA[static_cast<std::size_t>(i)], i, kJAStart);
+  }
+  for (int i = 0; i < X; ++i) {
+    put(red.jB[static_cast<std::size_t>(i)], C + i, kJBStart);
+    put(red.jb[static_cast<std::size_t>(i)], C + i, kJbStart);
+  }
+  // Variable machines: true literal's job in [0,1], the other in [1,2],
+  // j_dx in [2,4].
+  for (int i = 0; i < X; ++i) {
+    const int machine = C + X + i;
+    const bool value = assignment[static_cast<std::size_t>(i + 1)];
+    const JobId first = value ? red.jx[static_cast<std::size_t>(i)]
+                              : red.jxbar[static_cast<std::size_t>(i)];
+    const JobId second = value ? red.jxbar[static_cast<std::size_t>(i)]
+                               : red.jx[static_cast<std::size_t>(i)];
+    put(first, machine, 0);
+    put(second, machine, 1);
+    put(red.jdx[static_cast<std::size_t>(i)], machine, kJdxStart);
+  }
+  // Clause machines: j^c_d [0,1]; a true literal's job in [1,2]; the other
+  // two in [2,3] and [3,4].
+  for (int i = 0; i < C; ++i) {
+    const int machine = C + 2 * X + i;
+    put(red.clause_d[static_cast<std::size_t>(i)], machine, kJcdStart);
+    const auto& clause = red.formula.clauses[static_cast<std::size_t>(i)];
+    int true_slot = -1;
+    for (int k = 0; k < 3 && true_slot < 0; ++k) {
+      const int lit = clause[static_cast<std::size_t>(k)];
+      const bool value = assignment[static_cast<std::size_t>(std::abs(lit))];
+      if ((lit > 0) == value) true_slot = k;
+    }
+    // A satisfying assignment always has a true literal. For non-satisfying
+    // assignments we still emit the canonical layout (first literal in the
+    // [1,2] slot); the resulting V-resource conflict is exactly what makes
+    // the schedule invalid — used by tests to sweep the canonical space.
+    if (true_slot < 0) true_slot = 0;
+    Time next_free = 2;
+    for (int k = 0; k < 3; ++k) {
+      const JobId job =
+          red.clause_jobs[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)];
+      if (k == true_slot) {
+        put(job, machine, 1);
+      } else {
+        put(job, machine, next_free++);
+      }
+    }
+  }
+  return sched;
+}
+
+MSchedule trivial_schedule(const Reduction& red) {
+  const int C = red.num_clauses();
+  const int X = red.num_vars();
+  MSchedule sched(red.instance.num_jobs());
+  auto put = [&](JobId j, int machine, Time start) {
+    sched.machine[static_cast<std::size_t>(j)] = machine;
+    sched.start[static_cast<std::size_t>(j)] = start;
+  };
+  for (int i = 0; i < C; ++i) {
+    put(red.ja[static_cast<std::size_t>(i)], i, kJaStart);
+    put(red.jA[static_cast<std::size_t>(i)], i, kJAStart);
+  }
+  for (int i = 0; i < X; ++i) {
+    put(red.jB[static_cast<std::size_t>(i)], C + i, kJBStart);
+    put(red.jb[static_cast<std::size_t>(i)], C + i, kJbStart);
+  }
+  // Variable machines: j_x [0,1], j_xbar [1,2], j_dx [2,4].
+  for (int i = 0; i < X; ++i) {
+    const int machine = C + X + i;
+    put(red.jx[static_cast<std::size_t>(i)], machine, 0);
+    put(red.jxbar[static_cast<std::size_t>(i)], machine, 1);
+    put(red.jdx[static_cast<std::size_t>(i)], machine, kJdxStart);
+  }
+  // Clause machines: j^c_d [0,1], leave [1,2] empty, literal jobs in
+  // [2,3], [3,4], [4,5]. Variable jobs run in [0,2], so no V-conflicts.
+  for (int i = 0; i < C; ++i) {
+    const int machine = C + 2 * X + i;
+    put(red.clause_d[static_cast<std::size_t>(i)], machine, 0);
+    for (int k = 0; k < 3; ++k)
+      put(red.clause_jobs[static_cast<std::size_t>(i)]
+                         [static_cast<std::size_t>(k)],
+          machine, 2 + k);
+  }
+  return sched;
+}
+
+std::optional<std::vector<bool>> assignment_from_schedule(
+    const Reduction& red, const MSchedule& schedule) {
+  const auto report = validate_multi(red.instance, schedule, /*limit=*/4);
+  if (!report.ok()) return std::nullopt;
+  const int X = red.num_vars();
+
+  // Orientation: in the canonical schedule ja_1 runs in [0,1]; the flipped
+  // schedule (t -> 4 - t - p) is equally valid. Normalize via ja_1.
+  MSchedule normalized = schedule;
+  if (!red.ja.empty() &&
+      schedule.start[static_cast<std::size_t>(red.ja[0])] != 0) {
+    for (JobId j = 0; j < red.instance.num_jobs(); ++j)
+      normalized.start[static_cast<std::size_t>(j)] =
+          4 - schedule.start[static_cast<std::size_t>(j)] -
+          red.instance.size(j);
+  }
+
+  std::vector<bool> assignment(static_cast<std::size_t>(X) + 1, false);
+  for (int i = 0; i < X; ++i) {
+    const Time x_start =
+        normalized.start[static_cast<std::size_t>(red.jx[static_cast<std::size_t>(i)])];
+    const Time xbar_start = normalized.start[static_cast<std::size_t>(
+        red.jxbar[static_cast<std::size_t>(i)])];
+    // Lemma 24: one of the two runs in [0,1], the other in [1,2].
+    if (x_start == 0) {
+      assignment[static_cast<std::size_t>(i + 1)] = true;
+    } else if (xbar_start == 0) {
+      assignment[static_cast<std::size_t>(i + 1)] = false;
+    } else {
+      return std::nullopt;  // not a canonical makespan-4 schedule
+    }
+    (void)xbar_start;
+  }
+  if (!red.formula.satisfied_by(assignment)) return std::nullopt;
+  return assignment;
+}
+
+}  // namespace msrs

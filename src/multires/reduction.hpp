@@ -1,0 +1,66 @@
+// The Theorem-23 reduction: Monotone 3-SAT-(2,2) -> multi-resource MSRS.
+//
+// Gadget (job sizes in braces; every job needs <= 3 resources):
+//  * per clause i: dummies jA_i {3} and ja_i {1} sharing resource A_i, with
+//    ja_i and jA_{i+1} chained by A_{i->i+1};
+//  * per variable i: dummies jB_i {2} and jb_i {2} sharing B_i, chained by
+//    B_{i->i+1}; ja_{|C|} and jb_1 chained by A->B;
+//  * per variable x: jobs j_x {1}, j_xbar {1}, j_dx {2}, all sharing X_x,
+//    and j_dx sharing B_x with jB_i;
+//  * per clause c: one job per literal {1} plus j^c_d {1}, all sharing C_c;
+//    j^c_d shares A_c with jA_i; the job of literal l shares a fresh
+//    resource V^c_l with that literal's variable job.
+//  * machines: 2|C| + 2|X|.
+//
+// Lemma 24: OPT = 4 iff the formula is satisfiable, else OPT = 5. In the
+// canonical makespan-4 schedule the dummies are pinned (ja_i [0,1],
+// jA_i [1,4], jB_i [0,2], jb_i [2,4], j_dx [2,4], j^c_d [0,1]) and the
+// variable jobs encode the assignment: x is true iff j_x runs in [0,1].
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "multires/minstance.hpp"
+#include "multires/sat.hpp"
+
+namespace msrs {
+
+struct Reduction {
+  Cnf formula;
+  MultiInstance instance;
+
+  // job handles (indices into `instance`)
+  std::vector<JobId> jA, ja;                       // per clause
+  std::vector<JobId> jB, jb;                       // per variable (1-based -1)
+  std::vector<JobId> jx, jxbar, jdx;               // per variable
+  std::vector<std::array<JobId, 3>> clause_jobs;   // per clause, per literal
+  std::vector<JobId> clause_d;                     // per clause
+
+  int num_clauses() const { return static_cast<int>(formula.clauses.size()); }
+  int num_vars() const { return formula.num_vars; }
+};
+
+// Builds the gadget; `formula` must pass check_monotone22.
+Reduction build_reduction(const Cnf& formula);
+
+// Forward direction of Lemma 24: a satisfying assignment (1-based, as
+// returned by dpll) yields a valid makespan-4 schedule. For non-satisfying
+// assignments the emitted canonical layout contains a resource conflict
+// (detected by validate_multi) — by Lemma 24 every makespan-4 schedule is
+// canonical up to a time flip, so sweeping all assignments through this
+// function decides "OPT = 4?" exactly.
+MSchedule schedule_from_assignment(const Reduction& reduction,
+                                   const std::vector<bool>& assignment);
+
+// The always-valid makespan-5 schedule (unsatisfiable case).
+MSchedule trivial_schedule(const Reduction& reduction);
+
+// Backward direction: decodes a satisfying assignment from any valid
+// makespan-4 schedule (handles the time-flipped orientation). Returns
+// std::nullopt if the schedule is invalid or exceeds makespan 4.
+std::optional<std::vector<bool>> assignment_from_schedule(
+    const Reduction& reduction, const MSchedule& schedule);
+
+}  // namespace msrs

@@ -1,0 +1,202 @@
+#include "multires/sat.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace msrs {
+namespace {
+
+// Assignment state: 0 unknown, 1 true, -1 false.
+using State = std::vector<int>;
+
+bool clause_satisfied(const std::vector<int>& clause, const State& state) {
+  for (int lit : clause) {
+    const int var = std::abs(lit);
+    const int want = lit > 0 ? 1 : -1;
+    if (state[static_cast<std::size_t>(var)] == want) return true;
+  }
+  return false;
+}
+
+// Returns false on conflict; applies unit propagation until fixpoint.
+bool propagate(const Cnf& formula, State& state) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& clause : formula.clauses) {
+      if (clause_satisfied(clause, state)) continue;
+      int unassigned_lit = 0;
+      int unassigned_count = 0;
+      for (int lit : clause) {
+        if (state[static_cast<std::size_t>(std::abs(lit))] == 0) {
+          ++unassigned_count;
+          unassigned_lit = lit;
+        }
+      }
+      if (unassigned_count == 0) return false;  // conflict
+      if (unassigned_count == 1) {
+        state[static_cast<std::size_t>(std::abs(unassigned_lit))] =
+            unassigned_lit > 0 ? 1 : -1;
+        changed = true;
+      }
+    }
+  }
+  return true;
+}
+
+bool solve(const Cnf& formula, State& state) {
+  if (!propagate(formula, state)) return false;
+  // Pure literal elimination.
+  std::vector<int> polarity(static_cast<std::size_t>(formula.num_vars) + 1, 0);
+  for (const auto& clause : formula.clauses) {
+    if (clause_satisfied(clause, state)) continue;
+    for (int lit : clause) {
+      const auto var = static_cast<std::size_t>(std::abs(lit));
+      if (state[var] != 0) continue;
+      const int sign = lit > 0 ? 1 : -1;
+      if (polarity[var] == 0)
+        polarity[var] = sign;
+      else if (polarity[var] != sign)
+        polarity[var] = 2;  // mixed
+    }
+  }
+  int branch_var = 0;
+  for (int v = 1; v <= formula.num_vars; ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (state[vi] != 0) continue;
+    if (polarity[vi] == 1 || polarity[vi] == -1) {
+      state[vi] = polarity[vi];
+      return solve(formula, state);
+    }
+    if (branch_var == 0) branch_var = v;
+  }
+  if (branch_var == 0) {
+    // fully assigned (or every remaining var unused): check all clauses
+    for (const auto& clause : formula.clauses)
+      if (!clause_satisfied(clause, state)) return false;
+    return true;
+  }
+  for (const int value : {1, -1}) {
+    State copy = state;
+    copy[static_cast<std::size_t>(branch_var)] = value;
+    if (solve(formula, copy)) {
+      state = std::move(copy);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Cnf::satisfied_by(const std::vector<bool>& assignment) const {
+  for (const auto& clause : clauses) {
+    bool ok = false;
+    for (int lit : clause) {
+      const auto var = static_cast<std::size_t>(std::abs(lit));
+      if ((lit > 0) == assignment[var]) ok = true;
+    }
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string Cnf::str() const {
+  std::ostringstream out;
+  for (const auto& clause : clauses) {
+    out << '(';
+    for (std::size_t i = 0; i < clause.size(); ++i) {
+      if (i) out << " v ";
+      if (clause[i] < 0) out << "~";
+      out << 'x' << std::abs(clause[i]);
+    }
+    out << ") ";
+  }
+  return out.str();
+}
+
+std::optional<std::vector<bool>> dpll(const Cnf& formula) {
+  State state(static_cast<std::size_t>(formula.num_vars) + 1, 0);
+  if (!solve(formula, state)) return std::nullopt;
+  std::vector<bool> assignment(static_cast<std::size_t>(formula.num_vars) + 1,
+                               false);
+  for (int v = 1; v <= formula.num_vars; ++v)
+    assignment[static_cast<std::size_t>(v)] =
+        state[static_cast<std::size_t>(v)] == 1;
+  assert(formula.satisfied_by(assignment));
+  return assignment;
+}
+
+std::string check_monotone22(const Cnf& formula) {
+  std::vector<int> pos(static_cast<std::size_t>(formula.num_vars) + 1, 0);
+  std::vector<int> neg(static_cast<std::size_t>(formula.num_vars) + 1, 0);
+  for (const auto& clause : formula.clauses) {
+    if (clause.size() != 3) return "clause without exactly 3 literals";
+    const bool positive = clause.front() > 0;
+    std::vector<int> vars;
+    for (int lit : clause) {
+      if ((lit > 0) != positive) return "non-monotone clause";
+      vars.push_back(std::abs(lit));
+      if (lit > 0)
+        ++pos[static_cast<std::size_t>(lit)];
+      else
+        ++neg[static_cast<std::size_t>(-lit)];
+    }
+    std::sort(vars.begin(), vars.end());
+    if (std::adjacent_find(vars.begin(), vars.end()) != vars.end())
+      return "repeated variable in a clause";
+  }
+  for (int v = 1; v <= formula.num_vars; ++v) {
+    if (pos[static_cast<std::size_t>(v)] != 2)
+      return "variable x" + std::to_string(v) + " has " +
+             std::to_string(pos[static_cast<std::size_t>(v)]) +
+             " positive occurrences (want 2)";
+    if (neg[static_cast<std::size_t>(v)] != 2)
+      return "variable x" + std::to_string(v) + " has " +
+             std::to_string(neg[static_cast<std::size_t>(v)]) +
+             " negative occurrences (want 2)";
+  }
+  return {};
+}
+
+Cnf generate_monotone22(int vars, std::uint64_t seed) {
+  assert(vars % 3 == 0 && vars >= 3);
+  Cnf formula;
+  formula.num_vars = vars;
+  Rng rng(seed);
+
+  // Build the positive clauses from a multiset with each variable twice,
+  // re-shuffling until no clause repeats a variable (fast for vars >= 3).
+  auto build_half = [&](bool positive) {
+    std::vector<int> slots;
+    slots.reserve(static_cast<std::size_t>(2 * vars));
+    for (int v = 1; v <= vars; ++v) {
+      slots.push_back(v);
+      slots.push_back(v);
+    }
+    for (int attempt = 0; attempt < 10000; ++attempt) {
+      rng.shuffle(slots);
+      bool ok = true;
+      for (std::size_t i = 0; i + 2 < slots.size() && ok; i += 3)
+        ok = slots[i] != slots[i + 1] && slots[i] != slots[i + 2] &&
+             slots[i + 1] != slots[i + 2];
+      if (!ok) continue;
+      for (std::size_t i = 0; i + 2 < slots.size(); i += 3) {
+        std::vector<int> clause{slots[i], slots[i + 1], slots[i + 2]};
+        if (!positive)
+          for (int& lit : clause) lit = -lit;
+        formula.clauses.push_back(std::move(clause));
+      }
+      return true;
+    }
+    return false;
+  };
+  const bool ok = build_half(true) && build_half(false);
+  assert(ok);
+  (void)ok;
+  assert(check_monotone22(formula).empty());
+  return formula;
+}
+
+}  // namespace msrs

@@ -1,0 +1,39 @@
+// CNF satisfiability substrate for the Theorem-23 reduction.
+//
+// Monotone 3-SAT-(2,2) [Darmann & Döcker]: every clause has exactly three
+// literals and is either all-positive or all-negative; every literal occurs
+// in exactly two clauses (so every variable occurs in exactly four). The
+// paper's inapproximability reduction starts from this NP-hard restriction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace msrs {
+
+// Literals are +v / -v for variable ids v in [1, num_vars].
+struct Cnf {
+  int num_vars = 0;
+  std::vector<std::vector<int>> clauses;
+
+  bool satisfied_by(const std::vector<bool>& assignment) const;
+  std::string str() const;
+};
+
+// Complete DPLL solver (unit propagation + pure literals + branching).
+// Returns an assignment if satisfiable, std::nullopt otherwise.
+std::optional<std::vector<bool>> dpll(const Cnf& formula);
+
+// Checks the Monotone-(2,2) syntactic restrictions; empty string if valid.
+std::string check_monotone22(const Cnf& formula);
+
+// Generates a random Monotone 3-SAT-(2,2) instance with `vars` variables
+// (must be divisible by 3: |C| = 4|X|/3 with 2|X|/3 positive and 2|X|/3
+// negative clauses). Satisfiability is not controlled; label with dpll().
+Cnf generate_monotone22(int vars, std::uint64_t seed);
+
+}  // namespace msrs

@@ -1,0 +1,144 @@
+#include "opt/ilp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace msrs {
+namespace {
+
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+class Solver {
+ public:
+  explicit Solver(const IlpProblem& problem, std::uint64_t node_limit)
+      : prob_(problem), node_limit_(node_limit) {
+    // Per-row, per-variable coefficient lists for propagation: for each row
+    // r and each variable v >= next unfixed, the remaining min/max
+    // contribution. We precompute per-row suffix bounds.
+    const auto rows = prob_.rows.size();
+    row_suffix_min_.resize(rows);
+    row_suffix_max_.resize(rows);
+    row_coeff_.assign(rows, std::vector<std::int64_t>(
+                                static_cast<std::size_t>(prob_.num_vars), 0));
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (const auto& [v, coef] : prob_.rows[r].terms)
+        row_coeff_[r][static_cast<std::size_t>(v)] += coef;
+      row_suffix_min_[r].assign(static_cast<std::size_t>(prob_.num_vars) + 1, 0);
+      row_suffix_max_[r].assign(static_cast<std::size_t>(prob_.num_vars) + 1, 0);
+      for (int v = prob_.num_vars - 1; v >= 0; --v) {
+        const auto vi = static_cast<std::size_t>(v);
+        const std::int64_t coef = row_coeff_[r][vi];
+        const std::int64_t lo_term =
+            std::min(coef * prob_.lower[vi], coef * prob_.upper[vi]);
+        const std::int64_t hi_term =
+            std::max(coef * prob_.lower[vi], coef * prob_.upper[vi]);
+        row_suffix_min_[r][vi] = row_suffix_min_[r][vi + 1] + lo_term;
+        row_suffix_max_[r][vi] = row_suffix_max_[r][vi + 1] + hi_term;
+      }
+    }
+    // Objective suffix minimum for bounding.
+    obj_suffix_min_.assign(static_cast<std::size_t>(prob_.num_vars) + 1, 0);
+    if (!prob_.objective.empty()) {
+      for (int v = prob_.num_vars - 1; v >= 0; --v) {
+        const auto vi = static_cast<std::size_t>(v);
+        const std::int64_t c = prob_.objective[vi];
+        obj_suffix_min_[vi] =
+            obj_suffix_min_[vi + 1] +
+            std::min(c * prob_.lower[vi], c * prob_.upper[vi]);
+      }
+    }
+    x_.assign(static_cast<std::size_t>(prob_.num_vars), 0);
+    row_partial_.assign(rows, 0);
+  }
+
+  IlpResult run() {
+    IlpResult result;
+    dfs(0, 0);
+    result.feasible = best_found_;
+    result.proven = !hit_limit_;
+    result.nodes = nodes_;
+    if (best_found_) {
+      result.x = best_x_;
+      result.objective = best_obj_;
+    }
+    return result;
+  }
+
+ private:
+  bool row_can_satisfy(std::size_t r, int next_var) const {
+    const auto vi = static_cast<std::size_t>(next_var);
+    const std::int64_t lo = row_partial_[r] + row_suffix_min_[r][vi];
+    const std::int64_t hi = row_partial_[r] + row_suffix_max_[r][vi];
+    const auto& row = prob_.rows[r];
+    if (row.relation == IlpRow::Relation::kEq)
+      return lo <= row.rhs && row.rhs <= hi;
+    return lo <= row.rhs;  // kLe
+  }
+
+  void dfs(int var, std::int64_t obj) {
+    if (hit_limit_) return;
+    if (++nodes_ > node_limit_) {
+      hit_limit_ = true;
+      return;
+    }
+    // Bound on the objective.
+    if (best_found_ &&
+        obj + obj_suffix_min_[static_cast<std::size_t>(var)] >= best_obj_)
+      return;
+    // Constraint propagation.
+    for (std::size_t r = 0; r < prob_.rows.size(); ++r)
+      if (!row_can_satisfy(r, var)) return;
+
+    if (var == prob_.num_vars) {
+      best_found_ = true;
+      best_obj_ = obj;
+      best_x_ = x_;
+      if (prob_.objective.empty()) hit_limit_ = true;  // feasibility: stop
+      return;
+    }
+
+    const auto vi = static_cast<std::size_t>(var);
+    for (std::int64_t value = prob_.lower[vi]; value <= prob_.upper[vi];
+         ++value) {
+      x_[vi] = value;
+      for (std::size_t r = 0; r < prob_.rows.size(); ++r)
+        row_partial_[r] += row_coeff_[r][vi] * value;
+      const std::int64_t delta =
+          prob_.objective.empty() ? 0 : prob_.objective[vi] * value;
+      dfs(var + 1, obj + delta);
+      for (std::size_t r = 0; r < prob_.rows.size(); ++r)
+        row_partial_[r] -= row_coeff_[r][vi] * value;
+      if (hit_limit_ && prob_.objective.empty() && best_found_) return;
+      if (hit_limit_) return;
+    }
+  }
+
+  const IlpProblem& prob_;
+  std::uint64_t node_limit_;
+  std::vector<std::vector<std::int64_t>> row_coeff_;
+  std::vector<std::vector<std::int64_t>> row_suffix_min_, row_suffix_max_;
+  std::vector<std::int64_t> obj_suffix_min_;
+  std::vector<std::int64_t> x_, best_x_;
+  std::vector<std::int64_t> row_partial_;
+  std::int64_t best_obj_ = kInf;
+  bool best_found_ = false;
+  bool hit_limit_ = false;
+  std::uint64_t nodes_ = 0;
+};
+
+}  // namespace
+
+IlpResult solve_ilp(const IlpProblem& problem, std::uint64_t node_limit) {
+  assert(static_cast<int>(problem.lower.size()) == problem.num_vars);
+  assert(static_cast<int>(problem.upper.size()) == problem.num_vars);
+  assert(problem.objective.empty() ||
+         static_cast<int>(problem.objective.size()) == problem.num_vars);
+  Solver solver(problem, node_limit);
+  IlpResult result = solver.run();
+  // Feasibility-only runs stop at the first solution: that is still proven.
+  if (problem.objective.empty() && result.feasible) result.proven = true;
+  return result;
+}
+
+}  // namespace msrs

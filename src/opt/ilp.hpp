@@ -1,0 +1,41 @@
+// A small exact solver for bounded integer linear programs.
+//
+// Reference solver used to cross-check the N-fold augmentation solver and
+// the layered-schedule solver on small instances. Branch-and-bound over the
+// variables in order with interval-arithmetic constraint propagation; exact
+// for any instance it finishes (every search is finite as all variables are
+// bounded).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace msrs {
+
+struct IlpRow {
+  enum class Relation { kEq, kLe };  // sum(terms) (=|<=) rhs
+  std::vector<std::pair<int, std::int64_t>> terms;  // (variable, coefficient)
+  Relation relation = Relation::kEq;
+  std::int64_t rhs = 0;
+};
+
+struct IlpProblem {
+  int num_vars = 0;
+  std::vector<std::int64_t> lower;      // per-variable bounds (inclusive)
+  std::vector<std::int64_t> upper;
+  std::vector<std::int64_t> objective;  // minimize c^T x; empty = feasibility
+  std::vector<IlpRow> rows;
+};
+
+struct IlpResult {
+  bool feasible = false;
+  bool proven = false;  // search completed within the node limit
+  std::vector<std::int64_t> x;
+  std::int64_t objective = 0;
+  std::uint64_t nodes = 0;
+};
+
+IlpResult solve_ilp(const IlpProblem& problem,
+                    std::uint64_t node_limit = 50'000'000);
+
+}  // namespace msrs

@@ -1,0 +1,86 @@
+#include "opt/maxflow.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace msrs {
+
+MaxFlow::MaxFlow(int nodes)
+    : graph_(static_cast<std::size_t>(nodes)),
+      level_(static_cast<std::size_t>(nodes)),
+      iter_(static_cast<std::size_t>(nodes)) {}
+
+int MaxFlow::add_edge(int from, int to, std::int64_t capacity) {
+  assert(capacity >= 0);
+  const auto fidx = static_cast<std::size_t>(from);
+  const auto tidx = static_cast<std::size_t>(to);
+  graph_[fidx].push_back({to, capacity, static_cast<int>(graph_[tidx].size())});
+  graph_[tidx].push_back({from, 0, static_cast<int>(graph_[fidx].size()) - 1});
+  edge_refs_.emplace_back(from, static_cast<int>(graph_[fidx].size()) - 1);
+  original_capacity_.push_back(capacity);
+  return static_cast<int>(edge_refs_.size()) - 1;
+}
+
+bool MaxFlow::bfs(int source, int sink) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::queue<int> queue;
+  level_[static_cast<std::size_t>(source)] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const int v = queue.front();
+    queue.pop();
+    for (const Edge& e : graph_[static_cast<std::size_t>(v)]) {
+      if (e.cap > 0 && level_[static_cast<std::size_t>(e.to)] < 0) {
+        level_[static_cast<std::size_t>(e.to)] =
+            level_[static_cast<std::size_t>(v)] + 1;
+        queue.push(e.to);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(sink)] >= 0;
+}
+
+std::int64_t MaxFlow::dfs(int v, int sink, std::int64_t pushed) {
+  if (v == sink) return pushed;
+  auto& it = iter_[static_cast<std::size_t>(v)];
+  auto& edges = graph_[static_cast<std::size_t>(v)];
+  for (; it < static_cast<int>(edges.size()); ++it) {
+    Edge& e = edges[static_cast<std::size_t>(it)];
+    if (e.cap <= 0 || level_[static_cast<std::size_t>(e.to)] !=
+                          level_[static_cast<std::size_t>(v)] + 1)
+      continue;
+    const std::int64_t got = dfs(e.to, sink, std::min(pushed, e.cap));
+    if (got > 0) {
+      e.cap -= got;
+      graph_[static_cast<std::size_t>(e.to)][static_cast<std::size_t>(e.rev)]
+          .cap += got;
+      return got;
+    }
+  }
+  return 0;
+}
+
+std::int64_t MaxFlow::solve(int source, int sink) {
+  std::int64_t total = 0;
+  while (bfs(source, sink)) {
+    std::fill(iter_.begin(), iter_.end(), 0);
+    for (;;) {
+      const std::int64_t pushed =
+          dfs(source, sink, std::numeric_limits<std::int64_t>::max());
+      if (pushed == 0) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+std::int64_t MaxFlow::flow_on(int id) const {
+  const auto [node, index] = edge_refs_[static_cast<std::size_t>(id)];
+  const Edge& e =
+      graph_[static_cast<std::size_t>(node)][static_cast<std::size_t>(index)];
+  return original_capacity_[static_cast<std::size_t>(id)] - e.cap;
+}
+
+}  // namespace msrs

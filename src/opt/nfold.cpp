@@ -1,0 +1,370 @@
+#include "opt/nfold.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <unordered_map>
+
+namespace msrs {
+namespace {
+
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+// ---------- augmentation over a fixed N-fold problem ------------------------
+
+class Augmenter {
+ public:
+  Augmenter(const NFold& problem, const NFoldOptions& options)
+      : prob_(problem), opts_(options) {}
+
+  // Improves x in place until no improving step is found. Returns iteration
+  // count; sets *converged.
+  std::uint64_t run(std::vector<std::int64_t>& x, bool* converged) {
+    std::uint64_t iterations = 0;
+    *converged = false;
+    while (iterations < opts_.max_iterations) {
+      ++iterations;
+      if (!apply_best_step(x)) {
+        *converged = true;
+        break;
+      }
+    }
+    return iterations;
+  }
+
+ private:
+  // Encodes an r-dim prefix-sum state into a single integer.
+  std::int64_t encode(const std::vector<std::int64_t>& state) const {
+    const std::int64_t base = 2 * opts_.prefix_bound + 1;
+    std::int64_t code = 0;
+    for (std::int64_t v : state) code = code * base + (v + opts_.prefix_bound);
+    return code;
+  }
+
+  // Enumerates block step vectors v in [-g, g]^t with B_i v = 0 and
+  // l <= x_i + gamma*v <= u; calls f(v, delta=A_i v, cost=c_i . v).
+  template <typename F>
+  void enumerate_block(int block, const std::vector<std::int64_t>& x,
+                       std::int64_t gamma, F&& f) const {
+    const auto t = static_cast<std::size_t>(prob_.t);
+    std::vector<std::int64_t> v(t, 0);
+    const auto& A = prob_.A[static_cast<std::size_t>(block)];
+    const auto& B = prob_.B[static_cast<std::size_t>(block)];
+    const std::size_t offset = static_cast<std::size_t>(block) * t;
+
+    auto rec = [&](auto&& self, std::size_t idx) -> void {
+      if (idx == t) {
+        // check B v = 0
+        for (int row = 0; row < prob_.s; ++row) {
+          std::int64_t sum = 0;
+          for (std::size_t col = 0; col < t; ++col)
+            sum += B[static_cast<std::size_t>(row) * t + col] * v[col];
+          if (sum != 0) return;
+        }
+        std::vector<std::int64_t> delta(static_cast<std::size_t>(prob_.r), 0);
+        for (int row = 0; row < prob_.r; ++row)
+          for (std::size_t col = 0; col < t; ++col)
+            delta[static_cast<std::size_t>(row)] +=
+                A[static_cast<std::size_t>(row) * t + col] * v[col];
+        std::int64_t cost = 0;
+        if (!prob_.c.empty())
+          for (std::size_t col = 0; col < t; ++col)
+            cost += prob_.c[offset + col] * v[col];
+        f(v, delta, cost);
+        return;
+      }
+      for (std::int64_t val = -opts_.graver_bound; val <= opts_.graver_bound;
+           ++val) {
+        const std::int64_t moved = x[offset + idx] + gamma * val;
+        if (moved < prob_.lower[offset + idx] ||
+            moved > prob_.upper[offset + idx])
+          continue;
+        v[idx] = val;
+        self(self, idx + 1);
+      }
+      v[idx] = 0;
+    };
+    rec(rec, 0);
+  }
+
+  struct DpEntry {
+    std::int64_t cost = kInf;
+    std::int64_t prev_code = 0;
+    std::vector<std::int64_t> step;  // block step vector chosen
+  };
+
+  // Finds the best (most negative cost) step g with A g = 0 for a fixed
+  // gamma; returns true and fills `g` if an improving one exists.
+  bool best_step(const std::vector<std::int64_t>& x, std::int64_t gamma,
+                 std::vector<std::int64_t>& g, std::int64_t* cost_out) const {
+    std::unordered_map<std::int64_t, DpEntry> layer;
+    std::vector<std::int64_t> zero(static_cast<std::size_t>(prob_.r), 0);
+    layer[encode(zero)] = DpEntry{0, 0, {}};
+
+    // decode helper
+    const std::int64_t base = 2 * opts_.prefix_bound + 1;
+    auto decode = [&](std::int64_t code) {
+      std::vector<std::int64_t> state(static_cast<std::size_t>(prob_.r));
+      for (int i = prob_.r - 1; i >= 0; --i) {
+        state[static_cast<std::size_t>(i)] = code % base - opts_.prefix_bound;
+        code /= base;
+      }
+      return state;
+    };
+
+    std::vector<std::unordered_map<std::int64_t, DpEntry>> layers;
+    layers.push_back(layer);
+    for (int block = 0; block < prob_.N; ++block) {
+      std::unordered_map<std::int64_t, DpEntry> next;
+      for (const auto& [code, entry] : layers.back()) {
+        const auto state = decode(code);
+        enumerate_block(block, x, gamma,
+                        [&](const std::vector<std::int64_t>& v,
+                            const std::vector<std::int64_t>& delta,
+                            std::int64_t cost) {
+                          std::vector<std::int64_t> to = state;
+                          for (int i = 0; i < prob_.r; ++i) {
+                            to[static_cast<std::size_t>(i)] +=
+                                delta[static_cast<std::size_t>(i)];
+                            if (std::abs(to[static_cast<std::size_t>(i)]) >
+                                opts_.prefix_bound)
+                              return;
+                          }
+                          const std::int64_t to_code = encode(to);
+                          const std::int64_t new_cost =
+                              entry.cost + gamma * cost;
+                          auto it = next.find(to_code);
+                          if (it == next.end() || new_cost < it->second.cost)
+                            next[to_code] = DpEntry{new_cost, code, v};
+                        });
+      }
+      layers.push_back(std::move(next));
+    }
+
+    const auto it = layers.back().find(encode(zero));
+    if (it == layers.back().end() || it->second.cost >= 0) return false;
+
+    // Reconstruct g block by block (walk layers backwards).
+    g.assign(static_cast<std::size_t>(prob_.num_vars()), 0);
+    std::int64_t code = encode(zero);
+    for (int block = prob_.N - 1; block >= 0; --block) {
+      const DpEntry& entry =
+          layers[static_cast<std::size_t>(block) + 1].at(code);
+      for (int col = 0; col < prob_.t; ++col)
+        g[static_cast<std::size_t>(block * prob_.t + col)] =
+            entry.step[static_cast<std::size_t>(col)];
+      code = entry.prev_code;
+    }
+    *cost_out = it->second.cost;
+    return true;
+  }
+
+  // Tries step lengths gamma = 1, 2, 4, ... and applies the best step found.
+  bool apply_best_step(std::vector<std::int64_t>& x) const {
+    std::int64_t best_cost = 0;
+    std::vector<std::int64_t> best_g;
+    std::int64_t best_gamma = 0;
+    // Upper limit for gamma: the largest variable range.
+    std::int64_t max_range = 1;
+    for (int i = 0; i < prob_.num_vars(); ++i)
+      max_range = std::max(max_range, prob_.upper[static_cast<std::size_t>(i)] -
+                                          prob_.lower[static_cast<std::size_t>(i)]);
+    for (std::int64_t gamma = 1; gamma <= max_range; gamma *= 2) {
+      std::vector<std::int64_t> g;
+      std::int64_t cost = 0;
+      if (best_step(x, gamma, g, &cost) && cost < best_cost) {
+        best_cost = cost;
+        best_g = std::move(g);
+        best_gamma = gamma;
+      }
+    }
+    if (best_gamma == 0) return false;
+    for (int i = 0; i < prob_.num_vars(); ++i)
+      x[static_cast<std::size_t>(i)] +=
+          best_gamma * best_g[static_cast<std::size_t>(i)];
+    return true;
+  }
+
+  const NFold& prob_;
+  const NFoldOptions& opts_;
+};
+
+// Builds the phase-1 problem: every block gets 2s local slack columns and
+// 2r global slack columns (bounds fixed to zero outside block 0), so the
+// extension is itself an N-fold program and the initial point below is
+// feasible for it.
+NFold build_phase1(const NFold& problem, std::vector<std::int64_t>* x0) {
+  NFold ext;
+  ext.r = problem.r;
+  ext.s = problem.s;
+  ext.N = problem.N;
+  ext.t = problem.t + 2 * problem.s + 2 * problem.r;
+  ext.b = problem.b;
+
+  const auto t_old = static_cast<std::size_t>(problem.t);
+  const auto t_new = static_cast<std::size_t>(ext.t);
+  for (int i = 0; i < problem.N; ++i) {
+    std::vector<std::int64_t> A(static_cast<std::size_t>(ext.r) * t_new, 0);
+    std::vector<std::int64_t> B(static_cast<std::size_t>(ext.s) * t_new, 0);
+    for (int row = 0; row < ext.r; ++row)
+      for (std::size_t col = 0; col < t_old; ++col)
+        A[static_cast<std::size_t>(row) * t_new + col] =
+            problem.A[static_cast<std::size_t>(i)]
+                     [static_cast<std::size_t>(row) * t_old + col];
+    for (int row = 0; row < ext.s; ++row)
+      for (std::size_t col = 0; col < t_old; ++col)
+        B[static_cast<std::size_t>(row) * t_new + col] =
+            problem.B[static_cast<std::size_t>(i)]
+                     [static_cast<std::size_t>(row) * t_old + col];
+    // local slack: columns t_old .. t_old+2s
+    for (int row = 0; row < ext.s; ++row) {
+      B[static_cast<std::size_t>(row) * t_new + t_old +
+        static_cast<std::size_t>(2 * row)] = 1;
+      B[static_cast<std::size_t>(row) * t_new + t_old +
+        static_cast<std::size_t>(2 * row) + 1] = -1;
+    }
+    // global slack (only block 0 may use it; others are bound to zero)
+    for (int row = 0; row < ext.r; ++row) {
+      A[static_cast<std::size_t>(row) * t_new + t_old +
+        static_cast<std::size_t>(2 * problem.s + 2 * row)] = 1;
+      A[static_cast<std::size_t>(row) * t_new + t_old +
+        static_cast<std::size_t>(2 * problem.s + 2 * row) + 1] = -1;
+    }
+    ext.A.push_back(std::move(A));
+    ext.B.push_back(std::move(B));
+  }
+
+  // Bounds / objective / initial point.
+  ext.lower.assign(static_cast<std::size_t>(ext.num_vars()), 0);
+  ext.upper.assign(static_cast<std::size_t>(ext.num_vars()), 0);
+  ext.c.assign(static_cast<std::size_t>(ext.num_vars()), 0);
+  x0->assign(static_cast<std::size_t>(ext.num_vars()), 0);
+
+  // Start from the original lower bounds.
+  std::vector<std::int64_t> residual = problem.b;
+  for (int i = 0; i < problem.N; ++i) {
+    for (int col = 0; col < problem.t; ++col) {
+      const auto src = static_cast<std::size_t>(i * problem.t + col);
+      const auto dst = static_cast<std::size_t>(i * ext.t + col);
+      ext.lower[dst] = problem.lower[src];
+      ext.upper[dst] = problem.upper[src];
+      (*x0)[dst] = problem.lower[src];
+    }
+  }
+  // residual = b - A x0 (global rows first, then per-block local rows)
+  for (int i = 0; i < problem.N; ++i)
+    for (int row = 0; row < problem.r; ++row)
+      for (int col = 0; col < problem.t; ++col)
+        residual[static_cast<std::size_t>(row)] -=
+            problem.A[static_cast<std::size_t>(i)]
+                     [static_cast<std::size_t>(row * problem.t + col)] *
+            (*x0)[static_cast<std::size_t>(i * ext.t + col)];
+  for (int i = 0; i < problem.N; ++i)
+    for (int row = 0; row < problem.s; ++row)
+      for (int col = 0; col < problem.t; ++col)
+        residual[static_cast<std::size_t>(problem.r + i * problem.s + row)] -=
+            problem.B[static_cast<std::size_t>(i)]
+                     [static_cast<std::size_t>(row * problem.t + col)] *
+            (*x0)[static_cast<std::size_t>(i * ext.t + col)];
+
+  const std::int64_t big = [&] {
+    std::int64_t sum = 1;
+    for (std::int64_t v : residual) sum += std::abs(v);
+    return sum;
+  }();
+
+  // Local slack: absorb local residual in each block.
+  for (int i = 0; i < problem.N; ++i) {
+    for (int row = 0; row < problem.s; ++row) {
+      const std::int64_t res =
+          residual[static_cast<std::size_t>(problem.r + i * problem.s + row)];
+      const auto plus =
+          static_cast<std::size_t>(i * ext.t + problem.t + 2 * row);
+      ext.upper[plus] = big;
+      ext.upper[plus + 1] = big;
+      ext.c[plus] = 1;
+      ext.c[plus + 1] = 1;
+      (*x0)[plus] = std::max<std::int64_t>(res, 0);
+      (*x0)[plus + 1] = std::max<std::int64_t>(-res, 0);
+    }
+  }
+  // Global slack in block 0.
+  for (int row = 0; row < problem.r; ++row) {
+    const auto plus = static_cast<std::size_t>(problem.t + 2 * problem.s +
+                                               2 * row);
+    ext.upper[plus] = big;
+    ext.upper[plus + 1] = big;
+    ext.c[plus] = 1;
+    ext.c[plus + 1] = 1;
+    const std::int64_t res = residual[static_cast<std::size_t>(row)];
+    (*x0)[plus] = std::max<std::int64_t>(res, 0);
+    (*x0)[plus + 1] = std::max<std::int64_t>(-res, 0);
+  }
+  return ext;
+}
+
+std::int64_t objective_value(const NFold& problem,
+                             const std::vector<std::int64_t>& x) {
+  if (problem.c.empty()) return 0;
+  std::int64_t obj = 0;
+  for (int i = 0; i < problem.num_vars(); ++i)
+    obj += problem.c[static_cast<std::size_t>(i)] *
+           x[static_cast<std::size_t>(i)];
+  return obj;
+}
+
+}  // namespace
+
+std::string NFold::check() const {
+  if (r < 0 || s < 0 || t <= 0 || N <= 0) return "bad dimensions";
+  if (static_cast<int>(A.size()) != N || static_cast<int>(B.size()) != N)
+    return "need N block matrices";
+  for (const auto& block : A)
+    if (static_cast<int>(block.size()) != r * t) return "bad A block shape";
+  for (const auto& block : B)
+    if (static_cast<int>(block.size()) != s * t) return "bad B block shape";
+  if (static_cast<int>(b.size()) != r + N * s) return "bad rhs size";
+  if (static_cast<int>(lower.size()) != num_vars() ||
+      static_cast<int>(upper.size()) != num_vars())
+    return "bad bounds size";
+  if (!c.empty() && static_cast<int>(c.size()) != num_vars())
+    return "bad objective size";
+  return {};
+}
+
+NFoldResult solve_nfold(const NFold& problem, const NFoldOptions& options) {
+  assert(problem.check().empty());
+  NFoldResult result;
+
+  // Phase 1: drive the slack objective to zero.
+  std::vector<std::int64_t> x_ext;
+  const NFold ext = build_phase1(problem, &x_ext);
+  Augmenter phase1(ext, options);
+  bool converged = false;
+  result.iterations += phase1.run(x_ext, &converged);
+  if (objective_value(ext, x_ext) != 0) {
+    result.feasible = false;
+    result.converged = converged;
+    return result;
+  }
+
+  // Extract the original variables.
+  std::vector<std::int64_t> x(static_cast<std::size_t>(problem.num_vars()));
+  for (int i = 0; i < problem.N; ++i)
+    for (int col = 0; col < problem.t; ++col)
+      x[static_cast<std::size_t>(i * problem.t + col)] =
+          x_ext[static_cast<std::size_t>(i * ext.t + col)];
+  result.feasible = true;
+
+  // Phase 2: optimize the real objective (skip for feasibility problems).
+  if (!problem.c.empty()) {
+    Augmenter phase2(problem, options);
+    result.iterations += phase2.run(x, &converged);
+  }
+  result.converged = converged;
+  result.x = std::move(x);
+  result.objective = objective_value(problem, result.x);
+  return result;
+}
+
+}  // namespace msrs

@@ -1,0 +1,66 @@
+// Generalized N-fold integer programming (paper Section 4.2, Theorem 22).
+//
+//   min c^T x   s.t.  Ax = b,  l <= x <= u,  x integral
+//
+// with the block-structured constraint matrix
+//
+//        [ A_1  A_2 ... A_N ]      A_i in Z^{r x t}  (global rows)
+//    A = [ B_1   0  ...  0  ]      B_i in Z^{s x t}  (local rows)
+//        [  0   B_2 ...  0  ]
+//        [  0    0  ... B_N ]
+//
+// Solved by Graver-style augmentation: starting from a feasible point
+// (obtained via a phase-1 construction with auxiliary slack variables that
+// preserves the N-fold structure), repeatedly find the best improving step
+// gamma * g with A g = 0, ||g||_inf <= graver_bound, using dynamic
+// programming over the blocks with bounded partial prefix sums of the global
+// rows. This mirrors the augmentation framework of Hemmecke-Onn-Romanchuk /
+// Eisenbrand et al. that Theorem 22 builds upon.
+//
+// Demonstration-grade exactness: the solver is exact whenever `graver_bound`
+// and `prefix_bound` dominate the true Graver complexity of the matrix; the
+// defaults are validated against the reference ILP solver in the tests for
+// every matrix family used in this repository. Runtime is near-linear in N
+// for fixed r, s, t, Delta (bench E5 reproduces that shape).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msrs {
+
+struct NFold {
+  int r = 0;  // global rows
+  int s = 0;  // local rows per block
+  int t = 0;  // variables per block
+  int N = 0;  // number of blocks
+  // Row-major r*t resp. s*t matrices, one per block.
+  std::vector<std::vector<std::int64_t>> A;
+  std::vector<std::vector<std::int64_t>> B;
+  std::vector<std::int64_t> b;      // r + N*s right-hand sides
+  std::vector<std::int64_t> lower;  // N*t
+  std::vector<std::int64_t> upper;  // N*t
+  std::vector<std::int64_t> c;      // N*t (empty = feasibility problem)
+
+  int num_vars() const { return N * t; }
+  std::string check() const;  // empty if dimensions consistent
+};
+
+struct NFoldOptions {
+  std::int64_t graver_bound = 2;    // ||g||_inf limit per augmentation step
+  std::int64_t prefix_bound = 48;   // |partial global sums| limit in the DP
+  std::uint64_t max_iterations = 200'000;
+};
+
+struct NFoldResult {
+  bool feasible = false;
+  bool converged = false;  // augmentation reached a local (=global) optimum
+  std::vector<std::int64_t> x;
+  std::int64_t objective = 0;
+  std::uint64_t iterations = 0;
+};
+
+NFoldResult solve_nfold(const NFold& problem, const NFoldOptions& options = {});
+
+}  // namespace msrs

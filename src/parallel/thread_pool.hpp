@@ -1,0 +1,55 @@
+// Minimal fixed-size thread pool + parallel_for for the experiment harness.
+//
+// The benches sweep (family x n x m x seed) grids of independent scheduling
+// runs; this pool gives near-linear speedup for those embarrassingly parallel
+// sweeps while keeping results deterministic (work items carry their own
+// seeds, so the partitioning order cannot change any reported number).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace msrs {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads = std::thread::hardware_concurrency());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  // Enqueues a task. Tasks must not throw; exceptions terminate (by design —
+  // harness work items report failures through their results, not exceptions).
+  void submit(std::function<void()> task);
+
+  // Blocks until all submitted tasks have finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+// Runs body(i) for i in [begin, end) across `threads` workers (0 = hardware
+// concurrency). Blocks until done. Chunks are contiguous static partitions so
+// false sharing on adjacent result slots is rare.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  unsigned threads = 0);
+
+}  // namespace msrs

@@ -1,0 +1,222 @@
+#include "ptas/config_ip.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+namespace msrs {
+namespace {
+
+// Enumerates all sets of pairwise disjoint windows (configurations) via DFS
+// over windows sorted by start layer.
+bool enumerate_configs(const std::vector<std::pair<int, int>>& windows,
+                       std::size_t max_configs,
+                       std::vector<std::vector<int>>* out) {
+  std::vector<int> current;
+  bool ok = true;
+  auto rec = [&](auto&& self, std::size_t idx, int free_from) -> void {
+    if (!ok) return;
+    if (out->size() > max_configs) {
+      ok = false;
+      return;
+    }
+    if (idx == windows.size()) {
+      out->push_back(current);
+      return;
+    }
+    // skip window idx
+    self(self, idx + 1, free_from);
+    // take window idx if it starts at or after free_from
+    const auto& [start, len] = windows[idx];
+    if (start >= free_from) {
+      current.push_back(static_cast<int>(idx));
+      self(self, idx + 1, start + len);
+      current.pop_back();
+    }
+  };
+  rec(rec, 0, 0);
+  return ok;
+}
+
+}  // namespace
+
+std::optional<ConfigIp> build_config_ip(const LayeredProblem& problem,
+                                        std::size_t max_configs) {
+  ConfigIp ip;
+  ip.num_classes = static_cast<int>(problem.class_demands.size());
+
+  // Window set W: all (l, p) for lengths p present in any demand.
+  std::set<int> lengths;
+  for (const auto& demands : problem.class_demands)
+    for (const auto& d : demands) lengths.insert(d.len);
+  for (int len : lengths)
+    for (int start = 0; start + len <= problem.layers; ++start)
+      ip.windows.emplace_back(start, len);
+  std::sort(ip.windows.begin(), ip.windows.end());
+
+  if (!enumerate_configs(ip.windows, max_configs, &ip.configurations))
+    return std::nullopt;
+  ip.num_x = static_cast<int>(ip.configurations.size());
+
+  const int W = static_cast<int>(ip.windows.size());
+  const int C = ip.num_classes;
+
+  // ---- flat ILP -----------------------------------------------------------
+  IlpProblem& flat = ip.ilp;
+  flat.num_vars = ip.num_x + C * W;
+  flat.lower.assign(static_cast<std::size_t>(flat.num_vars), 0);
+  flat.upper.assign(static_cast<std::size_t>(flat.num_vars), 0);
+  for (int K = 0; K < ip.num_x; ++K)
+    flat.upper[static_cast<std::size_t>(K)] = problem.machines;
+  auto yvar = [&](int c, int wdx) { return ip.num_x + c * W + wdx; };
+  for (int c = 0; c < C; ++c)
+    for (int wdx = 0; wdx < W; ++wdx)
+      flat.upper[static_cast<std::size_t>(yvar(c, wdx))] = 1;
+
+  // (1) sum x_K = m
+  {
+    IlpRow row;
+    for (int K = 0; K < ip.num_x; ++K) row.terms.emplace_back(K, 1);
+    row.rhs = problem.machines;
+    flat.rows.push_back(std::move(row));
+  }
+  // (2) per window: sum_K K_w x_K - sum_c y^c_w = 0
+  for (int wdx = 0; wdx < W; ++wdx) {
+    IlpRow row;
+    for (int K = 0; K < ip.num_x; ++K) {
+      const auto& config = ip.configurations[static_cast<std::size_t>(K)];
+      if (std::find(config.begin(), config.end(), wdx) != config.end())
+        row.terms.emplace_back(K, 1);
+    }
+    for (int c = 0; c < C; ++c) row.terms.emplace_back(yvar(c, wdx), -1);
+    row.rhs = 0;
+    flat.rows.push_back(std::move(row));
+  }
+  // (3) per class and length: sum over start layers = n^(c)_p
+  for (int c = 0; c < C; ++c) {
+    std::map<int, int> counts;
+    for (const auto& d : problem.class_demands[static_cast<std::size_t>(c)])
+      counts[d.len] += d.count;
+    for (int len : lengths) {
+      IlpRow row;
+      for (int wdx = 0; wdx < W; ++wdx)
+        if (ip.windows[static_cast<std::size_t>(wdx)].second == len)
+          row.terms.emplace_back(yvar(c, wdx), 1);
+      row.rhs = counts.count(len) ? counts[len] : 0;
+      flat.rows.push_back(std::move(row));
+    }
+  }
+  // (4) per class and layer: sum of covering windows <= 1
+  for (int c = 0; c < C; ++c) {
+    for (int layer = 0; layer < problem.layers; ++layer) {
+      IlpRow row;
+      row.relation = IlpRow::Relation::kLe;
+      for (int wdx = 0; wdx < W; ++wdx) {
+        const auto& [start, len] = ip.windows[static_cast<std::size_t>(wdx)];
+        if (start <= layer && layer < start + len)
+          row.terms.emplace_back(yvar(c, wdx), 1);
+      }
+      row.rhs = 1;
+      flat.rows.push_back(std::move(row));
+    }
+  }
+
+  // ---- N-fold form --------------------------------------------------------
+  // Block variables: |K| x-copies, W y-vars, |Xi| slack vars.
+  NFold& nf = ip.nfold;
+  nf.N = std::max(C, 1);
+  nf.t = ip.num_x + W + problem.layers;
+  nf.r = 1 + W;                                       // (1) and (2)
+  nf.s = static_cast<int>(lengths.size()) + problem.layers;  // (3) and (4)
+  nf.b.assign(static_cast<std::size_t>(nf.r + nf.N * nf.s), 0);
+  nf.b[0] = problem.machines;
+
+  const auto tt = static_cast<std::size_t>(nf.t);
+  for (int block = 0; block < nf.N; ++block) {
+    std::vector<std::int64_t> A(static_cast<std::size_t>(nf.r) * tt, 0);
+    std::vector<std::int64_t> B(static_cast<std::size_t>(nf.s) * tt, 0);
+    // (1): x-copies of block 0 sum to m (other blocks' x are bound to 0 but
+    // keep the same coefficients — harmless and keeps blocks identical).
+    for (int K = 0; K < ip.num_x; ++K) A[static_cast<std::size_t>(K)] = 1;
+    // (2) rows: x side positive in every block (only block 0's x can be
+    // nonzero), y side negative.
+    for (int wdx = 0; wdx < W; ++wdx) {
+      const auto row = static_cast<std::size_t>(1 + wdx);
+      for (int K = 0; K < ip.num_x; ++K) {
+        const auto& config = ip.configurations[static_cast<std::size_t>(K)];
+        if (std::find(config.begin(), config.end(), wdx) != config.end())
+          A[row * tt + static_cast<std::size_t>(K)] = 1;
+      }
+      A[row * tt + static_cast<std::size_t>(ip.num_x + wdx)] = -1;
+    }
+    // (3) local rows per length.
+    int local = 0;
+    for (int len : lengths) {
+      for (int wdx = 0; wdx < W; ++wdx)
+        if (ip.windows[static_cast<std::size_t>(wdx)].second == len)
+          B[static_cast<std::size_t>(local) * tt +
+            static_cast<std::size_t>(ip.num_x + wdx)] = 1;
+      ++local;
+    }
+    // (4) local rows per layer with slack.
+    for (int layer = 0; layer < problem.layers; ++layer) {
+      for (int wdx = 0; wdx < W; ++wdx) {
+        const auto& [start, len] = ip.windows[static_cast<std::size_t>(wdx)];
+        if (start <= layer && layer < start + len)
+          B[static_cast<std::size_t>(local) * tt +
+            static_cast<std::size_t>(ip.num_x + wdx)] = 1;
+      }
+      B[static_cast<std::size_t>(local) * tt +
+        static_cast<std::size_t>(ip.num_x + W + layer)] = 1;
+      ++local;
+    }
+    nf.A.push_back(std::move(A));
+    nf.B.push_back(std::move(B));
+  }
+  // Right-hand sides of local rows.
+  for (int block = 0; block < C; ++block) {
+    std::map<int, int> counts;
+    for (const auto& d :
+         problem.class_demands[static_cast<std::size_t>(block)])
+      counts[d.len] += d.count;
+    int local = 0;
+    for (int len : lengths) {
+      nf.b[static_cast<std::size_t>(nf.r + block * nf.s + local)] =
+          counts.count(len) ? counts[len] : 0;
+      ++local;
+    }
+    for (int layer = 0; layer < problem.layers; ++layer) {
+      nf.b[static_cast<std::size_t>(nf.r + block * nf.s + local)] = 1;
+      ++local;
+    }
+  }
+  // Bounds: x only in block 0; y in [0,1]; slack in [0,1].
+  nf.lower.assign(static_cast<std::size_t>(nf.num_vars()), 0);
+  nf.upper.assign(static_cast<std::size_t>(nf.num_vars()), 0);
+  for (int block = 0; block < nf.N; ++block) {
+    const auto base = static_cast<std::size_t>(block * nf.t);
+    if (block == 0)
+      for (int K = 0; K < ip.num_x; ++K)
+        nf.upper[base + static_cast<std::size_t>(K)] = problem.machines;
+    for (int i = ip.num_x; i < nf.t; ++i)
+      nf.upper[base + static_cast<std::size_t>(i)] = 1;
+  }
+  assert(nf.check().empty());
+  return ip;
+}
+
+LayeredSolution decode_ilp_solution(const ConfigIp& ip,
+                                    const std::vector<std::int64_t>& x) {
+  LayeredSolution solution;
+  const int W = static_cast<int>(ip.windows.size());
+  solution.windows.resize(static_cast<std::size_t>(ip.num_classes));
+  for (int c = 0; c < ip.num_classes; ++c)
+    for (int wdx = 0; wdx < W; ++wdx)
+      if (x[static_cast<std::size_t>(ip.num_x + c * W + wdx)] > 0)
+        solution.windows[static_cast<std::size_t>(c)].push_back(
+            ip.windows[static_cast<std::size_t>(wdx)]);
+  return solution;
+}
+
+}  // namespace msrs

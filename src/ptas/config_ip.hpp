@@ -1,0 +1,53 @@
+// The module configuration IP of Section 4.2, materialized both as a flat
+// ILP (for the reference solver) and in N-fold form.
+//
+// Variables (per the paper):
+//   x_K in {0..m}  for each configuration K (a set of pairwise disjoint
+//                  windows); constraint (1): sum_K x_K = m.
+//   y^(c)_(l,p)    for each class c and window (start layer l, length p):
+//                  constraint (2): sum_K K_(l,p) x_K = sum_c y^(c)_(l,p);
+//                  constraint (3): sum_l y^(c)_(l,p) = n^(c)_p;
+//                  constraint (4): sum_(windows covering layer l) y <= 1.
+//
+// N-fold layout (as described in the paper's "Application to the Present
+// IP"): one block per class; each block holds a copy of the x variables
+// (bounds fixed to zero except in block 0), the y variables of its class,
+// and one slack variable per layer turning (4) into an equation. Global
+// rows: (1) and (2); local rows: (3) per length and (4) per layer.
+//
+// |K| is exponential in the number of windows; build_config_ip enumerates
+// configurations only up to `max_configs` and reports failure beyond that.
+// This module exists to cross-validate the structure-exploiting layer
+// solver (see layer_solver.hpp) against the generic solvers on small cases
+// and to document the exact correspondence with the paper.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "opt/ilp.hpp"
+#include "opt/nfold.hpp"
+#include "ptas/layered.hpp"
+
+namespace msrs {
+
+struct ConfigIp {
+  std::vector<std::pair<int, int>> windows;        // (start layer, length)
+  std::vector<std::vector<int>> configurations;    // window-index sets
+  IlpProblem ilp;   // flat reference formulation
+  NFold nfold;      // the same IP in N-fold form
+  // Flat-ILP variable layout: x_K first (|configurations| vars), then
+  // y^(c)_w in class-major order (|classes| * |windows| vars).
+  int num_x = 0;
+  int num_classes = 0;
+};
+
+// Returns std::nullopt if the configuration count exceeds max_configs.
+std::optional<ConfigIp> build_config_ip(const LayeredProblem& problem,
+                                        std::size_t max_configs = 20000);
+
+// Decodes a flat-ILP solution vector into per-class windows.
+LayeredSolution decode_ilp_solution(const ConfigIp& ip,
+                                    const std::vector<std::int64_t>& x);
+
+}  // namespace msrs

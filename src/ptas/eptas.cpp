@@ -1,0 +1,338 @@
+#include "ptas/eptas.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <numeric>
+#include <queue>
+
+#include "algo/three_halves.hpp"
+#include "core/lower_bounds.hpp"
+#include "ptas/layer_solver.hpp"
+#include "ptas/layered.hpp"
+#include "ptas/params.hpp"
+#include "ptas/simplify.hpp"
+
+namespace msrs {
+namespace {
+
+struct Attempt {
+  PtasParams params;
+  Simplified simplified;
+  LayeredProblem layered;
+  LayeredSolution solution;
+};
+
+// Tests IP feasibility at guess T; fills `attempt` on success.
+bool test_guess(const Instance& instance, const EptasOptions& options, Time T,
+                Attempt* attempt) {
+  attempt->params = choose_params(instance, options.e, T, options.m_constant);
+  attempt->simplified = simplify(instance, attempt->params);
+  attempt->layered =
+      build_layered(attempt->simplified, attempt->params, instance.machines());
+  LayerSolverOptions solver_options;
+  solver_options.node_budget = options.layer_budget;
+  return solve_layers(attempt->layered, &attempt->solution, solver_options) ==
+         LayerFeasibility::kFeasible;
+}
+
+// Reconstruction: layered solution -> schedule (scale e, pre-stretched).
+class Reconstructor {
+ public:
+  Reconstructor(const Instance& instance, const EptasOptions& options,
+                Attempt attempt)
+      : inst_(instance),
+        at_(std::move(attempt)),
+        e_(options.e),
+        slot_(at_.params.w * (options.e + 1)) {}
+
+  EptasResult run() {
+    EptasResult result;
+    result.guess = at_.params.T;
+    result.schedule = Schedule(inst_.num_jobs(), /*scale=*/e_);
+    sched_ = &result.schedule;
+
+    const int m = inst_.machines();
+    machine_busy_layers_.assign(static_cast<std::size_t>(m),
+                                std::vector<bool>(
+                                    static_cast<std::size_t>(at_.layered.layers),
+                                    false));
+
+    assign_windows_to_machines();
+    place_big_and_placeholders();
+    place_orphans();
+    place_tails();
+    const int aug = place_augmented();
+    result.machines_used = m + aug;
+    return result;
+  }
+
+ private:
+  // Interval partitioning: windows sorted by start layer are assigned to
+  // machines greedily; the per-layer capacity m guaranteed by the solver
+  // makes this always succeed (interval graphs are perfect).
+  void assign_windows_to_machines() {
+    struct Item {
+      int start, len;
+      int class_index;  // index into at_.simplified.classes
+    };
+    std::vector<Item> items;
+    for (std::size_t c = 0; c < at_.solution.windows.size(); ++c)
+      for (const auto& [start, len] : at_.solution.windows[c])
+        items.push_back({start, len, static_cast<int>(c)});
+    std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+      return a.start != b.start ? a.start < b.start : a.len > b.len;
+    });
+    // min-heap over (free layer, machine)
+    std::priority_queue<std::pair<int, int>, std::vector<std::pair<int, int>>,
+                        std::greater<>> free_at;
+    for (int k = 0; k < inst_.machines(); ++k) free_at.emplace(0, k);
+    class_windows_.assign(at_.solution.windows.size(), {});
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      auto [free_layer, machine] = free_at.top();
+      free_at.pop();
+      assert(free_layer <= items[i].start);
+      class_windows_[static_cast<std::size_t>(items[i].class_index)].push_back(
+          {items[i].start, items[i].len, machine});
+      for (int l = items[i].start; l < items[i].start + items[i].len; ++l)
+        machine_busy_layers_[static_cast<std::size_t>(machine)]
+                            [static_cast<std::size_t>(l)] = true;
+      free_at.emplace(items[i].start + items[i].len, machine);
+    }
+  }
+
+  Time layer_start(int layer) const {
+    return static_cast<Time>(layer) * slot_;
+  }
+
+  // Big jobs go to the start of their slot; placeholder slots are refilled
+  // greedily with the class's original small jobs; hosted smalls follow
+  // their class's first big job inside its slot.
+  void place_big_and_placeholders() {
+    for (std::size_t c = 0; c < at_.simplified.classes.size(); ++c) {
+      const SimpClass& simp = at_.simplified.classes[c];
+      auto windows = class_windows_[c];  // copy: we consume it
+      // Long windows for big jobs (longest big job takes longest window).
+      std::vector<std::size_t> big_order(simp.big_jobs.size());
+      std::iota(big_order.begin(), big_order.end(), 0u);
+      std::sort(big_order.begin(), big_order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return simp.big_len[a] > simp.big_len[b];
+                });
+      std::sort(windows.begin(), windows.end(),
+                [](const Win& a, const Win& b) { return a.len > b.len; });
+      std::size_t next_window = 0;
+      first_big_slot_end_.push_back(-1);
+      first_big_job_end_.push_back(-1);
+      first_big_machine_.push_back(-1);
+      for (std::size_t bi : big_order) {
+        assert(next_window < windows.size());
+        const Win win = windows[next_window++];
+        assert(win.len == simp.big_len[bi]);
+        const JobId j = simp.big_jobs[bi];
+        const Time start = layer_start(win.start);
+        sched_->assign(j, win.machine, start);
+        const Time job_end = start + inst_.size(j) * e_;
+        if (first_big_slot_end_.back() < 0) {
+          first_big_slot_end_.back() = layer_start(win.start + win.len);
+          first_big_job_end_.back() = job_end;
+          first_big_machine_.back() = win.machine;
+        }
+      }
+      // Remaining windows are the width-1 placeholder slots.
+      std::deque<JobId> queue(simp.placeholder_smalls.begin(),
+                              simp.placeholder_smalls.end());
+      for (; next_window < windows.size(); ++next_window) {
+        const Win win = windows[next_window];
+        assert(win.len == 1);
+        Time cursor = layer_start(win.start);
+        const Time slot_end = layer_start(win.start + 1);
+        while (!queue.empty() &&
+               cursor + inst_.size(queue.front()) * e_ <= slot_end) {
+          sched_->assign(queue.front(), win.machine, cursor);
+          cursor += inst_.size(queue.front()) * e_;
+          queue.pop_front();
+        }
+      }
+      // The arithmetic of Lemma 19 guarantees the queue drains (each slot
+      // absorbs >= w*e load because w >= e*mu*T). Defensive: anything left
+      // becomes a tail group of its own (same class => one glued block).
+      if (!queue.empty()) {
+        assert(false && "placeholder refill should always drain");
+        at_.simplified.tail_groups.emplace_back(queue.begin(), queue.end());
+      }
+    }
+    // Hosted smalls: right after the first big job inside its slot.
+    for (const auto& [class_index, jobs] : at_.simplified.hosted_smalls) {
+      const auto ci = static_cast<std::size_t>(class_index);
+      Time cursor = first_big_job_end_[ci];
+      const int machine = first_big_machine_[ci];
+      assert(machine >= 0);
+      for (JobId j : jobs) {
+        sched_->assign(j, machine, cursor);
+        cursor += inst_.size(j) * e_;
+      }
+      assert(cursor <= first_big_slot_end_[ci]);
+    }
+  }
+
+  // Orphan groups (classes that vanished from I3, load <= mu*T each) are
+  // packed into free slots; a free slot holds at least one group since
+  // e*mu*T <= w < slot width.
+  void place_orphans() {
+    std::deque<std::vector<JobId>> queue(at_.simplified.orphan_groups.begin(),
+                                         at_.simplified.orphan_groups.end());
+    if (queue.empty()) return;
+    for (int machine = 0; machine < inst_.machines() && !queue.empty();
+         ++machine) {
+      for (int layer = 0; layer < at_.layered.layers && !queue.empty();
+           ++layer) {
+        if (machine_busy_layers_[static_cast<std::size_t>(machine)]
+                                [static_cast<std::size_t>(layer)])
+          continue;
+        Time cursor = layer_start(layer);
+        const Time slot_end = layer_start(layer + 1);
+        while (!queue.empty()) {
+          Time group_load = 0;
+          for (JobId j : queue.front()) group_load += inst_.size(j) * e_;
+          if (cursor + group_load > slot_end) break;
+          for (JobId j : queue.front()) {
+            sched_->assign(j, machine, cursor);
+            cursor += inst_.size(j) * e_;
+          }
+          queue.pop_front();
+        }
+      }
+    }
+    assert(queue.empty() && "orphan groups must fit into free slots");
+  }
+
+  // Tail groups appended after the grid (Lemmas 15/16/19): one glued block
+  // per class, machines filled round-robin with ~eps*T extra budget each.
+  void place_tails() {
+    auto groups = at_.simplified.tail_groups;
+    if (groups.empty()) return;
+    std::sort(groups.begin(), groups.end(),
+              [&](const std::vector<JobId>& a, const std::vector<JobId>& b) {
+                Time la = 0, lb = 0;
+                for (JobId j : a) la += inst_.size(j);
+                for (JobId j : b) lb += inst_.size(j);
+                return la > lb;
+              });
+    const Time tail_start = layer_start(at_.layered.layers);
+    // eps*T in scale-e units is exactly T.
+    const Time budget = at_.params.T;
+    int machine = 0;
+    Time cursor = tail_start;
+    for (const auto& group : groups) {
+      if (at_.params.m_constant) {
+        // Lemma 15: everything on one machine.
+        machine = 0;
+      } else if (cursor - tail_start >= budget) {
+        ++machine;
+        assert(machine < inst_.machines());
+        cursor = tail_start;
+      }
+      for (JobId j : group) {
+        sched_->assign(j, machine, cursor);
+        cursor += inst_.size(j) * e_;
+      }
+    }
+  }
+
+  // Lemma 16: heavy-medium classes, one per extra machine. Returns the
+  // number of extra machines used.
+  int place_augmented() {
+    int extra = 0;
+    for (ClassId c : at_.simplified.aug_classes) {
+      const int machine = inst_.machines() + extra;
+      Time cursor = 0;
+      for (JobId j : inst_.class_jobs(c)) {
+        sched_->assign(j, machine, cursor);
+        cursor += inst_.size(j) * e_;
+      }
+      ++extra;
+    }
+    return extra;
+  }
+
+  struct Win {
+    int start, len, machine;
+  };
+
+  const Instance& inst_;
+  Attempt at_;
+  int e_;
+  Time slot_;  // stretched slot width w*(e+1), scale-e units
+  Schedule* sched_ = nullptr;
+  std::vector<std::vector<bool>> machine_busy_layers_;
+  std::vector<std::vector<Win>> class_windows_;
+  std::vector<Time> first_big_slot_end_, first_big_job_end_;
+  std::vector<int> first_big_machine_;
+};
+
+}  // namespace
+
+EptasResult eptas(const Instance& instance, const EptasOptions& options) {
+  assert(options.e >= 2);
+  EptasResult result;
+  if (instance.num_jobs() == 0) {
+    result.schedule = Schedule(0, 1);
+    result.machines_used = instance.machines();
+    return result;
+  }
+  if (instance.machines() >= instance.num_classes()) {
+    const AlgoResult trivial = one_machine_per_class(instance);
+    result.schedule = trivial.schedule;
+    result.guess = trivial.lower_bound;
+    result.machines_used = instance.machines();
+    return result;
+  }
+
+  const AlgoResult fallback = three_halves(instance);
+  Time lo = lower_bounds(instance).combined;
+  Time hi = ceil_div(fallback.schedule.makespan_scaled(instance),
+                     fallback.schedule.scale());
+
+  // Binary search: the feasibility test holds for every T >= OPT, so the
+  // accepted value never exceeds OPT when the test is exact.
+  Attempt accepted;
+  bool have_accepted = false;
+  if (Attempt attempt; test_guess(instance, options, hi, &attempt)) {
+    accepted = std::move(attempt);
+    have_accepted = true;
+  }
+  if (!have_accepted) {
+    // Budget exhausted even at the safe upper bound: fall back.
+    result.schedule = fallback.schedule;
+    result.guess = fallback.lower_bound;
+    result.machines_used = instance.machines();
+    result.used_fallback = true;
+    return result;
+  }
+  while (lo < hi) {
+    const Time mid = lo + (hi - lo) / 2;
+    Attempt attempt;
+    if (test_guess(instance, options, mid, &attempt)) {
+      accepted = std::move(attempt);
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+
+  Reconstructor reconstructor(instance, options, std::move(accepted));
+  result = reconstructor.run();
+
+  // Never regress behind the 3/2 algorithm: return whichever schedule is
+  // better (both are valid; the PTAS bound only bites for small eps).
+  const double ptas_ms = result.schedule.makespan(instance);
+  const double fallback_ms = fallback.schedule.makespan(instance);
+  if (result.machines_used <= instance.machines() && fallback_ms < ptas_ms) {
+    result.schedule = fallback.schedule;
+    result.used_fallback = true;
+  }
+  return result;
+}
+
+}  // namespace msrs

@@ -1,0 +1,48 @@
+// The EPTAS driver (paper Theorem 14).
+//
+// Dual approximation (Hochbaum–Shmoys): binary search over the makespan
+// guess T; for each guess simplify the instance (Lemmas 15-17), round to the
+// layered instance I3 (Lemma 18) and test feasibility of the configuration
+// IP (Section 4.2) via the exact interval-structure solver. From the
+// smallest accepted T the layered solution is turned back into a schedule
+// for the original instance (Lemma 19): the layered schedule is built
+// pre-stretched by (1+eps) — schedule scale e, layer l starting at
+// l*w*(e+1) — placeholders are refilled with the original small jobs, small
+// leftovers are hosted inside big-job slots or free slots, and medium/small
+// tail groups are appended after the grid.
+//
+// Two modes (both from the paper):
+//   * m constant: schedule on exactly m machines;
+//   * resource augmentation: classes with heavy medium load go to at most
+//     floor(eps*m) extra machines (Lemma 16); machines_used reports the
+//     total.
+#pragma once
+
+#include <string>
+
+#include "algo/common.hpp"
+#include "core/instance.hpp"
+
+namespace msrs {
+
+struct EptasOptions {
+  int e = 2;               // epsilon = 1/e (e >= 2)
+  bool m_constant = true;  // false: resource-augmentation mode
+  std::uint64_t layer_budget = 4'000'000;  // search nodes per feasibility test
+};
+
+struct EptasResult {
+  Schedule schedule;
+  Time guess = 0;          // accepted makespan guess T (<= OPT when exact)
+  int machines_used = 0;   // > instance.machines() iff augmentation used
+  bool used_fallback = false;  // true: returned the 3/2 schedule instead
+  std::string name = "eptas";
+
+  double makespan(const Instance& instance) const {
+    return schedule.makespan(instance);
+  }
+};
+
+EptasResult eptas(const Instance& instance, const EptasOptions& options = {});
+
+}  // namespace msrs

@@ -1,0 +1,150 @@
+#include "ptas/layer_solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace msrs {
+namespace {
+
+class Solver {
+ public:
+  Solver(const LayeredProblem& problem, const LayerSolverOptions& options)
+      : prob_(problem), opts_(options) {
+    capacity_.assign(static_cast<std::size_t>(prob_.layers), prob_.machines);
+    // Process classes in decreasing total demand: most constrained first.
+    order_.resize(prob_.class_demands.size());
+    for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+    std::stable_sort(order_.begin(), order_.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return demand_slots(a) > demand_slots(b);
+                     });
+    chosen_.resize(prob_.class_demands.size());
+  }
+
+  LayerFeasibility run(LayeredSolution* solution) {
+    // Quick checks: every class must fit within the L layers; the total
+    // demand must fit into m*L slots.
+    for (std::size_t c = 0; c < prob_.class_demands.size(); ++c)
+      if (demand_slots(c) > static_cast<long long>(prob_.layers))
+        return LayerFeasibility::kInfeasible;
+    if (prob_.total_slots() >
+        static_cast<long long>(prob_.layers) * prob_.machines)
+      return LayerFeasibility::kInfeasible;
+
+    const bool ok = place_class(0);
+    if (budget_exhausted_) return LayerFeasibility::kUnknown;
+    if (!ok) return LayerFeasibility::kInfeasible;
+    if (solution) solution->windows = chosen_;
+    return LayerFeasibility::kFeasible;
+  }
+
+ private:
+  // Per-class placement context (lives on the stack of place_class so that
+  // recursing into the next class cannot clobber it).
+  struct Ctx {
+    std::vector<int> jobs;  // window lengths, longest first
+    std::vector<bool> used;  // layers already taken by this class
+    std::vector<std::pair<int, int>> current;
+  };
+
+  long long demand_slots(std::size_t c) const {
+    long long total = 0;
+    for (const auto& d : prob_.class_demands[c])
+      total += static_cast<long long>(d.len) * d.count;
+    return total;
+  }
+
+  bool tick() {
+    if (++nodes_ > opts_.node_budget) budget_exhausted_ = true;
+    return !budget_exhausted_;
+  }
+
+  // Encodes (class index, residual capacities) for failure memoization.
+  std::string encode(std::size_t class_index) const {
+    std::string key;
+    key.reserve(capacity_.size() + 2);
+    key.push_back(static_cast<char>(class_index & 0xff));
+    key.push_back(static_cast<char>((class_index >> 8) & 0xff));
+    for (int capacity : capacity_) key.push_back(static_cast<char>(capacity));
+    return key;
+  }
+
+  bool place_class(std::size_t idx) {
+    if (!tick()) return false;
+    if (idx == order_.size()) return true;
+    const std::string key = encode(idx);
+    if (failed_.contains(key)) return false;
+
+    const std::size_t c = order_[idx];
+    Ctx ctx;
+    for (const auto& d : prob_.class_demands[c])
+      for (int i = 0; i < d.count; ++i) ctx.jobs.push_back(d.len);
+    ctx.used.assign(static_cast<std::size_t>(prob_.layers), false);
+
+    if (place_job(idx, ctx, 0, 0)) return true;
+    if (!budget_exhausted_) failed_.insert(key);
+    return false;
+  }
+
+  // Places ctx.jobs[j..]; identical lengths are forced to increasing start
+  // layers (min_start) to avoid enumerating permutations.
+  bool place_job(std::size_t idx, Ctx& ctx, std::size_t j, int min_start) {
+    if (!tick()) return false;
+    if (j == ctx.jobs.size()) {
+      chosen_[order_[idx]] = ctx.current;
+      return place_class(idx + 1);
+    }
+    const int len = ctx.jobs[j];
+    const bool next_same = j + 1 < ctx.jobs.size() && ctx.jobs[j + 1] == len;
+    for (int start = min_start; start + len <= prob_.layers; ++start) {
+      bool fits = true;
+      for (int l = start; l < start + len && fits; ++l) {
+        const auto li = static_cast<std::size_t>(l);
+        fits = capacity_[li] > 0 && !ctx.used[li];
+      }
+      if (!fits) continue;
+      for (int l = start; l < start + len; ++l) {
+        const auto li = static_cast<std::size_t>(l);
+        --capacity_[li];
+        ctx.used[li] = true;
+      }
+      ctx.current.emplace_back(start, len);
+      if (place_job(idx, ctx, j + 1, next_same ? start + 1 : 0)) return true;
+      ctx.current.pop_back();
+      for (int l = start; l < start + len; ++l) {
+        const auto li = static_cast<std::size_t>(l);
+        ++capacity_[li];
+        ctx.used[li] = false;
+      }
+      if (budget_exhausted_) return false;
+    }
+    return false;
+  }
+
+  const LayeredProblem& prob_;
+  const LayerSolverOptions& opts_;
+  std::vector<int> capacity_;
+  std::vector<std::size_t> order_;
+  std::vector<std::vector<std::pair<int, int>>> chosen_;
+  std::unordered_set<std::string> failed_;
+  std::uint64_t nodes_ = 0;
+  bool budget_exhausted_ = false;
+};
+
+}  // namespace
+
+LayerFeasibility solve_layers(const LayeredProblem& problem,
+                              LayeredSolution* solution,
+                              const LayerSolverOptions& options) {
+  if (problem.class_demands.empty()) {
+    if (solution) solution->windows.clear();
+    return LayerFeasibility::kFeasible;
+  }
+  Solver solver(problem, options);
+  return solver.run(solution);
+}
+
+}  // namespace msrs

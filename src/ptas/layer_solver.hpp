@@ -1,0 +1,37 @@
+// Exact feasibility solver for the configuration IP (paper Section 4.2),
+// exploiting interval structure.
+//
+// Key observation: a multiset of windows (intervals over layers) can be
+// covered by m configurations — i.e. partitioned into m sets of pairwise
+// disjoint windows — if and only if no layer is covered more than m times
+// (interval graphs are perfect: chromatic number equals clique number).
+// Constraint (1)+(2) of the IP therefore reduce to per-layer capacity m,
+// and feasibility becomes: choose windows per class (constraints (3),(4))
+// such that every layer's total load is at most m.
+//
+// This is solved exactly by depth-first search over classes with memoization
+// of failed residual-capacity states. Worst-case exponential in the
+// parameter quantities |Xi| and |P| — exactly like the N-fold machinery the
+// paper invokes — but linear-ish in the number of classes in practice.
+#pragma once
+
+#include <cstdint>
+
+#include "ptas/layered.hpp"
+
+namespace msrs {
+
+enum class LayerFeasibility { kFeasible, kInfeasible, kUnknown };
+
+struct LayerSolverOptions {
+  std::uint64_t node_budget = 4'000'000;
+};
+
+// If feasible and `solution` is non-null, fills one window set per class
+// (matching the demand multiset, pairwise disjoint within a class, per-layer
+// load <= m). kUnknown means the node budget was exhausted.
+LayerFeasibility solve_layers(const LayeredProblem& problem,
+                              LayeredSolution* solution,
+                              const LayerSolverOptions& options = {});
+
+}  // namespace msrs

@@ -1,0 +1,46 @@
+#include "ptas/layered.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace msrs {
+
+long long LayeredProblem::total_slots() const {
+  long long total = 0;
+  for (const auto& demands : class_demands)
+    for (const auto& d : demands)
+      total += static_cast<long long>(d.len) * d.count;
+  return total;
+}
+
+std::string LayeredProblem::summary() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "layers=%d machines=%d classes=%zu slots=%lld",
+                layers, machines, class_demands.size(), total_slots());
+  return buf;
+}
+
+LayeredProblem build_layered(const Simplified& simplified,
+                             const PtasParams& params, int machines) {
+  LayeredProblem problem;
+  problem.machines = machines;
+  // T' = (1+2eps)T = T(e+2)/e ; layers = ceil(T' / w).
+  problem.layers = static_cast<int>(
+      ceil_div(params.T * (params.e + 2), params.e * params.w));
+
+  for (const auto& simp : simplified.classes) {
+    std::map<int, int> by_len;
+    for (int len : simp.big_len) ++by_len[len];
+    if (simp.placeholders > 0) by_len[1] += simp.placeholders;
+    std::vector<LayeredProblem::Demand> demands;
+    demands.reserve(by_len.size());
+    // Longest windows first: helps the placement search.
+    for (auto it = by_len.rbegin(); it != by_len.rend(); ++it)
+      demands.push_back({it->first, it->second});
+    problem.class_demands.push_back(std::move(demands));
+  }
+  return problem;
+}
+
+}  // namespace msrs

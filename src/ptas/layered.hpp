@@ -1,0 +1,41 @@
+// Layered schedules (paper Section 4.1, "Layered Schedule and Rounded
+// Processing Times"): time is divided into layers of width w; every job of
+// the simplified instance I3 starts at a layer border. A *window* is a pair
+// (start layer, length in layers); a machine's schedule is a set of disjoint
+// windows; a class's jobs must occupy pairwise disjoint windows as well.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "ptas/params.hpp"
+#include "ptas/simplify.hpp"
+
+namespace msrs {
+
+struct LayeredProblem {
+  int layers = 0;    // |Xi| = ceil((1+2eps)T / w)
+  int machines = 0;  // per-layer capacity
+  // Demand of one class: window lengths with multiplicities.
+  struct Demand {
+    int len = 1;
+    int count = 0;
+  };
+  std::vector<std::vector<Demand>> class_demands;
+
+  // Total layer-slots demanded (for quick infeasibility checks).
+  long long total_slots() const;
+  std::string summary() const;
+};
+
+// One window per demanded job, per class.
+struct LayeredSolution {
+  std::vector<std::vector<std::pair<int, int>>> windows;  // (start, len)
+};
+
+// Builds the layered problem for I3 at the given parameters.
+LayeredProblem build_layered(const Simplified& simplified,
+                             const PtasParams& params, int machines);
+
+}  // namespace msrs

@@ -1,0 +1,101 @@
+#include "ptas/params.hpp"
+
+#include <cassert>
+
+namespace msrs {
+namespace {
+
+__extension__ using u128 = unsigned __int128;
+
+// p * e^exp > T without overflow (early exit once the product exceeds T).
+bool product_exceeds(Time p, int e, int exp, Time T) {
+  if (p <= 0) return false;
+  u128 lhs = static_cast<u128>(p);
+  const auto rhs = static_cast<u128>(T);
+  for (int i = 0; i < exp; ++i) {
+    lhs *= static_cast<u128>(e);
+    if (lhs > rhs) return true;
+  }
+  return lhs > rhs;
+}
+
+}  // namespace
+
+bool PtasParams::pow_cmp_gt(Time p, int exp) const {
+  return product_exceeds(p, e, exp, T);
+}
+
+ParamConditionTotals condition_totals(const Instance& instance, int e, int k,
+                                      Time T) {
+  ParamConditionTotals totals;
+  PtasParams probe;
+  probe.e = e;
+  probe.k = k;
+  probe.T = T;
+  for (JobId j = 0; j < instance.num_jobs(); ++j)
+    if (probe.is_medium(instance.size(j))) totals.medium_total += instance.size(j);
+  for (ClassId c = 0; c < instance.num_classes(); ++c) {
+    Time below_delta = 0;  // sum of jobs with p <= delta*T in this class
+    for (JobId j : instance.class_jobs(c))
+      if (!probe.is_big(instance.size(j))) below_delta += instance.size(j);
+    // contributes iff the sum lies in (mu*T, delta*T]
+    if (below_delta > 0 && probe.pow_cmp_gt(below_delta, k + 2) &&
+        !probe.pow_cmp_gt(below_delta, k))
+      totals.class_small_total += below_delta;
+  }
+  return totals;
+}
+
+PtasParams choose_params(const Instance& instance, int e, Time T,
+                         bool m_constant) {
+  assert(e >= 2);
+  assert(T >= 1);
+  const int m = instance.machines();
+  // Condition bound: total * X <= m * T with X = e^2 (m input) or
+  // total * e <= T (m constant).
+  auto conditions_hold = [&](int k) {
+    const ParamConditionTotals totals = condition_totals(instance, e, k, T);
+    if (m_constant) {
+      return totals.medium_total * e <= T && totals.class_small_total * e <= T;
+    }
+    return totals.medium_total * e * e <= m * T &&
+           totals.class_small_total * e * e <= m * T;
+  };
+
+  const int K = m_constant ? 4 * m * e + 2 : 4 * e * e + 2;
+  int chosen = -1;
+  for (int k = 1; k <= K; ++k) {
+    if (conditions_hold(k)) {
+      chosen = k;
+      break;
+    }
+  }
+  // The pigeonhole argument guarantees a good k exists in range (each job /
+  // class contributes to O(1) candidate intervals).
+  assert(chosen > 0);
+  if (chosen < 0) chosen = K;  // defensive; never hit when assertions are on
+
+  PtasParams params;
+  params.e = e;
+  params.k = chosen;
+  params.m_constant = m_constant;
+  params.T = T;
+  // w = ceil(T / e^(k+1)), with early saturation: if e^(k+1) >= T, w = 1.
+  u128 denom = 1;
+  bool saturated = false;
+  for (int i = 0; i < chosen + 1; ++i) {
+    denom *= static_cast<u128>(e);
+    if (denom >= static_cast<u128>(T)) {
+      saturated = true;
+      break;
+    }
+  }
+  params.w = saturated
+                 ? 1
+                 : static_cast<Time>((static_cast<u128>(T) + denom - 1) /
+                                     denom);
+  assert(params.w >= 1);
+  return params;
+}
+
+}  // namespace msrs

@@ -1,0 +1,54 @@
+// EPTAS parameter selection (paper Section 4.1).
+//
+// epsilon = 1/e for an integer e >= 2; delta = epsilon^k chosen by the
+// pigeonhole argument so that (1) the total size of medium jobs
+// (mu*T < p <= delta*T, mu = eps^2 * delta) and (2) the total size of
+// j<=delta*T jobs from classes where those jobs weigh (mu*T, delta*T] are
+// both below eps^2*m*T (m part of the input) resp. eps*T (m constant).
+//
+// Exactness notes:
+//  * all threshold comparisons (p <= eps^k T etc.) are integer-exact via
+//    128-bit products;
+//  * the layer width is w = ceil(eps*delta*T) rather than the real
+//    eps*delta*T. This keeps the whole pipeline integral; w >= e*mu*T still
+//    holds (which is what the Lemma-19 refill argument needs), and the <=1
+//    unit of extra rounding per big job vanishes once T >= 1/(eps*delta)
+//    (and below that the grid is the unit grid, where layering is exact).
+#pragma once
+
+#include "core/instance.hpp"
+
+namespace msrs {
+
+struct PtasParams {
+  int e = 2;       // epsilon = 1/e
+  int k = 1;       // delta = (1/e)^k
+  bool m_constant = true;
+  Time T = 0;      // makespan guess
+  Time w = 1;      // layer width = ceil(eps * delta * T) = ceil(T / e^(k+1))
+
+  // p > delta*T  <=>  p * e^k > T
+  bool is_big(Time p) const { return pow_cmp_gt(p, k); }
+  // mu*T < p <= delta*T
+  bool is_medium(Time p) const { return !is_big(p) && pow_cmp_gt(p, k + 2); }
+  // p <= mu*T  <=>  p * e^(k+2) <= T
+  bool is_small(Time p) const { return !pow_cmp_gt(p, k + 2); }
+
+  // true iff p * e^exp > T (exact, no overflow).
+  bool pow_cmp_gt(Time p, int exp) const;
+};
+
+// Chooses k per the pigeonhole argument; always succeeds. T must be at least
+// the combined lower bound of the instance.
+PtasParams choose_params(const Instance& instance, int e, Time T,
+                         bool m_constant);
+
+// Exposed for tests: the two condition totals at a given k.
+struct ParamConditionTotals {
+  Time medium_total = 0;     // condition 1
+  Time class_small_total = 0;  // condition 2
+};
+ParamConditionTotals condition_totals(const Instance& instance, int e, int k,
+                                      Time T);
+
+}  // namespace msrs

@@ -1,0 +1,80 @@
+#include "ptas/simplify.hpp"
+
+#include <cassert>
+
+namespace msrs {
+
+Simplified simplify(const Instance& instance, const PtasParams& params) {
+  Simplified out;
+  for (ClassId c = 0; c < instance.num_classes(); ++c) {
+    std::vector<JobId> big, medium, small;
+    Time medium_load = 0;
+    Time small_load = 0;
+    for (JobId j : instance.class_jobs(c)) {
+      const Time p = instance.size(j);
+      if (params.is_big(p)) {
+        big.push_back(j);
+      } else if (params.is_medium(p)) {
+        medium.push_back(j);
+        medium_load += p;
+      } else {
+        small.push_back(j);
+        small_load += p;
+      }
+    }
+
+    // Lemma 16 (m part of the input): classes with > eps*T medium load move
+    // to the augmentation machines wholesale.
+    if (!params.m_constant && medium_load * params.e > params.T) {
+      out.aug_classes.push_back(c);
+      continue;
+    }
+
+    SimpClass simp;
+    simp.original = c;
+    simp.big_jobs = big;
+    for (JobId j : big) {
+      const int len =
+          static_cast<int>(ceil_div(instance.size(j), params.w));
+      simp.big_len.push_back(len);
+    }
+
+    std::vector<JobId> tail;  // glued tail group for this class
+    if (!medium.empty()) tail.insert(tail.end(), medium.begin(), medium.end());
+
+    if (!small.empty()) {
+      // delta*T < small_load: placeholders (Lemma 18).
+      if (params.pow_cmp_gt(small_load, params.k)) {
+        simp.placeholders =
+            static_cast<int>(ceil_div(small_load, params.w));
+        simp.placeholder_smalls = small;
+      } else if (params.pow_cmp_gt(small_load, params.k + 2)) {
+        // (mu*T, delta*T]: tail (condition 2 bounds the total).
+        tail.insert(tail.end(), small.begin(), small.end());
+        out.removed_small_load += small_load;
+      } else if (!big.empty()) {
+        // <= mu*T with a big job to host it (Lemma 19).
+        out.hosted_smalls.emplace_back(static_cast<int>(out.classes.size()),
+                                       small);
+        out.removed_small_load += small_load;
+      } else if (!tail.empty()) {
+        // <= mu*T, no big job, but the class already has a tail group:
+        // append (keeps the class's tail in one block).
+        tail.insert(tail.end(), small.begin(), small.end());
+        out.removed_small_load += small_load;
+      } else {
+        // class vanishes from I3 entirely.
+        out.orphan_groups.push_back(small);
+        out.removed_small_load += small_load;
+        continue;
+      }
+    }
+
+    if (!tail.empty()) out.tail_groups.push_back(std::move(tail));
+    if (!simp.big_jobs.empty() || simp.placeholders > 0)
+      out.classes.push_back(std::move(simp));
+  }
+  return out;
+}
+
+}  // namespace msrs

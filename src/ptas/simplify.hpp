@@ -1,0 +1,56 @@
+// Instance simplification I -> I1 -> I2 -> I3 (paper Lemmas 15-18).
+//
+//  I1: medium jobs removed. For constant m all of them are set aside; for m
+//      part of the input only classes with <= eps*T medium load keep their
+//      (removed) mediums for tail reinsertion, classes above that threshold
+//      are moved wholesale to the resource-augmentation machines (Lemma 16).
+//  I2: small jobs (p <= mu*T) from classes where they weigh <= delta*T are
+//      removed (Lemma 17); their reinsertion route depends on the weight:
+//      (mu*T, delta*T] -> appended at the tail (bounded by condition 2);
+//      <= mu*T -> refilled into a big-job slot of the class, or — if the
+//      class vanishes entirely — into a free slot ("orphan", Lemma 19).
+//  I3: big jobs rounded up to multiples of the layer width w; small loads
+//      > delta*T replaced by ceil(load/w) placeholder jobs of size w.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "ptas/params.hpp"
+
+namespace msrs {
+
+// One class of the layered instance I3.
+struct SimpClass {
+  ClassId original = kInvalidClass;
+  std::vector<JobId> big_jobs;   // original job ids (big: p > delta*T)
+  std::vector<int> big_len;      // rounded lengths in layers (ceil(p/w))
+  int placeholders = 0;          // count of width-w placeholder windows
+  std::vector<JobId> placeholder_smalls;  // the small jobs they stand for
+};
+
+struct Simplified {
+  std::vector<SimpClass> classes;
+
+  // Glued per-class groups appended after the layered schedule (mediums with
+  // <= eps*T load per class plus (mu*T, delta*T] small loads); one group per
+  // class so no intra-class conflict can arise at the tail.
+  std::vector<std::vector<JobId>> tail_groups;
+
+  // m part of the input only: classes moved wholesale to the extra machines.
+  std::vector<ClassId> aug_classes;
+
+  // Small loads <= mu*T hosted inside a big-job slot of their class:
+  // (index into `classes`, jobs).
+  std::vector<std::pair<int, std::vector<JobId>>> hosted_smalls;
+
+  // Classes that vanished from I3 (only small jobs, total <= mu*T): placed
+  // into free slots during reconstruction.
+  std::vector<std::vector<JobId>> orphan_groups;
+
+  Time removed_small_load = 0;  // Lemma 17's L
+};
+
+Simplified simplify(const Instance& instance, const PtasParams& params);
+
+}  // namespace msrs

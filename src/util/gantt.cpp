@@ -1,0 +1,97 @@
+#include "util/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace msrs {
+namespace {
+
+struct Row {
+  std::string cells;
+  double last_end = -1.0;  // in column units, for overlap detection
+};
+
+}  // namespace
+
+std::string render_gantt(std::span<const GanttBlock> blocks,
+                         const GanttOptions& options) {
+  double horizon = options.horizon;
+  int max_machine = -1;
+  for (const auto& b : blocks) {
+    horizon = std::max(horizon, b.end);
+    max_machine = std::max(max_machine, b.machine);
+  }
+  if (horizon <= 0.0 || max_machine < 0) return "(empty schedule)\n";
+
+  const int width = std::max(16, options.width);
+  const double cols_per_unit = static_cast<double>(width) / horizon;
+
+  // machine -> list of rows (first row + continuation rows for overlaps)
+  std::map<int, std::vector<Row>> rows;
+  for (int machine = 0; machine <= max_machine; ++machine)
+    rows[machine].push_back(Row{std::string(static_cast<std::size_t>(width), ' '), -1.0});
+
+  std::vector<GanttBlock> sorted(blocks.begin(), blocks.end());
+  std::stable_sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.machine != b.machine ? a.machine < b.machine : a.start < b.start;
+  });
+
+  for (const auto& b : sorted) {
+    int col_start = static_cast<int>(std::round(b.start * cols_per_unit));
+    int col_end = static_cast<int>(std::round(b.end * cols_per_unit));
+    col_start = std::clamp(col_start, 0, width - 1);
+    col_end = std::clamp(col_end, col_start + 1, width);
+
+    auto& machine_rows = rows[b.machine];
+    std::size_t row_idx = 0;
+    while (row_idx < machine_rows.size() &&
+           machine_rows[row_idx].last_end > static_cast<double>(col_start) + 1e-9)
+      ++row_idx;
+    if (row_idx == machine_rows.size())
+      machine_rows.push_back(Row{std::string(static_cast<std::size_t>(width), ' '), -1.0});
+    Row& row = machine_rows[row_idx];
+
+    std::string body = b.label;
+    const int inner = col_end - col_start - 2;  // room between the brackets
+    if (inner <= 0) {
+      body.clear();
+    } else if (static_cast<int>(body.size()) > inner) {
+      body.resize(static_cast<std::size_t>(inner));
+    } else {
+      body.append(static_cast<std::size_t>(inner) - body.size(), '#');
+    }
+    std::string text = "[" + body + "]";
+    for (int c = col_start; c < col_end; ++c)
+      row.cells[static_cast<std::size_t>(c)] =
+          text[static_cast<std::size_t>(c - col_start)];
+    row.last_end = col_end;
+  }
+
+  std::ostringstream out;
+  for (auto& [machine, machine_rows] : rows) {
+    bool first = true;
+    for (auto& row : machine_rows) {
+      if (first) {
+        char head[16];
+        std::snprintf(head, sizeof head, "m%-3d|", machine);
+        out << head;
+        first = false;
+      } else {
+        out << "    |";
+      }
+      out << row.cells << "|\n";
+    }
+  }
+  if (options.show_axis) {
+    out << "    ";
+    char axis[64];
+    std::snprintf(axis, sizeof axis, "0%*s%.3g", width - 1, "t=", horizon);
+    out << axis << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace msrs

@@ -1,0 +1,31 @@
+// ASCII Gantt rendering, used to regenerate the paper's figures (1-4, 6)
+// and for schedule debugging. Kept independent of the core problem model so
+// util has no upward dependencies; core provides an adapter.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace msrs {
+
+struct GanttBlock {
+  int machine = 0;
+  double start = 0.0;
+  double end = 0.0;
+  std::string label;  // rendered inside the block, truncated to fit
+};
+
+struct GanttOptions {
+  int width = 72;          // characters devoted to the time axis
+  double horizon = -1.0;   // <0: use max block end
+  bool show_axis = true;   // print a scale line underneath
+};
+
+// Renders one row per machine; blocks are drawn as [label###]. Overlapping
+// blocks on the same machine are drawn on extra continuation rows so that
+// invalid schedules remain visible rather than silently overdrawn.
+std::string render_gantt(std::span<const GanttBlock> blocks,
+                         const GanttOptions& options = {});
+
+}  // namespace msrs

@@ -1,0 +1,90 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// We deliberately avoid std::mt19937 so that streams are identical across
+// standard libraries and platforms: every experiment in EXPERIMENTS.md is
+// reproducible from (family, n, m, seed) alone.
+#pragma once
+
+#include <cstdint>
+#include <cassert>
+#include <vector>
+
+namespace msrs {
+
+// SplitMix64 (Steele et al.); used to seed xoshiro and for cheap hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** 1.0 (Blackman & Vigna). Fast, high-quality 64-bit generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x8c5fb1a6d0e1f2c3ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [lo, hi] (inclusive); unbiased via rejection.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) noexcept {
+    assert(lo <= hi);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+    const std::uint64_t limit = max() - max() % span;
+    std::uint64_t draw;
+    do {
+      draw = (*this)();
+    } while (draw >= limit);
+    return lo + static_cast<std::int64_t>(draw % span);
+  }
+
+  // Uniform real in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Independent child stream; distinct for each (this stream, salt).
+  Rng split(std::uint64_t salt) noexcept {
+    std::uint64_t s = (*this)() ^ (salt * 0x9e3779b97f4a7c15ULL);
+    return Rng(splitmix64(s));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace msrs

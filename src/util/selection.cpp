@@ -1,0 +1,85 @@
+#include "util/selection.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace msrs {
+namespace {
+
+using It = std::vector<std::int64_t>::iterator;
+
+std::int64_t median5(It first, It last) {
+  std::sort(first, last);  // at most 5 elements
+  return *(first + (last - first - 1) / 2);
+}
+
+// Selects the k-th smallest (0-based) element in [first, last).
+std::int64_t select_mom(It first, It last, std::size_t k) {
+  for (;;) {
+    const auto n = static_cast<std::size_t>(last - first);
+    assert(k < n);
+    if (n <= 5) {
+      std::sort(first, last);
+      return *(first + k);
+    }
+
+    // Gather medians of groups of five at the front of the range.
+    It write = first;
+    for (It group = first; group < last; group += 5) {
+      It group_end = group + 5 < last ? group + 5 : last;
+      const std::int64_t med = median5(group, group_end);
+      // median5 sorted the group; locate the median and move it forward.
+      It med_it = std::find(group, group_end, med);
+      std::iter_swap(write, med_it);
+      ++write;
+    }
+    const auto num_medians = static_cast<std::size_t>(write - first);
+    const std::int64_t pivot =
+        select_mom(first, write, (num_medians - 1) / 2);
+
+    // Three-way partition around the pivot.
+    It lt = std::partition(first, last,
+                           [pivot](std::int64_t x) { return x < pivot; });
+    It eq = std::partition(lt, last,
+                           [pivot](std::int64_t x) { return x == pivot; });
+    const auto num_lt = static_cast<std::size_t>(lt - first);
+    const auto num_le = static_cast<std::size_t>(eq - first);
+    if (k < num_lt) {
+      last = lt;
+    } else if (k < num_le) {
+      return pivot;
+    } else {
+      first = eq;
+      k -= num_le;
+    }
+  }
+}
+
+}  // namespace
+
+void nth_element_mom(std::vector<std::int64_t>& v, std::size_t k) {
+  assert(k < v.size());
+  // select_mom returns the value; re-partition to place it at index k for the
+  // documented in-place contract.
+  const std::int64_t value = select_mom(v.begin(), v.end(), k);
+  auto lt = std::partition(v.begin(), v.end(),
+                           [value](std::int64_t x) { return x < value; });
+  std::partition(lt, v.end(),
+                 [value](std::int64_t x) { return x == value; });
+  v[k] = value;
+}
+
+std::int64_t kth_smallest(std::span<const std::int64_t> values,
+                          std::size_t k) {
+  assert(k < values.size());
+  std::vector<std::int64_t> copy(values.begin(), values.end());
+  return select_mom(copy.begin(), copy.end(), k);
+}
+
+std::int64_t kth_largest(std::span<const std::int64_t> values,
+                         std::size_t k) {
+  assert(k < values.size());
+  return kth_smallest(values, values.size() - 1 - k);
+}
+
+}  // namespace msrs

@@ -1,0 +1,26 @@
+// Worst-case linear-time selection (median of medians, Blum et al. 1973).
+//
+// Lemma 9 of the paper relies on "the famous median algorithm of Blum et al."
+// to find the (m+1)-st largest processing time in O(n); we implement it
+// faithfully rather than calling std::nth_element (whose libstdc++
+// implementation is introselect — expected linear only).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace msrs {
+
+// Returns the k-th smallest element (0-based) of `values`; k < values.size().
+// Worst-case O(n). Does not modify the input.
+std::int64_t kth_smallest(std::span<const std::int64_t> values, std::size_t k);
+
+// Returns the k-th largest element (0-based: k=0 is the maximum).
+std::int64_t kth_largest(std::span<const std::int64_t> values, std::size_t k);
+
+// In-place variant used by the above; partitions `v` so v[k] is the k-th
+// smallest. Exposed for testing.
+void nth_element_mom(std::vector<std::int64_t>& v, std::size_t k);
+
+}  // namespace msrs

@@ -1,0 +1,60 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace msrs {
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> sample) {
+  Summary s;
+  s.n = sample.size();
+  if (sample.empty()) return s;
+
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(s.n);
+
+  double sq = 0.0;
+  for (double v : sorted) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = s.n > 1 ? std::sqrt(sq / static_cast<double>(s.n - 1)) : 0.0;
+
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p50 = quantile_sorted(sorted, 0.50);
+  s.p90 = quantile_sorted(sorted, 0.90);
+  s.p99 = quantile_sorted(sorted, 0.99);
+  return s;
+}
+
+double geometric_mean(std::span<const double> sample) {
+  if (sample.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : sample) log_sum += std::log(v);
+  return std::exp(log_sum / static_cast<double>(sample.size()));
+}
+
+std::string Summary::str() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "n=%zu mean=%.4f sd=%.4f min=%.4f p50=%.4f p90=%.4f max=%.4f",
+                n, mean, stddev, min, p50, p90, max);
+  return buf;
+}
+
+}  // namespace msrs

@@ -1,0 +1,33 @@
+// Summary statistics for experiment reporting.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace msrs {
+
+// One-pass + sorted-copy summary of a sample.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+
+  std::string str() const;
+};
+
+// Computes a Summary; an empty sample yields an all-zero Summary.
+Summary summarize(std::span<const double> sample);
+
+// Linear-interpolated quantile of a sorted sample, q in [0,1].
+double quantile_sorted(std::span<const double> sorted, double q);
+
+// Geometric mean; sample values must be > 0. Empty sample yields 0.
+double geometric_mean(std::span<const double> sample);
+
+}  // namespace msrs

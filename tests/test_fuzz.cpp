@@ -1,0 +1,221 @@
+// Mutation and fuzz testing: the exact validator is the safety net of the
+// whole repository (every algorithm's output funnels through it in tests),
+// so here we verify the net itself: randomly corrupted valid schedules must
+// be rejected, and all algorithms must remain coherent with each other and
+// with the exact solver on randomized instances.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algo/baselines.hpp"
+#include "algo/exact.hpp"
+#include "algo/five_thirds.hpp"
+#include "algo/greedy.hpp"
+#include "algo/three_halves.hpp"
+#include "core/instance_io.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/validate.hpp"
+#include "sim/workloads.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace msrs {
+namespace {
+
+// ---------------- validator mutation testing ----------------
+
+// Mutations that must each break a *tight* valid schedule, or be detected
+// as out-of-contract. We use list schedules (no idle gaps beyond resource
+// waits) so most mutations genuinely collide.
+enum class Mutation {
+  kShiftEarlier,    // move one job earlier by 1..p (overlap or negative)
+  kCloneOnto,       // move a job onto another machine at an occupied time
+  kUnassign,        // drop an assignment
+  kBadMachine,      // machine id out of range
+  kClassCollision,  // align two same-class jobs in time
+};
+
+TEST(ValidatorFuzz, MutationsAreDetected) {
+  Rng rng(20240610);
+  int detected = 0, attempted = 0;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const Instance instance = generate(Family::kUniform, 40, 4, seed);
+    const AlgoResult base = list_schedule(instance, ListPriority::kLptJob);
+    ASSERT_TRUE(is_valid(instance, base.schedule));
+
+    for (const Mutation mutation :
+         {Mutation::kShiftEarlier, Mutation::kCloneOnto, Mutation::kUnassign,
+          Mutation::kBadMachine, Mutation::kClassCollision}) {
+      Schedule mutant = base.schedule;
+      const JobId j = static_cast<JobId>(
+          rng.uniform(0, instance.num_jobs() - 1));
+      bool expect_invalid = true;
+      switch (mutation) {
+        case Mutation::kShiftEarlier: {
+          const Time start = mutant.start(j);
+          if (start == 0) {
+            expect_invalid = false;  // nothing to shift; skip
+            break;
+          }
+          mutant.assign(j, mutant.machine(j),
+                        std::max<Time>(-1, start - rng.uniform(1, start + 1)));
+          // Shifting earlier can still be valid if the machine and the
+          // class both happen to be idle there; we only count detections.
+          expect_invalid = false;
+          break;
+        }
+        case Mutation::kCloneOnto: {
+          const JobId other = static_cast<JobId>(
+              rng.uniform(0, instance.num_jobs() - 1));
+          if (other == j) {
+            expect_invalid = false;
+            break;
+          }
+          // Put j exactly where `other` runs: guaranteed machine overlap.
+          mutant.assign(j, mutant.machine(other), mutant.start(other));
+          expect_invalid = true;
+          break;
+        }
+        case Mutation::kUnassign:
+          mutant.unassign(j);
+          break;
+        case Mutation::kBadMachine:
+          mutant.assign(j, instance.machines() + 3, mutant.start(j));
+          break;
+        case Mutation::kClassCollision: {
+          const auto& members =
+              instance.class_jobs(instance.job_class(j));
+          if (members.size() < 2) {
+            expect_invalid = false;
+            break;
+          }
+          const JobId sibling = members[0] == j ? members[1] : members[0];
+          // Run j in parallel with its sibling on another machine.
+          mutant.assign(j, (mutant.machine(sibling) + 1) % instance.machines(),
+                        mutant.start(sibling));
+          expect_invalid = true;
+          break;
+        }
+      }
+      ++attempted;
+      const bool caught = !is_valid(instance, mutant);
+      if (expect_invalid) {
+        EXPECT_TRUE(caught) << "mutation " << static_cast<int>(mutation)
+                            << " seed " << seed << " escaped the validator";
+      }
+      detected += caught ? 1 : 0;
+    }
+  }
+  // The validator must catch the guaranteed-invalid mutations (asserted
+  // above); across all mutations the detection rate should be high.
+  EXPECT_GT(detected, attempted / 2);
+}
+
+TEST(ValidatorFuzz, CloneIsAlwaysMachineOverlap) {
+  Rng rng(7);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Instance instance = generate(Family::kManySmallClasses, 30, 3, seed);
+    const AlgoResult base = list_schedule(instance, ListPriority::kInputOrder);
+    Schedule mutant = base.schedule;
+    const JobId a = 0;
+    const JobId b = instance.num_jobs() > 1 ? 1 : 0;
+    if (a == b) continue;
+    mutant.assign(a, mutant.machine(b), mutant.start(b));
+    const auto report = validate(instance, mutant);
+    EXPECT_FALSE(report.ok());
+    bool has_machine_overlap = false;
+    for (const auto& violation : report.violations)
+      if (violation.kind == Violation::Kind::kMachineOverlap)
+        has_machine_overlap = true;
+    EXPECT_TRUE(has_machine_overlap);
+  }
+}
+
+// ---------------- instance-IO fuzz ----------------
+
+TEST(IoFuzz, RandomTextNeverCrashes) {
+  Rng rng(999);
+  const char alphabet[] = "msr 1234567890\nclaches ";
+  for (int round = 0; round < 200; ++round) {
+    std::string text;
+    const auto len = static_cast<std::size_t>(rng.uniform(0, 120));
+    for (std::size_t i = 0; i < len; ++i)
+      text.push_back(alphabet[static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(sizeof alphabet) - 2))]);
+    std::string error;
+    const auto parsed = from_text(text, &error);
+    if (parsed.has_value()) EXPECT_TRUE(parsed->check().empty());
+  }
+}
+
+TEST(IoFuzz, TruncatedValidInstancesAreRejected) {
+  const Instance instance = generate(Family::kUniform, 20, 3, 5);
+  const std::string full = to_text(instance);
+  for (std::size_t cut = 0; cut + 1 < full.size(); cut += 7) {
+    const auto parsed = from_text(full.substr(0, cut));
+    if (parsed.has_value()) {
+      // A prefix can only parse if it happens to contain complete classes;
+      // it must still be well-formed.
+      EXPECT_TRUE(parsed->check().empty());
+    }
+  }
+}
+
+// ---------------- cross-algorithm coherence ----------------
+
+TEST(CoherenceFuzz, AllAlgorithmsDominateExactAndRespectBounds) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const Instance instance = generate(
+        seed % 2 ? Family::kBimodal : Family::kSatellite, 8, 3, seed);
+    const ExactResult exact = exact_makespan(instance);
+    ASSERT_TRUE(exact.optimal);
+    const double opt = static_cast<double>(exact.makespan);
+    const Time T = lower_bounds(instance).combined;
+    EXPECT_GE(opt, static_cast<double>(T));
+
+    const struct {
+      AlgoResult result;
+      double guarantee;
+    } runs[] = {
+        {five_thirds(instance), 5.0 / 3.0},
+        {three_halves(instance), 1.5},
+        {merge_lpt(instance), 2.0},
+        {hebrard_insertion(instance), 2.0},
+    };
+    for (const auto& run : runs) {
+      EXPECT_TRUE(is_valid(instance, run.result.schedule)) << run.result.name;
+      const double makespan = run.result.schedule.makespan(instance);
+      EXPECT_GE(makespan, opt - 1e-9) << run.result.name;
+      EXPECT_LE(makespan, run.guarantee * opt + 1e-9)
+          << run.result.name << " seed " << seed;
+    }
+  }
+}
+
+TEST(CoherenceFuzz, ScaledSchedulesAgreeAfterRescale) {
+  // Rescaling a schedule must not change validity or the real makespan.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Instance instance = generate(Family::kUniform, 30, 4, seed);
+    AlgoResult result = three_halves(instance);
+    const double before = result.schedule.makespan(instance);
+    result.schedule.rescale(7);
+    EXPECT_TRUE(is_valid(instance, result.schedule));
+    EXPECT_NEAR(result.schedule.makespan(instance), before, 1e-9);
+  }
+}
+
+TEST(CoherenceFuzz, LowerBoundGrowsWithAddedJobs) {
+  // Adding a job never decreases any component of the lower bound.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Instance instance = generate(Family::kUniform, 25, 4, seed);
+    const LowerBounds before = lower_bounds(instance);
+    instance.add_job(instance.job_class(0), instance.max_size() + 1);
+    const LowerBounds after = lower_bounds(instance);
+    EXPECT_GE(after.area, before.area);
+    EXPECT_GE(after.class_bound, before.class_bound);
+    EXPECT_GE(after.combined, before.combined);
+  }
+}
+
+}  // namespace
+}  // namespace msrs

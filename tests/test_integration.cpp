@@ -1,0 +1,125 @@
+// Integration tests: cross-module flows and the paper's structural facts.
+#include <gtest/gtest.h>
+
+#include "algo/exact.hpp"
+#include "algo/five_thirds.hpp"
+#include "algo/t_bound.hpp"
+#include "algo/three_halves.hpp"
+#include "core/instance_io.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/validate.hpp"
+#include "ptas/eptas.hpp"
+#include "sim/workloads.hpp"
+#include "test_support.hpp"
+
+namespace msrs {
+namespace {
+
+// Observation 3/4 (Section 2): relative to T = max(ceil(p(J)/m), max_c p(c),
+// p_(m)+p_(m+1)), every class has at most one job > T/2, and at most m
+// classes contain such a job.
+TEST(PaperFacts, Observations3And4) {
+  for (Family family : kAllFamilies) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      const Instance instance = generate(family, 80, 6, seed);
+      const Time T = lower_bounds(instance).combined;
+      int classes_with_big = 0;
+      for (ClassId c = 0; c < instance.num_classes(); ++c) {
+        int big_jobs = 0;
+        for (JobId j : instance.class_jobs(c))
+          if (2 * instance.size(j) > T) ++big_jobs;
+        EXPECT_LE(big_jobs, 1) << family_name(family) << " class " << c;
+        classes_with_big += big_jobs > 0 ? 1 : 0;
+      }
+      EXPECT_LE(classes_with_big, instance.machines()) << family_name(family);
+    }
+  }
+}
+
+// Lemma 8: the census holds at the true optimum (verified via the exact
+// solver on small instances) — the foundation of the Lemma-9 bound search.
+TEST(PaperFacts, Lemma8CensusHoldsAtOptimum) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const Instance instance = generate(
+        seed % 2 ? Family::kHugeHeavy : Family::kBimodal, 9, 3, seed);
+    const ExactResult exact = exact_makespan(instance);
+    ASSERT_TRUE(exact.optimal);
+    EXPECT_TRUE(census_ok(instance, exact.makespan))
+        << "seed " << seed << " OPT=" << exact.makespan;
+  }
+}
+
+// Note 1: OPT >= every lower-bound component, with the exact solver as
+// ground truth.
+TEST(PaperFacts, Note1AtOptimum) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Instance instance = generate(Family::kSatellite, 9, 3, seed);
+    const ExactResult exact = exact_makespan(instance);
+    ASSERT_TRUE(exact.optimal);
+    const LowerBounds bounds = lower_bounds(instance);
+    EXPECT_GE(exact.makespan, bounds.area);
+    EXPECT_GE(exact.makespan, bounds.class_bound);
+    EXPECT_GE(exact.makespan, bounds.pair);
+  }
+}
+
+// Serialize -> parse -> solve -> validate, end to end, for every algorithm.
+TEST(Pipeline, RoundTripSolveValidate) {
+  for (Family family : {Family::kUniform, Family::kPhotolith}) {
+    const Instance original = generate(family, 60, 5, 11);
+    const auto parsed = from_text(to_text(original));
+    ASSERT_TRUE(parsed.has_value());
+
+    for (const auto& result : {five_thirds(*parsed), three_halves(*parsed)}) {
+      EXPECT_TRUE(is_valid(*parsed, result.schedule)) << result.name;
+      // The parsed instance is structurally identical, so schedules are
+      // interchangeable between the two instance objects.
+      EXPECT_TRUE(is_valid(original, result.schedule)) << result.name;
+    }
+  }
+}
+
+// The algorithms' outputs relate as theory says on one shared instance:
+// T <= OPT <= EPTAS/3-2/5-3 makespans <= their factors times T.
+TEST(Pipeline, AllSolversCoherentOnOneInstance) {
+  const Instance instance = generate(Family::kBimodal, 10, 3, 17);
+  const Time T32 = three_halves_bound(instance);
+  const ExactResult exact = exact_makespan(instance);
+  ASSERT_TRUE(exact.optimal);
+  const AlgoResult a53 = five_thirds(instance);
+  const AlgoResult a32 = three_halves(instance);
+  const EptasResult scheme = eptas(instance, {.e = 2, .m_constant = true});
+
+  EXPECT_LE(T32, exact.makespan);
+  const double opt = static_cast<double>(exact.makespan);
+  EXPECT_LE(opt, a53.schedule.makespan(instance) + 1e-9);
+  EXPECT_LE(opt, a32.schedule.makespan(instance) + 1e-9);
+  EXPECT_LE(opt, scheme.schedule.makespan(instance) + 1e-9);
+  EXPECT_LE(a53.schedule.makespan(instance), 5.0 / 3.0 * opt + 1e-9);
+  EXPECT_LE(a32.schedule.makespan(instance), 1.5 * opt + 1e-9);
+}
+
+// Gantt rendering of real schedules never drops jobs (every job id appears
+// in some row when labelled).
+TEST(Pipeline, GanttContainsAllMachines) {
+  const Instance instance = generate(Family::kFewFatClasses, 30, 4, 5);
+  const AlgoResult result = three_halves(instance);
+  const std::string art = result.schedule.render(instance);
+  for (int machine = 0; machine < instance.machines(); ++machine)
+    EXPECT_NE(art.find("m" + std::to_string(machine)), std::string::npos);
+}
+
+// Determinism: the full pipeline produces byte-identical schedules across
+// repeated runs (no hidden global state).
+TEST(Pipeline, FullyDeterministic) {
+  const Instance instance = generate(Family::kSatellite, 70, 6, 23);
+  const AlgoResult first = three_halves(instance);
+  const AlgoResult second = three_halves(instance);
+  for (JobId j = 0; j < instance.num_jobs(); ++j) {
+    EXPECT_EQ(first.schedule.machine(j), second.schedule.machine(j));
+    EXPECT_EQ(first.schedule.start(j), second.schedule.start(j));
+  }
+}
+
+}  // namespace
+}  // namespace msrs

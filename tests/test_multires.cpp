@@ -1,0 +1,251 @@
+// Tests for the multi-resource variant, the SAT substrate, and the
+// Theorem-23 reduction (Lemma 24: OPT = 4 iff satisfiable, else 5).
+#include <gtest/gtest.h>
+
+#include "multires/mexact.hpp"
+#include "multires/mgreedy.hpp"
+#include "multires/minstance.hpp"
+#include "multires/mschedule.hpp"
+#include "multires/reduction.hpp"
+#include "multires/sat.hpp"
+
+namespace msrs {
+namespace {
+
+// ---------------- model & validator ----------------
+
+TEST(MultiInstance, BasicAccounting) {
+  MultiInstance instance;
+  instance.set_machines(2);
+  const int r0 = instance.add_resource();
+  const int r1 = instance.add_resource();
+  instance.add_job(3, {r0});
+  instance.add_job(2, {r0, r1});
+  EXPECT_EQ(instance.num_jobs(), 2);
+  EXPECT_EQ(instance.total_load(), 5);
+  EXPECT_EQ(instance.max_resources_per_job(), 2);
+  EXPECT_TRUE(instance.check().empty());
+}
+
+TEST(MultiValidate, CatchesResourceConflicts) {
+  MultiInstance instance;
+  instance.set_machines(2);
+  const int r = instance.add_resource();
+  instance.add_job(2, {r});
+  instance.add_job(2, {r});
+  MSchedule schedule(2);
+  schedule.machine = {0, 1};
+  schedule.start = {0, 1};  // overlap on the shared resource
+  EXPECT_FALSE(validate_multi(instance, schedule).ok());
+  schedule.start = {0, 2};
+  EXPECT_TRUE(validate_multi(instance, schedule).ok());
+}
+
+TEST(MultiGreedy, ProducesValidSchedules) {
+  MultiInstance instance;
+  instance.set_machines(3);
+  const int r0 = instance.add_resource();
+  const int r1 = instance.add_resource();
+  const int r2 = instance.add_resource();
+  for (int i = 0; i < 9; ++i)
+    instance.add_job(1 + i % 4, {i % 2 ? r0 : r1, r2});
+  const MSchedule schedule = mgreedy(instance);
+  EXPECT_TRUE(validate_multi(instance, schedule).ok());
+}
+
+TEST(MExact, SimpleOptima) {
+  // Two jobs sharing one resource: must serialize.
+  MultiInstance instance;
+  instance.set_machines(2);
+  const int r = instance.add_resource();
+  instance.add_job(2, {r});
+  instance.add_job(2, {r});
+  EXPECT_EQ(mexact_makespan(instance).value(), 4);
+
+  // Independent jobs parallelize.
+  MultiInstance free_instance;
+  free_instance.set_machines(2);
+  const int a = free_instance.add_resource();
+  const int b = free_instance.add_resource();
+  free_instance.add_job(2, {a});
+  free_instance.add_job(2, {b});
+  EXPECT_EQ(mexact_makespan(free_instance).value(), 2);
+}
+
+// ---------------- SAT ----------------
+
+TEST(Dpll, SolvesTinyFormulas) {
+  Cnf sat;
+  sat.num_vars = 2;
+  sat.clauses = {{1, 2}, {-1, 2}};
+  const auto model = dpll(sat);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_TRUE(sat.satisfied_by(*model));
+
+  Cnf unsat;
+  unsat.num_vars = 1;
+  unsat.clauses = {{1}, {-1}};
+  EXPECT_FALSE(dpll(unsat).has_value());
+}
+
+TEST(Dpll, HandlesForcedChains) {
+  Cnf formula;
+  formula.num_vars = 4;
+  formula.clauses = {{1}, {-1, 2}, {-2, 3}, {-3, 4}};
+  const auto model = dpll(formula);
+  ASSERT_TRUE(model.has_value());
+  for (int v = 1; v <= 4; ++v)
+    EXPECT_TRUE((*model)[static_cast<std::size_t>(v)]);
+}
+
+TEST(Monotone22, GeneratorSatisfiesRestrictions) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Cnf formula = generate_monotone22(6, seed);
+    EXPECT_TRUE(check_monotone22(formula).empty())
+        << check_monotone22(formula);
+    EXPECT_EQ(formula.clauses.size(), 8u);  // 4*6/3
+  }
+}
+
+TEST(Monotone22, CheckerCatchesViolations) {
+  Cnf formula;
+  formula.num_vars = 3;
+  formula.clauses = {{1, 2, 3}, {1, -2, 3}};
+  EXPECT_FALSE(check_monotone22(formula).empty());
+}
+
+// ---------------- reduction ----------------
+
+TEST(Reduction, GadgetShape) {
+  const Cnf formula = generate_monotone22(3, 7);
+  const Reduction red = build_reduction(formula);
+  const int C = red.num_clauses();
+  const int X = red.num_vars();
+  EXPECT_EQ(C, 4);
+  EXPECT_EQ(X, 3);
+  EXPECT_EQ(red.instance.machines(), 2 * C + 2 * X);
+  // job sizes only 1, 2, 3 and at most 3 resources per job (Theorem 23)
+  for (JobId j = 0; j < red.instance.num_jobs(); ++j) {
+    EXPECT_GE(red.instance.size(j), 1);
+    EXPECT_LE(red.instance.size(j), 3);
+  }
+  EXPECT_LE(red.instance.max_resources_per_job(), 3);
+  // perfect packing at makespan 4: total load equals 4 * machines
+  EXPECT_EQ(red.instance.total_load(), 4 * red.instance.machines());
+}
+
+TEST(Reduction, ForwardDirectionYieldsMakespan4) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const Cnf formula = generate_monotone22(6, seed);
+    const auto model = dpll(formula);
+    if (!model.has_value()) continue;  // need satisfiable samples
+    const Reduction red = build_reduction(formula);
+    const MSchedule schedule = schedule_from_assignment(red, *model);
+    const auto report = validate_multi(red.instance, schedule, 4);
+    EXPECT_TRUE(report.ok()) << "seed " << seed << ": " << report.first_problem;
+    EXPECT_EQ(schedule.makespan(red.instance), 4);
+  }
+}
+
+TEST(Reduction, TrivialScheduleAlwaysMakespan5) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Cnf formula = generate_monotone22(6, seed);
+    const Reduction red = build_reduction(formula);
+    const MSchedule schedule = trivial_schedule(red);
+    const auto report = validate_multi(red.instance, schedule, 5);
+    EXPECT_TRUE(report.ok()) << "seed " << seed << ": " << report.first_problem;
+    EXPECT_EQ(schedule.makespan(red.instance), 5);
+  }
+}
+
+TEST(Reduction, DecodeRecoversAssignment) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const Cnf formula = generate_monotone22(6, seed);
+    const auto model = dpll(formula);
+    if (!model.has_value()) continue;
+    const Reduction red = build_reduction(formula);
+    const MSchedule schedule = schedule_from_assignment(red, *model);
+    const auto decoded = assignment_from_schedule(red, schedule);
+    ASSERT_TRUE(decoded.has_value()) << "seed " << seed;
+    EXPECT_TRUE(formula.satisfied_by(*decoded));
+  }
+}
+
+TEST(Reduction, DecodeHandlesFlippedSchedules) {
+  const Cnf formula = generate_monotone22(3, 11);
+  const auto model = dpll(formula);
+  if (!model.has_value()) GTEST_SKIP() << "sample happened to be UNSAT";
+  const Reduction red = build_reduction(formula);
+  MSchedule schedule = schedule_from_assignment(red, *model);
+  // Flip the whole schedule in time: still valid, still decodable.
+  for (JobId j = 0; j < red.instance.num_jobs(); ++j)
+    schedule.start[static_cast<std::size_t>(j)] =
+        4 - schedule.start[static_cast<std::size_t>(j)] -
+        red.instance.size(j);
+  ASSERT_TRUE(validate_multi(red.instance, schedule, 4).ok());
+  const auto decoded = assignment_from_schedule(red, schedule);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(formula.satisfied_by(*decoded));
+}
+
+TEST(Reduction, Lemma24IffOverCanonicalSpace) {
+  // Lemma 24 shows every makespan-4 schedule is the canonical layout (up to
+  // the time flip) for *some* assignment. Sweeping all 2^X assignments
+  // through schedule_from_assignment therefore decides OPT = 4 exactly, and
+  // must agree with DPLL.
+  // Note: random Monotone-(2,2) instances are almost always satisfiable
+  // (degree-2 3-uniform hypergraphs are 2-colorable by Seymour's theorem
+  // when the positive and negative halves coincide; unsatisfiable instances
+  // of this restriction are hand-crafted in [9]). The iff is therefore
+  // verified as: canonical(assignment) is a valid makespan-4 schedule
+  // exactly when the assignment satisfies the formula — over the whole
+  // assignment space.
+  int sat_seen = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Cnf formula = generate_monotone22(6, seed);
+    const Reduction red = build_reduction(formula);
+    bool makespan4_exists = false;
+    for (std::uint32_t bits = 0; bits < (1u << 6); ++bits) {
+      std::vector<bool> assignment(7, false);
+      for (int v = 1; v <= 6; ++v)
+        assignment[static_cast<std::size_t>(v)] = (bits >> (v - 1)) & 1u;
+      const MSchedule schedule = schedule_from_assignment(red, assignment);
+      const bool valid4 = validate_multi(red.instance, schedule, 4).ok();
+      EXPECT_EQ(valid4, formula.satisfied_by(assignment))
+          << "seed " << seed << " bits " << bits;
+      if (valid4) {
+        makespan4_exists = true;
+        const auto decoded = assignment_from_schedule(red, schedule);
+        ASSERT_TRUE(decoded.has_value());
+        EXPECT_TRUE(formula.satisfied_by(*decoded));
+      }
+    }
+    EXPECT_EQ(makespan4_exists, dpll(formula).has_value()) << "seed " << seed;
+    if (makespan4_exists) ++sat_seen;
+  }
+  EXPECT_GT(sat_seen, 0);
+}
+
+TEST(Reduction, ExactSolverConfirmsGapOnSubgadget) {
+  // mexact on a clause gadget in isolation: the four clause jobs plus their
+  // anchor dummies. Small enough for full search and exhibits the forced
+  // positions of Lemma 24.
+  MultiInstance instance;
+  instance.set_machines(2);
+  const int rA = instance.add_resource();
+  const int rC = instance.add_resource();
+  const JobId jA = instance.add_job(3, {rA});
+  const JobId jd = instance.add_job(1, {rA, rC});
+  instance.add_job(1, {rC});
+  instance.add_job(1, {rC});
+  instance.add_job(1, {rC});
+  (void)jA;
+  (void)jd;
+  // load 7 on 2 machines; the C-resource serializes 4 unit jobs around jA.
+  const auto optimum = mexact_makespan(instance);
+  ASSERT_TRUE(optimum.has_value());
+  EXPECT_EQ(*optimum, 4);
+}
+
+}  // namespace
+}  // namespace msrs

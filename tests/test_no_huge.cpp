@@ -1,0 +1,105 @@
+// Tests for Algorithm_no_huge (Section 3.1, Lemma 12).
+#include <gtest/gtest.h>
+
+#include "algo/no_huge.hpp"
+#include "core/lower_bounds.hpp"
+#include "sim/workloads.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace msrs {
+namespace {
+
+// Generates an instance guaranteed to have no huge jobs relative to its own
+// combined lower bound: all jobs <= max_size but total load >= m * max_size
+// so T >= (4/3) max job... we simply retry until the precondition holds.
+Instance no_huge_instance(Family family, int jobs, int machines,
+                          std::uint64_t seed) {
+  for (std::uint64_t attempt = 0; attempt < 50; ++attempt) {
+    Instance instance = generate(family, jobs, machines, seed + attempt * 977);
+    const Time T = lower_bounds(instance).combined;
+    if (4 * instance.max_size() <= 3 * T) return instance;
+  }
+  ADD_FAILURE() << "could not build a no-huge instance";
+  return Instance(1, {{1}});
+}
+
+TEST(NoHuge, MidPairsFillMachines) {
+  // Two classes in (T/2, 3/4 T): step 2 shape.
+  Instance instance = test::make_instance(
+      2, {{40, 25}, {40, 22}, {20, 20}, {15, 10}});
+  // p(J)=192, m=2 -> area 96; max class 65; pairs: sizes 40,40,25 -> 40+40=80
+  const AlgoResult result = no_huge(instance);
+  ASSERT_TRUE(test::schedule_within(instance, result.schedule,
+                                    result.lower_bound, 3, 2));
+}
+
+TEST(NoHuge, HeavyQuadruple) {
+  // Four classes with load >= 3/4 T on 3 machines: exercises step 3.
+  Instance instance = test::make_instance(
+      3, {{45, 45}, {44, 44}, {43, 43}, {42, 42}, {10, 10, 10, 8}});
+  const AlgoResult result = no_huge(instance);
+  ASSERT_TRUE(test::schedule_within(instance, result.schedule,
+                                    result.lower_bound, 3, 2));
+}
+
+TEST(NoHuge, RejectsHugeJobs) {
+  // A single class with one job ~ T: huge => must be rejected.
+  Instance instance = test::make_instance(
+      2, {{100}, {10, 10}, {10, 5}, {20, 20}});
+  const Time T = lower_bounds(instance).combined;
+  ASSERT_GT(4 * instance.max_size(), 3 * T);
+  EXPECT_THROW(no_huge(instance), std::invalid_argument);
+}
+
+struct SweepParam {
+  Family family;
+  int jobs;
+  int machines;
+};
+
+class NoHugeSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(NoHugeSweep, ValidAndWithinThreeHalves) {
+  const auto& p = GetParam();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Instance instance =
+        no_huge_instance(p.family, p.jobs, p.machines, seed * 131);
+    const AlgoResult result = no_huge(instance);
+    ASSERT_TRUE(test::schedule_within(instance, result.schedule,
+                                      result.lower_bound, 3, 2))
+        << family_name(p.family) << " n=" << p.jobs << " m=" << p.machines
+        << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, NoHugeSweep,
+    ::testing::Values(SweepParam{Family::kUniform, 40, 4},
+                      SweepParam{Family::kUniform, 150, 10},
+                      SweepParam{Family::kBimodal, 60, 6},
+                      SweepParam{Family::kManySmallClasses, 80, 6},
+                      SweepParam{Family::kFewFatClasses, 60, 6},
+                      SweepParam{Family::kSatellite, 90, 8},
+                      SweepParam{Family::kPhotolith, 90, 8},
+                      SweepParam{Family::kUnit, 100, 9}),
+    [](const auto& info) {
+      return std::string(family_name(info.param.family)) + "_n" +
+             std::to_string(info.param.jobs) + "_m" +
+             std::to_string(info.param.machines);
+    });
+
+TEST(NoHuge, StressManySeeds) {
+  // Wider randomized stress at a fixed shape; every schedule must validate.
+  for (std::uint64_t seed = 100; seed < 200; ++seed) {
+    const Instance instance =
+        no_huge_instance(Family::kUniform, 35, 5, seed);
+    const AlgoResult result = no_huge(instance);
+    ASSERT_TRUE(test::schedule_within(instance, result.schedule,
+                                      result.lower_bound, 3, 2))
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace msrs

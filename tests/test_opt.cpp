@@ -1,0 +1,239 @@
+// Tests for the optimization substrates: Dinic max-flow, the reference ILP
+// solver, and the N-fold augmentation solver.
+#include <gtest/gtest.h>
+
+#include "opt/ilp.hpp"
+#include "opt/maxflow.hpp"
+#include "opt/nfold.hpp"
+#include "util/rng.hpp"
+
+namespace msrs {
+namespace {
+
+// ---------------- max-flow ----------------
+
+TEST(MaxFlow, SingleEdge) {
+  MaxFlow flow(2);
+  const int e = flow.add_edge(0, 1, 7);
+  EXPECT_EQ(flow.solve(0, 1), 7);
+  EXPECT_EQ(flow.flow_on(e), 7);
+}
+
+TEST(MaxFlow, ClassicDiamond) {
+  //   0 -> 1 -> 3
+  //   0 -> 2 -> 3 and 1 -> 2
+  MaxFlow flow(4);
+  flow.add_edge(0, 1, 10);
+  flow.add_edge(0, 2, 10);
+  flow.add_edge(1, 3, 10);
+  flow.add_edge(2, 3, 10);
+  flow.add_edge(1, 2, 1);
+  EXPECT_EQ(flow.solve(0, 3), 20);
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  MaxFlow flow(4);
+  flow.add_edge(0, 1, 5);
+  flow.add_edge(2, 3, 5);
+  EXPECT_EQ(flow.solve(0, 3), 0);
+}
+
+TEST(MaxFlow, BipartiteMatchingIntegrality) {
+  // Lemma-18-style network: source -> classes -> layers -> sink. Flow
+  // integrality gives an integral placeholder assignment.
+  // 2 classes needing 2 resp. 1 placeholders; 3 layers with capacity 1 each;
+  // class 0 compatible with layers {0,1}, class 1 with {1,2}.
+  const int source = 0, c0 = 1, c1 = 2, l0 = 3, l1 = 4, l2 = 5, sink = 6;
+  MaxFlow flow(7);
+  flow.add_edge(source, c0, 2);
+  flow.add_edge(source, c1, 1);
+  const int e00 = flow.add_edge(c0, l0, 1);
+  const int e01 = flow.add_edge(c0, l1, 1);
+  const int e11 = flow.add_edge(c1, l1, 1);
+  const int e12 = flow.add_edge(c1, l2, 1);
+  flow.add_edge(l0, sink, 1);
+  flow.add_edge(l1, sink, 1);
+  flow.add_edge(l2, sink, 1);
+  EXPECT_EQ(flow.solve(source, sink), 3);
+  // class 0 must take layers 0 and 1, pushing class 1 to layer 2.
+  EXPECT_EQ(flow.flow_on(e00), 1);
+  EXPECT_EQ(flow.flow_on(e01), 1);
+  EXPECT_EQ(flow.flow_on(e11), 0);
+  EXPECT_EQ(flow.flow_on(e12), 1);
+}
+
+TEST(MaxFlow, RandomGraphsFlowConservation) {
+  Rng rng(77);
+  for (int round = 0; round < 20; ++round) {
+    const int n = 8;
+    MaxFlow flow(n);
+    std::vector<int> ids;
+    for (int i = 0; i < 20; ++i) {
+      const int a = static_cast<int>(rng.uniform(0, n - 1));
+      const int b = static_cast<int>(rng.uniform(0, n - 1));
+      if (a == b) continue;
+      ids.push_back(flow.add_edge(a, b, rng.uniform(0, 10)));
+    }
+    const std::int64_t value = flow.solve(0, n - 1);
+    EXPECT_GE(value, 0);
+    for (int id : ids) EXPECT_GE(flow.flow_on(id), 0);
+  }
+}
+
+// ---------------- ILP ----------------
+
+TEST(Ilp, SimpleFeasibility) {
+  // x + y = 3, 0 <= x,y <= 2
+  IlpProblem problem;
+  problem.num_vars = 2;
+  problem.lower = {0, 0};
+  problem.upper = {2, 2};
+  problem.rows.push_back({{{0, 1}, {1, 1}}, IlpRow::Relation::kEq, 3});
+  const IlpResult result = solve_ilp(problem);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.x[0] + result.x[1], 3);
+}
+
+TEST(Ilp, InfeasibleDetected) {
+  IlpProblem problem;
+  problem.num_vars = 2;
+  problem.lower = {0, 0};
+  problem.upper = {1, 1};
+  problem.rows.push_back({{{0, 1}, {1, 1}}, IlpRow::Relation::kEq, 5});
+  const IlpResult result = solve_ilp(problem);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_TRUE(result.proven);
+}
+
+TEST(Ilp, OptimizesObjective) {
+  // min x + 2y s.t. x + y >= 3 (as -x - y <= -3), 0 <= x,y <= 5.
+  IlpProblem problem;
+  problem.num_vars = 2;
+  problem.lower = {0, 0};
+  problem.upper = {5, 5};
+  problem.objective = {1, 2};
+  problem.rows.push_back({{{0, -1}, {1, -1}}, IlpRow::Relation::kLe, -3});
+  const IlpResult result = solve_ilp(problem);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.objective, 3);  // x=3, y=0
+  EXPECT_EQ(result.x[0], 3);
+}
+
+TEST(Ilp, LeRowsRespected) {
+  IlpProblem problem;
+  problem.num_vars = 3;
+  problem.lower = {0, 0, 0};
+  problem.upper = {4, 4, 4};
+  problem.objective = {-1, -1, -1};  // maximize sum
+  problem.rows.push_back(
+      {{{0, 1}, {1, 2}, {2, 3}}, IlpRow::Relation::kLe, 6});
+  const IlpResult result = solve_ilp(problem);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_LE(result.x[0] + 2 * result.x[1] + 3 * result.x[2], 6);
+  EXPECT_EQ(result.objective, -5);  // x0=4, x1=1, x2=0
+}
+
+// ---------------- N-fold ----------------
+
+// A tiny scheduling-flavoured N-fold: N blocks, each block has t=2 vars
+// (x_i1, x_i2) with local row x_i1 - x_i2 = 0 and a global row summing the
+// first var of every block to b. Minimizing sum of costs.
+NFold make_toy(int N, std::int64_t target) {
+  NFold problem;
+  problem.r = 1;
+  problem.s = 1;
+  problem.t = 2;
+  problem.N = N;
+  for (int i = 0; i < N; ++i) {
+    problem.A.push_back({1, 0});
+    problem.B.push_back({1, -1});
+  }
+  problem.b.assign(static_cast<std::size_t>(1 + N), 0);
+  problem.b[0] = target;
+  problem.lower.assign(static_cast<std::size_t>(2 * N), 0);
+  problem.upper.assign(static_cast<std::size_t>(2 * N), 3);
+  problem.c.assign(static_cast<std::size_t>(2 * N), 0);
+  for (int i = 0; i < N; ++i)
+    problem.c[static_cast<std::size_t>(2 * i)] = (i % 3) + 1;  // varying costs
+  return problem;
+}
+
+TEST(NFoldSolver, FeasibilityAndOptimality) {
+  const NFold problem = make_toy(4, 6);
+  const NFoldResult result = solve_nfold(problem);
+  ASSERT_TRUE(result.feasible);
+  ASSERT_TRUE(result.converged);
+  // verify constraints
+  std::int64_t global = 0;
+  for (int i = 0; i < 4; ++i) {
+    global += result.x[static_cast<std::size_t>(2 * i)];
+    EXPECT_EQ(result.x[static_cast<std::size_t>(2 * i)],
+              result.x[static_cast<std::size_t>(2 * i + 1)]);
+  }
+  EXPECT_EQ(global, 6);
+  // cross-check the optimum against the reference ILP
+  IlpProblem flat;
+  flat.num_vars = 8;
+  flat.lower.assign(8, 0);
+  flat.upper.assign(8, 3);
+  flat.objective.assign(8, 0);
+  IlpRow global_row;
+  for (int i = 0; i < 4; ++i) {
+    flat.objective[static_cast<std::size_t>(2 * i)] = (i % 3) + 1;
+    global_row.terms.emplace_back(2 * i, 1);
+    flat.rows.push_back({{{2 * i, 1}, {2 * i + 1, -1}},
+                         IlpRow::Relation::kEq, 0});
+  }
+  global_row.rhs = 6;
+  flat.rows.push_back(global_row);
+  const IlpResult reference = solve_ilp(flat);
+  ASSERT_TRUE(reference.feasible);
+  EXPECT_EQ(result.objective, reference.objective);
+}
+
+TEST(NFoldSolver, DetectsInfeasibility) {
+  NFold problem = make_toy(2, 100);  // upper bounds cap the sum at 6
+  const NFoldResult result = solve_nfold(problem);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(NFoldSolver, RandomCrossCheckAgainstIlp) {
+  Rng rng(4242);
+  for (int round = 0; round < 15; ++round) {
+    const int N = static_cast<int>(rng.uniform(2, 4));
+    NFold problem = make_toy(N, rng.uniform(0, 3 * N));
+    // randomize costs a bit
+    for (auto& cost : problem.c) cost = rng.uniform(0, 4);
+    const NFoldResult nfold_result = solve_nfold(problem);
+
+    IlpProblem flat;
+    flat.num_vars = 2 * N;
+    flat.lower.assign(static_cast<std::size_t>(2 * N), 0);
+    flat.upper.assign(static_cast<std::size_t>(2 * N), 3);
+    flat.objective.assign(problem.c.begin(), problem.c.end());
+    IlpRow global_row;
+    for (int i = 0; i < N; ++i) {
+      global_row.terms.emplace_back(2 * i, 1);
+      flat.rows.push_back({{{2 * i, 1}, {2 * i + 1, -1}},
+                           IlpRow::Relation::kEq, 0});
+    }
+    global_row.rhs = problem.b[0];
+    flat.rows.push_back(global_row);
+    const IlpResult reference = solve_ilp(flat);
+
+    ASSERT_EQ(nfold_result.feasible, reference.feasible) << "round " << round;
+    if (reference.feasible)
+      EXPECT_EQ(nfold_result.objective, reference.objective)
+          << "round " << round;
+  }
+}
+
+TEST(NFoldSolver, CheckRejectsBadShapes) {
+  NFold problem = make_toy(2, 1);
+  EXPECT_TRUE(problem.check().empty());
+  problem.b.pop_back();
+  EXPECT_FALSE(problem.check().empty());
+}
+
+}  // namespace
+}  // namespace msrs

@@ -1,0 +1,64 @@
+// Tests for the thread pool / parallel_for harness substrate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace msrs {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, SizeReflectsConstruction) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); }, 4);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyAndSingleton) {
+  int count = 0;
+  parallel_for(5, 5, [&](std::size_t) { ++count; }, 4);
+  EXPECT_EQ(count, 0);
+  parallel_for(7, 8, [&](std::size_t i) { count += static_cast<int>(i); }, 4);
+  EXPECT_EQ(count, 7);
+}
+
+TEST(ParallelFor, DeterministicResultsRegardlessOfThreads) {
+  auto compute = [](unsigned threads) {
+    std::vector<double> out(512);
+    parallel_for(0, out.size(),
+                 [&](std::size_t i) { out[i] = static_cast<double>(i * i); },
+                 threads);
+    return std::accumulate(out.begin(), out.end(), 0.0);
+  };
+  EXPECT_DOUBLE_EQ(compute(1), compute(8));
+}
+
+}  // namespace
+}  // namespace msrs

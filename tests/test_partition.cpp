@@ -1,0 +1,117 @@
+// Property tests for the class-splitting Lemmas 5, 10, 11.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/class_partition.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace msrs {
+namespace {
+
+// Builds a single-class instance whose load lies in [lo_num/den, hi_num/den]
+// of T and whose max job is <= cap_num/cap_den of T.
+Instance random_class(Rng& rng, Time T, Time lo_num, Time hi_num, Time den,
+                      Time cap_num, Time cap_den) {
+  Instance instance;
+  instance.set_machines(1);
+  const ClassId c = instance.add_class();
+  const Time target = rng.uniform(lo_num * T / den + 1, hi_num * T / den);
+  const Time cap = std::max<Time>(1, cap_num * T / cap_den);
+  Time left = target;
+  while (left > 0) {
+    const Time p = std::min(left, rng.uniform(1, cap));
+    instance.add_job(c, p);
+    left -= p;
+  }
+  return instance;
+}
+
+TEST(Lemma5, PropertySweep) {
+  Rng rng(5005);
+  const Time T = 3600;  // divisible by 12 so fraction thresholds are exact
+  for (int round = 0; round < 400; ++round) {
+    // p(c) in (2/3 T, T], max <= T/2
+    Instance instance = random_class(rng, T, 2, 3, 3, 1, 2);
+    if (3 * instance.class_load(0) <= 2 * T) continue;
+    const ClassSplit split = split_lemma5(instance, 0, T);
+    EXPECT_GE(3 * split.hat_load, T);        // p(c1) >= T/3
+    EXPECT_LE(3 * split.hat_load, 2 * T);    // p(c1) <= 2T/3
+    EXPECT_LE(3 * split.check_load, 2 * T);  // p(c2) <= 2T/3
+    EXPECT_EQ(split.hat_load + split.check_load, instance.class_load(0));
+    EXPECT_EQ(split.hat.size() + split.check.size(),
+              instance.class_jobs(0).size());
+  }
+}
+
+TEST(Lemma10, PropertySweep) {
+  Rng rng(1010);
+  const Time T = 3600;
+  for (int round = 0; round < 400; ++round) {
+    // p(c) in [3/4 T, T], max <= 3/4 T
+    Instance instance = random_class(rng, T, 3, 4, 4, 3, 4);
+    if (4 * instance.class_load(0) < 3 * T) continue;
+    const ClassSplit split = split_lemma10(instance, 0, T);
+    EXPECT_LE(split.check_load, split.hat_load);
+    EXPECT_LE(2 * split.check_load, T);      // p(ч) <= T/2
+    EXPECT_LE(4 * split.hat_load, 3 * T);    // p(ĉ) <= 3T/4
+    EXPECT_EQ(split.hat_load + split.check_load, instance.class_load(0));
+    // Extra guarantee when max <= T/2: one part lies in (T/4, T/2].
+    if (2 * instance.class_max(0) <= T) {
+      const bool hat_in = 4 * split.hat_load > T && 2 * split.hat_load <= T;
+      const bool check_in =
+          4 * split.check_load > T && 2 * split.check_load <= T;
+      EXPECT_TRUE(hat_in || check_in)
+          << "hat=" << split.hat_load << " check=" << split.check_load;
+    }
+  }
+}
+
+TEST(Lemma11, PropertySweep) {
+  Rng rng(1111);
+  const Time T = 3600;
+  for (int round = 0; round < 400; ++round) {
+    // p(c) in (T/2, 3/4 T), max <= T/2
+    Instance instance = random_class(rng, T, 1, 2, 2, 1, 2);
+    const Time L = instance.class_load(0);
+    if (!(2 * L > T && 4 * L < 3 * T)) continue;
+    const ClassSplit split = split_lemma11(instance, 0, T);
+    EXPECT_LE(split.check_load, split.hat_load);
+    EXPECT_LE(2 * split.hat_load, T);   // p(ĉ) <= T/2
+    EXPECT_GT(4 * split.hat_load, T);   // p(ĉ) > T/4
+    EXPECT_EQ(split.hat_load + split.check_load, L);
+  }
+}
+
+TEST(Lemma5, SingleBigJobCase) {
+  // One job in (T/3, T/2] becomes c1 on its own.
+  Instance instance = test::make_instance(1, {{500, 300, 300}});
+  const Time T = 1200;  // load 1100 > 800 = 2T/3 ; max 500 <= 600 = T/2
+  const ClassSplit split = split_lemma5(instance, 0, T);
+  EXPECT_EQ(split.hat.size(), 1u);
+  EXPECT_EQ(split.hat_load, 500);
+  EXPECT_EQ(split.check_load, 600);
+}
+
+TEST(Lemma10, BigJobAloneInHat) {
+  // Max job in (T/2, 3T/4] goes alone into the hat part.
+  Instance instance = test::make_instance(1, {{700, 200, 100}});
+  const Time T = 1200;  // load 1000 >= 900 ; max 700 in (600, 900]
+  const ClassSplit split = split_lemma10(instance, 0, T);
+  EXPECT_EQ(split.hat.size(), 1u);
+  EXPECT_EQ(split.hat_load, 700);
+  EXPECT_EQ(split.check_load, 300);
+}
+
+TEST(Lemma11, TinyJobsGreedy) {
+  Instance instance =
+      test::make_instance(1, {{100, 100, 100, 100, 100, 100, 100}});
+  const Time T = 1200;  // load 700 in (600, 900); all jobs <= 300 = T/4
+  const ClassSplit split = split_lemma11(instance, 0, T);
+  EXPECT_GT(4 * split.hat_load, T);
+  EXPECT_LE(2 * split.hat_load, T);
+}
+
+}  // namespace
+}  // namespace msrs

@@ -1,0 +1,317 @@
+// Tests for the EPTAS pipeline (Section 4): parameter choice, the
+// simplification lemmas, the layered solver (cross-checked against the
+// configuration IP solved by the reference ILP and the N-fold solver), and
+// the end-to-end quality of the scheme.
+#include <gtest/gtest.h>
+
+#include "algo/exact.hpp"
+#include "core/lower_bounds.hpp"
+#include "opt/ilp.hpp"
+#include "opt/nfold.hpp"
+#include "ptas/config_ip.hpp"
+#include "ptas/eptas.hpp"
+#include "ptas/layer_solver.hpp"
+#include "ptas/layered.hpp"
+#include "ptas/params.hpp"
+#include "ptas/simplify.hpp"
+#include "sim/workloads.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace msrs {
+namespace {
+
+// ---------------- parameters ----------------
+
+TEST(PtasParams, ThresholdsAreExact) {
+  PtasParams params;
+  params.e = 2;
+  params.k = 2;        // delta = 1/4, mu = 1/16
+  params.T = 1600;
+  EXPECT_TRUE(params.is_big(401));     // > 400 = delta*T
+  EXPECT_FALSE(params.is_big(400));
+  EXPECT_TRUE(params.is_medium(400));
+  EXPECT_TRUE(params.is_medium(101));  // > 100 = mu*T
+  EXPECT_FALSE(params.is_medium(100));
+  EXPECT_TRUE(params.is_small(100));
+  EXPECT_FALSE(params.is_small(101));
+}
+
+TEST(PtasParams, ChoiceSatisfiesConditions) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Instance instance = generate(Family::kBimodal, 60, 4, seed);
+    const Time T = lower_bounds(instance).combined;
+    for (const bool m_constant : {true, false}) {
+      const PtasParams params = choose_params(instance, 2, T, m_constant);
+      const auto totals = condition_totals(instance, 2, params.k, T);
+      if (m_constant) {
+        EXPECT_LE(totals.medium_total * 2, T);
+        EXPECT_LE(totals.class_small_total * 2, T);
+      } else {
+        EXPECT_LE(totals.medium_total * 4, 4LL * T);  // eps^2 m T with m=4
+        EXPECT_LE(totals.class_small_total * 4, 4LL * T);
+      }
+      EXPECT_GE(params.w, 1);
+    }
+  }
+}
+
+TEST(PtasParams, LayerWidthMatchesFormula) {
+  PtasParams params;
+  // T = 1000, e = 2, k = 1: w = ceil(1000 / 8) = 125.
+  Instance instance = test::make_instance(2, {{500, 500}, {400, 400}});
+  const PtasParams chosen = choose_params(instance, 2, 1000, true);
+  // whatever k was chosen, w must equal ceil(T / e^(k+1))
+  Time denom = 1;
+  for (int i = 0; i < chosen.k + 1; ++i) denom *= 2;
+  EXPECT_EQ(chosen.w, std::max<Time>(1, ceil_div(1000, denom)));
+  (void)params;
+}
+
+// ---------------- simplification ----------------
+
+TEST(Simplify, PartitionsEveryJobExactlyOnce) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Instance instance = generate(Family::kSatellite, 80, 5, seed);
+    const Time T = lower_bounds(instance).combined;
+    for (const bool m_constant : {true, false}) {
+      const PtasParams params =
+          choose_params(instance, 2, T, m_constant);
+      const Simplified simplified = simplify(instance, params);
+      std::vector<int> seen(static_cast<std::size_t>(instance.num_jobs()), 0);
+      for (const auto& simp : simplified.classes) {
+        for (JobId j : simp.big_jobs) ++seen[static_cast<std::size_t>(j)];
+        for (JobId j : simp.placeholder_smalls)
+          ++seen[static_cast<std::size_t>(j)];
+      }
+      for (const auto& group : simplified.tail_groups)
+        for (JobId j : group) ++seen[static_cast<std::size_t>(j)];
+      for (const auto& [idx, jobs] : simplified.hosted_smalls)
+        for (JobId j : jobs) ++seen[static_cast<std::size_t>(j)];
+      for (const auto& group : simplified.orphan_groups)
+        for (JobId j : group) ++seen[static_cast<std::size_t>(j)];
+      for (ClassId c : simplified.aug_classes)
+        for (JobId j : instance.class_jobs(c))
+          ++seen[static_cast<std::size_t>(j)];
+      for (JobId j = 0; j < instance.num_jobs(); ++j)
+        EXPECT_EQ(seen[static_cast<std::size_t>(j)], 1)
+            << "job " << j << " seed " << seed << " mconst " << m_constant;
+    }
+  }
+}
+
+TEST(Simplify, RoundedSizesCoverOriginals) {
+  const Instance instance = generate(Family::kUniform, 50, 4, 3);
+  const Time T = lower_bounds(instance).combined;
+  const PtasParams params = choose_params(instance, 2, T, true);
+  const Simplified simplified = simplify(instance, params);
+  for (const auto& simp : simplified.classes)
+    for (std::size_t i = 0; i < simp.big_jobs.size(); ++i) {
+      const Time p = instance.size(simp.big_jobs[i]);
+      const Time rounded = static_cast<Time>(simp.big_len[i]) * params.w;
+      EXPECT_GE(rounded, p);
+      EXPECT_LT(rounded, p + params.w);
+    }
+}
+
+TEST(Simplify, PlaceholderCountMatchesLemma18) {
+  const Instance instance = generate(Family::kManySmallClasses, 70, 5, 9);
+  const Time T = lower_bounds(instance).combined;
+  const PtasParams params = choose_params(instance, 2, T, true);
+  const Simplified simplified = simplify(instance, params);
+  for (const auto& simp : simplified.classes) {
+    if (simp.placeholders == 0) continue;
+    Time small_load = 0;
+    for (JobId j : simp.placeholder_smalls) small_load += instance.size(j);
+    EXPECT_EQ(simp.placeholders, ceil_div(small_load, params.w));
+  }
+}
+
+// ---------------- layered solver vs configuration IP ----------------
+
+// Builds a tiny layered problem directly.
+LayeredProblem tiny_problem(int layers, int machines,
+                            std::vector<std::vector<LayeredProblem::Demand>>
+                                demands) {
+  LayeredProblem problem;
+  problem.layers = layers;
+  problem.machines = machines;
+  problem.class_demands = std::move(demands);
+  return problem;
+}
+
+TEST(LayerSolver, SimpleFeasible) {
+  // 2 machines, 4 layers; class A: two windows of len 2; class B: one len 2.
+  const LayeredProblem problem =
+      tiny_problem(4, 2, {{{2, 2}}, {{2, 1}}});
+  LayeredSolution solution;
+  EXPECT_EQ(solve_layers(problem, &solution), LayerFeasibility::kFeasible);
+  ASSERT_EQ(solution.windows.size(), 2u);
+  EXPECT_EQ(solution.windows[0].size(), 2u);
+  // class A windows must not overlap each other
+  const auto& [s0, l0] = solution.windows[0][0];
+  const auto& [s1, l1] = solution.windows[0][1];
+  EXPECT_TRUE(s0 + l0 <= s1 || s1 + l1 <= s0);
+}
+
+TEST(LayerSolver, InfeasibleWhenClassOverflowsLayers) {
+  const LayeredProblem problem = tiny_problem(3, 4, {{{2, 2}}});
+  EXPECT_EQ(solve_layers(problem, nullptr), LayerFeasibility::kInfeasible);
+}
+
+TEST(LayerSolver, InfeasibleWhenCapacityExceeded) {
+  const LayeredProblem problem =
+      tiny_problem(2, 1, {{{2, 1}}, {{2, 1}}});
+  EXPECT_EQ(solve_layers(problem, nullptr), LayerFeasibility::kInfeasible);
+}
+
+TEST(LayerSolver, AgreesWithConfigIpOnSmallCases) {
+  // Exhaustive-ish random cross-check: layer solver vs the flat
+  // configuration ILP (constraints (1)-(4)) solved by the reference solver.
+  Rng rng(2024);
+  int compared = 0;
+  for (int round = 0; round < 60; ++round) {
+    const int layers = static_cast<int>(rng.uniform(2, 4));
+    const int machines = static_cast<int>(rng.uniform(1, 2));
+    const int classes = static_cast<int>(rng.uniform(1, 3));
+    std::vector<std::vector<LayeredProblem::Demand>> demands;
+    for (int c = 0; c < classes; ++c) {
+      std::vector<LayeredProblem::Demand> demand;
+      const int kinds = static_cast<int>(rng.uniform(1, 2));
+      for (int i = 0; i < kinds; ++i) {
+        LayeredProblem::Demand d;
+        d.len = static_cast<int>(rng.uniform(1, 2));
+        d.count = static_cast<int>(rng.uniform(1, 2));
+        demand.push_back(d);
+      }
+      demands.push_back(std::move(demand));
+    }
+    const LayeredProblem problem =
+        tiny_problem(layers, machines, std::move(demands));
+    const auto ip = build_config_ip(problem);
+    ASSERT_TRUE(ip.has_value());
+    const IlpResult reference = solve_ilp(ip->ilp);
+    ASSERT_TRUE(reference.proven);
+    const LayerFeasibility ours = solve_layers(problem, nullptr);
+    ASSERT_NE(ours, LayerFeasibility::kUnknown);
+    EXPECT_EQ(ours == LayerFeasibility::kFeasible, reference.feasible)
+        << "round " << round << " " << problem.summary();
+    ++compared;
+  }
+  EXPECT_EQ(compared, 60);
+}
+
+TEST(ConfigIp, NFoldFormAgreesOnTinyCase) {
+  // One class, two unit windows, one machine, two layers: feasible.
+  const LayeredProblem problem = tiny_problem(2, 1, {{{1, 2}}});
+  const auto ip = build_config_ip(problem);
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_TRUE(ip->nfold.check().empty());
+  const IlpResult reference = solve_ilp(ip->ilp);
+  EXPECT_TRUE(reference.feasible);
+  const NFoldResult nfold_result = solve_nfold(ip->nfold);
+  EXPECT_TRUE(nfold_result.feasible);
+  EXPECT_EQ(solve_layers(problem, nullptr), LayerFeasibility::kFeasible);
+}
+
+TEST(ConfigIp, WindowEnumerationShape) {
+  const LayeredProblem problem = tiny_problem(3, 1, {{{2, 1}}, {{1, 1}}});
+  const auto ip = build_config_ip(problem);
+  ASSERT_TRUE(ip.has_value());
+  // windows: len 1 at starts 0,1,2 and len 2 at starts 0,1 -> 5 windows.
+  EXPECT_EQ(ip->windows.size(), 5u);
+  // every configuration is a set of disjoint windows
+  for (const auto& config : ip->configurations) {
+    for (std::size_t a = 0; a < config.size(); ++a)
+      for (std::size_t b = a + 1; b < config.size(); ++b) {
+        const auto& [sa, la] = ip->windows[static_cast<std::size_t>(config[a])];
+        const auto& [sb, lb] = ip->windows[static_cast<std::size_t>(config[b])];
+        EXPECT_TRUE(sa + la <= sb || sb + lb <= sa);
+      }
+  }
+}
+
+// ---------------- end-to-end EPTAS ----------------
+
+TEST(Eptas, ValidSchedulesAcrossFamilies) {
+  for (const Family family :
+       {Family::kUniform, Family::kBimodal, Family::kManySmallClasses,
+        Family::kSatellite, Family::kUnit}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      const Instance instance = generate(family, 24, 3, seed);
+      const EptasResult result = eptas(instance, {.e = 2, .m_constant = true});
+      EXPECT_TRUE(is_valid(instance, result.schedule))
+          << family_name(family) << " seed " << seed << " "
+          << validate(instance, result.schedule).summary();
+    }
+  }
+}
+
+TEST(Eptas, WithinOnePlusSixEpsOfExactOnSmallInstances) {
+  // Measured guarantee: (1+eps)(1+2eps)T + O(eps)T with T <= OPT; we assert
+  // the generous umbrella 1 + 6*eps against true OPT.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Instance instance = generate(Family::kUniform, 10, 3, seed);
+    const EptasResult result = eptas(instance, {.e = 2, .m_constant = true});
+    ASSERT_TRUE(is_valid(instance, result.schedule));
+    const ExactResult exact = exact_makespan(instance);
+    ASSERT_TRUE(exact.optimal);
+    const double ratio = result.schedule.makespan(instance) /
+                         static_cast<double>(exact.makespan);
+    EXPECT_LE(ratio, 1.0 + 6.0 / 2 + 1e-9) << "seed " << seed;
+    EXPECT_GE(ratio, 1.0 - 1e-9);
+  }
+}
+
+TEST(Eptas, GuessNeverExceedsOptimum) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Instance instance = generate(Family::kBimodal, 10, 3, seed);
+    const EptasResult result = eptas(instance, {.e = 2, .m_constant = true});
+    if (result.used_fallback) continue;
+    const ExactResult exact = exact_makespan(instance);
+    ASSERT_TRUE(exact.optimal);
+    EXPECT_LE(result.guess, exact.makespan) << "seed " << seed;
+  }
+}
+
+TEST(Eptas, ResourceAugmentationStaysWithinEpsExtraMachines) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Instance instance = generate(Family::kBimodal, 40, 6, seed);
+    const EptasResult result =
+        eptas(instance, {.e = 2, .m_constant = false});
+    // validate against an instance with the augmented machine count
+    Instance augmented = instance;
+    augmented.set_machines(result.machines_used);
+    EXPECT_TRUE(is_valid(augmented, result.schedule))
+        << validate(augmented, result.schedule).summary();
+    EXPECT_LE(result.machines_used,
+              instance.machines() + instance.machines() / 2);
+  }
+}
+
+TEST(Eptas, TrivialCases) {
+  Instance empty;
+  empty.set_machines(2);
+  EXPECT_TRUE(eptas(empty).schedule.complete());
+
+  Instance trivial = test::make_instance(4, {{5}, {6, 1}});
+  const EptasResult result = eptas(trivial);
+  EXPECT_TRUE(is_valid(trivial, result.schedule));
+  EXPECT_DOUBLE_EQ(result.schedule.makespan(trivial), 7.0);
+}
+
+TEST(Eptas, FinerEpsilonNotWorse) {
+  // On average a smaller eps should not produce worse schedules; we assert
+  // it per instance with a small tolerance (both are upper-bounded anyway).
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Instance instance = generate(Family::kUniform, 12, 3, seed);
+    const EptasResult coarse = eptas(instance, {.e = 2, .m_constant = true});
+    const EptasResult fine = eptas(instance, {.e = 3, .m_constant = true});
+    EXPECT_TRUE(is_valid(instance, fine.schedule));
+    EXPECT_LE(fine.schedule.makespan(instance),
+              coarse.schedule.makespan(instance) * 1.5 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace msrs

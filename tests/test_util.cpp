@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/gantt.hpp"
+#include "util/rng.hpp"
+#include "util/selection.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace msrs {
+namespace {
+
+TEST(Rng, DeterministicStreams) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformSingleton) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform(3, 3), 3);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng parent(11);
+  Rng child1 = parent.split(1);
+  Rng child2 = parent.split(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (child1() == child2());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Selection, MatchesSortOnRandomInputs) {
+  Rng rng(1234);
+  for (int round = 0; round < 50; ++round) {
+    const auto n = static_cast<std::size_t>(rng.uniform(1, 200));
+    std::vector<std::int64_t> v(n);
+    for (auto& x : v) x = rng.uniform(-1000, 1000);
+    auto sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    const auto k = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(n) - 1));
+    EXPECT_EQ(kth_smallest(v, k), sorted[k]);
+    EXPECT_EQ(kth_largest(v, k), sorted[n - 1 - k]);
+  }
+}
+
+TEST(Selection, HandlesDuplicates) {
+  std::vector<std::int64_t> v{5, 5, 5, 5, 5};
+  EXPECT_EQ(kth_smallest(v, 0), 5);
+  EXPECT_EQ(kth_smallest(v, 4), 5);
+}
+
+TEST(Selection, WorstCaseSortedInput) {
+  std::vector<std::int64_t> v(1000);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = static_cast<std::int64_t>(i);
+  EXPECT_EQ(kth_smallest(v, 500), 500);
+  EXPECT_EQ(kth_largest(v, 0), 999);
+}
+
+TEST(Selection, NthElementInPlaceContract) {
+  std::vector<std::int64_t> v{9, 1, 8, 2, 7, 3, 6, 4, 5};
+  nth_element_mom(v, 4);
+  EXPECT_EQ(v[4], 5);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_LE(v[i], v[4]);
+  for (std::size_t i = 5; i < v.size(); ++i) EXPECT_GE(v[i], v[4]);
+}
+
+TEST(Stats, SummaryBasics) {
+  const std::vector<double> sample{1, 2, 3, 4, 5};
+  const Summary s = summarize(sample);
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);
+}
+
+TEST(Stats, EmptySample) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> sorted{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 1.0), 10.0);
+}
+
+TEST(Stats, GeometricMean) {
+  const std::vector<double> sample{1.0, 4.0};
+  EXPECT_NEAR(geometric_mean(sample), 2.0, 1e-12);
+}
+
+TEST(Table, AlignsColumns) {
+  Table table({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"longer", "2.5"});
+  const std::string out = table.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("------"), std::string::npos);
+}
+
+TEST(Gantt, RendersBlocks) {
+  std::vector<GanttBlock> blocks{
+      {0, 0.0, 1.0, "a"},
+      {1, 0.5, 1.5, "b"},
+  };
+  const std::string out = render_gantt(blocks);
+  EXPECT_NE(out.find("m0"), std::string::npos);
+  EXPECT_NE(out.find("m1"), std::string::npos);
+  EXPECT_NE(out.find('['), std::string::npos);
+}
+
+TEST(Gantt, EmptyInput) {
+  EXPECT_EQ(render_gantt({}), "(empty schedule)\n");
+}
+
+TEST(Gantt, OverlapGetsExtraRow) {
+  // Two overlapping blocks on one machine must both be visible.
+  std::vector<GanttBlock> blocks{
+      {0, 0.0, 2.0, "x"},
+      {0, 1.0, 3.0, "y"},
+  };
+  const std::string out = render_gantt(blocks);
+  // Machine row plus one continuation row => at least two '|'-framed lines.
+  const auto count = std::count(out.begin(), out.end(), '\n');
+  EXPECT_GE(count, 3);
+}
+
+}  // namespace
+}  // namespace msrs

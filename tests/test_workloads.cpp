@@ -1,0 +1,82 @@
+// Tests for the workload generators.
+#include <gtest/gtest.h>
+
+#include "core/lower_bounds.hpp"
+#include "sim/workloads.hpp"
+
+namespace msrs {
+namespace {
+
+class FamilySweep : public ::testing::TestWithParam<Family> {};
+
+TEST_P(FamilySweep, WellFormedAndDeterministic) {
+  const Family family = GetParam();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Instance a = generate(family, 60, 5, seed);
+    EXPECT_TRUE(a.check().empty()) << a.check();
+    EXPECT_GT(a.num_jobs(), 0);
+    EXPECT_EQ(a.machines(), 5);
+    // determinism
+    const Instance b = generate(family, 60, 5, seed);
+    ASSERT_EQ(a.num_jobs(), b.num_jobs());
+    for (JobId j = 0; j < a.num_jobs(); ++j) {
+      EXPECT_EQ(a.size(j), b.size(j));
+      EXPECT_EQ(a.job_class(j), b.job_class(j));
+    }
+  }
+}
+
+TEST_P(FamilySweep, SeedsProduceDifferentInstances) {
+  const Family family = GetParam();
+  const Instance a = generate(family, 60, 5, 1);
+  const Instance b = generate(family, 60, 5, 2);
+  bool differs = a.num_jobs() != b.num_jobs();
+  if (!differs)
+    for (JobId j = 0; j < a.num_jobs() && !differs; ++j)
+      differs = a.size(j) != b.size(j);
+  // kUnit with equal layout can coincide in sizes (all 1) but not classes.
+  if (family == Family::kUnit) {
+    SUCCEED();
+    return;
+  }
+  EXPECT_TRUE(differs);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilySweep,
+                         ::testing::ValuesIn(kAllFamilies),
+                         [](const auto& info) {
+                           return std::string(family_name(info.param));
+                         });
+
+TEST(Workloads, JobCountRoughlyHonored) {
+  for (const Family family :
+       {Family::kUniform, Family::kBimodal, Family::kManySmallClasses}) {
+    const Instance instance = generate(family, 100, 8, 3);
+    EXPECT_GE(instance.num_jobs(), 100);
+    EXPECT_LE(instance.num_jobs(), 130);
+  }
+}
+
+TEST(Workloads, HugeHeavyContainsHugeJobs) {
+  const Instance instance = generate(Family::kHugeHeavy, 60, 8, 5);
+  const Time T = lower_bounds(instance).combined;
+  bool has_huge = false;
+  for (JobId j = 0; j < instance.num_jobs(); ++j)
+    if (4 * instance.size(j) > 3 * T) has_huge = true;
+  EXPECT_TRUE(has_huge);
+}
+
+TEST(Workloads, UnitFamilyAllUnit) {
+  const Instance instance = generate(Family::kUnit, 50, 4, 9);
+  for (JobId j = 0; j < instance.num_jobs(); ++j)
+    EXPECT_EQ(instance.size(j), 1);
+}
+
+TEST(Workloads, FamilyNamesDistinct) {
+  for (const Family a : kAllFamilies)
+    for (const Family b : kAllFamilies)
+      if (a != b) EXPECT_STRNE(family_name(a), family_name(b));
+}
+
+}  // namespace
+}  // namespace msrs
