@@ -3,10 +3,8 @@
 // sweeps m and reports measured ratios per algorithm together with the
 // theoretical 2m/(m+1) curve; the crossovers appear both in the guarantees
 // and in the measured worst cases on the adversarial family.
-#include "algo/baselines.hpp"
-#include "algo/five_thirds.hpp"
-#include "algo/three_halves.hpp"
 #include "bench_common.hpp"
+#include "engine/registry.hpp"
 
 namespace {
 
@@ -16,13 +14,18 @@ using namespace msrs::bench;
 const char* kAlgoNames[] = {"merge_lpt", "hebrard", "five_thirds",
                             "three_halves"};
 
+// All four contenders are dispatched through the engine's SolverRegistry —
+// this bench doubles as a smoke test that the registry path carries the
+// same traffic as the former free-function calls.
 AlgoResult run_algo(int which, const Instance& instance) {
-  switch (which) {
-    case 0: return merge_lpt(instance);
-    case 1: return hebrard_insertion(instance);
-    case 2: return five_thirds(instance);
-    default: return three_halves(instance);
-  }
+  const engine::Solver* solver =
+      engine::SolverRegistry::default_registry().find(kAlgoNames[which]);
+  engine::SolverResult result = solver->solve(instance);
+  AlgoResult out;
+  out.schedule = std::move(result.schedule);
+  out.lower_bound = result.lower_bound;
+  out.name = result.solver;
+  return out;
 }
 
 void BM_VsBaseline(benchmark::State& state) {

@@ -1,28 +1,21 @@
-// msrs_solve — command-line solver for MSRS instances.
-//
-// Reads an instance in the text format of core/instance_io.hpp (or generates
-// one of the built-in workload families), runs the requested algorithm,
-// validates the schedule and prints the result.
+// msrs_solve — command-line solver for MSRS instances, driven by the engine
+// layer: every algorithm is dispatched through the SolverRegistry, and
+// --algo=portfolio races the regime-selected candidates and reports the
+// winner with provenance.
 //
 //   $ ./examples/msrs_solve --algo=three_halves --file=instance.txt
-//   $ ./examples/msrs_solve --algo=all --family=satellite --jobs=120 \
-//         --machines=6 --seed=7 [--gantt]
-//   $ ./examples/msrs_solve --algo=exact --family=uniform --jobs=9 --machines=3
+//   $ ./examples/msrs_solve --algo=all --family=satellite --jobs=120 --machines=6
+//   $ ./examples/msrs_solve --algo=portfolio --family=uniform --jobs=9 --gantt
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <optional>
 #include <string>
 
-#include "algo/baselines.hpp"
-#include "algo/exact.hpp"
-#include "algo/five_thirds.hpp"
-#include "algo/greedy.hpp"
-#include "algo/three_halves.hpp"
 #include "core/instance_io.hpp"
 #include "core/lower_bounds.hpp"
 #include "core/validate.hpp"
-#include "ptas/eptas.hpp"
+#include "engine/engine.hpp"
 #include "sim/workloads.hpp"
 #include "util/table.hpp"
 
@@ -31,7 +24,7 @@ namespace {
 using namespace msrs;
 
 struct Options {
-  std::string algo = "three_halves";
+  std::string algo = "portfolio";
   std::string file;
   std::string family = "uniform";
   int jobs = 100;
@@ -54,22 +47,27 @@ std::optional<Family> family_by_name(const std::string& name) {
 }
 
 int usage() {
-  std::fprintf(
-      stderr,
-      "usage: msrs_solve [--algo=five_thirds|three_halves|merge_lpt|hebrard|"
-      "list|eptas|exact|all]\n"
-      "                  [--file=INSTANCE.txt | --family=NAME --jobs=N "
-      "--machines=M --seed=S]\n"
-      "                  [--gantt]\n"
-      "families:");
+  std::fprintf(stderr,
+               "usage: msrs_solve [--algo=NAME|all|portfolio]\n"
+               "                  [--file=INSTANCE.txt | --family=NAME"
+               " --jobs=N --machines=M --seed=S]\n"
+               "                  [--gantt]\nsolvers:");
+  for (const std::string& name :
+       engine::SolverRegistry::default_registry().names())
+    std::fprintf(stderr, " %s", name.c_str());
+  std::fprintf(stderr, "\nfamilies:");
   for (const Family family : kAllFamilies)
     std::fprintf(stderr, " %s", family_name(family));
   std::fprintf(stderr, "\n");
   return 2;
 }
 
-void run_one(const Instance& instance, const std::string& name,
-             const AlgoResult& result, Table& table) {
+void add_row(const Instance& instance, const std::string& name,
+             const engine::SolverResult& result, Table& table) {
+  if (!result.ok) {
+    table.add_row({name, "-", "-", "-", "failed: " + result.error});
+    return;
+  }
   const auto report = validate(instance, result.schedule);
   const Time T = lower_bounds(instance).combined;
   table.add_row({name, Table::num(result.schedule.makespan(instance), 3),
@@ -84,17 +82,22 @@ void run_one(const Instance& instance, const std::string& name,
 
 int main(int argc, char** argv) {
   Options options;
-  for (int i = 1; i < argc; ++i) {
-    if (auto v = arg_value(argv[i], "algo")) options.algo = *v;
-    else if (auto v2 = arg_value(argv[i], "file")) options.file = *v2;
-    else if (auto v3 = arg_value(argv[i], "family")) options.family = *v3;
-    else if (auto v4 = arg_value(argv[i], "jobs")) options.jobs = std::stoi(*v4);
-    else if (auto v5 = arg_value(argv[i], "machines"))
-      options.machines = std::stoi(*v5);
-    else if (auto v6 = arg_value(argv[i], "seed"))
-      options.seed = std::stoull(*v6);
-    else if (std::strcmp(argv[i], "--gantt") == 0) options.gantt = true;
-    else return usage();
+  try {
+    for (int i = 1; i < argc; ++i) {
+      if (auto v = arg_value(argv[i], "algo")) options.algo = *v;
+      else if (auto v2 = arg_value(argv[i], "file")) options.file = *v2;
+      else if (auto v3 = arg_value(argv[i], "family")) options.family = *v3;
+      else if (auto v4 = arg_value(argv[i], "jobs"))
+        options.jobs = std::stoi(*v4);
+      else if (auto v5 = arg_value(argv[i], "machines"))
+        options.machines = std::stoi(*v5);
+      else if (auto v6 = arg_value(argv[i], "seed"))
+        options.seed = std::stoull(*v6);
+      else if (std::strcmp(argv[i], "--gantt") == 0) options.gantt = true;
+      else return usage();
+    }
+  } catch (const std::exception&) {  // non-numeric value for a numeric flag
+    return usage();
   }
 
   Instance instance;
@@ -118,52 +121,53 @@ int main(int argc, char** argv) {
   }
   std::printf("instance: %s\n\n", instance.summary().c_str());
 
-  Table table({"algorithm", "makespan", "lower bound", "ratio", "valid"});
+  const engine::SolverRegistry& registry =
+      engine::SolverRegistry::default_registry();
   Schedule to_render;
-  if (options.algo == "exact") {
-    const ExactResult exact = exact_makespan(instance);
-    std::printf("exact makespan: %lld (%s, %llu nodes)\n",
-                static_cast<long long>(exact.makespan),
-                exact.optimal ? "proven optimal" : "node limit hit",
-                static_cast<unsigned long long>(exact.nodes));
-    to_render = exact.schedule;
-  } else if (options.algo == "eptas") {
-    const EptasResult result = eptas(instance, {.e = 3, .m_constant = true});
-    AlgoResult wrapped;
-    wrapped.schedule = result.schedule;
-    wrapped.lower_bound = result.guess;
-    run_one(instance, result.used_fallback ? "eptas(->3/2)" : "eptas", wrapped,
-            table);
-    to_render = result.schedule;
-    std::printf("%s", table.str().c_str());
-  } else {
-    const struct {
-      const char* name;
-      AlgoResult (*fn)(const Instance&);
-    } algos[] = {
-        {"five_thirds", five_thirds},
-        {"three_halves", three_halves},
-        {"merge_lpt", merge_lpt},
-        {"hebrard", hebrard_insertion},
-    };
-    bool matched = false;
-    for (const auto& algo : algos) {
-      if (options.algo == "all" || options.algo == algo.name) {
-        const AlgoResult result = algo.fn(instance);
-        run_one(instance, algo.name, result, table);
-        to_render = result.schedule;
-        matched = true;
-      }
+
+  if (options.algo == "portfolio") {
+    engine::PortfolioSolver portfolio(registry);
+    const engine::PortfolioResult result = portfolio.solve(instance);
+    Table table({"candidate", "makespan", "valid", "note"});
+    for (const engine::Attempt& attempt : result.attempts)
+      table.add_row({attempt.solver,
+                     attempt.ok ? Table::num(attempt.makespan, 3) : "-",
+                     attempt.valid ? "yes" : "NO", attempt.error});
+    std::printf("%s\n", table.str().c_str());
+    if (!result.valid) {
+      std::fprintf(stderr, "portfolio found no valid schedule\n");
+      return 1;
     }
-    if (options.algo == "all" || options.algo == "list") {
-      const AlgoResult result =
-          list_schedule(instance, ListPriority::kLptJob);
-      run_one(instance, "list(LPT)", result, table);
-      if (!matched) to_render = result.schedule;
+    std::printf("winner: %s  makespan=%.3f  t_bound=%lld  ratio=%.4f\n",
+                result.solver.c_str(), result.makespan,
+                static_cast<long long>(result.t_bound),
+                result.ratio_vs_bound);
+    to_render = result.schedule;
+  } else {
+    Table table({"algorithm", "makespan", "lower bound", "ratio", "valid"});
+    bool matched = false;
+    bool failed = false;
+    for (const auto& solver : registry.solvers()) {
+      if (options.algo != "all" && options.algo != solver->name()) continue;
       matched = true;
+      if (!solver->applicable(instance)) {
+        // "all" only races the applicable rungs; an explicitly named solver
+        // runs regardless (the applicability gate is portfolio policy, not a
+        // hard precondition for most solvers).
+        if (options.algo == "all") continue;
+        std::fprintf(stderr,
+                     "note: %s is outside its applicability regime; running"
+                     " anyway\n",
+                     std::string(solver->name()).c_str());
+      }
+      const engine::SolverResult result = solver->solve(instance);
+      add_row(instance, std::string(solver->name()), result, table);
+      if (result.ok) to_render = result.schedule;
+      else failed = true;
     }
     if (!matched) return usage();
     std::printf("%s", table.str().c_str());
+    if (failed) return 1;
   }
 
   if (options.gantt && to_render.num_jobs() > 0)

@@ -1,5 +1,6 @@
 #include "core/instance_io.hpp"
 
+#include <limits>
 #include <sstream>
 
 namespace msrs {
@@ -27,34 +28,75 @@ std::optional<Instance> read_text(std::istream& in, std::string* error) {
     if (error) *error = message;
     return std::nullopt;
   };
+  // Echoes the offending token back in the error, so a typo in a keyword is
+  // distinguishable from a truncated file.
+  auto expect_key = [&](const char* wanted, std::string* got) {
+    *got = {};
+    if (!(in >> *got)) return false;
+    return *got == wanted;
+  };
 
-  std::string magic;
-  int version = 0;
-  if (!(in >> magic >> version) || magic != "msrs" || version != 1)
-    return fail("bad header (expected 'msrs 1')");
+  std::string token;
+  if (!expect_key("msrs", &token))
+    return fail(token.empty() ? "empty input: missing 'msrs 1' header"
+                              : "bad header: expected 'msrs', got '" + token +
+                                    "'");
+  long long version = 0;
+  if (!(in >> version) || version != 1)
+    return fail("unsupported format version (expected 1)");
 
-  std::string key;
-  int machines = 0;
-  if (!(in >> key >> machines) || key != "machines" || machines < 1)
-    return fail("bad 'machines' line");
-  int num_classes = 0;
-  if (!(in >> key >> num_classes) || key != "classes" || num_classes < 0)
-    return fail("bad 'classes' line");
+  long long machines = 0;
+  if (!expect_key("machines", &token))
+    return fail(token.empty()
+                    ? "missing 'machines <m>' line"
+                    : "expected 'machines', got '" + token + "'");
+  if (!(in >> machines)) return fail("machine count is not a number");
+  if (machines < 1)
+    return fail("machine count must be >= 1, got " + std::to_string(machines));
+  if (machines > std::numeric_limits<int>::max())
+    return fail("machine count " + std::to_string(machines) +
+                " exceeds the supported maximum");
+
+  long long num_classes = 0;
+  if (!expect_key("classes", &token))
+    return fail(token.empty() ? "missing 'classes <k>' line"
+                              : "expected 'classes', got '" + token + "'");
+  if (!(in >> num_classes) || num_classes < 0)
+    return fail("class count must be a number >= 0");
 
   Instance instance;
-  instance.set_machines(machines);
-  for (int c = 0; c < num_classes; ++c) {
-    std::size_t count = 0;
-    if (!(in >> key >> count) || key != "class")
-      return fail("bad 'class' line for class " + std::to_string(c));
+  instance.set_machines(static_cast<int>(machines));
+  for (long long c = 0; c < num_classes; ++c) {
+    if (!expect_key("class", &token))
+      return fail("class " + std::to_string(c) +
+                  (token.empty() ? ": missing 'class' line (file declares " +
+                                       std::to_string(num_classes) +
+                                       " classes)"
+                                 : ": expected 'class', got '" + token + "'"));
+    long long count = 0;
+    if (!(in >> count)) return fail("class " + std::to_string(c) +
+                                    ": job count is not a number");
+    if (count < 1)
+      return fail("class " + std::to_string(c) +
+                  (count == 0 ? " is empty (every class needs >= 1 job)"
+                              : ": job count must be >= 1, got " +
+                                    std::to_string(count)));
     const ClassId cls = instance.add_class();
-    for (std::size_t i = 0; i < count; ++i) {
+    for (long long i = 0; i < count; ++i) {
       Time p = 0;
-      if (!(in >> p) || p < 1)
-        return fail("bad job size in class " + std::to_string(c));
+      if (!(in >> p))
+        return fail("class " + std::to_string(c) + ": job " +
+                    std::to_string(i) + " of " + std::to_string(count) +
+                    " is missing or not a number");
+      if (p < 1)
+        return fail("class " + std::to_string(c) + ": job size " +
+                    std::to_string(p) + " < 1");
       instance.add_job(cls, p);
     }
   }
+  if (in >> token)
+    return fail("trailing garbage after " + std::to_string(num_classes) +
+                " classes: '" + token + "'");
   const std::string problem = instance.check();
   if (!problem.empty()) return fail(problem);
   return instance;

@@ -1,0 +1,181 @@
+#include "engine/batch.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "parallel/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace msrs::engine {
+namespace {
+
+std::uint64_t fold(std::uint64_t h, std::uint64_t v) {
+  std::uint64_t s = h ^ (v + 0x9e3779b97f4a7c15ULL);
+  return splitmix64(s);
+}
+
+// Remaps a result solved on `src_form`'s instance onto the instance behind
+// `dst_form` (same canonical shape): canonical position i of one maps to
+// canonical position i of the other, preserving sizes and class structure.
+PortfolioResult remap(const CanonicalForm& src_form,
+                      const PortfolioResult& src_result,
+                      const CanonicalForm& dst_form) {
+  PortfolioResult out = src_result;
+  out.from_cache = true;
+  const Schedule& src = src_result.schedule;
+  Schedule dst(static_cast<int>(dst_form.order.size()), src.scale());
+  for (std::size_t i = 0; i < dst_form.order.size(); ++i) {
+    const JobId from = src_form.order[i];
+    if (src.assigned(from))
+      dst.assign(dst_form.order[i], src.machine(from), src.start(from));
+  }
+  out.schedule = std::move(dst);
+  return out;
+}
+
+}  // namespace
+
+CanonicalForm canonical_form(const Instance& instance) {
+  CanonicalForm form;
+  form.machines = instance.machines();
+
+  const int num_classes = instance.num_classes();
+  std::vector<std::vector<JobId>> class_order(
+      static_cast<std::size_t>(num_classes));
+  form.classes.resize(static_cast<std::size_t>(num_classes));
+  for (ClassId c = 0; c < num_classes; ++c) {
+    auto& jobs = class_order[static_cast<std::size_t>(c)];
+    jobs = instance.class_jobs(c);
+    std::sort(jobs.begin(), jobs.end(), [&](JobId a, JobId b) {
+      if (instance.size(a) != instance.size(b))
+        return instance.size(a) > instance.size(b);
+      return a < b;
+    });
+    auto& sizes = form.classes[static_cast<std::size_t>(c)];
+    sizes.reserve(jobs.size());
+    for (JobId j : jobs) sizes.push_back(instance.size(j));
+  }
+
+  std::vector<int> by_shape(static_cast<std::size_t>(num_classes));
+  std::iota(by_shape.begin(), by_shape.end(), 0);
+  std::sort(by_shape.begin(), by_shape.end(), [&](int a, int b) {
+    const auto& sa = form.classes[static_cast<std::size_t>(a)];
+    const auto& sb = form.classes[static_cast<std::size_t>(b)];
+    if (sa != sb) return sa > sb;  // heavier shapes first
+    return a < b;
+  });
+
+  std::vector<std::vector<Time>> sorted_classes;
+  sorted_classes.reserve(form.classes.size());
+  form.order.reserve(static_cast<std::size_t>(instance.num_jobs()));
+  std::uint64_t h = fold(0x6d737273ULL /* "msrs" */,
+                         static_cast<std::uint64_t>(form.machines));
+  for (int c : by_shape) {
+    auto& sizes = form.classes[static_cast<std::size_t>(c)];
+    h = fold(h, 0xC1A55EEDULL);  // class separator
+    for (Time p : sizes) h = fold(h, static_cast<std::uint64_t>(p));
+    for (JobId j : class_order[static_cast<std::size_t>(c)])
+      form.order.push_back(j);
+    sorted_classes.push_back(std::move(sizes));
+  }
+  form.classes = std::move(sorted_classes);
+  form.key = h;
+  return form;
+}
+
+BatchEngine::BatchEngine(const SolverRegistry& registry, BatchOptions options)
+    : portfolio_(registry,
+                 [&options] {
+                   // The batch layer owns the parallelism: one portfolio run
+                   // stays on its shard's thread.
+                   PortfolioOptions po = options.portfolio;
+                   po.threads = 1;
+                   return po;
+                 }()),
+      options_(std::move(options)) {}
+
+const BatchEngine::CacheEntry* BatchEngine::lookup(
+    const CanonicalForm& form) const {
+  auto it = cache_.find(form.key);
+  if (it == cache_.end()) return nullptr;
+  for (const CacheEntry& entry : it->second)
+    if (entry.form.same_shape(form)) return &entry;
+  return nullptr;
+}
+
+void BatchEngine::clear_cache() {
+  cache_.clear();
+  stats_.entries = 0;
+}
+
+std::vector<PortfolioResult> BatchEngine::solve(
+    const std::vector<Instance>& batch) {
+  const std::size_t count = batch.size();
+  std::vector<PortfolioResult> results(count);
+  if (count == 0) return results;
+  stats_.instances += count;
+
+  std::vector<CanonicalForm> forms(count);
+  parallel_for(
+      0, count, [&](std::size_t i) { forms[i] = canonical_form(batch[i]); },
+      options_.threads);
+
+  // Classify in input order: serve prior-batch cache entries immediately,
+  // pick the first occurrence of each new shape as its representative.
+  constexpr std::size_t kFromCache = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> source(count);  // rep index, or kFromCache
+  std::vector<std::size_t> reps;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> first_of;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!options_.cache) {
+      source[i] = i;
+      reps.push_back(i);
+      continue;
+    }
+    if (const CacheEntry* entry = lookup(forms[i])) {
+      source[i] = kFromCache;
+      results[i] = remap(entry->form, entry->result, forms[i]);
+      ++stats_.cache_hits;
+      continue;
+    }
+    std::size_t rep = i;
+    for (std::size_t j : first_of[forms[i].key])
+      if (forms[j].same_shape(forms[i])) {
+        rep = j;
+        break;
+      }
+    source[i] = rep;
+    if (rep == i) {
+      first_of[forms[i].key].push_back(i);
+      reps.push_back(i);
+    } else {
+      ++stats_.cache_hits;
+    }
+  }
+
+  parallel_for(
+      0, reps.size(),
+      [&](std::size_t r) {
+        const std::size_t i = reps[r];
+        results[i] = portfolio_.solve(batch[i]);
+      },
+      options_.threads);
+  stats_.solved += reps.size();
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t rep = source[i];
+    if (rep == kFromCache || rep == i) continue;
+    results[i] = remap(forms[rep], results[rep], forms[i]);
+  }
+
+  if (options_.cache) {
+    for (std::size_t i : reps) {
+      cache_[forms[i].key].push_back(CacheEntry{forms[i], results[i]});
+      ++stats_.entries;
+    }
+  }
+  return results;
+}
+
+}  // namespace msrs::engine

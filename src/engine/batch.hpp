@@ -1,0 +1,83 @@
+// BatchEngine: the throughput layer — shards an instance stream across the
+// thread pool and serves repeated instances from a canonical-form cache.
+//
+// Canonical form: (m, classes as sorted size vectors, classes sorted). Two
+// instances with the same canonical form are identical up to renaming jobs
+// and classes, so a solved schedule transfers by the canonical bijection
+// (same canonical position -> same size and class structure). Cached results
+// are remapped through that bijection, never re-solved.
+//
+// Determinism: a batch is deduplicated by canonical key up front; one
+// representative per key (the first occurrence, or a prior cache entry) is
+// solved, all duplicates are remapped from it. Representatives are chosen
+// and results assembled in input order, so the output is identical for any
+// thread count — only wall-clock time changes.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "engine/portfolio.hpp"
+#include "engine/registry.hpp"
+
+namespace msrs::engine {
+
+// Canonical form of an instance plus the job bijection realizing it.
+struct CanonicalForm {
+  int machines = 0;
+  std::vector<std::vector<Time>> classes;  // per-class sizes desc, sorted
+  std::vector<JobId> order;  // job ids in canonical position order
+  std::uint64_t key = 0;     // hash of (machines, classes)
+
+  bool same_shape(const CanonicalForm& other) const {
+    return machines == other.machines && classes == other.classes;
+  }
+};
+
+CanonicalForm canonical_form(const Instance& instance);
+
+struct BatchOptions {
+  unsigned threads = 0;  // sharding width; 0 = hardware concurrency
+  bool cache = true;     // canonical-form dedup + cross-batch memory
+  PortfolioOptions portfolio;  // per-instance options (raced sequentially;
+                               // the batch layer owns the parallelism)
+};
+
+struct BatchStats {
+  std::size_t instances = 0;   // total instances seen
+  std::size_t solved = 0;      // portfolio runs actually executed
+  std::size_t cache_hits = 0;  // results served by remapping a cache entry
+  std::size_t entries = 0;     // resident cache entries
+};
+
+class BatchEngine {
+ public:
+  explicit BatchEngine(
+      const SolverRegistry& registry = SolverRegistry::default_registry(),
+      BatchOptions options = {});
+
+  // Solves the batch; results[i] corresponds to batch[i]. Not thread-safe
+  // (one engine per serving thread, or external synchronization).
+  std::vector<PortfolioResult> solve(const std::vector<Instance>& batch);
+
+  const BatchStats& stats() const { return stats_; }
+  void clear_cache();
+
+ private:
+  struct CacheEntry {
+    CanonicalForm form;      // includes the representative's job order
+    PortfolioResult result;  // solved on the representative instance
+  };
+
+  const CacheEntry* lookup(const CanonicalForm& form) const;
+
+  PortfolioSolver portfolio_;
+  BatchOptions options_;
+  BatchStats stats_;
+  // key -> entries with that hash (collision chain checked by same_shape).
+  std::unordered_map<std::uint64_t, std::vector<CacheEntry>> cache_;
+};
+
+}  // namespace msrs::engine

@@ -1,0 +1,194 @@
+#include "engine/registry.hpp"
+
+#include <functional>
+#include <stdexcept>
+#include <utility>
+
+#include "algo/baselines.hpp"
+#include "algo/exact.hpp"
+#include "algo/five_thirds.hpp"
+#include "algo/greedy.hpp"
+#include "algo/no_huge.hpp"
+#include "algo/three_halves.hpp"
+#include "core/lower_bounds.hpp"
+#include "ptas/eptas.hpp"
+
+namespace msrs::engine {
+namespace {
+
+// Exact branch-and-bound is exponential; beyond this many jobs the portfolio
+// should not even consider it.
+constexpr int kExactMaxJobs = 10;
+// Node cap for engine-dispatched exact runs: bounds the worst case to well
+// under a second while still proving optimality on almost all n <= 10
+// instances.
+constexpr std::uint64_t kExactNodeLimit = 1'500'000;
+
+// EPTAS feasibility tests grow quickly in m and the simplification only pays
+// off for moderately sized instances.
+constexpr int kEptasMaxJobs = 60;
+constexpr int kEptasMaxMachines = 12;
+
+// Adapts a free function returning AlgoResult to the Solver interface,
+// converting exceptions (e.g. no_huge on a violated precondition) into
+// ok=false results.
+class FnSolver final : public Solver {
+ public:
+  using SolveFn = std::function<AlgoResult(const Instance&)>;
+  using Predicate = std::function<bool(const Instance&)>;
+
+  FnSolver(std::string name, double guarantee, CostTier cost, SolveFn solve,
+           Predicate applicable = nullptr)
+      : name_(std::move(name)),
+        guarantee_(guarantee),
+        cost_(cost),
+        solve_(std::move(solve)),
+        applicable_(std::move(applicable)) {}
+
+  std::string_view name() const override { return name_; }
+  double guarantee() const override { return guarantee_; }
+  CostTier cost() const override { return cost_; }
+  bool applicable(const Instance& instance) const override {
+    return applicable_ ? applicable_(instance) : true;
+  }
+
+  SolverResult solve(const Instance& instance) const override {
+    SolverResult result;
+    result.solver = name_;
+    try {
+      AlgoResult algo = solve_(instance);
+      result.schedule = std::move(algo.schedule);
+      result.lower_bound = algo.lower_bound;
+      result.ok = true;
+    } catch (const std::exception& e) {
+      result.error = e.what();
+    }
+    return result;
+  }
+
+ private:
+  std::string name_;
+  double guarantee_;
+  CostTier cost_;
+  SolveFn solve_;
+  Predicate applicable_;
+};
+
+class ExactSolver final : public Solver {
+ public:
+  std::string_view name() const override { return "exact"; }
+  double guarantee() const override { return 1.0; }
+  CostTier cost() const override { return CostTier::kSearch; }
+  int min_budget_ms() const override { return 10; }
+  bool applicable(const Instance& instance) const override {
+    return instance.num_jobs() <= kExactMaxJobs;
+  }
+
+  SolverResult solve(const Instance& instance) const override {
+    SolverResult result;
+    result.solver = "exact";
+    try {
+      ExactOptions options;
+      options.node_limit = kExactNodeLimit;
+      ExactResult exact = exact_makespan(instance, options);
+      result.schedule = std::move(exact.schedule);
+      // The makespan is a proven lower bound only if the search completed.
+      result.lower_bound = exact.optimal ? exact.makespan : 0;
+      result.ok = result.schedule.complete();
+      if (!result.ok) result.error = "node limit hit before any full schedule";
+    } catch (const std::exception& e) {
+      result.error = e.what();
+    }
+    return result;
+  }
+};
+
+class EptasSolver final : public Solver {
+ public:
+  std::string_view name() const override { return "eptas"; }
+  // Run with e = 3: makespan <= (1+1/3)(1+1/3) * guess in the worst case,
+  // with the 3/2 schedule as fallback; 16/9 is the conservative bound.
+  double guarantee() const override { return 16.0 / 9.0; }
+  CostTier cost() const override { return CostTier::kSearch; }
+  int min_budget_ms() const override { return 500; }
+  bool applicable(const Instance& instance) const override {
+    return instance.num_jobs() <= kEptasMaxJobs &&
+           instance.machines() <= kEptasMaxMachines;
+  }
+
+  SolverResult solve(const Instance& instance) const override {
+    SolverResult result;
+    result.solver = "eptas";
+    try {
+      EptasResult eptas_result =
+          eptas(instance, {.e = 3, .m_constant = true});
+      result.schedule = std::move(eptas_result.schedule);
+      result.lower_bound = 0;  // the accepted guess is not a bound on OPT
+      result.ok = result.schedule.complete();
+      if (!result.ok) result.error = "eptas returned an incomplete schedule";
+    } catch (const std::exception& e) {
+      result.error = e.what();
+    }
+    return result;
+  }
+};
+
+}  // namespace
+
+void SolverRegistry::add(std::unique_ptr<Solver> solver) {
+  if (find(solver->name()) != nullptr)
+    throw std::invalid_argument("duplicate solver name: " +
+                                std::string(solver->name()));
+  solvers_.push_back(std::move(solver));
+}
+
+const Solver* SolverRegistry::find(std::string_view name) const {
+  for (const auto& solver : solvers_)
+    if (solver->name() == name) return solver.get();
+  return nullptr;
+}
+
+std::vector<std::string> SolverRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(solvers_.size());
+  for (const auto& solver : solvers_) out.emplace_back(solver->name());
+  return out;
+}
+
+SolverRegistry SolverRegistry::make_default() {
+  SolverRegistry registry;
+  // Optimal when m >= |C|: every class gets a private machine, and
+  // max_c p(c) is a lower bound on OPT (Note 1).
+  registry.add(std::make_unique<FnSolver>(
+      "one_per_class", 1.0, CostTier::kLinear, one_machine_per_class,
+      [](const Instance& i) { return i.machines() >= i.num_classes(); }));
+  registry.add(std::make_unique<ExactSolver>());
+  registry.add(std::make_unique<FnSolver>("three_halves", 1.5,
+                                          CostTier::kLinear, three_halves));
+  // Standalone Algorithm_no_huge requires no job > (3/4)T (Lemma 12); the
+  // wrapper also handles the trivial m >= |C| case itself.
+  registry.add(std::make_unique<FnSolver>(
+      "no_huge", 1.5, CostTier::kLinear, no_huge, [](const Instance& i) {
+        if (i.num_jobs() == 0 || i.machines() >= i.num_classes()) return true;
+        return 4 * i.max_size() <= 3 * lower_bounds(i).combined;
+      }));
+  registry.add(std::make_unique<FnSolver>("five_thirds", 5.0 / 3.0,
+                                          CostTier::kLinear, five_thirds));
+  registry.add(std::make_unique<EptasSolver>());
+  registry.add(std::make_unique<FnSolver>(
+      "list_lpt", 0.0, CostTier::kLinear, [](const Instance& i) {
+        return list_schedule(i, ListPriority::kLptJob);
+      }));
+  registry.add(std::make_unique<FnSolver>("merge_lpt", 0.0, CostTier::kLinear,
+                                          merge_lpt));
+  registry.add(std::make_unique<FnSolver>("hebrard", 0.0, CostTier::kLinear,
+                                          hebrard_insertion));
+  return registry;
+}
+
+const SolverRegistry& SolverRegistry::default_registry() {
+  static const SolverRegistry registry = make_default();
+  return registry;
+}
+
+}  // namespace msrs::engine

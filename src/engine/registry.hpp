@@ -1,0 +1,47 @@
+// SolverRegistry: name -> Solver dispatch over the paper's algorithm ladder.
+//
+// Registration order is meaningful: it is the deterministic tie-break
+// priority of the portfolio (earlier wins on equal makespan), so the default
+// registry lists solvers best-guarantee-first.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/solver.hpp"
+
+namespace msrs::engine {
+
+class SolverRegistry {
+ public:
+  SolverRegistry() = default;
+  SolverRegistry(SolverRegistry&&) = default;
+  SolverRegistry& operator=(SolverRegistry&&) = default;
+
+  // Registers a solver; throws std::invalid_argument on duplicate names.
+  void add(std::unique_ptr<Solver> solver);
+
+  // nullptr if no solver of that name is registered.
+  const Solver* find(std::string_view name) const;
+
+  // Names in registration order.
+  std::vector<std::string> names() const;
+
+  const std::vector<std::unique_ptr<Solver>>& solvers() const {
+    return solvers_;
+  }
+
+  // The full paper ladder: one_per_class, exact, three_halves, no_huge,
+  // five_thirds, eptas, list_lpt, merge_lpt, hebrard.
+  static SolverRegistry make_default();
+
+  // Shared immutable default registry (thread-safe lazy init).
+  static const SolverRegistry& default_registry();
+
+ private:
+  std::vector<std::unique_ptr<Solver>> solvers_;
+};
+
+}  // namespace msrs::engine

@@ -1,0 +1,68 @@
+// The uniform Solver interface of the engine layer.
+//
+// The paper gives a ladder of algorithms with incomparable applicability
+// (exact only for tiny n, Algorithm_no_huge only without huge jobs, the
+// trivial one-machine-per-class schedule only for m >= |C|, ...). A Solver
+// packages one rung of that ladder together with a cheap structural
+// applicability predicate and its proven guarantee, so the portfolio and
+// batch layers can dispatch over the whole ladder uniformly.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace msrs::engine {
+
+// Outcome of one solver run. `ok == false` means the solver declined or
+// failed (error says why); the schedule is then meaningless.
+struct SolverResult {
+  Schedule schedule;
+  Time lower_bound = 0;  // solver-proven lower bound on OPT (0 = none)
+  std::string solver;    // provenance: name of the producing solver
+  bool ok = false;
+  std::string error;     // set when !ok
+
+  double makespan(const Instance& instance) const {
+    return schedule.makespan(instance);
+  }
+};
+
+// How expensive a solver is, for the portfolio's deterministic budget gate.
+enum class CostTier {
+  kLinear,      // linear / near-linear: always affordable
+  kPolynomial,  // superlinear but polynomial (e.g. repeated exact subcalls)
+  kSearch,      // exponential search (exact B&B, EPTAS feasibility tests)
+};
+
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Proven worst-case makespan / T ratio against the Lemma-9 bound
+  // (0 = heuristic, no uniform guarantee).
+  virtual double guarantee() const { return 0.0; }
+
+  virtual CostTier cost() const { return CostTier::kLinear; }
+
+  // Smallest portfolio budget (ms) at which this solver joins a race; the
+  // gate is deterministic — an integer threshold, not a measured deadline.
+  virtual int min_budget_ms() const { return 0; }
+
+  // Cheap structural predicate: can this solver run on `instance` at all?
+  // Must be deterministic in the instance alone (no clocks, no randomness) so
+  // portfolio candidate sets are reproducible.
+  virtual bool applicable(const Instance& instance) const {
+    (void)instance;
+    return true;
+  }
+
+  // Runs the solver. Must not throw: failures are reported via ok/error.
+  virtual SolverResult solve(const Instance& instance) const = 0;
+};
+
+}  // namespace msrs::engine

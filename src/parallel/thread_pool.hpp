@@ -9,9 +9,12 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace msrs {
@@ -29,6 +32,18 @@ class ThreadPool {
   // Enqueues a task. Tasks must not throw; exceptions terminate (by design —
   // harness work items report failures through their results, not exceptions).
   void submit(std::function<void()> task);
+
+  // Enqueues a task and returns a future for its result. Unlike submit(),
+  // exceptions escaping the task are captured in the future (std::packaged_task
+  // stores them), so throwing solvers are safe to race through this interface.
+  template <typename F, typename R = std::invoke_result_t<std::decay_t<F>>>
+  std::future<R> submit_task(F&& task) {
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> future = packaged->get_future();
+    submit([packaged] { (*packaged)(); });
+    return future;
+  }
 
   // Blocks until all submitted tasks have finished.
   void wait_idle();

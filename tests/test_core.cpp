@@ -160,6 +160,22 @@ TEST(InstanceIo, RoundTrip) {
   }
 }
 
+TEST(InstanceIo, RoundTripPreservesEveryJob) {
+  for (const Family family :
+       {Family::kUniform, Family::kHugeHeavy, Family::kUnit}) {
+    const Instance original = generate(family, 50, 5, 11);
+    std::string error;
+    const auto parsed = from_text(to_text(original), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    ASSERT_EQ(parsed->num_jobs(), original.num_jobs());
+    for (JobId j = 0; j < original.num_jobs(); ++j) {
+      EXPECT_EQ(parsed->size(j), original.size(j));
+      EXPECT_EQ(parsed->job_class(j), original.job_class(j));
+    }
+    EXPECT_EQ(parsed->total_load(), original.total_load());
+  }
+}
+
 TEST(InstanceIo, RejectsGarbage) {
   std::string error;
   EXPECT_FALSE(from_text("not an instance", &error).has_value());
@@ -167,6 +183,46 @@ TEST(InstanceIo, RejectsGarbage) {
   EXPECT_FALSE(from_text("msrs 2\nmachines 1\nclasses 0\n").has_value());
   EXPECT_FALSE(
       from_text("msrs 1\nmachines 1\nclasses 1\nclass 1 0\n").has_value());
+}
+
+// The parser must say *what* is malformed, not just refuse.
+TEST(InstanceIo, DescriptiveErrorsForMalformedFiles) {
+  const struct {
+    const char* text;
+    const char* expect;  // substring of the reported error
+  } cases[] = {
+      {"", "empty input"},
+      {"msrs 1\nclasses 1\nclass 1 5\n", "expected 'machines'"},
+      {"msrs 1\nmachines\n", "not a number"},
+      {"msrs 1\nmachines 0\nclasses 0\n", "machine count must be >= 1"},
+      {"msrs 1\nmachines -3\nclasses 0\n", "machine count must be >= 1"},
+      {"msrs 1\nmachines 4294967297\nclasses 0\n",
+       "exceeds the supported maximum"},
+      {"msrs 1\nmachines 2\n", "missing 'classes"},
+      {"msrs 1\nmachines 2\nclasses 2\nclass 1 5\n", "missing 'class' line"},
+      {"msrs 1\nmachines 2\nclasses 1\nclass 0\n", "is empty"},
+      {"msrs 1\nmachines 2\nclasses 1\nclass -1\n", "job count must be >= 1"},
+      {"msrs 1\nmachines 2\nclasses 1\nclass 2 5\n", "missing or not a number"},
+      {"msrs 1\nmachines 2\nclasses 1\nclass 2 5 0\n", "job size 0 < 1"},
+      {"msrs 1\nmachines 2\nclasses 1\nclass 2 5 -4\n", "job size -4 < 1"},
+      {"msrs 1\nmachines 2\nclasses 1\nclass 1 5\nclass 1 3\n",
+       "trailing garbage"},
+  };
+  for (const auto& bad : cases) {
+    std::string error;
+    EXPECT_FALSE(from_text(bad.text, &error).has_value()) << bad.text;
+    EXPECT_NE(error.find(bad.expect), std::string::npos)
+        << "input <" << bad.text << "> produced error <" << error
+        << ">, expected it to mention <" << bad.expect << ">";
+  }
+}
+
+TEST(InstanceIo, AcceptsZeroClasses) {
+  std::string error;
+  const auto parsed = from_text("msrs 1\nmachines 3\nclasses 0\n", &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->num_jobs(), 0);
+  EXPECT_EQ(parsed->machines(), 3);
 }
 
 TEST(ScheduleRender, ProducesGantt) {

@@ -2,7 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "parallel/thread_pool.hpp"
@@ -33,6 +36,27 @@ TEST(ThreadPool, WaitIdleIsReusable) {
 TEST(ThreadPool, SizeReflectsConstruction) {
   ThreadPool pool(3);
   EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, SubmitTaskReturnsResultsThroughFutures) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i)
+    futures.push_back(pool.submit_task([i] { return i * i; }));
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, SubmitTaskSupportsNonTrivialResultTypes) {
+  ThreadPool pool(2);
+  auto future = pool.submit_task([] { return std::string("racing"); });
+  EXPECT_EQ(future.get(), "racing");
+}
+
+TEST(ThreadPool, SubmitTaskCapturesExceptionsInTheFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit_task(
+      []() -> int { throw std::runtime_error("solver failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
 }
 
 TEST(ParallelFor, CoversRangeExactlyOnce) {
