@@ -29,15 +29,14 @@ struct QualityRow {
   double seeds = 0.0;
 };
 
-// Runs `algorithm` over `seeds` instances of (family, jobs, machines) and
-// aggregates ratios versus the combined lower bound.
-inline QualityRow quality_row(const AlgoFn& algorithm, Family family, int jobs,
-                              int machines, int seeds) {
+// Runs `algorithm` over the seed corpus of `base` (sim/generator.hpp,
+// seeds 1..seeds) and aggregates ratios versus the combined lower bound.
+inline QualityRow quality_row(const AlgoFn& algorithm,
+                              const GeneratorSpec& base, int seeds) {
   QualityRow row;
   std::vector<double> ratios;
-  for (int seed = 1; seed <= seeds; ++seed) {
-    const Instance instance =
-        generate(family, jobs, machines, static_cast<std::uint64_t>(seed));
+  for (const CorpusEntry& entry : seed_corpus(base, seeds)) {
+    const Instance& instance = entry.instance;
     const AlgoResult result = algorithm(instance);
     if (!is_valid(instance, result.schedule)) {
       row.invalid += 1.0;
@@ -52,6 +51,16 @@ inline QualityRow quality_row(const AlgoFn& algorithm, Family family, int jobs,
   row.ratio_max = summary.max;
   row.seeds = static_cast<double>(seeds);
   return row;
+}
+
+// Legacy shape: (family, jobs, machines) with default sizing.
+inline QualityRow quality_row(const AlgoFn& algorithm, Family family, int jobs,
+                              int machines, int seeds) {
+  GeneratorSpec base;
+  base.family = family;
+  base.jobs = jobs;
+  base.machines = machines;
+  return quality_row(algorithm, base, seeds);
 }
 
 inline void report(benchmark::State& state, const QualityRow& row) {

@@ -23,10 +23,16 @@ std::string to_text(const Instance& instance) {
   return out.str();
 }
 
-std::optional<Instance> read_text(std::istream& in, std::string* error) {
-  auto fail = [&](const std::string& message) -> std::optional<Instance> {
+namespace {
+
+// Parses one instance. Returns 1 on success, 0 on clean EOF before the
+// header (end of a corpus), -1 on malformed input (*error describes it).
+// Consumes nothing past the instance's own tokens, so concatenated
+// instances parse by repeated calls.
+int read_one(std::istream& in, Instance* out, std::string* error) {
+  auto fail = [&](const std::string& message) {
     if (error) *error = message;
-    return std::nullopt;
+    return -1;
   };
   // Echoes the offending token back in the error, so a typo in a keyword is
   // distinguishable from a truncated file.
@@ -37,10 +43,10 @@ std::optional<Instance> read_text(std::istream& in, std::string* error) {
   };
 
   std::string token;
-  if (!expect_key("msrs", &token))
-    return fail(token.empty() ? "empty input: missing 'msrs 1' header"
-                              : "bad header: expected 'msrs', got '" + token +
-                                    "'");
+  if (!expect_key("msrs", &token)) {
+    if (token.empty()) return 0;  // clean EOF: no (further) instance
+    return fail("bad header: expected 'msrs', got '" + token + "'");
+  }
   long long version = 0;
   if (!(in >> version) || version != 1)
     return fail("unsupported format version (expected 1)");
@@ -94,12 +100,46 @@ std::optional<Instance> read_text(std::istream& in, std::string* error) {
       instance.add_job(cls, p);
     }
   }
-  if (in >> token)
-    return fail("trailing garbage after " + std::to_string(num_classes) +
-                " classes: '" + token + "'");
   const std::string problem = instance.check();
   if (!problem.empty()) return fail(problem);
+  *out = std::move(instance);
+  return 1;
+}
+
+}  // namespace
+
+std::optional<Instance> read_text(std::istream& in, std::string* error) {
+  auto fail = [&](const std::string& message) -> std::optional<Instance> {
+    if (error) *error = message;
+    return std::nullopt;
+  };
+  Instance instance;
+  const int status = read_one(in, &instance, error);
+  if (status == 0) return fail("empty input: missing 'msrs 1' header");
+  if (status < 0) return std::nullopt;
+  std::string token;
+  if (in >> token)
+    return fail("trailing garbage after " +
+                std::to_string(instance.num_classes()) + " classes: '" +
+                token + "'");
   return instance;
+}
+
+std::optional<std::vector<Instance>> read_corpus(std::istream& in,
+                                                 std::string* error) {
+  std::vector<Instance> corpus;
+  for (;;) {
+    Instance instance;
+    const int status = read_one(in, &instance, error);
+    if (status == 0) return corpus;
+    if (status < 0) {
+      if (error)
+        *error = "corpus instance " + std::to_string(corpus.size()) + ": " +
+                 *error;
+      return std::nullopt;
+    }
+    corpus.push_back(std::move(instance));
+  }
 }
 
 std::optional<Instance> from_text(const std::string& text, std::string* error) {

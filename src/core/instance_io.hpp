@@ -1,28 +1,48 @@
-// Plain-text instance serialization (round-trip tested).
-//
-// Format:
-//   msrs 1
-//   machines <m>
-//   classes <k>
-//   class <n_0> p p p ...
-//   ...
+/// \file
+/// Plain-text instance serialization (round-trip tested).
+///
+/// Format (one instance):
+/// \verbatim
+///   msrs 1
+///   machines <m>
+///   classes <k>
+///   class <n_0> p p p ...
+///   ...
+/// \endverbatim
+///
+/// A *corpus* is simply instances concatenated in one stream; `read_corpus`
+/// parses them all, which is what `msrs_engine_cli generate` emits and
+/// `msrs_engine_cli solve --file=-` consumes.
 #pragma once
 
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/instance.hpp"
 
 namespace msrs {
 
+/// Renders one instance as a text document.
 std::string to_text(const Instance& instance);
+
+/// Streams one instance as a text document.
 void write_text(std::ostream& out, const Instance& instance);
 
-// Returns std::nullopt (and fills *error if given) on malformed input.
+/// Parses exactly one instance; trailing content is an error. Returns
+/// std::nullopt (and fills *error if given) on malformed input.
 std::optional<Instance> from_text(const std::string& text,
                                   std::string* error = nullptr);
+
+/// Stream variant of from_text.
 std::optional<Instance> read_text(std::istream& in,
                                   std::string* error = nullptr);
+
+/// Parses a whole corpus: zero or more concatenated instances until EOF.
+/// Returns std::nullopt on the first malformed instance (the error message
+/// is prefixed with its position in the corpus).
+std::optional<std::vector<Instance>> read_corpus(
+    std::istream& in, std::string* error = nullptr);
 
 }  // namespace msrs

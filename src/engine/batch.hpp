@@ -1,17 +1,18 @@
-// BatchEngine: the throughput layer — shards an instance stream across the
-// thread pool and serves repeated instances from a canonical-form cache.
-//
-// Canonical form: (m, classes as sorted size vectors, classes sorted). Two
-// instances with the same canonical form are identical up to renaming jobs
-// and classes, so a solved schedule transfers by the canonical bijection
-// (same canonical position -> same size and class structure). Cached results
-// are remapped through that bijection, never re-solved.
-//
-// Determinism: a batch is deduplicated by canonical key up front; one
-// representative per key (the first occurrence, or a prior cache entry) is
-// solved, all duplicates are remapped from it. Representatives are chosen
-// and results assembled in input order, so the output is identical for any
-// thread count — only wall-clock time changes.
+/// \file
+/// BatchEngine: the throughput layer — shards an instance stream across the
+/// thread pool and serves repeated instances from a canonical-form cache.
+///
+/// Canonical form: (m, classes as sorted size vectors, classes sorted). Two
+/// instances with the same canonical form are identical up to renaming jobs
+/// and classes, so a solved schedule transfers by the canonical bijection
+/// (same canonical position -> same size and class structure). Cached
+/// results are remapped through that bijection, never re-solved.
+///
+/// Determinism: a batch is deduplicated by canonical key up front; one
+/// representative per key (the first occurrence, or a prior cache entry) is
+/// solved, all duplicates are remapped from it. Representatives are chosen
+/// and results assembled in input order, so the output is identical for any
+/// thread count — only wall-clock time changes.
 #pragma once
 
 #include <cstdint>
@@ -24,45 +25,54 @@
 
 namespace msrs::engine {
 
-// Canonical form of an instance plus the job bijection realizing it.
+/// Canonical form of an instance plus the job bijection realizing it.
 struct CanonicalForm {
-  int machines = 0;
-  std::vector<std::vector<Time>> classes;  // per-class sizes desc, sorted
-  std::vector<JobId> order;  // job ids in canonical position order
-  std::uint64_t key = 0;     // hash of (machines, classes)
+  int machines = 0;  ///< machine count (part of the shape)
+  std::vector<std::vector<Time>> classes;  ///< per-class sizes desc, sorted
+  std::vector<JobId> order;  ///< job ids in canonical position order
+  std::uint64_t key = 0;     ///< hash of (machines, classes)
 
+  /// True when the shapes (machines + class size vectors) coincide.
   bool same_shape(const CanonicalForm& other) const {
     return machines == other.machines && classes == other.classes;
   }
 };
 
+/// Computes the canonical form of an instance (O(n log n)).
 CanonicalForm canonical_form(const Instance& instance);
 
+/// Options of a BatchEngine.
 struct BatchOptions {
-  unsigned threads = 0;  // sharding width; 0 = hardware concurrency
-  bool cache = true;     // canonical-form dedup + cross-batch memory
-  PortfolioOptions portfolio;  // per-instance options (raced sequentially;
-                               // the batch layer owns the parallelism)
+  unsigned threads = 0;  ///< sharding width; 0 = hardware concurrency
+  bool cache = true;     ///< canonical-form dedup + cross-batch memory
+  PortfolioOptions portfolio;  ///< per-instance options (raced sequentially;
+                               ///< the batch layer owns the parallelism)
 };
 
+/// Counters accumulated across an engine's lifetime.
 struct BatchStats {
-  std::size_t instances = 0;   // total instances seen
-  std::size_t solved = 0;      // portfolio runs actually executed
-  std::size_t cache_hits = 0;  // results served by remapping a cache entry
-  std::size_t entries = 0;     // resident cache entries
+  std::size_t instances = 0;   ///< total instances seen
+  std::size_t solved = 0;      ///< portfolio runs actually executed
+  std::size_t cache_hits = 0;  ///< results served by remapping a cache entry
+  std::size_t entries = 0;     ///< resident cache entries
 };
 
+/// Sharded, cached batch solver (see file comment for the contract).
 class BatchEngine {
  public:
+  /// Binds the engine to a registry (not owned; must outlive this).
   explicit BatchEngine(
       const SolverRegistry& registry = SolverRegistry::default_registry(),
       BatchOptions options = {});
 
-  // Solves the batch; results[i] corresponds to batch[i]. Not thread-safe
-  // (one engine per serving thread, or external synchronization).
+  /// Solves the batch; results[i] corresponds to batch[i]. Not thread-safe
+  /// (one engine per serving thread, or external synchronization).
   std::vector<PortfolioResult> solve(const std::vector<Instance>& batch);
 
+  /// Lifetime counters (monotone across solve() calls).
   const BatchStats& stats() const { return stats_; }
+
+  /// Drops every resident cache entry (stats().entries becomes 0).
   void clear_cache();
 
  private:

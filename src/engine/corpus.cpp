@@ -1,0 +1,97 @@
+#include "engine/corpus.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <map>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace msrs::engine {
+
+std::string CorpusReport::table() const {
+  Table table({"group", "instances", "cache", "winner", "ratio_mean",
+               "ratio_max", "invalid"});
+  for (const GroupReport& group : groups)
+    table.add_row({group.group,
+                   Table::num(static_cast<std::int64_t>(group.instances)),
+                   Table::num(static_cast<std::int64_t>(group.cache_hits)),
+                   group.top_solver, Table::num(group.ratio_mean, 4),
+                   Table::num(group.ratio_max, 4),
+                   Table::num(static_cast<std::int64_t>(group.invalid))});
+  return table.str();
+}
+
+std::string CorpusReport::timing() const {
+  std::ostringstream out;
+  out << "corpus: " << stats.instances << " instances, " << stats.solved
+      << " solved, " << stats.cache_hits << " cache hits, " << stats.entries
+      << " cache entries\ntime:   " << elapsed_ms << " ms";
+  if (elapsed_ms > 0.0)
+    out << " (" << static_cast<std::int64_t>(
+                       1000.0 * static_cast<double>(stats.instances) /
+                       elapsed_ms)
+        << " instances/sec)";
+  return out.str();
+}
+
+CorpusReport evaluate_corpus(const std::vector<std::string>& groups,
+                             const std::vector<Instance>& instances,
+                             const SolverRegistry& registry,
+                             const BatchOptions& options) {
+  assert(groups.size() == instances.size());
+  CorpusReport report;
+  BatchEngine engine(registry, options);
+  const auto start = std::chrono::steady_clock::now();
+  report.results = engine.solve(instances);
+  report.elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  report.stats = engine.stats();
+
+  // Aggregate in input order; group rows appear at first occurrence, winner
+  // ties break lexicographically — all deterministic.
+  struct Accumulator {
+    std::size_t index = 0;
+    double ratio_sum = 0.0;
+    std::map<std::string, std::size_t> winners;
+  };
+  std::map<std::string, Accumulator> accumulators;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const PortfolioResult& result = report.results[i];
+    auto [it, inserted] = accumulators.try_emplace(groups[i]);
+    Accumulator& acc = it->second;
+    if (inserted) {
+      acc.index = report.groups.size();
+      GroupReport group;
+      group.group = groups[i];
+      report.groups.push_back(group);
+    }
+    GroupReport& group = report.groups[acc.index];
+    ++group.instances;
+    if (result.from_cache) ++group.cache_hits;
+    if (!result.valid) {
+      ++group.invalid;
+      report.all_valid = false;
+      continue;
+    }
+    acc.ratio_sum += result.ratio_vs_bound;
+    group.ratio_max = std::max(group.ratio_max, result.ratio_vs_bound);
+    ++acc.winners[result.solver];
+  }
+  for (auto& [name, acc] : accumulators) {
+    GroupReport& group = report.groups[acc.index];
+    const std::size_t valid = group.instances - group.invalid;
+    if (valid > 0) group.ratio_mean = acc.ratio_sum / static_cast<double>(valid);
+    const auto top = std::max_element(
+        acc.winners.begin(), acc.winners.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    if (top != acc.winners.end())
+      group.top_solver =
+          top->first + "(" + std::to_string(top->second) + ")";
+  }
+  return report;
+}
+
+}  // namespace msrs::engine

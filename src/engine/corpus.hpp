@@ -1,0 +1,59 @@
+/// \file
+/// Corpus evaluation: BatchEngine over a labeled instance set, aggregated
+/// into a per-group report table.
+///
+/// The engine layer stays agnostic of how instances were produced — a
+/// corpus is just (group label, instance) pairs; `msrs_engine_cli sweep`
+/// labels each generator cell, bench_e12 labels families. The report table
+/// contains only solve-derived columns (winner, ratios, cache behavior), so
+/// it is bit-identical across runs and thread counts; wall-clock timing is
+/// reported separately via `timing()`.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "engine/batch.hpp"
+
+namespace msrs::engine {
+
+/// Aggregates of one report group (deterministic across runs/threads).
+struct GroupReport {
+  std::string group;          ///< the row key
+  std::size_t instances = 0;  ///< corpus items in this group
+  std::size_t cache_hits = 0; ///< items served by the canonical-form cache
+  std::size_t invalid = 0;    ///< items with no valid schedule (must be 0)
+  std::string top_solver;     ///< most frequent winner ("name(count)")
+  double ratio_mean = 0.0;    ///< mean makespan / t_bound over the group
+  double ratio_max = 0.0;     ///< worst makespan / t_bound over the group
+};
+
+/// Result of `evaluate_corpus`.
+struct CorpusReport {
+  std::vector<GroupReport> groups;        ///< rows, first-seen group order
+  std::vector<PortfolioResult> results;   ///< per item, input order
+  BatchStats stats;                       ///< batch/cache counters
+  double elapsed_ms = 0.0;                ///< wall clock of the batch solve
+  bool all_valid = true;                  ///< every item got a valid schedule
+
+  /// Renders the deterministic report table (one row per group).
+  std::string table() const;
+
+  /// One-line wall-clock summary (NOT deterministic; print to stderr).
+  std::string timing() const;
+};
+
+/// Solves the corpus through a BatchEngine and aggregates per group.
+/// `groups[i]` is the report row key of `instances[i]` (typically a
+/// generator-cell label like `uniform:n=100,m=8`); the vectors must have
+/// equal length. Results are deterministic in (corpus, registry, options) —
+/// identical for any `options.threads` — because BatchEngine output is.
+CorpusReport evaluate_corpus(
+    const std::vector<std::string>& groups,
+    const std::vector<Instance>& instances,
+    const SolverRegistry& registry = SolverRegistry::default_registry(),
+    const BatchOptions& options = {});
+
+}  // namespace msrs::engine

@@ -1,11 +1,14 @@
-// Umbrella header for the engine layer: core -> algo -> engine.
-//
-//   SolverRegistry  — name -> Solver over the paper's algorithm ladder
-//   PortfolioSolver — regime heuristic + candidate racing + validation
-//   BatchEngine     — sharded batches + canonical-form instance cache
+/// \file
+/// Umbrella header for the engine layer: core -> algo -> engine.
+///
+///   SolverRegistry  — name -> Solver over the paper's algorithm ladder
+///   PortfolioSolver — regime heuristic + candidate racing + validation
+///   BatchEngine     — sharded batches + canonical-form instance cache
+///   evaluate_corpus — BatchEngine over a labeled corpus, per-group report
 #pragma once
 
 #include "engine/batch.hpp"      // IWYU pragma: export
+#include "engine/corpus.hpp"     // IWYU pragma: export
 #include "engine/portfolio.hpp"  // IWYU pragma: export
 #include "engine/registry.hpp"   // IWYU pragma: export
 #include "engine/solver.hpp"     // IWYU pragma: export

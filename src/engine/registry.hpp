@@ -1,8 +1,10 @@
-// SolverRegistry: name -> Solver dispatch over the paper's algorithm ladder.
-//
-// Registration order is meaningful: it is the deterministic tie-break
-// priority of the portfolio (earlier wins on equal makespan), so the default
-// registry lists solvers best-guarantee-first.
+/// \file
+/// SolverRegistry: name -> Solver dispatch over the paper's algorithm
+/// ladder.
+///
+/// Registration order is meaningful: it is the deterministic tie-break
+/// priority of the portfolio (earlier wins on equal makespan), so the
+/// default registry lists solvers best-guarantee-first.
 #pragma once
 
 #include <memory>
@@ -14,30 +16,36 @@
 
 namespace msrs::engine {
 
+/// Ordered, uniquely-named collection of solvers (see file comment for why
+/// order matters). Move-only; the default registry is a shared singleton.
 class SolverRegistry {
  public:
+  /// An empty registry; populate with add().
   SolverRegistry() = default;
+  /// Move-constructs (registries own their solvers, so no copying).
   SolverRegistry(SolverRegistry&&) = default;
+  /// Move-assigns.
   SolverRegistry& operator=(SolverRegistry&&) = default;
 
-  // Registers a solver; throws std::invalid_argument on duplicate names.
+  /// Registers a solver; throws std::invalid_argument on duplicate names.
   void add(std::unique_ptr<Solver> solver);
 
-  // nullptr if no solver of that name is registered.
+  /// nullptr if no solver of that name is registered.
   const Solver* find(std::string_view name) const;
 
-  // Names in registration order.
+  /// Names in registration order.
   std::vector<std::string> names() const;
 
+  /// All solvers, in registration order.
   const std::vector<std::unique_ptr<Solver>>& solvers() const {
     return solvers_;
   }
 
-  // The full paper ladder: one_per_class, exact, three_halves, no_huge,
-  // five_thirds, eptas, list_lpt, merge_lpt, hebrard.
+  /// The full paper ladder: one_per_class, exact, three_halves, no_huge,
+  /// five_thirds, eptas, list_lpt, merge_lpt, hebrard.
   static SolverRegistry make_default();
 
-  // Shared immutable default registry (thread-safe lazy init).
+  /// Shared immutable default registry (thread-safe lazy init).
   static const SolverRegistry& default_registry();
 
  private:

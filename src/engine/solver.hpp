@@ -1,11 +1,12 @@
-// The uniform Solver interface of the engine layer.
-//
-// The paper gives a ladder of algorithms with incomparable applicability
-// (exact only for tiny n, Algorithm_no_huge only without huge jobs, the
-// trivial one-machine-per-class schedule only for m >= |C|, ...). A Solver
-// packages one rung of that ladder together with a cheap structural
-// applicability predicate and its proven guarantee, so the portfolio and
-// batch layers can dispatch over the whole ladder uniformly.
+/// \file
+/// The uniform Solver interface of the engine layer.
+///
+/// The paper gives a ladder of algorithms with incomparable applicability
+/// (exact only for tiny n, Algorithm_no_huge only without huge jobs, the
+/// trivial one-machine-per-class schedule only for m >= |C|, ...). A Solver
+/// packages one rung of that ladder together with a cheap structural
+/// applicability predicate and its proven guarantee, so the portfolio and
+/// batch layers can dispatch over the whole ladder uniformly.
 #pragma once
 
 #include <string>
@@ -14,54 +15,69 @@
 #include "core/instance.hpp"
 #include "core/schedule.hpp"
 
+/// \namespace msrs
+/// \brief Reproduction of *Scheduling with Many Shared Resources* (IPPS
+/// 2023) grown into a serving engine: problem core, the paper's algorithm
+/// ladder, and the generator/engine subsystems on top.
+namespace msrs {}
+
+/// \namespace msrs::engine
+/// \brief The serving layer: SolverRegistry (name -> rung of the paper's
+/// ladder), PortfolioSolver (deterministic candidate racing), BatchEngine
+/// (sharded batches + canonical-form cache) and corpus evaluation.
 namespace msrs::engine {
 
-// Outcome of one solver run. `ok == false` means the solver declined or
-// failed (error says why); the schedule is then meaningless.
+/// Outcome of one solver run. `ok == false` means the solver declined or
+/// failed (`error` says why); the schedule is then meaningless.
 struct SolverResult {
-  Schedule schedule;
-  Time lower_bound = 0;  // solver-proven lower bound on OPT (0 = none)
-  std::string solver;    // provenance: name of the producing solver
-  bool ok = false;
-  std::string error;     // set when !ok
+  Schedule schedule;     ///< the produced schedule (meaningful iff `ok`)
+  Time lower_bound = 0;  ///< solver-proven lower bound on OPT (0 = none)
+  std::string solver;    ///< provenance: name of the producing solver
+  bool ok = false;       ///< whether a schedule was produced
+  std::string error;     ///< failure reason, set when `!ok`
 
+  /// Makespan of the schedule in instance units.
   double makespan(const Instance& instance) const {
     return schedule.makespan(instance);
   }
 };
 
-// How expensive a solver is, for the portfolio's deterministic budget gate.
+/// How expensive a solver is, for the portfolio's deterministic budget gate.
 enum class CostTier {
-  kLinear,      // linear / near-linear: always affordable
-  kPolynomial,  // superlinear but polynomial (e.g. repeated exact subcalls)
-  kSearch,      // exponential search (exact B&B, EPTAS feasibility tests)
+  kLinear,      ///< linear / near-linear: always affordable
+  kPolynomial,  ///< superlinear but polynomial (e.g. repeated exact subcalls)
+  kSearch,      ///< exponential search (exact B&B, EPTAS feasibility tests)
 };
 
+/// One rung of the algorithm ladder behind a uniform dispatch interface.
 class Solver {
  public:
+  /// Virtual base; solvers are owned by a registry via unique_ptr.
   virtual ~Solver() = default;
 
+  /// Registry key; stable and unique within a registry.
   virtual std::string_view name() const = 0;
 
-  // Proven worst-case makespan / T ratio against the Lemma-9 bound
-  // (0 = heuristic, no uniform guarantee).
+  /// Proven worst-case makespan / T ratio against the Lemma-9 bound
+  /// (0 = heuristic, no uniform guarantee).
   virtual double guarantee() const { return 0.0; }
 
+  /// Cost tier used by the portfolio's deterministic budget gate.
   virtual CostTier cost() const { return CostTier::kLinear; }
 
-  // Smallest portfolio budget (ms) at which this solver joins a race; the
-  // gate is deterministic — an integer threshold, not a measured deadline.
+  /// Smallest portfolio budget (ms) at which this solver joins a race; the
+  /// gate is deterministic — an integer threshold, not a measured deadline.
   virtual int min_budget_ms() const { return 0; }
 
-  // Cheap structural predicate: can this solver run on `instance` at all?
-  // Must be deterministic in the instance alone (no clocks, no randomness) so
-  // portfolio candidate sets are reproducible.
+  /// Cheap structural predicate: can this solver run on `instance` at all?
+  /// Must be deterministic in the instance alone (no clocks, no randomness)
+  /// so portfolio candidate sets are reproducible.
   virtual bool applicable(const Instance& instance) const {
     (void)instance;
     return true;
   }
 
-  // Runs the solver. Must not throw: failures are reported via ok/error.
+  /// Runs the solver. Must not throw: failures are reported via ok/error.
   virtual SolverResult solve(const Instance& instance) const = 0;
 };
 

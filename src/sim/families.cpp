@@ -1,0 +1,369 @@
+#include "sim/families.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace msrs {
+namespace {
+
+// One jobs-per-class draw with `left` jobs remaining. The default path is
+// exactly the historical `random_class_sizes` step so that specs without a
+// `classes=` override reproduce the original corpora byte for byte.
+int class_chunk(Rng& rng, const Dist& dist, int lo, int hi, int left) {
+  if (!dist.set()) {
+    const int take = static_cast<int>(
+        rng.uniform(lo, std::min<std::int64_t>(hi, left)));
+    return std::max(1, take);
+  }
+  return static_cast<int>(dist.sample(rng, lo, hi, left));
+}
+
+// One job-size draw on the family's default support [lo, hi]; a `sizes=`
+// override replaces the draw (explicit uniform/const bounds win over the
+// default support, subject only to sizes being >= 1).
+Time job_draw(Rng& rng, const Dist& dist, Time lo, Time hi) {
+  if (!dist.set()) return rng.uniform(lo, hi);
+  return dist.sample(rng, lo, hi, std::numeric_limits<std::int64_t>::max());
+}
+
+// Splits `total` jobs into classes of dist-driven size in [lo, hi].
+std::vector<int> class_sizes(Rng& rng, const Dist& dist, int total, int lo,
+                             int hi) {
+  std::vector<int> sizes;
+  int left = total;
+  while (left > 0) {
+    sizes.push_back(class_chunk(rng, dist, lo, hi, left));
+    left -= sizes.back();
+  }
+  return sizes;
+}
+
+Instance gen_uniform(const GeneratorSpec& spec, Rng& rng) {
+  Instance instance;
+  instance.set_machines(spec.machines);
+  for (int count : class_sizes(rng, spec.class_size, spec.jobs, 1, 8)) {
+    const ClassId c = instance.add_class();
+    for (int i = 0; i < count; ++i)
+      instance.add_job(c, job_draw(rng, spec.job_size, 1, spec.max_size));
+  }
+  return instance;
+}
+
+Instance gen_bimodal(const GeneratorSpec& spec, Rng& rng) {
+  Instance instance;
+  instance.set_machines(spec.machines);
+  for (int count : class_sizes(rng, spec.class_size, spec.jobs, 1, 6)) {
+    const ClassId c = instance.add_class();
+    for (int i = 0; i < count; ++i) {
+      const bool large = rng.bernoulli(0.25);
+      const Time p =
+          large ? rng.uniform(spec.max_size / 2, spec.max_size)
+                : rng.uniform(1, std::max<Time>(spec.max_size / 20, 1));
+      instance.add_job(c, std::max<Time>(1, p));
+    }
+  }
+  return instance;
+}
+
+Instance gen_huge_heavy(const GeneratorSpec& spec, Rng& rng) {
+  // Roughly one class per machine containing a huge job (> 3/4 of the
+  // eventual lower bound T), padded with small filler classes: exercises
+  // Algorithm_3/2's M_H machinery. Filler sizes are budgeted so the area
+  // bound p(J)/m stays close to the huge-job size, keeping those jobs huge
+  // relative to T = max(area, class bound, pair bound).
+  Instance instance;
+  instance.set_machines(spec.machines);
+  const Time big = spec.max_size;
+  int placed = 0;
+  const int huge_classes = std::max(1, spec.machines - 1);
+  for (int i = 0; i < huge_classes && placed < spec.jobs; ++i) {
+    const ClassId c = instance.add_class();
+    instance.add_job(c, rng.uniform((9 * big) / 10, big));
+    ++placed;
+    // occasionally one tiny companion in the same class
+    if (rng.bernoulli(0.3) && placed < spec.jobs) {
+      instance.add_job(c, rng.uniform(1, big / 20 + 1));
+      ++placed;
+    }
+  }
+  // Keep total filler mass under ~ (m/4) * big so the area bound stays near
+  // `big` and the huge jobs remain > (3/4)T.
+  const Time filler_cap = std::max<Time>(
+      2, (big * spec.machines) / (4 * std::max(1, spec.jobs)));
+  while (placed < spec.jobs) {
+    const ClassId c = instance.add_class();
+    const int count =
+        class_chunk(rng, spec.class_size, 1,
+                    static_cast<int>(std::min<std::int64_t>(
+                        4, spec.jobs - placed)),
+                    spec.jobs - placed);
+    for (int k = 0; k < count && placed < spec.jobs; ++k, ++placed)
+      instance.add_job(c, rng.uniform(1, filler_cap));
+  }
+  return instance;
+}
+
+Instance gen_many_small_classes(const GeneratorSpec& spec, Rng& rng) {
+  Instance instance;
+  instance.set_machines(spec.machines);
+  for (int placed = 0; placed < spec.jobs;) {
+    const ClassId c = instance.add_class();
+    const int count =
+        class_chunk(rng, spec.class_size, 1,
+                    static_cast<int>(std::min<std::int64_t>(
+                        3, spec.jobs - placed)),
+                    spec.jobs - placed);
+    for (int k = 0; k < count; ++k, ++placed)
+      instance.add_job(
+          c, job_draw(rng, spec.job_size, 1,
+                      std::max<Time>(spec.max_size / 10, 2)));
+  }
+  return instance;
+}
+
+Instance gen_few_fat_classes(const GeneratorSpec& spec, Rng& rng) {
+  // About m+1 classes, each with load close to the maximum class load:
+  // the class bound dominates and the algorithms must interleave classes.
+  Instance instance;
+  instance.set_machines(spec.machines);
+  const int classes =
+      spec.machines + 1 + static_cast<int>(rng.uniform(0, 2));
+  const int per_class = std::max(1, spec.jobs / classes);
+  for (int c = 0; c < classes; ++c) {
+    const ClassId cls = instance.add_class();
+    for (int k = 0; k < per_class; ++k)
+      instance.add_job(cls, job_draw(rng, spec.job_size, spec.max_size / 2,
+                                     spec.max_size));
+  }
+  return instance;
+}
+
+Instance gen_satellite(const GeneratorSpec& spec, Rng& rng) {
+  // Earth-observation downlink planning (Hebrard et al.): each image
+  // acquisition (job) must be downlinked through one ground-station channel
+  // (resource); several reception antennas (machines) run in parallel.
+  // Downloads of one channel cannot overlap. Typical shape: a moderate
+  // number of channels, each with a burst of transfers whose sizes follow
+  // the image sizes (lognormal-ish: mostly small, some large mosaics).
+  Instance instance;
+  instance.set_machines(spec.machines);
+  const int channels = std::max(spec.machines + 1, spec.jobs / 6);
+  int placed = 0;
+  for (int ch = 0; ch < channels || placed < spec.jobs; ++ch) {
+    const ClassId c = instance.add_class();
+    const int burst = class_chunk(rng, spec.class_size, 1, 6,
+                                  std::numeric_limits<int>::max());
+    for (int k = 0; k < burst; ++k, ++placed) {
+      // 80% small telemetry dumps, 20% large mosaics.
+      const Time p = rng.bernoulli(0.8)
+                         ? rng.uniform(1, spec.max_size / 8 + 1)
+                         : rng.uniform(spec.max_size / 3, spec.max_size);
+      instance.add_job(c, p);
+    }
+    if (placed >= spec.jobs && ch >= channels - 1) break;
+  }
+  return instance;
+}
+
+Instance gen_photolith(const GeneratorSpec& spec, Rng& rng) {
+  // Photolithography bay (Janssen et al.): wafer lots (jobs) need a stepper
+  // (machine) plus the lot's reticle (resource); a reticle serves one
+  // stepper at a time. Lots using the same reticle have similar exposure
+  // times; a few hot reticles carry many lots.
+  Instance instance;
+  instance.set_machines(spec.machines);
+  int placed = 0;
+  while (placed < spec.jobs) {
+    const ClassId c = instance.add_class();
+    const bool hot = rng.bernoulli(0.2);
+    const int lots =
+        static_cast<int>(hot ? rng.uniform(4, 10) : rng.uniform(1, 3));
+    const Time base = rng.uniform(spec.max_size / 4, spec.max_size);
+    for (int k = 0; k < lots && placed < spec.jobs; ++k, ++placed) {
+      const Time jitter = rng.uniform(-base / 10, base / 10);
+      instance.add_job(c, std::max<Time>(1, base + jitter));
+    }
+  }
+  return instance;
+}
+
+Instance gen_adversarial_lpt(const GeneratorSpec& spec, Rng& rng) {
+  // Classic LPT-adversarial shape lifted to classes: 2m+1 classes of loads
+  // {2m-1, 2m-1, ..., m, m, m} (scaled), so merge-LPT ends near 4/3 while
+  // interleaving achieves close to 1.
+  Instance instance;
+  instance.set_machines(spec.machines);
+  const int m = spec.machines;
+  const Time unit = std::max<Time>(1, spec.max_size / (2 * m + 1));
+  for (int k = m; k < 2 * m; ++k) {
+    for (int twice = 0; twice < 2; ++twice) {
+      const ClassId c = instance.add_class();
+      // split the class load into a couple of jobs
+      const Time load = unit * (2 * m - 1 - (k - m));
+      const Time first = std::max<Time>(1, load / 2 + rng.uniform(0, unit));
+      instance.add_job(c, std::min(first, load - 1 > 0 ? load - 1 : first));
+      if (load - std::min(first, load - 1) > 0)
+        instance.add_job(c, load - std::min(first, load - 1));
+    }
+  }
+  const ClassId c = instance.add_class();
+  instance.add_job(c, unit * m);
+  return instance;
+}
+
+Instance gen_unit(const GeneratorSpec& spec, Rng& rng) {
+  Instance instance;
+  instance.set_machines(spec.machines);
+  for (int count : class_sizes(rng, spec.class_size, spec.jobs, 1, 10)) {
+    const ClassId c = instance.add_class();
+    for (int i = 0; i < count; ++i) instance.add_job(c, 1);
+  }
+  return instance;
+}
+
+Instance gen_lemma9_tight(const GeneratorSpec& spec, Rng& rng) {
+  // Near-tight Lemma-9 instances: at the intended bound T the Lemma-8
+  // census |C_H| + max{|C_B|, ceil((|C_B|+|C_heavy|)/2)} uses all m
+  // machines, so three_halves_bound sits at (or just above) T while the
+  // plain Note-1 bounds sit below it — the regime where Algorithm_3/2's
+  // census machinery, not the area bound, decides the schedule.
+  Instance instance;
+  instance.set_machines(spec.machines);
+  if (spec.jobs == 0) return instance;
+  const int m = spec.machines;
+  const Time T = std::max<Time>(spec.max_size, 16);
+  int placed = 0;
+  // |C_H| huge classes: one job each in ((3/4)T, (17/20)T].
+  const int huge_count = std::max(1, (m + 2) / 3);
+  for (int i = 0; i < huge_count && placed < spec.jobs; ++i, ++placed) {
+    const ClassId c = instance.add_class();
+    instance.add_job(c, rng.uniform((3 * T) / 4 + 1, (17 * T) / 20));
+  }
+  // |C_B| big classes: one job each in (T/2, (3/4)T].
+  const int big_count = std::max(0, m - huge_count);
+  for (int i = 0; i < big_count && placed < spec.jobs; ++i, ++placed) {
+    const ClassId c = instance.add_class();
+    instance.add_job(c, rng.uniform(T / 2 + 1, (3 * T) / 4));
+  }
+  // Two heavy classes (p(c) >= (3/4)T from small jobs) feed the ceil term.
+  for (int h = 0; h < 2 && placed < spec.jobs; ++h) {
+    const ClassId c = instance.add_class();
+    Time load = 0;
+    while (load < (3 * T) / 4 && placed < spec.jobs) {
+      const Time p = rng.uniform(T / 10, T / 6);
+      instance.add_job(c, p);
+      load += p;
+      ++placed;
+    }
+  }
+  // Small filler, budgeted so the area bound stays at or below T.
+  while (placed < spec.jobs) {
+    const Time budget =
+        std::max<Time>(1, (checked_mul(T, m) - instance.total_load()) /
+                              std::max(1, spec.jobs - placed) / 2);
+    const ClassId c = instance.add_class();
+    const int count = class_chunk(rng, spec.class_size, 1, 3,
+                                  spec.jobs - placed);
+    for (int k = 0; k < count && placed < spec.jobs; ++k, ++placed)
+      instance.add_job(c, rng.uniform(1, budget));
+  }
+  return instance;
+}
+
+Instance gen_single_dominant(const GeneratorSpec& spec, Rng& rng) {
+  // One class carries roughly half the total load, split into many jobs:
+  // max_c p(c) dominates T, most machines idle unless the schedulers
+  // interleave the dominant class tightly with everything else.
+  Instance instance;
+  instance.set_machines(spec.machines);
+  if (spec.jobs == 0) return instance;
+  const Time unit = std::max<Time>(spec.max_size, 4);
+  const int dominant_jobs = std::max(1, std::min(spec.jobs, spec.jobs / 3 + 1));
+  const ClassId dominant = instance.add_class();
+  for (int k = 0; k < dominant_jobs; ++k)
+    instance.add_job(dominant, rng.uniform(unit / 4, unit / 2));
+  int placed = dominant_jobs;
+  // Filler mass capped at ~ (3/4)(m-1) * p(dominant), so the class bound
+  // still dominates the area bound.
+  const Time budget = std::max<Time>(
+      1, (3 * checked_mul(instance.class_load(dominant),
+                          std::max(1, spec.machines - 1))) /
+             4 / std::max(1, spec.jobs - placed));
+  while (placed < spec.jobs) {
+    const ClassId c = instance.add_class();
+    const int count = class_chunk(rng, spec.class_size, 1, 2,
+                                  spec.jobs - placed);
+    for (int k = 0; k < count && placed < spec.jobs; ++k, ++placed)
+      instance.add_job(c, job_draw(rng, spec.job_size, 1, budget));
+  }
+  return instance;
+}
+
+Instance gen_boundary(const GeneratorSpec& spec, Rng& rng) {
+  // Regime-boundary mix: ~40% of jobs sit just around (3/4)T' and ~30%
+  // around T'/2 for the nominal scale T' = max_size, with small filler for
+  // the rest. Because the realized Lemma-9 bound floats with the mix, jobs
+  // land on both sides of the huge/big thresholds across seeds — the
+  // transition zone between Algorithm_no_huge's regime and Algorithm_3/2's
+  // census handling.
+  Instance instance;
+  instance.set_machines(spec.machines);
+  const Time T = std::max<Time>(spec.max_size, 16);
+  int placed = 0;
+  while (placed < spec.jobs) {
+    const std::int64_t roll = rng.uniform(0, 9);
+    const ClassId c = instance.add_class();
+    if (roll < 4) {  // straddle (3/4)T
+      instance.add_job(c, rng.uniform((7 * T) / 10, (4 * T) / 5));
+      ++placed;
+    } else if (roll < 7) {  // straddle T/2, one or two per class
+      const int count = class_chunk(rng, spec.class_size, 1, 2,
+                                    spec.jobs - placed);
+      for (int k = 0; k < count && placed < spec.jobs; ++k, ++placed)
+        instance.add_job(c, rng.uniform((9 * T) / 20, (11 * T) / 20));
+    } else {  // small filler
+      const int count = class_chunk(rng, spec.class_size, 1, 4,
+                                    spec.jobs - placed);
+      for (int k = 0; k < count && placed < spec.jobs; ++k, ++placed)
+        instance.add_job(c, rng.uniform(1, std::max<Time>(T / 8, 2)));
+    }
+  }
+  return instance;
+}
+
+}  // namespace
+
+Instance build_family(const GeneratorSpec& spec, Rng& rng) {
+  Instance instance;
+  switch (spec.family) {
+    case Family::kUniform: instance = gen_uniform(spec, rng); break;
+    case Family::kBimodal: instance = gen_bimodal(spec, rng); break;
+    case Family::kHugeHeavy: instance = gen_huge_heavy(spec, rng); break;
+    case Family::kManySmallClasses:
+      instance = gen_many_small_classes(spec, rng);
+      break;
+    case Family::kFewFatClasses:
+      instance = gen_few_fat_classes(spec, rng);
+      break;
+    case Family::kSatellite: instance = gen_satellite(spec, rng); break;
+    case Family::kPhotolith: instance = gen_photolith(spec, rng); break;
+    case Family::kAdversarialLpt:
+      instance = gen_adversarial_lpt(spec, rng);
+      break;
+    case Family::kUnit: instance = gen_unit(spec, rng); break;
+    case Family::kLemma9Tight:
+      instance = gen_lemma9_tight(spec, rng);
+      break;
+    case Family::kSingleDominant:
+      instance = gen_single_dominant(spec, rng);
+      break;
+    case Family::kBoundary: instance = gen_boundary(spec, rng); break;
+  }
+  assert(instance.check().empty());
+  return instance;
+}
+
+}  // namespace msrs

@@ -1,0 +1,23 @@
+/// \file
+/// Per-family instance builders (internal layer of the generator subsystem).
+///
+/// Each builder consumes one Rng stream and honors the spec's Dist
+/// overrides where the family has a free choice (see docs/scenarios.md for
+/// the per-family parameter map). Callers normally go through
+/// `generate(spec)` in sim/generator.hpp, which owns seed derivation; this
+/// header exists so tests can drive a family on a caller-controlled stream.
+#pragma once
+
+#include "core/instance.hpp"
+#include "sim/spec.hpp"
+
+namespace msrs {
+
+class Rng;
+
+/// Builds one instance of `spec.family` drawing from `rng`. The result is
+/// always well-formed (`instance.check()` empty); when both Dists are
+/// default the draw is identical to the original fixed workload families.
+Instance build_family(const GeneratorSpec& spec, Rng& rng);
+
+}  // namespace msrs

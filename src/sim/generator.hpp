@@ -1,0 +1,43 @@
+/// \file
+/// The generator front door: spec -> instance, sweep -> corpus.
+///
+/// `generate(spec)` is a pure function — the RNG stream is derived from the
+/// spec alone (family, n, m, seed, and the Dist overrides), so a spec
+/// string is a complete reproducible name for its instance and a sweep
+/// string for its corpus. Corpora stream through the `core/instance_io`
+/// text format (write_corpus / read_corpus), which is what
+/// `msrs_engine_cli generate | solve` pipes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "sim/spec.hpp"
+
+namespace msrs {
+
+/// Generates the instance named by `spec`. Deterministic in the spec;
+/// always well-formed (`instance.check()` is empty).
+Instance generate(const GeneratorSpec& spec);
+
+/// One corpus element: the spec that produced it plus the instance.
+struct CorpusEntry {
+  GeneratorSpec spec;  ///< full provenance (round-trips via spec.str())
+  Instance instance;   ///< the generated instance
+};
+
+/// Generates `seeds` instances of `base` with seeds 1..seeds (the base
+/// spec's own seed is ignored). The shared corpus shape behind
+/// bench_common's quality rows and the CLI's seed batches.
+std::vector<CorpusEntry> seed_corpus(const GeneratorSpec& base, int seeds);
+
+/// Expands the sweep grid and generates every cell, family-major.
+std::vector<CorpusEntry> make_corpus(const SweepSpec& sweep);
+
+/// Writes the corpus instances as concatenated instance_io documents; the
+/// stream is readable back with `read_corpus` (core/instance_io.hpp).
+void write_corpus(std::ostream& out, const std::vector<CorpusEntry>& corpus);
+
+}  // namespace msrs

@@ -1,0 +1,182 @@
+/// \file
+/// Generator specifications: the vocabulary of the workload subsystem.
+///
+/// A GeneratorSpec names one instance draw — a Family plus sizing knobs and
+/// a seed — and round-trips through a compact spec string such as
+/// `huge:m=32,classes=zipf(1.2),n=5000,seed=7`. Specs are pure data: parsing
+/// never touches an RNG, and `generate(spec)` (sim/generator.hpp) is a pure
+/// function of the spec, so a spec string is a complete, shareable name for
+/// an instance.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace msrs {
+
+class Rng;
+
+/// The workload families. The first nine are the original fixed list (the
+/// two application scenarios cited by the paper plus structural regimes of
+/// its case analyses); the last three are adversarial/stress families added
+/// for regime-transition sweeps. New values must be appended (the enum value
+/// is mixed into the RNG seed, so reordering would change every corpus).
+enum class Family {
+  kUniform,          ///< class sizes ~ U, job sizes ~ U
+  kBimodal,          ///< mix of tiny and large jobs
+  kHugeHeavy,        ///< many classes with one near-T huge job
+  kManySmallClasses, ///< lots of light classes (stress for greedy phases)
+  kFewFatClasses,    ///< few classes with load near the class bound
+  kSatellite,        ///< downlink windows: channels = resources
+  kPhotolith,        ///< wafer lots: reticles = resources
+  kAdversarialLpt,   ///< near-worst-case for merge-LPT baseline
+  kUnit,             ///< unit jobs (cograph clique world, Section 6 remark)
+  kLemma9Tight,      ///< census of Lemma 8 tight at T (Lemma-9 bound binds)
+  kSingleDominant,   ///< one class carries ~half the load (class bound rules)
+  kBoundary,         ///< job sizes straddle the T/2 and (3/4)T thresholds
+};
+
+/// Canonical lowercase name of a family (stable; used in spec strings,
+/// report tables, and test labels).
+constexpr const char* family_name(Family family) {
+  switch (family) {
+    case Family::kUniform: return "uniform";
+    case Family::kBimodal: return "bimodal";
+    case Family::kHugeHeavy: return "huge_heavy";
+    case Family::kManySmallClasses: return "many_small";
+    case Family::kFewFatClasses: return "few_fat";
+    case Family::kSatellite: return "satellite";
+    case Family::kPhotolith: return "photolith";
+    case Family::kAdversarialLpt: return "adv_lpt";
+    case Family::kUnit: return "unit";
+    case Family::kLemma9Tight: return "lemma9_tight";
+    case Family::kSingleDominant: return "single_dominant";
+    case Family::kBoundary: return "boundary";
+  }
+  return "?";
+}
+
+/// All families, in spec-string/report order, for sweep loops.
+inline constexpr Family kAllFamilies[] = {
+    Family::kUniform,        Family::kBimodal,
+    Family::kHugeHeavy,      Family::kManySmallClasses,
+    Family::kFewFatClasses,  Family::kSatellite,
+    Family::kPhotolith,      Family::kAdversarialLpt,
+    Family::kUnit,           Family::kLemma9Tight,
+    Family::kSingleDominant, Family::kBoundary,
+};
+
+/// Parses a family name or alias (`huge` = huge_heavy, `lemma9` =
+/// lemma9_tight, `dominant` = single_dominant). std::nullopt when unknown.
+std::optional<Family> parse_family(std::string_view name);
+
+/// A small closed distribution vocabulary for generator knobs.
+///
+/// Written `uniform(lo,hi)`, `zipf(s)`, or `const(v)` in spec strings. A
+/// default-constructed Dist means "use the family's built-in draw"; that is
+/// also the only state in which the RNG consumption of a family is
+/// guaranteed identical to the pre-spec workloads API.
+struct Dist {
+  /// Which distribution a Dist denotes.
+  enum class Kind {
+    kDefault,  ///< family built-in behavior (Dist absent from spec string)
+    kUniform,  ///< uniform integer on [lo, hi]
+    kZipf,     ///< rank r in [lo, hi] with probability proportional to r^-s
+    kConst,    ///< always `value`
+  };
+
+  Kind kind = Kind::kDefault;  ///< discriminator
+  std::int64_t lo = 1;         ///< uniform/zipf support lower end
+  std::int64_t hi = 1;         ///< uniform/zipf support upper end
+  double s = 1.0;              ///< zipf exponent (> 0)
+  std::int64_t value = 1;      ///< const value
+
+  /// True when the Dist overrides the family default.
+  bool set() const { return kind != Kind::kDefault; }
+
+  /// Draws a value. `lo_default`/`hi_default` are the family's built-in
+  /// support: kDefault and kZipf sample on it (zipf keeps ranks in
+  /// [lo_default, hi_default]); kUniform/kConst use their own parameters,
+  /// clamped to [1, hi_cap] so generators never see a non-positive size.
+  std::int64_t sample(Rng& rng, std::int64_t lo_default,
+                      std::int64_t hi_default, std::int64_t hi_cap) const;
+
+  /// Spec-string form (`zipf(1.2)`, ...); empty for kDefault.
+  std::string str() const;
+
+  /// Mixed into the generator seed so distinct dists give distinct streams.
+  std::uint64_t hash() const;
+
+  /// Field-wise equality.
+  friend bool operator==(const Dist&, const Dist&) = default;
+};
+
+/// One instance draw: family x sizing x distributions x seed.
+///
+/// The compact string form is `family:key=value,...` with keys `n` (target
+/// job count), `m` (machines), `max` (job size scale), `seed`, `classes`
+/// (jobs-per-class Dist) and `sizes` (job-size Dist); omitted keys keep the
+/// defaults below. `str()` renders the canonical form, which `parse_spec`
+/// round-trips exactly.
+struct GeneratorSpec {
+  Family family = Family::kUniform;  ///< workload family
+  int jobs = 100;                    ///< target job count (`n=`)
+  int machines = 8;                  ///< machine count (`m=`)
+  Time max_size = 1000;              ///< job size scale (`max=`)
+  std::uint64_t seed = 1;            ///< RNG seed (`seed=`)
+  Dist class_size;                   ///< jobs-per-class override (`classes=`)
+  Dist job_size;                     ///< job-size override (`sizes=`)
+
+  /// Canonical spec string; `parse_spec(str())` reproduces the spec.
+  std::string str() const;
+
+  /// Field-wise equality.
+  friend bool operator==(const GeneratorSpec&, const GeneratorSpec&) = default;
+};
+
+/// Parses a compact spec string. On failure returns std::nullopt and, when
+/// `error` is non-null, a message naming the offending token.
+std::optional<GeneratorSpec> parse_spec(std::string_view text,
+                                        std::string* error = nullptr);
+
+/// A cross-product sweep grid over specs.
+///
+/// String form: `;`-separated `key=list` clauses, e.g.
+/// `families=uniform,huge_heavy;n=50,200;m=4,8;seeds=5;max=1000`. Keys:
+/// `families` (comma list or `all`), `n`, `m`, `max` (comma lists of ints),
+/// `seeds` (count K: seeds 1..K per cell), and the per-spec Dist keys
+/// `classes` / `sizes` applied to every cell. Expansion order is
+/// family-major (family, then n, m, max, seed), so corpora group by family.
+struct SweepSpec {
+  std::vector<Family> families = {Family::kUniform};  ///< families axis
+  std::vector<int> jobs = {100};                      ///< `n` axis
+  std::vector<int> machines = {8};                    ///< `m` axis
+  std::vector<Time> max_sizes = {1000};               ///< `max` axis
+  int seeds = 3;              ///< draws per cell (seeds 1..K)
+  Dist class_size;            ///< applied to every expanded spec
+  Dist job_size;              ///< applied to every expanded spec
+
+  /// Canonical sweep string; `parse_sweep(str())` reproduces the sweep.
+  std::string str() const;
+
+  /// Cells x seeds = number of specs `expand()` yields.
+  std::size_t size() const;
+
+  /// Field-wise equality.
+  friend bool operator==(const SweepSpec&, const SweepSpec&) = default;
+};
+
+/// Parses a sweep string (see SweepSpec). On failure returns std::nullopt
+/// and, when `error` is non-null, a message naming the offending clause.
+std::optional<SweepSpec> parse_sweep(std::string_view text,
+                                     std::string* error = nullptr);
+
+/// Expands the grid into concrete specs, family-major, seeds innermost.
+std::vector<GeneratorSpec> expand(const SweepSpec& sweep);
+
+}  // namespace msrs

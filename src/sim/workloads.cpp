@@ -1,224 +1,15 @@
 #include "sim/workloads.hpp"
 
-#include <algorithm>
-#include <cassert>
-
-#include "util/rng.hpp"
-
 namespace msrs {
-namespace {
-
-// Splits `total` jobs into classes of random size in [lo, hi].
-std::vector<int> random_class_sizes(Rng& rng, int total, int lo, int hi) {
-  std::vector<int> sizes;
-  int left = total;
-  while (left > 0) {
-    const int take =
-        static_cast<int>(rng.uniform(lo, std::min<std::int64_t>(hi, left)));
-    sizes.push_back(std::max(1, take));
-    left -= sizes.back();
-  }
-  return sizes;
-}
-
-Instance gen_uniform(const WorkloadParams& params, Rng& rng) {
-  Instance instance;
-  instance.set_machines(params.machines);
-  for (int count : random_class_sizes(rng, params.jobs, 1, 8)) {
-    const ClassId c = instance.add_class();
-    for (int i = 0; i < count; ++i)
-      instance.add_job(c, rng.uniform(1, params.max_size));
-  }
-  return instance;
-}
-
-Instance gen_bimodal(const WorkloadParams& params, Rng& rng) {
-  Instance instance;
-  instance.set_machines(params.machines);
-  for (int count : random_class_sizes(rng, params.jobs, 1, 6)) {
-    const ClassId c = instance.add_class();
-    for (int i = 0; i < count; ++i) {
-      const bool large = rng.bernoulli(0.25);
-      const Time p = large ? rng.uniform(params.max_size / 2, params.max_size)
-                           : rng.uniform(1, std::max<Time>(params.max_size / 20, 1));
-      instance.add_job(c, std::max<Time>(1, p));
-    }
-  }
-  return instance;
-}
-
-Instance gen_huge_heavy(const WorkloadParams& params, Rng& rng) {
-  // Roughly one class per machine containing a huge job (> 3/4 of the
-  // eventual lower bound T), padded with small filler classes: exercises
-  // Algorithm_3/2's M_H machinery. Filler sizes are budgeted so the area
-  // bound p(J)/m stays close to the huge-job size, keeping those jobs huge
-  // relative to T = max(area, class bound, pair bound).
-  Instance instance;
-  instance.set_machines(params.machines);
-  const Time big = params.max_size;
-  int placed = 0;
-  const int huge_classes = std::max(1, params.machines - 1);
-  for (int i = 0; i < huge_classes && placed < params.jobs; ++i) {
-    const ClassId c = instance.add_class();
-    instance.add_job(c, rng.uniform((9 * big) / 10, big));
-    ++placed;
-    // occasionally one tiny companion in the same class
-    if (rng.bernoulli(0.3) && placed < params.jobs) {
-      instance.add_job(c, rng.uniform(1, big / 20 + 1));
-      ++placed;
-    }
-  }
-  // Keep total filler mass under ~ (m/4) * big so the area bound stays near
-  // `big` and the huge jobs remain > (3/4)T.
-  const Time filler_cap = std::max<Time>(
-      2, (big * params.machines) / (4 * std::max(1, params.jobs)));
-  while (placed < params.jobs) {
-    const ClassId c = instance.add_class();
-    const int count = static_cast<int>(
-        rng.uniform(1, std::min<std::int64_t>(4, params.jobs - placed)));
-    for (int k = 0; k < count; ++k, ++placed)
-      instance.add_job(c, rng.uniform(1, filler_cap));
-  }
-  return instance;
-}
-
-Instance gen_many_small_classes(const WorkloadParams& params, Rng& rng) {
-  Instance instance;
-  instance.set_machines(params.machines);
-  for (int placed = 0; placed < params.jobs;) {
-    const ClassId c = instance.add_class();
-    const int count = static_cast<int>(
-        rng.uniform(1, std::min<std::int64_t>(3, params.jobs - placed)));
-    for (int k = 0; k < count; ++k, ++placed)
-      instance.add_job(c, rng.uniform(1, std::max<Time>(params.max_size / 10, 2)));
-  }
-  return instance;
-}
-
-Instance gen_few_fat_classes(const WorkloadParams& params, Rng& rng) {
-  // About m+1 classes, each with load close to the maximum class load:
-  // the class bound dominates and the algorithms must interleave classes.
-  Instance instance;
-  instance.set_machines(params.machines);
-  const int classes = params.machines + 1 + static_cast<int>(rng.uniform(0, 2));
-  const int per_class = std::max(1, params.jobs / classes);
-  for (int c = 0; c < classes; ++c) {
-    const ClassId cls = instance.add_class();
-    for (int k = 0; k < per_class; ++k)
-      instance.add_job(cls,
-                       rng.uniform(params.max_size / 2, params.max_size));
-  }
-  return instance;
-}
-
-Instance gen_satellite(const WorkloadParams& params, Rng& rng) {
-  // Earth-observation downlink planning (Hebrard et al.): each image
-  // acquisition (job) must be downlinked through one ground-station channel
-  // (resource); several reception antennas (machines) run in parallel.
-  // Downloads of one channel cannot overlap. Typical shape: a moderate
-  // number of channels, each with a burst of transfers whose sizes follow
-  // the image sizes (lognormal-ish: mostly small, some large mosaics).
-  Instance instance;
-  instance.set_machines(params.machines);
-  const int channels = std::max(params.machines + 1, params.jobs / 6);
-  int placed = 0;
-  for (int ch = 0; ch < channels || placed < params.jobs; ++ch) {
-    const ClassId c = instance.add_class();
-    const int burst = static_cast<int>(rng.uniform(1, 6));
-    for (int k = 0; k < burst; ++k, ++placed) {
-      // 80% small telemetry dumps, 20% large mosaics.
-      const Time p = rng.bernoulli(0.8)
-                         ? rng.uniform(1, params.max_size / 8 + 1)
-                         : rng.uniform(params.max_size / 3, params.max_size);
-      instance.add_job(c, p);
-    }
-    if (placed >= params.jobs && ch >= channels - 1) break;
-  }
-  return instance;
-}
-
-Instance gen_photolith(const WorkloadParams& params, Rng& rng) {
-  // Photolithography bay (Janssen et al.): wafer lots (jobs) need a stepper
-  // (machine) plus the lot's reticle (resource); a reticle serves one
-  // stepper at a time. Lots using the same reticle have similar exposure
-  // times; a few hot reticles carry many lots.
-  Instance instance;
-  instance.set_machines(params.machines);
-  int placed = 0;
-  while (placed < params.jobs) {
-    const ClassId c = instance.add_class();
-    const bool hot = rng.bernoulli(0.2);
-    const int lots = static_cast<int>(
-        hot ? rng.uniform(4, 10) : rng.uniform(1, 3));
-    const Time base = rng.uniform(params.max_size / 4, params.max_size);
-    for (int k = 0; k < lots && placed < params.jobs; ++k, ++placed) {
-      const Time jitter = rng.uniform(-base / 10, base / 10);
-      instance.add_job(c, std::max<Time>(1, base + jitter));
-    }
-  }
-  return instance;
-}
-
-Instance gen_adversarial_lpt(const WorkloadParams& params, Rng& rng) {
-  // Classic LPT-adversarial shape lifted to classes: 2m+1 classes of loads
-  // {2m-1, 2m-1, ..., m, m, m} (scaled), so merge-LPT ends near 4/3 while
-  // interleaving achieves close to 1.
-  Instance instance;
-  instance.set_machines(params.machines);
-  const int m = params.machines;
-  const Time unit = std::max<Time>(1, params.max_size / (2 * m + 1));
-  for (int k = m; k < 2 * m; ++k) {
-    for (int twice = 0; twice < 2; ++twice) {
-      const ClassId c = instance.add_class();
-      // split the class load into a couple of jobs
-      const Time load = unit * (2 * m - 1 - (k - m));
-      const Time first = std::max<Time>(1, load / 2 + rng.uniform(0, unit));
-      instance.add_job(c, std::min(first, load - 1 > 0 ? load - 1 : first));
-      if (load - std::min(first, load - 1) > 0)
-        instance.add_job(c, load - std::min(first, load - 1));
-    }
-  }
-  const ClassId c = instance.add_class();
-  instance.add_job(c, unit * m);
-  return instance;
-}
-
-Instance gen_unit(const WorkloadParams& params, Rng& rng) {
-  Instance instance;
-  instance.set_machines(params.machines);
-  for (int count : random_class_sizes(rng, params.jobs, 1, 10)) {
-    const ClassId c = instance.add_class();
-    for (int i = 0; i < count; ++i) instance.add_job(c, 1);
-  }
-  return instance;
-}
-
-}  // namespace
 
 Instance generate(const WorkloadParams& params) {
-  Rng rng(params.seed ^ (static_cast<std::uint64_t>(params.family) << 56) ^
-          (static_cast<std::uint64_t>(params.jobs) << 32) ^
-          static_cast<std::uint64_t>(params.machines));
-  Instance instance;
-  switch (params.family) {
-    case Family::kUniform: instance = gen_uniform(params, rng); break;
-    case Family::kBimodal: instance = gen_bimodal(params, rng); break;
-    case Family::kHugeHeavy: instance = gen_huge_heavy(params, rng); break;
-    case Family::kManySmallClasses:
-      instance = gen_many_small_classes(params, rng);
-      break;
-    case Family::kFewFatClasses:
-      instance = gen_few_fat_classes(params, rng);
-      break;
-    case Family::kSatellite: instance = gen_satellite(params, rng); break;
-    case Family::kPhotolith: instance = gen_photolith(params, rng); break;
-    case Family::kAdversarialLpt:
-      instance = gen_adversarial_lpt(params, rng);
-      break;
-    case Family::kUnit: instance = gen_unit(params, rng); break;
-  }
-  assert(instance.check().empty());
-  return instance;
+  GeneratorSpec spec;
+  spec.family = params.family;
+  spec.jobs = params.jobs;
+  spec.machines = params.machines;
+  spec.max_size = params.max_size;
+  spec.seed = params.seed;
+  return generate(spec);
 }
 
 Instance generate(Family family, int jobs, int machines, std::uint64_t seed) {

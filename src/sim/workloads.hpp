@@ -1,71 +1,36 @@
-// Synthetic workload families for experiments and property tests.
-//
-// The paper evaluates nothing empirically (it is an algorithms paper); these
-// families are chosen to cover the structural regimes its case analyses
-// distinguish (huge/big jobs, heavy classes, many small classes) plus the
-// two application scenarios cited in its introduction: Earth-observation
-// satellite downlink scheduling (Hebrard et al. [17]) and semiconductor
-// photolithography (Strusevich [29] / Janssen et al. [23,24]).
-//
-// All generators are deterministic in (params, seed).
+/// \file
+/// Back-compatible front of the workload generator subsystem.
+///
+/// The original fixed-family API (`generate(family, jobs, machines, seed)`)
+/// now delegates to the composable spec-based generator (sim/spec.hpp,
+/// sim/generator.hpp); default-dist draws are byte-identical to the
+/// historical families, so corpora referenced by (family, n, m, seed) stay
+/// reproducible. New code should prefer GeneratorSpec / SweepSpec.
 #pragma once
 
 #include <cstdint>
-#include <string>
-#include <vector>
 
 #include "core/instance.hpp"
+#include "sim/generator.hpp"  // IWYU pragma: export
+#include "sim/spec.hpp"       // IWYU pragma: export
 
 namespace msrs {
 
-enum class Family {
-  kUniform,          // class sizes ~ U, job sizes ~ U
-  kBimodal,          // mix of tiny and large jobs
-  kHugeHeavy,        // many classes with one near-T huge job
-  kManySmallClasses, // lots of light classes (stress for greedy phases)
-  kFewFatClasses,    // few classes with load near the class bound
-  kSatellite,        // downlink windows: channels = resources
-  kPhotolith,        // wafer lots: reticles = resources
-  kAdversarialLpt,   // near-worst-case for merge-LPT baseline
-  kUnit,             // unit jobs (cograph clique world, Section 6 remark)
-};
-
-constexpr const char* family_name(Family family) {
-  switch (family) {
-    case Family::kUniform: return "uniform";
-    case Family::kBimodal: return "bimodal";
-    case Family::kHugeHeavy: return "huge_heavy";
-    case Family::kManySmallClasses: return "many_small";
-    case Family::kFewFatClasses: return "few_fat";
-    case Family::kSatellite: return "satellite";
-    case Family::kPhotolith: return "photolith";
-    case Family::kAdversarialLpt: return "adv_lpt";
-    case Family::kUnit: return "unit";
-  }
-  return "?";
-}
-
-// All nine families, for sweep loops.
-inline constexpr Family kAllFamilies[] = {
-    Family::kUniform,          Family::kBimodal,
-    Family::kHugeHeavy,        Family::kManySmallClasses,
-    Family::kFewFatClasses,    Family::kSatellite,
-    Family::kPhotolith,        Family::kAdversarialLpt,
-    Family::kUnit,
-};
-
+/// Legacy parameter pack; superseded by GeneratorSpec (which adds Dist
+/// overrides) but kept because (family, jobs, machines, seed) names every
+/// corpus in EXPERIMENTS.md.
 struct WorkloadParams {
-  Family family = Family::kUniform;
-  int jobs = 100;       // target job count (some families deviate slightly)
-  int machines = 8;
-  Time max_size = 1000; // job size scale
-  std::uint64_t seed = 1;
+  Family family = Family::kUniform;  ///< workload family
+  int jobs = 100;       ///< target job count (some families deviate slightly)
+  int machines = 8;     ///< machine count
+  Time max_size = 1000; ///< job size scale
+  std::uint64_t seed = 1;  ///< RNG seed
 };
 
-// Generates an instance; always well-formed (instance.check() is empty).
+/// Generates an instance; always well-formed (instance.check() is empty).
 Instance generate(const WorkloadParams& params);
 
-// Convenience: generate by family with default sizing.
+/// Convenience: generate by family with default sizing.
 Instance generate(Family family, int jobs, int machines, std::uint64_t seed);
 
 }  // namespace msrs

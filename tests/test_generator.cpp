@@ -1,0 +1,315 @@
+// Tests for the spec-based generator subsystem: spec parsing and
+// round-trips, corpus determinism, corpus serialization, and the
+// structural properties of the adversarial families.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algo/t_bound.hpp"
+#include "core/instance_io.hpp"
+#include "core/lower_bounds.hpp"
+#include "sim/workloads.hpp"
+#include "test_support.hpp"
+
+namespace msrs {
+namespace {
+
+TEST(Spec, RoundTripsThroughString) {
+  GeneratorSpec spec;
+  spec.family = Family::kHugeHeavy;
+  spec.jobs = 5000;
+  spec.machines = 32;
+  spec.max_size = 750;
+  spec.seed = 7;
+  spec.class_size.kind = Dist::Kind::kZipf;
+  // Not exactly representable: exercises the shortest-round-trip rendering
+  // of the zipf exponent (Dist::hash feeds the RNG seed, so str() must
+  // reproduce the exact double).
+  spec.class_size.s = 1.23456789;
+  spec.job_size.kind = Dist::Kind::kUniform;
+  spec.job_size.lo = 10;
+  spec.job_size.hi = 90;
+  std::string error;
+  const auto parsed = parse_spec(spec.str(), &error);
+  ASSERT_TRUE(parsed) << error << " for " << spec.str();
+  EXPECT_EQ(*parsed, spec);
+
+  const GeneratorSpec defaults;
+  const auto parsed_defaults = parse_spec(defaults.str(), &error);
+  ASSERT_TRUE(parsed_defaults) << error;
+  EXPECT_EQ(*parsed_defaults, defaults);
+}
+
+TEST(Spec, BareFamilyUsesDefaults) {
+  const auto spec = parse_spec("photolith");
+  ASSERT_TRUE(spec);
+  EXPECT_EQ(spec->family, Family::kPhotolith);
+  EXPECT_EQ(spec->jobs, GeneratorSpec{}.jobs);
+  EXPECT_FALSE(spec->class_size.set());
+}
+
+TEST(Spec, AliasesResolve) {
+  EXPECT_EQ(parse_spec("huge:n=5")->family, Family::kHugeHeavy);
+  EXPECT_EQ(parse_spec("lemma9")->family, Family::kLemma9Tight);
+  EXPECT_EQ(parse_spec("dominant")->family, Family::kSingleDominant);
+  EXPECT_EQ(parse_family("tight"), Family::kLemma9Tight);
+}
+
+TEST(Spec, ParseErrorsNameTheProblem) {
+  const struct {
+    const char* input;
+    const char* expected;  // substring of the error message
+  } kCases[] = {
+      {"", "empty spec"},
+      {"nope", "unknown family 'nope'"},
+      {"uniform:q=3", "unknown key 'q'"},
+      {"uniform:n=abc", "n must be an integer"},
+      {"uniform:n", "expected key=value"},
+      {"uniform:m=0", "m must be an integer in [1,"},
+      {"uniform:max=0", "max must be an integer in [1,"},
+      // Values that would silently wrap the int fields are refused.
+      {"uniform:n=4294967296", "n must be an integer in [0,"},
+      {"uniform:m=4294967297", "m must be an integer in [1,"},
+      {"uniform:seed=x", "seed must be an integer"},
+      {"uniform:classes=zipf", "must look like name(args)"},
+      {"uniform:classes=zipf(0)", "exponent must be"},
+      {"uniform:classes=zipf(1,2)", "zipf needs one numeric argument"},
+      {"uniform:classes=gauss(1)", "unknown distribution 'gauss'"},
+      {"uniform:classes=uniform(5,2)", "lo <= hi"},
+      {"uniform:classes=const(0)", "const value must be >= 1"},
+  };
+  for (const auto& test_case : kCases) {
+    std::string error;
+    EXPECT_FALSE(parse_spec(test_case.input, &error)) << test_case.input;
+    EXPECT_NE(error.find(test_case.expected), std::string::npos)
+        << "input '" << test_case.input << "' produced error '" << error
+        << "', expected it to mention '" << test_case.expected << "'";
+  }
+}
+
+TEST(Sweep, RoundTripAndExpansionOrder) {
+  std::string error;
+  const auto sweep =
+      parse_sweep("families=uniform,unit;n=10,20;m=2;seeds=2", &error);
+  ASSERT_TRUE(sweep) << error;
+  EXPECT_EQ(sweep->size(), 8u);
+  const auto again = parse_sweep(sweep->str(), &error);
+  ASSERT_TRUE(again) << error << " for " << sweep->str();
+  EXPECT_EQ(*again, *sweep);
+
+  const std::vector<GeneratorSpec> specs = expand(*sweep);
+  ASSERT_EQ(specs.size(), 8u);
+  // Family-major, then n, with seeds innermost.
+  EXPECT_EQ(specs[0].family, Family::kUniform);
+  EXPECT_EQ(specs[0].jobs, 10);
+  EXPECT_EQ(specs[0].seed, 1u);
+  EXPECT_EQ(specs[1].seed, 2u);
+  EXPECT_EQ(specs[2].jobs, 20);
+  EXPECT_EQ(specs[4].family, Family::kUnit);
+}
+
+TEST(Sweep, AllKeywordCoversEveryFamily) {
+  const auto sweep = parse_sweep("families=all;seeds=1");
+  ASSERT_TRUE(sweep);
+  EXPECT_EQ(sweep->families.size(), std::size(kAllFamilies));
+}
+
+TEST(Sweep, ParseErrorsNameTheProblem) {
+  const struct {
+    const char* input;
+    const char* expected;
+  } kCases[] = {
+      {"", "empty sweep"},
+      {"families=xyz", "unknown family 'xyz'"},
+      {"seeds=0", "seeds must be a single integer >= 1"},
+      {"n=5;bogus=1", "unknown key 'bogus'"},
+      {"n=5,q", "not a valid integer"},
+      {"m=0", "not a valid integer"},
+  };
+  for (const auto& test_case : kCases) {
+    std::string error;
+    EXPECT_FALSE(parse_sweep(test_case.input, &error)) << test_case.input;
+    EXPECT_NE(error.find(test_case.expected), std::string::npos)
+        << "input '" << test_case.input << "' produced error '" << error
+        << "'";
+  }
+}
+
+TEST(Generator, SameSpecYieldsByteIdenticalCorpus) {
+  std::string error;
+  const auto spec =
+      parse_spec("satellite:n=80,m=6,classes=zipf(1.3),seed=4", &error);
+  ASSERT_TRUE(spec) << error;
+  std::ostringstream first, second;
+  write_corpus(first, seed_corpus(*spec, 6));
+  write_corpus(second, seed_corpus(*spec, 6));
+  EXPECT_FALSE(first.str().empty());
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(Generator, DefaultSpecMatchesLegacyApi) {
+  // The legacy (family, n, m, seed) API and a default-dist spec must name
+  // the same instance — EXPERIMENTS.md corpora stay reproducible.
+  GeneratorSpec spec;
+  spec.family = Family::kPhotolith;
+  spec.jobs = 70;
+  spec.machines = 5;
+  spec.seed = 11;
+  EXPECT_EQ(to_text(generate(spec)),
+            to_text(generate(Family::kPhotolith, 70, 5, 11)));
+}
+
+TEST(Generator, DistOverrideChangesTheDraw) {
+  const auto plain = parse_spec("uniform:n=100,m=8,seed=2");
+  const auto zipf = parse_spec("uniform:n=100,m=8,seed=2,classes=zipf(2.5)");
+  ASSERT_TRUE(plain && zipf);
+  EXPECT_NE(to_text(generate(*plain)), to_text(generate(*zipf)));
+}
+
+TEST(Generator, ZipfClassesSkewSmall) {
+  // zipf(2.5) over the uniform family's 1..8 chunk support concentrates on
+  // tiny classes; the default split averages ~4.5 jobs per class.
+  const auto plain = parse_spec("uniform:n=400,m=8,seed=3");
+  const auto zipf = parse_spec("uniform:n=400,m=8,seed=3,classes=zipf(2.5)");
+  ASSERT_TRUE(plain && zipf);
+  const Instance a = generate(*plain);
+  const Instance b = generate(*zipf);
+  const double mean_plain =
+      static_cast<double>(a.num_jobs()) / a.num_classes();
+  const double mean_zipf = static_cast<double>(b.num_jobs()) / b.num_classes();
+  EXPECT_GT(mean_plain, 3.0);
+  EXPECT_LT(mean_zipf, 2.5);
+}
+
+TEST(Generator, ConstClassesPinsChunks) {
+  const auto spec = parse_spec("unit:n=50,m=4,seed=1,classes=const(5)");
+  ASSERT_TRUE(spec);
+  const Instance instance = generate(*spec);
+  ASSERT_EQ(instance.num_jobs(), 50);
+  for (ClassId c = 0; c < instance.num_classes(); ++c)
+    EXPECT_EQ(instance.class_jobs(c).size(), 5u) << "class " << c;
+}
+
+TEST(Generator, SizesOverridePinsJobSizes) {
+  const auto spec = parse_spec("uniform:n=40,m=4,seed=2,sizes=const(7)");
+  ASSERT_TRUE(spec);
+  const Instance instance = generate(*spec);
+  for (JobId j = 0; j < instance.num_jobs(); ++j)
+    EXPECT_EQ(instance.size(j), 7);
+}
+
+TEST(Generator, SeedInstancesHelperMatchesLegacySeeds) {
+  const std::vector<Instance> corpus =
+      test::seed_instances(Family::kBimodal, 40, 4, 3);
+  ASSERT_EQ(corpus.size(), 3u);
+  for (int seed = 1; seed <= 3; ++seed)
+    EXPECT_EQ(to_text(corpus[static_cast<std::size_t>(seed - 1)]),
+              to_text(generate(Family::kBimodal, 40, 4,
+                               static_cast<std::uint64_t>(seed))));
+}
+
+TEST(CorpusIo, RoundTripsConcatenatedInstances) {
+  std::string error;
+  const auto sweep = parse_sweep("families=uniform,unit;n=12;m=3;seeds=2",
+                                 &error);
+  ASSERT_TRUE(sweep) << error;
+  const std::vector<CorpusEntry> corpus = make_corpus(*sweep);
+  ASSERT_EQ(corpus.size(), 4u);
+  std::ostringstream out;
+  write_corpus(out, corpus);
+
+  std::istringstream in(out.str());
+  const auto parsed = read_corpus(in, &error);
+  ASSERT_TRUE(parsed) << error;
+  ASSERT_EQ(parsed->size(), corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i)
+    EXPECT_EQ(to_text((*parsed)[i]), to_text(corpus[i].instance)) << i;
+}
+
+TEST(CorpusIo, EmptyStreamIsAnEmptyCorpus) {
+  std::istringstream in("");
+  const auto parsed = read_corpus(in);
+  ASSERT_TRUE(parsed);
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(CorpusIo, ErrorNamesTheOffendingInstance) {
+  const Instance good = generate(Family::kUnit, 6, 2, 1);
+  std::istringstream in(to_text(good) + "msrs 1\nmachines 0\nclasses 0\n");
+  std::string error;
+  EXPECT_FALSE(read_corpus(in, &error));
+  EXPECT_NE(error.find("corpus instance 1"), std::string::npos) << error;
+  EXPECT_NE(error.find("machine count must be >= 1"), std::string::npos)
+      << error;
+}
+
+TEST(CorpusIo, SingleInstanceReadStillRejectsTrailingGarbage) {
+  const Instance good = generate(Family::kUnit, 6, 2, 1);
+  std::string error;
+  EXPECT_FALSE(from_text(to_text(good) + "junk", &error));
+  EXPECT_NE(error.find("trailing garbage"), std::string::npos) << error;
+}
+
+TEST(Families, Lemma9TightSaturatesTheCensus) {
+  // At the Lemma-9 bound the census uses every machine: the bound's
+  // machinery, not the plain Note-1 bounds, is what binds. (Deterministic
+  // instances, so exact equality is stable.)
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    GeneratorSpec spec;
+    spec.family = Family::kLemma9Tight;
+    spec.jobs = 100;
+    spec.machines = 8;
+    spec.seed = seed;
+    const Instance instance = generate(spec);
+    EXPECT_TRUE(instance.check().empty());
+    const Time bound = three_halves_bound(instance);
+    const Census counts = census(instance, bound);
+    const int need =
+        counts.huge +
+        std::max(counts.big, (counts.big + counts.heavy + 1) / 2);
+    EXPECT_EQ(need, spec.machines) << "seed " << seed;
+  }
+}
+
+TEST(Families, SingleDominantClassBoundDominates) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    GeneratorSpec spec;
+    spec.family = Family::kSingleDominant;
+    spec.jobs = 60;
+    spec.machines = 8;
+    spec.seed = seed;
+    const Instance instance = generate(spec);
+    const LowerBounds bounds = lower_bounds(instance);
+    EXPECT_EQ(bounds.combined, instance.class_load(0)) << "seed " << seed;
+    EXPECT_GE(5 * instance.class_load(0), instance.total_load())
+        << "seed " << seed;
+  }
+}
+
+TEST(Families, BoundaryMixesSizesAroundTheThresholds) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Instance instance = generate(Family::kBoundary, 60, 8, seed);
+    bool has_near_three_quarters = false, has_small = false;
+    for (JobId j = 0; j < instance.num_jobs(); ++j) {
+      if (instance.size(j) >= 700 && instance.size(j) <= 800)
+        has_near_three_quarters = true;
+      if (instance.size(j) <= 125) has_small = true;
+    }
+    EXPECT_TRUE(has_near_three_quarters) << "seed " << seed;
+    EXPECT_TRUE(has_small) << "seed " << seed;
+  }
+}
+
+TEST(Families, EmptyJobCountYieldsEmptyInstances) {
+  for (const Family family :
+       {Family::kLemma9Tight, Family::kSingleDominant, Family::kBoundary}) {
+    const Instance instance = generate(family, 0, 4, 1);
+    EXPECT_TRUE(instance.check().empty());
+    EXPECT_EQ(instance.num_jobs(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace msrs

@@ -9,6 +9,7 @@
 #include "core/instance.hpp"
 #include "core/schedule.hpp"
 #include "core/validate.hpp"
+#include "sim/generator.hpp"
 
 namespace msrs::test {
 
@@ -16,6 +17,22 @@ namespace msrs::test {
 inline Instance make_instance(int machines,
                               std::vector<std::vector<Time>> classes) {
   return Instance(machines, classes);
+}
+
+// The deterministic seed corpus (seeds 1..seeds) of one generator cell —
+// the same instances bench_common's quality rows measure, so a test
+// sweeping it pins exactly what the benches report on.
+inline std::vector<Instance> seed_instances(Family family, int jobs,
+                                            int machines, int seeds) {
+  GeneratorSpec base;
+  base.family = family;
+  base.jobs = jobs;
+  base.machines = machines;
+  std::vector<Instance> instances;
+  instances.reserve(static_cast<std::size_t>(seeds));
+  for (CorpusEntry& entry : seed_corpus(base, seeds))
+    instances.push_back(std::move(entry.instance));
+  return instances;
 }
 
 // gtest assertion: schedule valid and all jobs done by `limit_num/limit_den`

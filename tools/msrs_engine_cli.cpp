@@ -1,20 +1,23 @@
-// msrs_engine_cli — batch front-end for the engine layer.
+// msrs_engine_cli — front-end for the engine + generator subsystems.
 //
-// Reads instance files (core/instance_io format) and/or generates workload
-// batches, solves everything through BatchEngine (portfolio racing +
-// canonical-form cache) and prints per-instance provenance plus throughput
-// stats.
+// Subcommands:
+//   solve         solve instance files and/or generated batches (default)
+//   generate      emit a corpus of generated instances (instance_io text)
+//   sweep         expand a sweep grid, solve it, print a per-cell report
+//   list-solvers  describe the registered solver ladder
+//   help          full usage with examples
 //
-//   $ ./msrs_engine_cli --file=a.txt --file=b.txt
-//   $ ./msrs_engine_cli --family=all --jobs=60 --machines=8 --seeds=20 \
-//         --repeat=3 --threads=4
-//   $ ./msrs_engine_cli --family=photolith --jobs=40 --machines=6 --seeds=5 \
-//         --solvers=three_halves,five_thirds --attempts
-//   $ ./msrs_engine_cli --list-solvers
+//   $ ./msrs_engine_cli generate "huge_heavy:n=200,m=16,seed=3"
+//   $ ./msrs_engine_cli generate uniform --count=8 | ./msrs_engine_cli solve --file=-
+//   $ ./msrs_engine_cli sweep "families=all;n=40,80,160;m=8;seeds=5" --threads=4
+//   $ ./msrs_engine_cli solve --family=all --jobs=60 --machines=8 --seeds=20
+//
+// Legacy flag-only invocations (no subcommand) behave exactly like `solve`.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -30,7 +33,10 @@ using namespace msrs;
 
 struct Options {
   std::vector<std::string> files;
+  std::vector<std::string> specs;  // positional spec strings
   std::string family;
+  std::string out;   // generate: output path ("" or "-" = stdout)
+  int count = 0;     // generate: seeds per spec (0 = the spec's own seed)
   int jobs = 60;
   int machines = 8;
   int seeds = 10;
@@ -40,6 +46,7 @@ struct Options {
   bool cache = true;
   bool attempts = false;
   bool list_solvers = false;
+  bool help = false;
   std::vector<std::string> solvers;  // portfolio `only` filter
 };
 
@@ -63,18 +70,60 @@ std::vector<std::string> split_csv(const std::string& value) {
   return out;
 }
 
-int usage() {
-  std::fprintf(
-      stderr,
-      "usage: msrs_engine_cli [--file=INSTANCE.txt ...]\n"
-      "                       [--family=NAME|all --jobs=N --machines=M"
-      " --seeds=K --repeat=R]\n"
-      "                       [--threads=T] [--budget=MS] [--no-cache]\n"
-      "                       [--solvers=a,b,c] [--attempts]"
-      " [--list-solvers]\nfamilies:");
+void print_usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: msrs_engine_cli <command> [options]\n"
+               "\n"
+               "commands:\n"
+               "  solve [--file=F ...] [--family=NAME|all --jobs=N"
+               " --machines=M --seeds=K --repeat=R]\n"
+               "        [SPEC ...] [--threads=T] [--budget=MS] [--no-cache]"
+               " [--solvers=a,b] [--attempts]\n"
+               "      Solve instance files and/or generated batches through"
+               " the portfolio + cache.\n"
+               "      --file=- reads a whole corpus from stdin. Default"
+               " command when omitted.\n"
+               "  generate SPEC [SPEC ...] [--count=K] [--out=FILE]\n"
+               "      Emit instances as instance_io text (a corpus when"
+               " several). --count=K draws\n"
+               "      seeds 1..K per spec; --out=FILE writes to a file"
+               " instead of stdout.\n"
+               "  sweep SWEEPSPEC [--threads=T] [--budget=MS] [--no-cache]"
+               " [--solvers=a,b]\n"
+               "      Expand the grid, solve every cell, print a"
+               " deterministic per-cell report\n"
+               "      table (stdout) and wall-clock stats (stderr).\n"
+               "  list-solvers\n"
+               "      Describe the registered solver ladder.\n"
+               "  help\n"
+               "      This text.\n"
+               "\n"
+               "spec strings (see docs/scenarios.md):\n"
+               "  SPEC      family[:k=v,...]     keys: n, m, max, seed,"
+               " classes, sizes\n"
+               "            e.g. huge_heavy:n=5000,m=32,classes=zipf(1.2),"
+               "seed=7\n"
+               "  SWEEPSPEC key=list[;...]       keys: families, n, m, max,"
+               " seeds, classes, sizes\n"
+               "            e.g. families=all;n=40,80,160;m=8,16;seeds=5\n"
+               "\n"
+               "examples:\n"
+               "  msrs_engine_cli generate \"satellite:n=120,m=6,seed=2\"\n"
+               "  msrs_engine_cli generate uniform --count=8 |"
+               " msrs_engine_cli solve --file=-\n"
+               "  msrs_engine_cli sweep"
+               " \"families=uniform,huge_heavy,lemma9_tight;n=50,100;m=8;"
+               "seeds=3\"\n"
+               "  msrs_engine_cli solve --family=photolith --jobs=40"
+               " --machines=6 --seeds=5 --attempts\n"
+               "\nfamilies:");
   for (const Family family : kAllFamilies)
-    std::fprintf(stderr, " %s", family_name(family));
-  std::fprintf(stderr, "\n");
+    std::fprintf(to, " %s", family_name(family));
+  std::fprintf(to, "\n");
+}
+
+int usage() {
+  print_usage(stderr);
   return 2;
 }
 
@@ -98,70 +147,219 @@ int list_solvers() {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  Options options;
+// Parses flags into `options`; positional (non --) arguments land in
+// options.specs. Returns false on an unknown flag or a bad numeric value.
+bool parse_flags(int argc, char** argv, int begin, Options* options) {
   try {
-  for (int i = 1; i < argc; ++i) {
-    if (auto v = arg_value(argv[i], "file")) options.files.push_back(*v);
-    else if (auto v2 = arg_value(argv[i], "family")) options.family = *v2;
-    else if (auto v3 = arg_value(argv[i], "jobs")) options.jobs = std::stoi(*v3);
-    else if (auto v4 = arg_value(argv[i], "machines"))
-      options.machines = std::stoi(*v4);
-    else if (auto v5 = arg_value(argv[i], "seeds"))
-      options.seeds = std::stoi(*v5);
-    else if (auto v6 = arg_value(argv[i], "repeat"))
-      options.repeat = std::stoi(*v6);
-    else if (auto v7 = arg_value(argv[i], "budget"))
-      options.budget_ms = std::stoi(*v7);
-    else if (auto v8 = arg_value(argv[i], "threads"))
-      options.threads = static_cast<unsigned>(std::stoul(*v8));
-    else if (auto v9 = arg_value(argv[i], "solvers"))
-      options.solvers = split_csv(*v9);
-    else if (std::strcmp(argv[i], "--no-cache") == 0) options.cache = false;
-    else if (std::strcmp(argv[i], "--attempts") == 0) options.attempts = true;
-    else if (std::strcmp(argv[i], "--list-solvers") == 0)
-      options.list_solvers = true;
-    else return usage();
-  }
+    for (int i = begin; i < argc; ++i) {
+      if (argv[i][0] != '-' || std::strcmp(argv[i], "-") == 0) {
+        options->specs.push_back(argv[i]);
+        continue;
+      }
+      if (auto v = arg_value(argv[i], "file")) options->files.push_back(*v);
+      else if (auto v2 = arg_value(argv[i], "family")) options->family = *v2;
+      else if (auto v3 = arg_value(argv[i], "jobs"))
+        options->jobs = std::stoi(*v3);
+      else if (auto v4 = arg_value(argv[i], "machines"))
+        options->machines = std::stoi(*v4);
+      else if (auto v5 = arg_value(argv[i], "seeds"))
+        options->seeds = std::stoi(*v5);
+      else if (auto v6 = arg_value(argv[i], "repeat"))
+        options->repeat = std::stoi(*v6);
+      else if (auto v7 = arg_value(argv[i], "budget"))
+        options->budget_ms = std::stoi(*v7);
+      else if (auto v8 = arg_value(argv[i], "threads"))
+        options->threads = static_cast<unsigned>(std::stoul(*v8));
+      else if (auto v9 = arg_value(argv[i], "solvers"))
+        options->solvers = split_csv(*v9);
+      else if (auto v10 = arg_value(argv[i], "count"))
+        options->count = std::stoi(*v10);
+      else if (auto v11 = arg_value(argv[i], "out")) options->out = *v11;
+      else if (std::strcmp(argv[i], "--no-cache") == 0)
+        options->cache = false;
+      else if (std::strcmp(argv[i], "--attempts") == 0)
+        options->attempts = true;
+      else if (std::strcmp(argv[i], "--list-solvers") == 0)
+        options->list_solvers = true;
+      else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0)
+        options->help = true;
+      else return false;
+    }
   } catch (const std::exception&) {  // non-numeric value for a numeric flag
-    return usage();
+    return false;
   }
-  if (options.list_solvers) return list_solvers();
+  return true;
+}
+
+engine::BatchOptions batch_options(const Options& options) {
+  engine::BatchOptions batch;
+  batch.threads = options.threads;
+  batch.cache = options.cache;
+  batch.portfolio.budget_ms = options.budget_ms;
+  batch.portfolio.only = options.solvers;
+  return batch;
+}
+
+// Validates --solvers names against the registry; returns false (after
+// printing the offender) when one is unknown.
+bool check_solvers(const Options& options) {
   for (const std::string& name : options.solvers)
     if (engine::SolverRegistry::default_registry().find(name) == nullptr) {
-      std::fprintf(stderr,
-                   "unknown solver '%s' (see --list-solvers)\n", name.c_str());
+      std::fprintf(stderr, "unknown solver '%s' (see list-solvers)\n",
+                   name.c_str());
+      return false;
+    }
+  return true;
+}
+
+int run_generate(const Options& options) {
+  if (options.specs.empty()) {
+    std::fprintf(stderr, "generate: needs at least one spec string\n");
+    return usage();
+  }
+  std::vector<CorpusEntry> corpus;
+  for (const std::string& text : options.specs) {
+    std::string error;
+    const auto spec = parse_spec(text, &error);
+    if (!spec) {
+      std::fprintf(stderr, "bad spec '%s': %s\n", text.c_str(),
+                   error.c_str());
       return 2;
     }
+    if (options.count > 0) {
+      auto seeded = seed_corpus(*spec, options.count);
+      corpus.insert(corpus.end(), std::make_move_iterator(seeded.begin()),
+                    std::make_move_iterator(seeded.end()));
+    } else {
+      corpus.push_back({*spec, generate(*spec)});
+    }
+  }
+  if (options.out.empty() || options.out == "-") {
+    write_corpus(std::cout, corpus);
+    std::cout.flush();
+    return std::cout ? 0 : 1;
+  }
+  std::ofstream out(options.out);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", options.out.c_str());
+    return 1;
+  }
+  write_corpus(out, corpus);
+  // close() before checking: buffered writes may only fail on flush
+  // (e.g. a full disk), and the destructor would swallow that.
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "write error on %s\n", options.out.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+// A sweep report row groups one grid cell (spec minus seed).
+std::string cell_label(const GeneratorSpec& spec) {
+  std::string label = std::string(family_name(spec.family)) +
+                      ":n=" + std::to_string(spec.jobs) +
+                      ",m=" + std::to_string(spec.machines);
+  if (spec.max_size != 1000)
+    label += ",max=" + std::to_string(spec.max_size);
+  if (spec.class_size.set()) label += ",classes=" + spec.class_size.str();
+  if (spec.job_size.set()) label += ",sizes=" + spec.job_size.str();
+  return label;
+}
+
+int run_sweep(const Options& options) {
+  if (options.specs.size() != 1) {
+    std::fprintf(stderr, "sweep: needs exactly one sweep spec string\n");
+    return usage();
+  }
+  if (!check_solvers(options)) return 2;
+  std::string error;
+  const auto sweep = parse_sweep(options.specs[0], &error);
+  if (!sweep) {
+    std::fprintf(stderr, "bad sweep '%s': %s\n", options.specs[0].c_str(),
+                 error.c_str());
+    return 2;
+  }
+  std::vector<std::string> groups;
+  std::vector<Instance> instances;
+  groups.reserve(sweep->size());
+  instances.reserve(sweep->size());
+  std::vector<CorpusEntry> corpus = make_corpus(*sweep);
+  for (CorpusEntry& entry : corpus) {
+    groups.push_back(cell_label(entry.spec));
+    instances.push_back(std::move(entry.instance));
+  }
+  const engine::CorpusReport report = engine::evaluate_corpus(
+      groups, instances, engine::SolverRegistry::default_registry(),
+      batch_options(options));
+  std::printf("%s", report.table().c_str());
+  std::fprintf(stderr, "%s\n", report.timing().c_str());
+  if (!report.all_valid) {
+    std::fprintf(stderr, "some instances have no valid schedule\n");
+    return 1;
+  }
+  return 0;
+}
+
+int run_solve(const Options& options) {
+  if (!check_solvers(options)) return 2;
 
   std::vector<Instance> batch;
   std::vector<std::string> labels;
+  // Every file input is a corpus: one or more concatenated instances.
   for (const std::string& file : options.files) {
-    std::ifstream in(file);
-    if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", file.c_str());
-      return 1;
-    }
     std::string error;
-    auto parsed = read_text(in, &error);
-    if (!parsed) {
-      std::fprintf(stderr, "%s: parse error: %s\n", file.c_str(),
+    std::optional<std::vector<Instance>> corpus;
+    std::ifstream stream;
+    if (file == "-") {
+      corpus = read_corpus(std::cin, &error);
+    } else {
+      stream.open(file);
+      if (!stream) {
+        std::fprintf(stderr, "cannot open %s\n", file.c_str());
+        return 1;
+      }
+      corpus = read_corpus(stream, &error);
+    }
+    const std::string label = file == "-" ? "stdin" : file;
+    if (!corpus) {
+      std::fprintf(stderr, "%s: parse error: %s\n", label.c_str(),
                    error.c_str());
       return 1;
     }
-    batch.push_back(std::move(*parsed));
-    labels.push_back(file);
+    if (corpus->empty()) {
+      std::fprintf(stderr, "%s: parse error: empty input: missing 'msrs 1'"
+                   " header\n", label.c_str());
+      return 1;
+    }
+    for (std::size_t i = 0; i < corpus->size(); ++i) {
+      batch.push_back(std::move((*corpus)[i]));
+      labels.push_back(corpus->size() == 1 ? label
+                                           : label + "[" + std::to_string(i) +
+                                                 "]");
+    }
+  }
+  // Positional spec strings: one instance each.
+  for (const std::string& text : options.specs) {
+    std::string error;
+    const auto spec = parse_spec(text, &error);
+    if (!spec) {
+      std::fprintf(stderr, "bad spec '%s': %s\n", text.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    batch.push_back(generate(*spec));
+    labels.push_back(spec->str());
   }
   if (!options.family.empty()) {
     std::vector<Family> families;
     if (options.family == "all")
       families.assign(std::begin(kAllFamilies), std::end(kAllFamilies));
     else {
-      for (const Family family : kAllFamilies)
-        if (options.family == family_name(family)) families.push_back(family);
-      if (families.empty()) return usage();
+      const auto family = parse_family(options.family);
+      if (!family) return usage();
+      families.push_back(*family);
     }
     for (int r = 0; r < options.repeat; ++r)
       for (int seed = 1; seed <= options.seeds; ++seed)
@@ -174,13 +372,8 @@ int main(int argc, char** argv) {
   }
   if (batch.empty()) return usage();
 
-  engine::BatchOptions batch_options;
-  batch_options.threads = options.threads;
-  batch_options.cache = options.cache;
-  batch_options.portfolio.budget_ms = options.budget_ms;
-  batch_options.portfolio.only = options.solvers;
   engine::BatchEngine batch_engine(engine::SolverRegistry::default_registry(),
-                                   batch_options);
+                                   batch_options(options));
 
   const auto start = std::chrono::steady_clock::now();
   const std::vector<engine::PortfolioResult> results =
@@ -226,4 +419,30 @@ int main(int argc, char** argv) {
     return 1;
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Subcommand dispatch; a leading flag (or nothing) means legacy `solve`.
+  std::string command = "solve";
+  int flags_begin = 1;
+  if (argc > 1 && argv[1][0] != '-') {
+    command = argv[1];
+    flags_begin = 2;
+  }
+
+  Options options;
+  if (!parse_flags(argc, argv, flags_begin, &options)) return usage();
+  if (options.help || command == "help") {
+    print_usage(stdout);
+    return 0;
+  }
+  if (options.list_solvers || command == "list-solvers")
+    return list_solvers();
+  if (command == "generate") return run_generate(options);
+  if (command == "sweep") return run_sweep(options);
+  if (command == "solve") return run_solve(options);
+  std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
+  return usage();
 }
