@@ -1,0 +1,13 @@
+// bench_all — the whole perf-harness registry in one binary.
+//
+//   ./build/bench_all --json out/              # deterministic BENCH_*.json
+//   ./build/bench_all --timing --json out/     # + ns/op (baseline refresh)
+//   ./build/bench_all --timing --baseline=bench/baseline   # regression gate
+//   ./build/bench_all e4 --timing --repeats=9  # one case, more repeats
+//
+// See docs/benchmarking.md for the schema and the baseline workflow.
+#include "perf/cli.hpp"
+
+int main(int argc, char** argv) {
+  return msrs::perf::bench_main(argc, argv, /*default_filter=*/"");
+}

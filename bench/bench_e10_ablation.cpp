@@ -1,105 +1,10 @@
-// E10 — ablations of the design choices DESIGN.md calls out:
+// E10 — design-choice ablations (pair bound, Hebrard rule, priorities).
 //
-//  (a) the pairing bound p_(m)+p_(m+1) in T (Note 1): how much tighter is
-//      the denominator of all ratio experiments with it, i.e. how often does
-//      it dominate area/class bounds?
-//  (b) Hebrard priority: dynamic largest-remaining-class (ours) vs a static
-//      class-sorted order — the measured gap justifies the dynamic rule.
-//  (c) list-scheduling priority rules against each other.
-#include "algo/baselines.hpp"
-#include "algo/greedy.hpp"
-#include "bench_common.hpp"
+// Thin wrapper over the shared perf harness (src/perf): runs the
+// registered "e10_ablation" case; all flags of perf::bench_main apply
+// (--json, --timing, --baseline, ... — see docs/benchmarking.md).
+#include "perf/cli.hpp"
 
-namespace {
-
-using namespace msrs;
-using namespace msrs::bench;
-
-// (a) lower-bound component dominance.
-void BM_PairBoundDominance(benchmark::State& state) {
-  const Family family = kAllFamilies[static_cast<std::size_t>(state.range(0))];
-  const int machines = static_cast<int>(state.range(1));
-  double pair_dominates = 0.0, mean_gain = 0.0;
-  for (auto _ : state) {
-    pair_dominates = 0.0;
-    mean_gain = 0.0;
-    int samples = 0;
-    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
-      const Instance instance = generate(family, 8 * machines, machines, seed);
-      const LowerBounds bounds = lower_bounds(instance);
-      const Time without_pair = std::max(bounds.area, bounds.class_bound);
-      if (bounds.pair > without_pair) pair_dominates += 1.0;
-      mean_gain += static_cast<double>(bounds.combined) /
-                   static_cast<double>(without_pair);
-      ++samples;
-    }
-    pair_dominates /= samples;
-    mean_gain /= samples;
-  }
-  state.counters["pair_dominates_frac"] = pair_dominates;
-  state.counters["bound_gain_mean"] = mean_gain;
-  state.SetLabel(family_name(family));
+int main(int argc, char** argv) {
+  return msrs::perf::bench_main(argc, argv, "e10_ablation");
 }
-BENCHMARK(BM_PairBoundDominance)
-    ->Args({2, 4})   // huge_heavy
-    ->Args({4, 4})   // few_fat
-    ->Args({0, 4})   // uniform
-    ->Args({8, 4})   // unit
-    ->Unit(benchmark::kMillisecond);
-
-// (b) dynamic vs static class-priority insertion.
-void BM_HebrardAblation(benchmark::State& state) {
-  const bool dynamic = state.range(0) == 1;
-  const Family family = kAllFamilies[static_cast<std::size_t>(state.range(1))];
-  QualityRow row;
-  for (auto _ : state) {
-    row = quality_row(
-        [&](const Instance& instance) {
-          return dynamic
-                     ? hebrard_insertion(instance)
-                     : list_schedule(instance, ListPriority::kClassLoadDesc);
-        },
-        family, 120, 6, 10);
-  }
-  report(state, row);
-  state.SetLabel(std::string(dynamic ? "dynamic" : "static") + "/" +
-                 family_name(family));
-}
-BENCHMARK(BM_HebrardAblation)
-    ->Args({0, 4})
-    ->Args({1, 4})
-    ->Args({0, 5})
-    ->Args({1, 5})
-    ->Args({0, 6})
-    ->Args({1, 6})
-    ->Unit(benchmark::kMillisecond);
-
-// (c) list-scheduling priority rules.
-void BM_ListPriorityAblation(benchmark::State& state) {
-  const auto priority = static_cast<ListPriority>(state.range(0));
-  const Family family = kAllFamilies[static_cast<std::size_t>(state.range(1))];
-  QualityRow row;
-  for (auto _ : state) {
-    row = quality_row(
-        [&](const Instance& instance) {
-          return list_schedule(instance, priority);
-        },
-        family, 120, 6, 10);
-  }
-  report(state, row);
-  const char* names[] = {"input", "lpt", "class_desc"};
-  state.SetLabel(std::string(names[state.range(0)]) + "/" +
-                 family_name(family));
-}
-BENCHMARK(BM_ListPriorityAblation)
-    ->Args({0, 0})
-    ->Args({1, 0})
-    ->Args({2, 0})
-    ->Args({0, 6})
-    ->Args({1, 6})
-    ->Args({2, 6})
-    ->Unit(benchmark::kMillisecond);
-
-}  // namespace
-
-BENCHMARK_MAIN();

@@ -1,65 +1,10 @@
-// E11 — engine throughput: BatchEngine over a 1000-instance mixed batch.
+// E11 — BatchEngine throughput: shard width x canonical-form cache.
 //
-// Sweeps shard width (threads) and the canonical-form cache on/off. The
-// batch repeats each unique instance 5 times, so with the cache on only a
-// fifth of the portfolio runs execute; counters report solved vs cache_hits
-// and items/sec is the end-to-end serving rate.
-#include <benchmark/benchmark.h>
+// Thin wrapper over the shared perf harness (src/perf): runs the
+// registered "e11_engine" case; all flags of perf::bench_main apply
+// (--json, --timing, --baseline, ... — see docs/benchmarking.md).
+#include "perf/cli.hpp"
 
-#include <vector>
-
-#include "engine/engine.hpp"
-#include "sim/workloads.hpp"
-
-namespace {
-
-using namespace msrs;
-
-std::vector<Instance> mixed_batch() {
-  // 5 families x 40 seeds x 5 repeats = 1000 instances, 200 unique shapes.
-  std::vector<Instance> batch;
-  batch.reserve(1000);
-  for (int repeat = 0; repeat < 5; ++repeat)
-    for (int seed = 1; seed <= 40; ++seed)
-      for (const Family family :
-           {Family::kUniform, Family::kBimodal, Family::kManySmallClasses,
-            Family::kSatellite, Family::kPhotolith})
-        batch.push_back(generate(family, 60, 3 + (seed % 3) * 2,
-                                 static_cast<std::uint64_t>(seed)));
-  return batch;
+int main(int argc, char** argv) {
+  return msrs::perf::bench_main(argc, argv, "e11_engine");
 }
-
-void BM_BatchEngine(benchmark::State& state) {
-  const unsigned threads = static_cast<unsigned>(state.range(0));
-  const bool cache = state.range(1) != 0;
-  const std::vector<Instance> batch = mixed_batch();
-
-  engine::BatchOptions options;
-  options.threads = threads;
-  options.cache = cache;
-  std::size_t solved = 0, hits = 0;
-  for (auto _ : state) {
-    engine::BatchEngine batch_engine(
-        engine::SolverRegistry::default_registry(), options);
-    const auto results = batch_engine.solve(batch);
-    benchmark::DoNotOptimize(results.data());
-    solved = batch_engine.stats().solved;
-    hits = batch_engine.stats().cache_hits;
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(batch.size()));
-  state.counters["solved"] = static_cast<double>(solved);
-  state.counters["cache_hits"] = static_cast<double>(hits);
-  state.SetLabel((cache ? "cache/" : "nocache/") + std::string("t=") +
-                 std::to_string(threads));
-}
-
-void args(benchmark::internal::Benchmark* bench) {
-  for (int cache : {0, 1})
-    for (int threads : {1, 2, 4, 8}) bench->Args({threads, cache});
-}
-BENCHMARK(BM_BatchEngine)->Apply(args)->Unit(benchmark::kMillisecond);
-
-}  // namespace
-
-BENCHMARK_MAIN();

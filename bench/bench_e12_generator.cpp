@@ -1,107 +1,10 @@
-// E12 — generator subsystem: spec parsing, corpus generation throughput,
-// and BatchEngine-backed sweep evaluation.
+// E12 — generator subsystem throughput and sweep evaluation.
 //
-// BM_Generate sweeps every family at a fixed size and reports generated
-// instances/sec (the generator must never be the bottleneck of a sweep).
-// BM_SweepEvaluate runs a full grid (families x sizes x seeds) through
-// evaluate_corpus and reports the deterministic quality columns as
-// counters, so regressions in either the generator shapes or the portfolio
-// show up as counter drift, not just time drift.
-#include <benchmark/benchmark.h>
+// Thin wrapper over the shared perf harness (src/perf): runs the
+// registered "e12_generator" case; all flags of perf::bench_main apply
+// (--json, --timing, --baseline, ... — see docs/benchmarking.md).
+#include "perf/cli.hpp"
 
-#include <string>
-#include <vector>
-
-#include "engine/engine.hpp"
-#include "sim/workloads.hpp"
-
-namespace {
-
-using namespace msrs;
-
-void BM_SpecParse(benchmark::State& state) {
-  const std::string text = "huge_heavy:n=5000,m=32,classes=zipf(1.2),seed=7";
-  for (auto _ : state) {
-    auto spec = parse_spec(text);
-    benchmark::DoNotOptimize(spec);
-  }
-  state.SetItemsProcessed(state.iterations());
+int main(int argc, char** argv) {
+  return msrs::perf::bench_main(argc, argv, "e12_generator");
 }
-BENCHMARK(BM_SpecParse);
-
-void BM_Generate(benchmark::State& state) {
-  GeneratorSpec spec;
-  spec.family = kAllFamilies[static_cast<std::size_t>(state.range(0))];
-  spec.jobs = static_cast<int>(state.range(1));
-  spec.machines = 8;
-  std::uint64_t seed = 1;
-  int jobs = 0;
-  for (auto _ : state) {
-    spec.seed = seed++;
-    const Instance instance = generate(spec);
-    benchmark::DoNotOptimize(instance.total_load());
-    jobs = instance.num_jobs();
-  }
-  state.SetItemsProcessed(state.iterations());
-  state.counters["jobs"] = jobs;
-  state.SetLabel(std::string(family_name(spec.family)) + "/n=" +
-                 std::to_string(spec.jobs));
-}
-void generate_args(benchmark::internal::Benchmark* bench) {
-  for (std::size_t f = 0; f < std::size(kAllFamilies); ++f)
-    bench->Args({static_cast<long>(f), 1000});
-}
-BENCHMARK(BM_Generate)->Apply(generate_args);
-
-void BM_SweepEvaluate(benchmark::State& state) {
-  const unsigned threads = static_cast<unsigned>(state.range(0));
-  SweepSpec sweep;
-  sweep.families = {Family::kUniform,       Family::kHugeHeavy,
-                    Family::kSatellite,     Family::kPhotolith,
-                    Family::kLemma9Tight,   Family::kSingleDominant,
-                    Family::kBoundary,      Family::kAdversarialLpt};
-  sweep.jobs = {40, 80, 160};
-  sweep.machines = {8};
-  sweep.seeds = 5;
-
-  std::vector<std::string> groups;
-  std::vector<Instance> instances;
-  std::vector<CorpusEntry> corpus = make_corpus(sweep);
-  groups.reserve(corpus.size());
-  instances.reserve(corpus.size());
-  for (CorpusEntry& entry : corpus) {
-    groups.push_back(family_name(entry.spec.family));
-    instances.push_back(std::move(entry.instance));
-  }
-
-  engine::BatchOptions options;
-  options.threads = threads;
-  double ratio_mean = 0.0, ratio_max = 0.0, invalid = 0.0;
-  for (auto _ : state) {
-    const engine::CorpusReport report = engine::evaluate_corpus(
-        groups, instances, engine::SolverRegistry::default_registry(),
-        options);
-    benchmark::DoNotOptimize(report.results.data());
-    double sum = 0.0;
-    ratio_max = 0.0;
-    invalid = 0.0;
-    for (const engine::GroupReport& group : report.groups) {
-      sum += group.ratio_mean;
-      ratio_max = std::max(ratio_max, group.ratio_max);
-      invalid += static_cast<double>(group.invalid);
-    }
-    ratio_mean = sum / static_cast<double>(report.groups.size());
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(instances.size()));
-  state.counters["ratio_mean"] = ratio_mean;
-  state.counters["ratio_max"] = ratio_max;
-  state.counters["invalid"] = invalid;
-  state.SetLabel("t=" + std::to_string(threads));
-}
-BENCHMARK(BM_SweepEvaluate)->Arg(1)->Arg(4)->Arg(8)
-    ->Unit(benchmark::kMillisecond);
-
-}  // namespace
-
-BENCHMARK_MAIN();

@@ -1,67 +1,10 @@
-// E1 — Theorem 2: Algorithm_5/3 stays within 5/3 of the lower bound T on
-// every workload family (and near-optimal on benign ones). One benchmark row
-// per (family, n, m); counters are the table columns of EXPERIMENTS.md.
-#include "algo/exact.hpp"
-#include "algo/five_thirds.hpp"
-#include "bench_common.hpp"
+// E1 — Theorem 2: Algorithm_5/3 quality per family (and vs the exact optimum).
+//
+// Thin wrapper over the shared perf harness (src/perf): runs the
+// registered "e1_ratio_53" case; all flags of perf::bench_main apply
+// (--json, --timing, --baseline, ... — see docs/benchmarking.md).
+#include "perf/cli.hpp"
 
-namespace {
-
-using namespace msrs;
-using namespace msrs::bench;
-
-void BM_FiveThirdsQuality(benchmark::State& state) {
-  const Family family = kAllFamilies[static_cast<std::size_t>(state.range(0))];
-  const int jobs = static_cast<int>(state.range(1));
-  const int machines = static_cast<int>(state.range(2));
-  QualityRow row;
-  for (auto _ : state)
-    row = quality_row([](const Instance& i) { return five_thirds(i); },
-                      family, jobs, machines, /*seeds=*/10);
-  report(state, row);
-  state.SetLabel(family_name(family));
+int main(int argc, char** argv) {
+  return msrs::perf::bench_main(argc, argv, "e1_ratio_53");
 }
-
-void ratio_args(benchmark::internal::Benchmark* bench) {
-  for (int family = 0; family < 9; ++family) {
-    bench->Args({family, 60, 4});
-    bench->Args({family, 240, 8});
-    bench->Args({family, 1000, 16});
-  }
-}
-BENCHMARK(BM_FiveThirdsQuality)->Apply(ratio_args)->Unit(benchmark::kMillisecond);
-
-// Ratio against the true optimum on exhaustively solvable instances.
-void BM_FiveThirdsVsExact(benchmark::State& state) {
-  const Family family = kAllFamilies[static_cast<std::size_t>(state.range(0))];
-  double worst = 1.0, mean = 0.0;
-  int samples = 0;
-  for (auto _ : state) {
-    worst = 1.0;
-    mean = 0.0;
-    samples = 0;
-    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
-      const Instance instance = generate(family, 9, 3, seed);
-      const ExactResult exact = exact_makespan(instance);
-      if (!exact.optimal) continue;
-      const AlgoResult approx = five_thirds(instance);
-      const double ratio = approx.schedule.makespan(instance) /
-                           static_cast<double>(exact.makespan);
-      worst = std::max(worst, ratio);
-      mean += ratio;
-      ++samples;
-    }
-    if (samples > 0) mean /= samples;
-  }
-  state.counters["ratio_vs_opt_mean"] = mean;
-  state.counters["ratio_vs_opt_max"] = worst;
-  state.counters["samples"] = samples;
-  state.SetLabel(family_name(family));
-}
-BENCHMARK(BM_FiveThirdsVsExact)
-    ->DenseRange(0, 8)
-    ->Unit(benchmark::kMillisecond);
-
-}  // namespace
-
-BENCHMARK_MAIN();

@@ -1,65 +1,10 @@
-// E2 — Theorem 7: Algorithm_3/2 stays within 3/2 of the Lemma-9 bound T on
-// every workload family; against the true optimum on small instances.
-#include "algo/exact.hpp"
-#include "algo/three_halves.hpp"
-#include "bench_common.hpp"
+// E2 — Theorem 7: Algorithm_3/2 quality per family (and vs the exact optimum).
+//
+// Thin wrapper over the shared perf harness (src/perf): runs the
+// registered "e2_ratio_32" case; all flags of perf::bench_main apply
+// (--json, --timing, --baseline, ... — see docs/benchmarking.md).
+#include "perf/cli.hpp"
 
-namespace {
-
-using namespace msrs;
-using namespace msrs::bench;
-
-void BM_ThreeHalvesQuality(benchmark::State& state) {
-  const Family family = kAllFamilies[static_cast<std::size_t>(state.range(0))];
-  const int jobs = static_cast<int>(state.range(1));
-  const int machines = static_cast<int>(state.range(2));
-  QualityRow row;
-  for (auto _ : state)
-    row = quality_row([](const Instance& i) { return three_halves(i); },
-                      family, jobs, machines, /*seeds=*/10);
-  report(state, row);
-  state.SetLabel(family_name(family));
+int main(int argc, char** argv) {
+  return msrs::perf::bench_main(argc, argv, "e2_ratio_32");
 }
-
-void ratio_args(benchmark::internal::Benchmark* bench) {
-  for (int family = 0; family < 9; ++family) {
-    bench->Args({family, 60, 4});
-    bench->Args({family, 240, 8});
-    bench->Args({family, 1000, 16});
-  }
-}
-BENCHMARK(BM_ThreeHalvesQuality)->Apply(ratio_args)->Unit(benchmark::kMillisecond);
-
-void BM_ThreeHalvesVsExact(benchmark::State& state) {
-  const Family family = kAllFamilies[static_cast<std::size_t>(state.range(0))];
-  double worst = 1.0, mean = 0.0;
-  int samples = 0;
-  for (auto _ : state) {
-    worst = 1.0;
-    mean = 0.0;
-    samples = 0;
-    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
-      const Instance instance = generate(family, 9, 3, seed);
-      const ExactResult exact = exact_makespan(instance);
-      if (!exact.optimal) continue;
-      const AlgoResult approx = three_halves(instance);
-      const double ratio = approx.schedule.makespan(instance) /
-                           static_cast<double>(exact.makespan);
-      worst = std::max(worst, ratio);
-      mean += ratio;
-      ++samples;
-    }
-    if (samples > 0) mean /= samples;
-  }
-  state.counters["ratio_vs_opt_mean"] = mean;
-  state.counters["ratio_vs_opt_max"] = worst;
-  state.counters["samples"] = samples;
-  state.SetLabel(family_name(family));
-}
-BENCHMARK(BM_ThreeHalvesVsExact)
-    ->DenseRange(0, 8)
-    ->Unit(benchmark::kMillisecond);
-
-}  // namespace
-
-BENCHMARK_MAIN();

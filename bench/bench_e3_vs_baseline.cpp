@@ -1,69 +1,10 @@
-// E3 — paper Section 1 ("Results"): the 5/3- and 3/2-approximations beat
-// the prior (2m/(m+1))-approximations once m >= 6 resp. m >= 4. This bench
-// sweeps m and reports measured ratios per algorithm together with the
-// theoretical 2m/(m+1) curve; the crossovers appear both in the guarantees
-// and in the measured worst cases on the adversarial family.
-#include "bench_common.hpp"
-#include "engine/registry.hpp"
+// E3 — the 5/3- and 3/2-approximations vs the prior (2m/(m+1)) baselines.
+//
+// Thin wrapper over the shared perf harness (src/perf): runs the
+// registered "e3_vs_baseline" case; all flags of perf::bench_main apply
+// (--json, --timing, --baseline, ... — see docs/benchmarking.md).
+#include "perf/cli.hpp"
 
-namespace {
-
-using namespace msrs;
-using namespace msrs::bench;
-
-const char* kAlgoNames[] = {"merge_lpt", "hebrard", "five_thirds",
-                            "three_halves"};
-
-// All four contenders are dispatched through the engine's SolverRegistry —
-// this bench doubles as a smoke test that the registry path carries the
-// same traffic as the former free-function calls.
-AlgoResult run_algo(int which, const Instance& instance) {
-  const engine::Solver* solver =
-      engine::SolverRegistry::default_registry().find(kAlgoNames[which]);
-  engine::SolverResult result = solver->solve(instance);
-  AlgoResult out;
-  out.schedule = std::move(result.schedule);
-  out.lower_bound = result.lower_bound;
-  out.name = result.solver;
-  return out;
+int main(int argc, char** argv) {
+  return msrs::perf::bench_main(argc, argv, "e3_vs_baseline");
 }
-
-void BM_VsBaseline(benchmark::State& state) {
-  const int which = static_cast<int>(state.range(0));
-  const int machines = static_cast<int>(state.range(1));
-  QualityRow row;
-  for (auto _ : state) {
-    // Aggregate over the two families where class merging hurts most plus a
-    // neutral one.
-    QualityRow adv = quality_row(
-        [&](const Instance& i) { return run_algo(which, i); },
-        Family::kAdversarialLpt, 12 * machines, machines, 10);
-    QualityRow fat = quality_row(
-        [&](const Instance& i) { return run_algo(which, i); },
-        Family::kFewFatClasses, 10 * machines, machines, 10);
-    QualityRow uni = quality_row(
-        [&](const Instance& i) { return run_algo(which, i); },
-        Family::kUniform, 10 * machines, machines, 10);
-    row.ratio_mean = (adv.ratio_mean + fat.ratio_mean + uni.ratio_mean) / 3.0;
-    row.ratio_max = std::max({adv.ratio_max, fat.ratio_max, uni.ratio_max});
-    row.invalid = adv.invalid + fat.invalid + uni.invalid;
-    row.seeds = 30;
-  }
-  report(state, row);
-  state.counters["guarantee"] =
-      which == 0 || which == 1
-          ? 2.0 * machines / (machines + 1.0)
-          : (which == 2 ? 5.0 / 3.0 : 1.5);
-  state.SetLabel(std::string(kAlgoNames[which]) + "/m=" +
-                 std::to_string(machines));
-}
-
-void args(benchmark::internal::Benchmark* bench) {
-  for (int which = 0; which < 4; ++which)
-    for (int m : {2, 3, 4, 6, 8, 12, 16}) bench->Args({which, m});
-}
-BENCHMARK(BM_VsBaseline)->Apply(args)->Unit(benchmark::kMillisecond);
-
-}  // namespace
-
-BENCHMARK_MAIN();

@@ -1,106 +1,10 @@
-// E4 — running-time shape: Theorem 2 promises O(|I|) for Algorithm_5/3 and
-// Theorem 7 promises O(n + m log m) for Algorithm_3/2. Timing sweep over n;
-// the per-row time should scale linearly (google-benchmark reports
-// wall-clock per iteration; divide consecutive rows to see the slope).
-#include "algo/baselines.hpp"
-#include "algo/five_thirds.hpp"
-#include "algo/t_bound.hpp"
-#include "algo/three_halves.hpp"
-#include "bench_common.hpp"
+// E4 — ns/op and allocs/op of the near-linear hot paths (Theorems 2 and 7).
+//
+// Thin wrapper over the shared perf harness (src/perf): runs the
+// registered "e4_runtime" case; all flags of perf::bench_main apply
+// (--json, --timing, --baseline, ... — see docs/benchmarking.md).
+#include "perf/cli.hpp"
 
-namespace {
-
-using namespace msrs;
-
-const Instance& cached_instance(int jobs, int machines) {
-  static std::map<std::pair<int, int>, Instance> cache;
-  const auto key = std::make_pair(jobs, machines);
-  auto it = cache.find(key);
-  if (it == cache.end())
-    it = cache.emplace(key, generate(Family::kUniform, jobs, machines, 42))
-             .first;
-  return it->second;
+int main(int argc, char** argv) {
+  return msrs::perf::bench_main(argc, argv, "e4_runtime");
 }
-
-void BM_FiveThirdsRuntime(benchmark::State& state) {
-  const auto& instance = cached_instance(static_cast<int>(state.range(0)),
-                                         static_cast<int>(state.range(1)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(five_thirds(instance));
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_FiveThirdsRuntime)
-    ->Args({1000, 16})
-    ->Args({10000, 16})
-    ->Args({100000, 16})
-    ->Args({1000000, 16})
-    ->Unit(benchmark::kMillisecond)
-    ->Complexity(benchmark::oN);
-
-void BM_ThreeHalvesRuntime(benchmark::State& state) {
-  const auto& instance = cached_instance(static_cast<int>(state.range(0)),
-                                         static_cast<int>(state.range(1)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(three_halves(instance));
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_ThreeHalvesRuntime)
-    ->Args({1000, 16})
-    ->Args({10000, 16})
-    ->Args({100000, 16})
-    ->Args({1000000, 16})
-    ->Unit(benchmark::kMillisecond)
-    ->Complexity(benchmark::oN);
-
-void BM_TBoundRuntime(benchmark::State& state) {
-  const auto& instance = cached_instance(static_cast<int>(state.range(0)),
-                                         static_cast<int>(state.range(1)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(three_halves_bound(instance));
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_TBoundRuntime)
-    ->Args({1000, 16})
-    ->Args({10000, 16})
-    ->Args({100000, 16})
-    ->Args({1000000, 16})
-    ->Unit(benchmark::kMillisecond)
-    ->Complexity(benchmark::oN);
-
-void BM_MergeLptRuntime(benchmark::State& state) {
-  const auto& instance = cached_instance(static_cast<int>(state.range(0)),
-                                         static_cast<int>(state.range(1)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(merge_lpt(instance));
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_MergeLptRuntime)
-    ->Args({1000, 16})
-    ->Args({10000, 16})
-    ->Args({100000, 16})
-    ->Args({1000000, 16})
-    ->Unit(benchmark::kMillisecond)
-    ->Complexity(benchmark::oNLogN);
-
-// Machine sweep at fixed n: the m log m term of Theorem 7.
-void BM_ThreeHalvesMachines(benchmark::State& state) {
-  const auto& instance = cached_instance(200000,
-                                         static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(three_halves(instance));
-  }
-}
-BENCHMARK(BM_ThreeHalvesMachines)
-    ->Arg(4)
-    ->Arg(16)
-    ->Arg(64)
-    ->Arg(256)
-    ->Unit(benchmark::kMillisecond);
-
-}  // namespace
-
-BENCHMARK_MAIN();

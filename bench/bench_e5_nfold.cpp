@@ -1,79 +1,10 @@
-// E5 — N-fold IP machinery (paper Section 4.2 / Theorem 22): the
-// augmentation solver's runtime grows near-linearly in the number of blocks
-// N for fixed r, s, t, Delta. Timing sweep over N on the scheduling-toy
-// family used in the tests; plus a feasibility-phase-only sweep.
-#include <benchmark/benchmark.h>
+// E5 — Theorem 22: N-fold IP augmentation runtime over the block count N.
+//
+// Thin wrapper over the shared perf harness (src/perf): runs the
+// registered "e5_nfold" case; all flags of perf::bench_main apply
+// (--json, --timing, --baseline, ... — see docs/benchmarking.md).
+#include "perf/cli.hpp"
 
-#include "opt/nfold.hpp"
-
-namespace {
-
-using namespace msrs;
-
-NFold make_toy(int N, std::int64_t target) {
-  NFold problem;
-  problem.r = 1;
-  problem.s = 1;
-  problem.t = 2;
-  problem.N = N;
-  for (int i = 0; i < N; ++i) {
-    problem.A.push_back({1, 0});
-    problem.B.push_back({1, -1});
-  }
-  problem.b.assign(static_cast<std::size_t>(1 + N), 0);
-  problem.b[0] = target;
-  problem.lower.assign(static_cast<std::size_t>(2 * N), 0);
-  problem.upper.assign(static_cast<std::size_t>(2 * N), 3);
-  problem.c.assign(static_cast<std::size_t>(2 * N), 0);
-  for (int i = 0; i < N; ++i)
-    problem.c[static_cast<std::size_t>(2 * i)] = (i % 3) + 1;
-  return problem;
+int main(int argc, char** argv) {
+  return msrs::perf::bench_main(argc, argv, "e5_nfold");
 }
-
-void BM_NFoldSolve(benchmark::State& state) {
-  const int N = static_cast<int>(state.range(0));
-  const NFold problem = make_toy(N, 2 * N / 3);
-  std::uint64_t iterations = 0;
-  bool feasible = false;
-  for (auto _ : state) {
-    const NFoldResult result = solve_nfold(problem);
-    iterations = result.iterations;
-    feasible = result.feasible;
-    benchmark::DoNotOptimize(result.objective);
-  }
-  state.counters["aug_iterations"] = static_cast<double>(iterations);
-  state.counters["feasible"] = feasible ? 1.0 : 0.0;
-  state.SetComplexityN(N);
-}
-BENCHMARK(BM_NFoldSolve)
-    ->Arg(4)
-    ->Arg(8)
-    ->Arg(16)
-    ->Arg(32)
-    ->Arg(64)
-    ->Unit(benchmark::kMillisecond)
-    ->Complexity();
-
-// Feasibility-only (c empty): phase 1 alone.
-void BM_NFoldFeasibility(benchmark::State& state) {
-  const int N = static_cast<int>(state.range(0));
-  NFold problem = make_toy(N, N);
-  problem.c.clear();
-  for (auto _ : state) {
-    const NFoldResult result = solve_nfold(problem);
-    benchmark::DoNotOptimize(result.feasible);
-  }
-  state.SetComplexityN(N);
-}
-BENCHMARK(BM_NFoldFeasibility)
-    ->Arg(4)
-    ->Arg(8)
-    ->Arg(16)
-    ->Arg(32)
-    ->Arg(64)
-    ->Unit(benchmark::kMillisecond)
-    ->Complexity();
-
-}  // namespace
-
-BENCHMARK_MAIN();

@@ -1,85 +1,10 @@
-// E6 — Theorem 14: EPTAS quality versus epsilon on constant-m instances,
-// measured against the exact optimum (small n) and the lower bound
-// (medium n); plus the resource-augmentation mode's machine usage.
-#include "algo/exact.hpp"
-#include "bench_common.hpp"
-#include "ptas/eptas.hpp"
+// E6 — Theorem 14: EPTAS quality vs epsilon against the exact optimum.
+//
+// Thin wrapper over the shared perf harness (src/perf): runs the
+// registered "e6_eptas" case; all flags of perf::bench_main apply
+// (--json, --timing, --baseline, ... — see docs/benchmarking.md).
+#include "perf/cli.hpp"
 
-namespace {
-
-using namespace msrs;
-using namespace msrs::bench;
-
-void BM_EptasVsExact(benchmark::State& state) {
-  const int e = static_cast<int>(state.range(0));
-  const Family family = kAllFamilies[static_cast<std::size_t>(state.range(1))];
-  double mean = 0.0, worst = 1.0, fallbacks = 0.0;
-  int samples = 0;
-  for (auto _ : state) {
-    mean = 0.0;
-    worst = 1.0;
-    fallbacks = 0.0;
-    samples = 0;
-    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
-      const Instance instance = generate(family, 10, 3, seed);
-      const EptasResult result =
-          eptas(instance, {.e = e, .m_constant = true});
-      const ExactResult exact = exact_makespan(instance);
-      if (!exact.optimal) continue;
-      const double ratio = result.schedule.makespan(instance) /
-                           static_cast<double>(exact.makespan);
-      mean += ratio;
-      worst = std::max(worst, ratio);
-      fallbacks += result.used_fallback ? 1.0 : 0.0;
-      ++samples;
-    }
-    if (samples > 0) mean /= samples;
-  }
-  state.counters["ratio_vs_opt_mean"] = mean;
-  state.counters["ratio_vs_opt_max"] = worst;
-  state.counters["one_plus_eps"] = 1.0 + 1.0 / e;
-  state.counters["fallbacks"] = fallbacks;
-  state.SetLabel(std::string(family_name(family)) + "/eps=1over" +
-                 std::to_string(e));
+int main(int argc, char** argv) {
+  return msrs::perf::bench_main(argc, argv, "e6_eptas");
 }
-
-void args(benchmark::internal::Benchmark* bench) {
-  for (int e : {2, 3})
-    for (int family : {0, 1, 3, 5, 8}) bench->Args({e, family});
-}
-BENCHMARK(BM_EptasVsExact)->Apply(args)->Unit(benchmark::kMillisecond);
-
-void BM_EptasAugmentation(benchmark::State& state) {
-  const Family family = kAllFamilies[static_cast<std::size_t>(state.range(0))];
-  double machines_used = 0.0, base_machines = 0.0, ratio_mean = 0.0;
-  for (auto _ : state) {
-    machines_used = 0.0;
-    ratio_mean = 0.0;
-    int samples = 0;
-    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-      const Instance instance = generate(family, 40, 6, seed);
-      base_machines = instance.machines();
-      const EptasResult result =
-          eptas(instance, {.e = 2, .m_constant = false});
-      machines_used = std::max(machines_used,
-                               static_cast<double>(result.machines_used));
-      const Time T = lower_bounds(instance).combined;
-      ratio_mean += result.schedule.makespan(instance) / static_cast<double>(T);
-      ++samples;
-    }
-    ratio_mean /= samples;
-  }
-  state.counters["machines"] = base_machines;
-  state.counters["machines_used_max"] = machines_used;
-  state.counters["ratio_vs_T_mean"] = ratio_mean;
-  state.SetLabel(family_name(family));
-}
-BENCHMARK(BM_EptasAugmentation)
-    ->Arg(0)
-    ->Arg(1)
-    ->Arg(3)
-    ->Unit(benchmark::kMillisecond);
-
-}  // namespace
-
-BENCHMARK_MAIN();

@@ -1,76 +1,10 @@
-// E7 — Theorem 23 / Lemma 24: the reduction's 4-vs-5 gap. For each formula
-// size: build the gadget, verify the constructive makespan-4 schedule on
-// satisfiable formulas (ground truth by DPLL), the makespan-5 trivial
-// schedule, decode round-trips, and the implied inapproximability ratio
-// 5/4. Also times the gadget construction (polynomial, near-linear).
-#include <benchmark/benchmark.h>
+// E7 — Theorem 23 / Lemma 24: the 4-vs-5 hardness gadget.
+//
+// Thin wrapper over the shared perf harness (src/perf): runs the
+// registered "e7_hardness" case; all flags of perf::bench_main apply
+// (--json, --timing, --baseline, ... — see docs/benchmarking.md).
+#include "perf/cli.hpp"
 
-#include "multires/mschedule.hpp"
-#include "multires/reduction.hpp"
-#include "multires/sat.hpp"
-
-namespace {
-
-using namespace msrs;
-
-void BM_HardnessGap(benchmark::State& state) {
-  const int vars = static_cast<int>(state.range(0));
-  double sat_rate = 0.0, decode_ok = 0.0, gap = 0.0, jobs = 0.0;
-  for (auto _ : state) {
-    int sat = 0, decoded = 0, total = 0;
-    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
-      const Cnf formula = generate_monotone22(vars, seed);
-      const auto model = dpll(formula);
-      const Reduction red = build_reduction(formula);
-      jobs = red.instance.num_jobs();
-      ++total;
-      if (model.has_value()) {
-        ++sat;
-        const MSchedule schedule = schedule_from_assignment(red, *model);
-        if (validate_multi(red.instance, schedule, 4).ok()) {
-          const auto back = assignment_from_schedule(red, schedule);
-          if (back && formula.satisfied_by(*back)) ++decoded;
-        }
-      }
-      // The 5-schedule always exists.
-      const MSchedule fallback = trivial_schedule(red);
-      benchmark::DoNotOptimize(
-          validate_multi(red.instance, fallback, 5).ok());
-    }
-    sat_rate = static_cast<double>(sat) / total;
-    decode_ok = sat > 0 ? static_cast<double>(decoded) / sat : 1.0;
-    gap = 5.0 / 4.0;
-  }
-  state.counters["sat_rate"] = sat_rate;
-  state.counters["decode_roundtrip"] = decode_ok;
-  state.counters["gap"] = gap;
-  state.counters["gadget_jobs"] = jobs;
+int main(int argc, char** argv) {
+  return msrs::perf::bench_main(argc, argv, "e7_hardness");
 }
-BENCHMARK(BM_HardnessGap)
-    ->Arg(6)
-    ->Arg(12)
-    ->Arg(24)
-    ->Arg(48)
-    ->Unit(benchmark::kMillisecond);
-
-// Construction cost: the reduction is the paper's polynomial transformation.
-void BM_GadgetConstruction(benchmark::State& state) {
-  const int vars = static_cast<int>(state.range(0));
-  const Cnf formula = generate_monotone22(vars, 1);
-  for (auto _ : state) {
-    const Reduction red = build_reduction(formula);
-    benchmark::DoNotOptimize(red.instance.num_jobs());
-  }
-  state.SetComplexityN(vars);
-}
-BENCHMARK(BM_GadgetConstruction)
-    ->Arg(6)
-    ->Arg(24)
-    ->Arg(96)
-    ->Arg(384)
-    ->Unit(benchmark::kMicrosecond)
-    ->Complexity(benchmark::oN);
-
-}  // namespace
-
-BENCHMARK_MAIN();

@@ -1,46 +1,10 @@
-// E8 — total-completion-time variant (paper Section 1 related work,
-// Janssen et al.): SPT list scheduling versus the relaxation lower bound
-// per family; the (2 - 1/m) guarantee is relative to OPT, so measured
-// ratios versus the (weaker) bound may exceed it slightly — the shape to
-// check is that ratios shrink as m grows and stay well under 2x-ish.
-#include "bench_common.hpp"
-#include "ext/completion_time.hpp"
+// E8 — total-completion-time extension: SPT vs the relaxation bound.
+//
+// Thin wrapper over the shared perf harness (src/perf): runs the
+// registered "e8_completion" case; all flags of perf::bench_main apply
+// (--json, --timing, --baseline, ... — see docs/benchmarking.md).
+#include "perf/cli.hpp"
 
-namespace {
-
-using namespace msrs;
-using namespace msrs::bench;
-
-void BM_SptCompletion(benchmark::State& state) {
-  const Family family = kAllFamilies[static_cast<std::size_t>(state.range(0))];
-  const int machines = static_cast<int>(state.range(1));
-  double ratio_mean = 0.0, ratio_max = 0.0;
-  for (auto _ : state) {
-    std::vector<double> ratios;
-    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
-      const Instance instance = generate(family, 20 * machines, machines, seed);
-      const AlgoResult result = spt_completion(instance);
-      const double objective = total_completion_time(instance, result.schedule);
-      const double bound =
-          static_cast<double>(completion_time_lower_bound(instance));
-      ratios.push_back(objective / bound);
-    }
-    const Summary summary = summarize(ratios);
-    ratio_mean = summary.mean;
-    ratio_max = summary.max;
-  }
-  state.counters["ratio_mean"] = ratio_mean;
-  state.counters["ratio_max"] = ratio_max;
-  state.counters["two_minus_1_over_m"] = 2.0 - 1.0 / machines;
-  state.SetLabel(family_name(family));
+int main(int argc, char** argv) {
+  return msrs::perf::bench_main(argc, argv, "e8_completion");
 }
-
-void args(benchmark::internal::Benchmark* bench) {
-  for (int family : {0, 1, 3, 5, 6}) // uniform, bimodal, many_small, satellite, photolith
-    for (int machines : {2, 4, 8}) bench->Args({family, machines});
-}
-BENCHMARK(BM_SptCompletion)->Apply(args)->Unit(benchmark::kMillisecond);
-
-}  // namespace
-
-BENCHMARK_MAIN();

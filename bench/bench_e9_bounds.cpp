@@ -1,51 +1,10 @@
-// E9 — Note 1 / Lemma 9: tightness of the lower bounds. How close are the
-// combined bound of Note 1 and the Lemma-9 census bound T to the true
-// optimum on exhaustively solvable instances? (OPT/T close to 1 means the
-// approximation ratios measured elsewhere are not artifacts of weak bounds.)
-#include "algo/exact.hpp"
-#include "algo/t_bound.hpp"
-#include "bench_common.hpp"
+// E9 — Note 1 / Lemma 9: tightness of the lower bounds vs OPT.
+//
+// Thin wrapper over the shared perf harness (src/perf): runs the
+// registered "e9_bounds" case; all flags of perf::bench_main apply
+// (--json, --timing, --baseline, ... — see docs/benchmarking.md).
+#include "perf/cli.hpp"
 
-namespace {
-
-using namespace msrs;
-using namespace msrs::bench;
-
-void BM_BoundTightness(benchmark::State& state) {
-  const Family family = kAllFamilies[static_cast<std::size_t>(state.range(0))];
-  double combined_mean = 0.0, lemma9_mean = 0.0, worst = 1.0;
-  int samples = 0;
-  for (auto _ : state) {
-    combined_mean = 0.0;
-    lemma9_mean = 0.0;
-    worst = 1.0;
-    samples = 0;
-    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
-      const Instance instance = generate(family, 9, 3, seed);
-      const ExactResult exact = exact_makespan(instance);
-      if (!exact.optimal) continue;
-      const double opt = static_cast<double>(exact.makespan);
-      const double combined =
-          static_cast<double>(lower_bounds(instance).combined);
-      const double lemma9 = static_cast<double>(three_halves_bound(instance));
-      combined_mean += opt / combined;
-      lemma9_mean += opt / lemma9;
-      worst = std::max(worst, opt / combined);
-      ++samples;
-    }
-    if (samples > 0) {
-      combined_mean /= samples;
-      lemma9_mean /= samples;
-    }
-  }
-  state.counters["opt_over_note1_mean"] = combined_mean;
-  state.counters["opt_over_lemma9_mean"] = lemma9_mean;
-  state.counters["opt_over_note1_max"] = worst;
-  state.counters["samples"] = samples;
-  state.SetLabel(family_name(family));
+int main(int argc, char** argv) {
+  return msrs::perf::bench_main(argc, argv, "e9_bounds");
 }
-BENCHMARK(BM_BoundTightness)->DenseRange(0, 8)->Unit(benchmark::kMillisecond);
-
-}  // namespace
-
-BENCHMARK_MAIN();

@@ -1,15 +1,16 @@
-// Prior-art baselines the paper compares against (Section 1):
-//
-//  * Strusevich [29]: merge each class into a single job (no two jobs of a
-//    class can ever run in parallel anyway) and run LPT on the resulting
-//    resource-free instance. This is his "faster, simpler"
-//    (2m/(m+1))-approximation.
-//  * Hebrard et al. [17]: successively choose jobs by their size and the
-//    remaining load of their class, inserting each at the earliest feasible
-//    start. (Our implementation is a faithful reading of the paper's
-//    one-sentence description of that algorithm; the published
-//    (2m/(m+1)) analysis applies to the authors' exact insertion procedure,
-//    so we report measured ratios without claiming their bound.)
+/// \file
+/// Prior-art baselines the paper compares against (Section 1):
+///
+///  * Strusevich [29]: merge each class into a single job (no two jobs of a
+///    class can ever run in parallel anyway) and run LPT on the resulting
+///    resource-free instance. This is his "faster, simpler"
+///    (2m/(m+1))-approximation.
+///  * Hebrard et al. [17]: successively choose jobs by their size and the
+///    remaining load of their class, inserting each at the earliest feasible
+///    start. (Our implementation is a faithful reading of the paper's
+///    one-sentence description of that algorithm; the published
+///    (2m/(m+1)) analysis applies to the authors' exact insertion procedure,
+///    so we report measured ratios without claiming their bound.)
 #pragma once
 
 #include "algo/common.hpp"
@@ -17,10 +18,11 @@
 
 namespace msrs {
 
-// Strusevich-style class merging + LPT.
+/// Strusevich-style class merging + LPT.
 AlgoResult merge_lpt(const Instance& instance);
 
-// Hebrard-style priority insertion (classes by remaining load, jobs by size).
+/// Hebrard-style priority insertion (classes by remaining load, jobs by
+/// size).
 AlgoResult hebrard_insertion(const Instance& instance);
 
 }  // namespace msrs

@@ -1,4 +1,5 @@
-// Shared helpers for the scheduling algorithms.
+/// \file
+/// Shared helpers for the scheduling algorithms.
 #pragma once
 
 #include <span>
@@ -9,23 +10,23 @@
 
 namespace msrs {
 
-// Result of an approximation algorithm: the schedule plus the lower bound T
-// it was proven against (the paper's T; always <= OPT). The guarantee of
-// algorithm X is makespan_scaled <= ratio * T * scale.
+/// Result of an approximation algorithm: the schedule plus the lower bound T
+/// it was proven against (the paper's T; always <= OPT). The guarantee of
+/// algorithm X is makespan_scaled <= ratio * T * scale.
 struct AlgoResult {
-  Schedule schedule;
-  Time lower_bound = 0;  // T, in instance units
-  std::string name;
+  Schedule schedule;     ///< the produced schedule
+  Time lower_bound = 0;  ///< T, in instance units (0 = none proven)
+  std::string name;      ///< producing algorithm
 
-  // makespan / lower_bound; an upper bound on the real approximation ratio.
+  /// makespan / lower_bound; an upper bound on the real approximation ratio.
   double ratio_vs_bound(const Instance& instance) const {
     if (lower_bound == 0) return 1.0;
     return schedule.makespan(instance) / static_cast<double>(lower_bound);
   }
 };
 
-// Places `jobs` consecutively on `machine` starting at scaled time `start`.
-// Returns the scaled end time.
+/// Places `jobs` consecutively on `machine` starting at scaled time `start`.
+/// Returns the scaled end time.
 inline Time place_block(const Instance& instance, Schedule& schedule,
                         std::span<const JobId> jobs, int machine, Time start) {
   Time cursor = start;
@@ -36,8 +37,8 @@ inline Time place_block(const Instance& instance, Schedule& schedule,
   return cursor;
 }
 
-// Places `jobs` consecutively on `machine` so the block ends at scaled time
-// `end`. Returns the scaled start time.
+/// Places `jobs` consecutively on `machine` so the block ends at scaled time
+/// `end`. Returns the scaled start time.
 inline Time place_block_ending(const Instance& instance, Schedule& schedule,
                                std::span<const JobId> jobs, int machine,
                                Time end) {
@@ -47,7 +48,7 @@ inline Time place_block_ending(const Instance& instance, Schedule& schedule,
   return end - total;
 }
 
-// Total scaled length of a block.
+/// Total scaled length of a block.
 inline Time block_length(const Instance& instance, const Schedule& schedule,
                          std::span<const JobId> jobs) {
   Time total = 0;
@@ -55,8 +56,8 @@ inline Time block_length(const Instance& instance, const Schedule& schedule,
   return total;
 }
 
-// The trivial schedule used when m >= |C|: one machine per class
-// (paper, Note 1 discussion). Scale 1, makespan = max_c p(c).
+/// The trivial schedule used when m >= |C|: one machine per class
+/// (paper, Note 1 discussion). Scale 1, makespan = max_c p(c).
 AlgoResult one_machine_per_class(const Instance& instance);
 
 }  // namespace msrs

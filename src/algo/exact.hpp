@@ -1,11 +1,12 @@
-// Exact makespan via chronological branch-and-bound.
-//
-// Used as ground truth for the empirical approximation-ratio experiments
-// (EXPERIMENTS.md E1/E2/E6/E9) on small instances. The search is complete:
-// any left-shifted schedule is reproducible by the branching scheme
-// (schedule an available job on the earliest-free machine / idle that
-// machine to the next class release / retire the machine), so the returned
-// value is OPT whenever the node limit is not hit.
+/// \file
+/// Exact makespan via chronological branch-and-bound.
+///
+/// Used as ground truth for the empirical approximation-ratio experiments
+/// (perf harness cases E1/E2/E6/E9) on small instances. The search is
+/// complete: any left-shifted schedule is reproducible by the branching
+/// scheme (schedule an available job on the earliest-free machine / idle
+/// that machine to the next class release / retire the machine), so the
+/// returned value is OPT whenever the node limit is not hit.
 #pragma once
 
 #include <cstdint>
@@ -15,25 +16,28 @@
 
 namespace msrs {
 
+/// Search knobs of exact_makespan().
 struct ExactOptions {
-  std::uint64_t node_limit = 20'000'000;
-  // Disables lower-bound pruning (exhaustive search); used by tests to
-  // validate the pruned search on tiny instances.
+  std::uint64_t node_limit = 20'000'000;  ///< search-node budget
+  /// Disables lower-bound pruning (exhaustive search); used by tests to
+  /// validate the pruned search on tiny instances.
   bool prune = true;
 };
 
+/// Outcome of the branch-and-bound search.
 struct ExactResult {
-  Time makespan = 0;       // best makespan found (instance units)
-  Schedule schedule;       // scale 1; a schedule attaining `makespan`
-  bool optimal = false;    // true iff search completed within the node limit
-  std::uint64_t nodes = 0;
+  Time makespan = 0;       ///< best makespan found (instance units)
+  Schedule schedule;       ///< scale 1; a schedule attaining `makespan`
+  bool optimal = false;    ///< true iff search completed within the limit
+  std::uint64_t nodes = 0; ///< search nodes expanded
 };
 
+/// Runs the branch-and-bound search.
 ExactResult exact_makespan(const Instance& instance,
                            const ExactOptions& options = {});
 
-// Decision variant: is there a schedule with makespan <= deadline?
-// Returns 1 (yes), 0 (no), -1 (node limit hit, unknown).
+/// Decision variant: is there a schedule with makespan <= deadline?
+/// Returns 1 (yes), 0 (no), -1 (node limit hit, unknown).
 int exact_decide(const Instance& instance, Time deadline,
                  const ExactOptions& options = {});
 

@@ -1,10 +1,11 @@
-// Algorithm_5/3 (paper Section 2, Theorem 2).
-//
-// A linear-time 5/3-approximation. With T = max{ceil(p(J)/m), max_c p(c),
-// p_(m)+p_(m+1)} the schedule it builds has makespan <= (5/3)T <= (5/3)OPT.
-//
-// All times are exact: the returned schedule has scale 3, so the deadline
-// "(5/3)T" is the scaled time 5T.
+/// \file
+/// Algorithm_5/3 (paper Section 2, Theorem 2).
+///
+/// A linear-time 5/3-approximation. With T = max{ceil(p(J)/m), max_c p(c),
+/// p_(m)+p_(m+1)} the schedule it builds has makespan <= (5/3)T <= (5/3)OPT.
+///
+/// All times are exact: the returned schedule has scale 3, so the deadline
+/// "(5/3)T" is the scaled time 5T.
 #pragma once
 
 #include "algo/common.hpp"
@@ -12,6 +13,7 @@
 
 namespace msrs {
 
+/// Runs Algorithm_5/3; makespan <= (5/3)T with T the Note-1 bound.
 AlgoResult five_thirds(const Instance& instance);
 
 }  // namespace msrs

@@ -6,30 +6,57 @@
 #include "core/lower_bounds.hpp"
 
 namespace msrs {
+namespace {
 
-std::vector<JobId> priority_order(const Instance& instance,
-                                  ListPriority priority) {
-  std::vector<JobId> order(static_cast<std::size_t>(instance.num_jobs()));
+// Reused per-thread buffers of the list-scheduling hot path: one arena per
+// thread means every BatchEngine shard (and every portfolio race worker)
+// serves its whole instance stream without re-allocating these.
+struct ListScratch {
+  std::vector<JobId> order;
+  std::vector<Time> machine_free;
+  std::vector<Time> class_free;
+};
+
+thread_local ListScratch t_scratch;
+
+// The comparators below add the job id as the final tie-break, which makes
+// plain sort produce exactly the stable_sort order without its temporary
+// buffer allocation.
+void priority_order_into(const Instance& instance, ListPriority priority,
+                         std::vector<JobId>& order) {
+  order.resize(static_cast<std::size_t>(instance.num_jobs()));
   std::iota(order.begin(), order.end(), 0);
   switch (priority) {
     case ListPriority::kInputOrder:
       break;
     case ListPriority::kLptJob:
-      std::stable_sort(order.begin(), order.end(), [&](JobId a, JobId b) {
-        return instance.size(a) > instance.size(b);
+      std::sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+        if (instance.size(a) != instance.size(b))
+          return instance.size(a) > instance.size(b);
+        return a < b;
       });
       break;
     case ListPriority::kClassLoadDesc:
-      std::stable_sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+      std::sort(order.begin(), order.end(), [&](JobId a, JobId b) {
         const Time la = instance.class_load(instance.job_class(a));
         const Time lb = instance.class_load(instance.job_class(b));
         if (la != lb) return la > lb;
         if (instance.job_class(a) != instance.job_class(b))
           return instance.job_class(a) < instance.job_class(b);
-        return instance.size(a) > instance.size(b);
+        if (instance.size(a) != instance.size(b))
+          return instance.size(a) > instance.size(b);
+        return a < b;
       });
       break;
   }
+}
+
+}  // namespace
+
+std::vector<JobId> priority_order(const Instance& instance,
+                                  ListPriority priority) {
+  std::vector<JobId> order;
+  priority_order_into(instance, priority, order);
   return order;
 }
 
@@ -39,10 +66,16 @@ AlgoResult list_schedule(const Instance& instance, ListPriority priority) {
   result.lower_bound = lower_bounds(instance).combined;
   result.schedule = Schedule(instance.num_jobs(), /*scale=*/1);
 
-  std::vector<Time> machine_free(static_cast<std::size_t>(instance.machines()), 0);
-  std::vector<Time> class_free(static_cast<std::size_t>(instance.num_classes()), 0);
+  ListScratch& scratch = t_scratch;
+  priority_order_into(instance, priority, scratch.order);
+  scratch.machine_free.assign(static_cast<std::size_t>(instance.machines()),
+                              0);
+  scratch.class_free.assign(static_cast<std::size_t>(instance.num_classes()),
+                            0);
+  std::vector<Time>& machine_free = scratch.machine_free;
+  std::vector<Time>& class_free = scratch.class_free;
 
-  for (JobId j : priority_order(instance, priority)) {
+  for (JobId j : scratch.order) {
     const auto c = static_cast<std::size_t>(instance.job_class(j));
     // Earliest feasible start over machines (resource-aware); ties broken
     // towards the machine that frees up first, then lower index.

@@ -1,5 +1,6 @@
-// Resource-aware list scheduling: the workhorse behind the prior-art
-// baselines (Section 1 of the paper) and a sanity baseline of its own.
+/// \file
+/// Resource-aware list scheduling: the workhorse behind the prior-art
+/// baselines (Section 1 of the paper) and a sanity baseline of its own.
 #pragma once
 
 #include <vector>
@@ -9,18 +10,21 @@
 
 namespace msrs {
 
+/// Job orderings of list_schedule().
 enum class ListPriority {
-  kInputOrder,      // jobs in instance order
-  kLptJob,          // largest processing time first
-  kClassLoadDesc,   // classes by total load (desc), jobs within class by size
+  kInputOrder,      ///< jobs in instance order
+  kLptJob,          ///< largest processing time first
+  kClassLoadDesc,   ///< classes by total load (desc), jobs within by size
 };
 
-// Schedules jobs one by one in priority order. Each job starts at
-// max(min_k machine_free[k], class_free[class]) on a machine attaining the
-// earliest such start. Resource conflicts are avoided by construction.
+/// Schedules jobs one by one in priority order. Each job starts at
+/// max(min_k machine_free[k], class_free[class]) on a machine attaining the
+/// earliest such start. Resource conflicts are avoided by construction.
+/// Allocation-free in steady state (per-thread scratch buffers; see
+/// docs/benchmarking.md).
 AlgoResult list_schedule(const Instance& instance, ListPriority priority);
 
-// Returns the job order used by `list_schedule` (exposed for tests).
+/// Returns the job order used by `list_schedule` (exposed for tests).
 std::vector<JobId> priority_order(const Instance& instance,
                                   ListPriority priority);
 

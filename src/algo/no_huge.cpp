@@ -3,14 +3,17 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
-#include <deque>
 #include <stdexcept>
 
 #include "core/class_partition.hpp"
 #include "core/lower_bounds.hpp"
+#include "util/fifo.hpp"
 
 namespace msrs {
 namespace {
+
+// FIFO views over reused per-thread index buffers (util/fifo.hpp).
+using IndexQueue = FifoView<std::size_t>;
 
 // Split of a virtual class per Lemma 10 (classes with p(c) >= (3/4)T).
 struct VSplit {
@@ -19,7 +22,7 @@ struct VSplit {
 };
 
 VSplit vsplit10(const Instance& instance, const VirtualClass& vc, Time T) {
-  ClassSplit s = split_lemma10_jobs(instance, vc.jobs, T);
+  ClassSplit s = split_lemma10_jobs(instance, vc.jobs(), T);
   return {std::move(s.hat), std::move(s.check), s.hat_load, s.check_load};
 }
 
@@ -53,6 +56,7 @@ class Runner {
   // A machine still accepting greedy classes. Its occupied region is
   // [0, cursor) plus, for the gap machine of Step 6.2b, a reserved block
   // [top_start, 3T). `load` tracks total load for the close rule.
+  // machine < 0 means "no target open yet".
   struct GreedyTarget {
     int machine = -1;
     Time cursor = 0;                       // next free position
@@ -60,29 +64,26 @@ class Runner {
     Time load = 0;                         // scaled
   };
 
-  // Greedily places the remaining small classes (p <= T/2) on the given
-  // partially-filled targets first, then on fresh machines; a machine closes
-  // once its load reaches "1" (2T scaled).
-  void greedy_finish(std::vector<GreedyTarget> targets,
-                     std::deque<VirtualClass>& smalls) {
-    std::size_t ti = 0;
+  // Greedily places the remaining small classes (p <= T/2) on `target`
+  // first (when open), then on fresh machines; a machine closes once its
+  // load reaches "1" (2T scaled). Targets close in order and never reopen,
+  // so a single current target replaces the former target vector.
+  void greedy_finish(GreedyTarget target, std::span<const VirtualClass> classes,
+                     IndexQueue& smalls) {
     while (!smalls.empty()) {
-      if (ti >= targets.size()) {
-        targets.push_back(GreedyTarget{alloc(), 0, -1, 0});
-      }
-      GreedyTarget& t = targets[ti];
-      if (t.load >= unit()) {  // machine full: close, move on
-        ++ti;
+      if (target.machine < 0) target = GreedyTarget{alloc(), 0, -1, 0};
+      if (target.load >= unit()) {  // machine full: close, move on
+        target.machine = -1;
         continue;
       }
-      const VirtualClass vc = std::move(smalls.front());
+      const VirtualClass& vc = classes[smalls.front()];
       smalls.pop_front();
       assert(2 * vc.load <= T_);
-      const Time end = place(vc.jobs, t.machine, t.cursor);
-      t.cursor = end;
-      t.load += 2 * vc.load;
-      assert(t.top_start < 0 || t.cursor <= t.top_start);
-      assert(t.cursor <= deadline());
+      const Time end = place(vc.jobs(), target.machine, target.cursor);
+      target.cursor = end;
+      target.load += 2 * vc.load;
+      assert(target.top_start < 0 || target.cursor <= target.top_start);
+      assert(target.cursor <= deadline());
     }
   }
 
@@ -97,13 +98,17 @@ class Runner {
 }  // namespace
 
 VirtualClass make_virtual(const Instance& instance, ClassId c) {
-  return make_virtual(instance, instance.class_jobs(c));
+  VirtualClass vc;
+  vc.whole = &instance.class_jobs(c);
+  vc.load = instance.class_load(c);
+  vc.max_size = instance.class_max(c);
+  return vc;
 }
 
 VirtualClass make_virtual(const Instance& instance,
                           std::span<const JobId> jobs) {
   VirtualClass vc;
-  vc.jobs.assign(jobs.begin(), jobs.end());
+  vc.frag.assign(jobs.begin(), jobs.end());
   for (JobId j : jobs) {
     vc.load += instance.size(j);
     vc.max_size = std::max(vc.max_size, instance.size(j));
@@ -111,23 +116,30 @@ VirtualClass make_virtual(const Instance& instance,
   return vc;
 }
 
-void no_huge_run(const Instance& instance, std::vector<VirtualClass> classes,
+void no_huge_run(const Instance& instance, std::span<VirtualClass> classes,
                  std::span<const int> machines, Time T, Schedule& sched) {
   Runner run(instance, machines, T, sched);
   const Time D = run.deadline();  // 3T, i.e. "3/2"
 
-  // Bucket the classes. Boundaries (scaled by 2 resp. 4 for exactness):
-  //   heavy: p(c) >= (3/4)T ; mid: p(c) in (T/2, (3/4)T) ; small: p(c) <= T/2
-  std::deque<VirtualClass> heavy, mid, smalls;
-  for (auto& vc : classes) {
+  // Bucket the classes by index. Boundaries (scaled by 2 resp. 4 for
+  // exactness): heavy: p(c) >= (3/4)T; mid: p(c) in (T/2, (3/4)T);
+  // small: p(c) <= T/2. The index buffers are reused per thread.
+  static thread_local std::vector<std::size_t> heavy_store, mid_store,
+      small_store;
+  IndexQueue heavy, mid, smalls;
+  heavy.reset(&heavy_store);
+  mid.reset(&mid_store);
+  smalls.reset(&small_store);
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const VirtualClass& vc = classes[i];
     assert(vc.load <= T);
     assert(4 * vc.max_size <= 3 * T);  // "no huge jobs"
     if (4 * vc.load >= 3 * T) {
-      heavy.push_back(std::move(vc));
+      heavy.push_back(i);
     } else if (2 * vc.load > T) {
-      mid.push_back(std::move(vc));
+      mid.push_back(i);
     } else {
-      smalls.push_back(std::move(vc));
+      smalls.push_back(i);
     }
   }
 
@@ -136,25 +148,25 @@ void no_huge_run(const Instance& instance, std::vector<VirtualClass> classes,
 
   // --- Step 2: pairs of mid classes fill one machine each. ---
   while (mid.size() >= 2) {
-    const VirtualClass c1 = std::move(mid.front());
+    const VirtualClass& c1 = classes[mid.front()];
     mid.pop_front();
-    const VirtualClass c2 = std::move(mid.front());
+    const VirtualClass& c2 = classes[mid.front()];
     mid.pop_front();
     const int machine = run.alloc();
-    run.place(c1.jobs, machine, 0);
-    run.place_ending(c2.jobs, machine, D);
+    run.place(c1.jobs(), machine, 0);
+    run.place_ending(c2.jobs(), machine, D);
     // p(c1)+p(c2) > 1 (closed with load > 1) and both < 3/4 => no overlap.
   }
 
   // --- Step 3: quadruples of heavy classes fill three machines. ---
   while (heavy.size() >= 4) {
-    VirtualClass c1 = std::move(heavy.front());
+    const VirtualClass& c1 = classes[heavy.front()];
     heavy.pop_front();
-    VirtualClass c2 = std::move(heavy.front());
+    const VirtualClass& c2 = classes[heavy.front()];
     heavy.pop_front();
-    VirtualClass c3 = std::move(heavy.front());
+    const VirtualClass& c3 = classes[heavy.front()];
     heavy.pop_front();
-    VirtualClass c4 = std::move(heavy.front());
+    const VirtualClass& c4 = classes[heavy.front()];
     heavy.pop_front();
     const VSplit s1 = vsplit10(instance, c1, T);
     const VSplit s2 = vsplit10(instance, c2, T);
@@ -163,78 +175,81 @@ void no_huge_run(const Instance& instance, std::vector<VirtualClass> classes,
     const int m3 = run.alloc();
     run.place(s1.hat, m1, 0);
     run.place_ending(s2.hat, m1, D);
-    run.place(c3.jobs, m2, 0);
+    run.place(c3.jobs(), m2, 0);
     run.place_ending(s1.check, m2, D);
     const Time check2_end = run.place(s2.check, m3, 0);
-    run.place(c4.jobs, m3, check2_end);
+    run.place(c4.jobs(), m3, check2_end);
   }
 
   // --- Step 4: two heavy + the lone mid class fill two machines. ---
   if (heavy.size() >= 2 && mid.size() == 1) {
-    VirtualClass c1 = std::move(heavy.front());
+    const VirtualClass& c1 = classes[heavy.front()];
     heavy.pop_front();
-    VirtualClass c2 = std::move(heavy.front());
+    const VirtualClass& c2 = classes[heavy.front()];
     heavy.pop_front();
-    VirtualClass c3 = std::move(mid.front());
+    const VirtualClass& c3 = classes[mid.front()];
     mid.pop_front();
     const VSplit s1 = vsplit10(instance, c1, T);
     const int m1 = run.alloc();
     const int m2 = run.alloc();
-    run.place(c3.jobs, m1, 0);
+    run.place(c3.jobs(), m1, 0);
     run.place_ending(s1.hat, m1, D);
     const Time check1_end = run.place(s1.check, m2, 0);
-    run.place(c2.jobs, m2, check1_end);
+    run.place(c2.jobs(), m2, check1_end);
   }
 
   // Classes with p > T/2 still open. After steps 2-4: |mid| + |heavy| <= 3,
   // and if three remain they are all heavy.
-  std::vector<VirtualClass> over;
+  std::array<std::size_t, 3> over{};
+  std::size_t over_count = 0;
   while (!heavy.empty()) {
-    over.push_back(std::move(heavy.front()));
+    assert(over_count < over.size());
+    over[over_count++] = heavy.front();
     heavy.pop_front();
   }
   while (!mid.empty()) {
-    over.push_back(std::move(mid.front()));
+    assert(over_count < over.size());
+    over[over_count++] = mid.front();
     mid.pop_front();
   }
-  assert(over.size() <= 3);
 
   // --- Step 5: at most one class > 1/2 left. ---
-  if (over.size() <= 1) {
-    std::vector<Runner::GreedyTarget> targets;
-    if (over.size() == 1) {
+  if (over_count <= 1) {
+    Runner::GreedyTarget target;
+    if (over_count == 1) {
       const int machine = run.alloc();
-      const Time end = run.place(over[0].jobs, machine, 0);
-      targets.push_back({machine, end, -1, end});
+      const Time end = run.place(classes[over[0]].jobs(), machine, 0);
+      target = {machine, end, -1, end};
     }
-    run.greedy_finish(std::move(targets), smalls);
+    run.greedy_finish(target, classes, smalls);
     return;
   }
 
   // --- Step 6: exactly two classes > 1/2 left. ---
-  if (over.size() == 2) {
+  if (over_count == 2) {
     // c1 is the larger; it is heavy (p(c1) >= 3/4).
-    if (over[0].load < over[1].load) std::swap(over[0], over[1]);
-    const VirtualClass& c1 = over[0];
-    const VirtualClass& c2 = over[1];
+    if (classes[over[0]].load < classes[over[1]].load)
+      std::swap(over[0], over[1]);
+    const VirtualClass& c1 = classes[over[0]];
+    const VirtualClass& c2 = classes[over[1]];
     assert(4 * c1.load >= 3 * T);
 
     if (4 * c2.load <= 3 * T) {  // p(c2) <= 3/4
       if (2 * (c1.load + c2.load) <= 3 * T) {  // 6.1a: both fit on one machine
         const int machine = run.alloc();
-        run.place(c1.jobs, machine, 0);
-        run.place_ending(c2.jobs, machine, D);
-        run.greedy_finish({}, smalls);
+        run.place(c1.jobs(), machine, 0);
+        run.place_ending(c2.jobs(), machine, D);
+        run.greedy_finish({}, classes, smalls);
         return;
       }
       // 6.1b: c2 + hat(c1) on one machine; check(c1) starts the next.
       const VSplit s1 = vsplit10(instance, c1, T);
       const int m1 = run.alloc();
-      run.place(c2.jobs, m1, 0);
+      run.place(c2.jobs(), m1, 0);
       run.place_ending(s1.hat, m1, D);
       const int m2 = run.alloc();
       const Time end = run.place(s1.check, m2, 0);
-      run.greedy_finish({{m2, end, -1, end}}, smalls);
+      run.greedy_finish({m2, end, -1, end}, classes, smalls);
       return;
     }
 
@@ -243,11 +258,11 @@ void no_huge_run(const Instance& instance, std::vector<VirtualClass> classes,
     const VSplit s2 = vsplit10(instance, c2, T);
     if (2 * (s1.hat_load + s2.hat_load) <= 2 * T) {  // 6.2a
       const int m1 = run.alloc();
-      run.place(c2.jobs, m1, 0);
+      run.place(c2.jobs(), m1, 0);
       run.place_ending(s1.hat, m1, D);
       const int m2 = run.alloc();
       const Time end = run.place(s1.check, m2, 0);
-      run.greedy_finish({{m2, end, -1, end}}, smalls);
+      run.greedy_finish({m2, end, -1, end}, classes, smalls);
       return;
     }
     // 6.2b: hats on one machine; checks at bottom/top of the next, greedy
@@ -259,21 +274,22 @@ void no_huge_run(const Instance& instance, std::vector<VirtualClass> classes,
     const Time bottom_end = run.place(s2.check, m2, 0);
     const Time top_start = run.place_ending(s1.check, m2, D);
     run.greedy_finish(
-        {{m2, bottom_end, top_start, bottom_end + (D - top_start)}}, smalls);
+        {m2, bottom_end, top_start, bottom_end + (D - top_start)}, classes,
+        smalls);
     return;
   }
 
   // --- Step 7: exactly three classes > 1/2 left; all heavy. ---
-  assert(over.size() == 3);
-  for (const auto& vc : over) {
-    assert(4 * vc.load >= 3 * T);
-    (void)vc;
-  }
+  assert(over_count == 3);
+#ifndef NDEBUG
+  for (std::size_t i = 0; i < over_count; ++i)
+    assert(4 * classes[over[i]].load >= 3 * T);
+#endif
 
   // 7.1: some hat part is <= 1/2 — reorder it to the front.
-  std::array<VSplit, 3> splits = {vsplit10(instance, over[0], T),
-                                  vsplit10(instance, over[1], T),
-                                  vsplit10(instance, over[2], T)};
+  std::array<VSplit, 3> splits = {vsplit10(instance, classes[over[0]], T),
+                                  vsplit10(instance, classes[over[1]], T),
+                                  vsplit10(instance, classes[over[2]], T)};
   int small_hat = -1;
   for (int i = 0; i < 3; ++i)
     if (2 * splits[static_cast<std::size_t>(i)].hat_load <= T) small_hat = i;
@@ -282,26 +298,26 @@ void no_huge_run(const Instance& instance, std::vector<VirtualClass> classes,
     std::swap(splits[0], splits[static_cast<std::size_t>(small_hat)]);
     const int m1 = run.alloc();
     const Time hat_end = run.place(splits[0].hat, m1, 0);
-    run.place(over[1].jobs, m1, hat_end);
+    run.place(classes[over[1]].jobs(), m1, hat_end);
     const int m2 = run.alloc();
-    run.place(over[2].jobs, m2, 0);
+    run.place(classes[over[2]].jobs(), m2, 0);
     run.place_ending(splits[0].check, m2, D);
-    run.greedy_finish({}, smalls);
+    run.greedy_finish({}, classes, smalls);
     return;
   }
 
   // 7.2: all hats > 1/2.
-  if (2 * (splits[0].check_load + splits[1].check_load + over[2].load) <=
-      3 * T) {
+  if (2 * (splits[0].check_load + splits[1].check_load +
+           classes[over[2]].load) <= 3 * T) {
     // 7.2a: hats of c1,c2 on one machine; checks + whole c3 on the next.
     const int m1 = run.alloc();
     run.place(splits[0].hat, m1, 0);
     run.place_ending(splits[1].hat, m1, D);
     const int m2 = run.alloc();
     const Time b_end = run.place(splits[1].check, m2, 0);
-    run.place(over[2].jobs, m2, b_end);
+    run.place(classes[over[2]].jobs(), m2, b_end);
     run.place_ending(splits[0].check, m2, D);
-    run.greedy_finish({}, smalls);
+    run.greedy_finish({}, classes, smalls);
     return;
   }
   // 7.2b: w.l.o.g. p(check(c1)) > 1/4 (at least one of the two checks is).
@@ -314,11 +330,11 @@ void no_huge_run(const Instance& instance, std::vector<VirtualClass> classes,
   run.place(splits[0].hat, m1, 0);
   run.place_ending(splits[1].hat, m1, D);
   const int m2 = run.alloc();
-  run.place(over[2].jobs, m2, 0);
+  run.place(classes[over[2]].jobs(), m2, 0);
   run.place_ending(splits[0].check, m2, D);
   const int m3 = run.alloc();
   const Time end = run.place(splits[1].check, m3, 0);
-  run.greedy_finish({{m3, end, -1, end}}, smalls);
+  run.greedy_finish({m3, end, -1, end}, classes, smalls);
 }
 
 AlgoResult no_huge(const Instance& instance) {
@@ -340,14 +356,17 @@ AlgoResult no_huge(const Instance& instance) {
         "no_huge: instance contains a huge job (> 3T/4); use three_halves");
 
   result.schedule = Schedule(instance.num_jobs(), /*scale=*/2);
-  std::vector<VirtualClass> classes;
+  // Whole-class aliases are O(1) each; the buffers are reused per thread.
+  static thread_local std::vector<VirtualClass> classes;
+  classes.clear();
   classes.reserve(static_cast<std::size_t>(instance.num_classes()));
   for (ClassId c = 0; c < instance.num_classes(); ++c)
     classes.push_back(make_virtual(instance, c));
-  std::vector<int> machines(static_cast<std::size_t>(instance.machines()));
+  static thread_local std::vector<int> machines;
+  machines.resize(static_cast<std::size_t>(instance.machines()));
   for (int k = 0; k < instance.machines(); ++k)
     machines[static_cast<std::size_t>(k)] = k;
-  no_huge_run(instance, std::move(classes), machines, T, result.schedule);
+  no_huge_run(instance, classes, machines, T, result.schedule);
   assert(result.schedule.complete());
   return result;
 }

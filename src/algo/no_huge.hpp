@@ -1,10 +1,12 @@
-// Algorithm_no_huge (paper Section 3.1, Lemma 12).
-//
-// Schedules instances without huge jobs (no job > (3/4)T) with makespan at
-// most (3/2)T, where T = max{ceil(p(J)/m), max_c p(c), p~_m + p~_{m+1}}.
-// Also used as the subroutine of Algorithm_3/2 (Section 3.2), which hands it
-// residual class sets — including at most one *fragment* of a class — and a
-// set of still-empty machines. Class fragments are modelled as VirtualClass.
+/// \file
+/// Algorithm_no_huge (paper Section 3.1, Lemma 12).
+///
+/// Schedules instances without huge jobs (no job > (3/4)T) with makespan at
+/// most (3/2)T, where T = max{ceil(p(J)/m), max_c p(c), p~_m + p~_{m+1}}.
+/// Also used as the subroutine of Algorithm_3/2 (Section 3.2), which hands
+/// it residual class sets — including at most one *fragment* of a class —
+/// and a set of still-empty machines. Fragments are modelled as
+/// VirtualClass.
 #pragma once
 
 #include <span>
@@ -15,28 +17,43 @@
 
 namespace msrs {
 
-// A class or class fragment treated as one resource unit by no_huge.
+/// A class or class fragment treated as one resource unit by no_huge.
+///
+/// Whole classes alias the instance's own job list (no copy, O(1) to
+/// build); only fragments — the split parts Algorithm_3/2 produces, at most
+/// a machine-bounded handful per run — own their job storage. Safe to move:
+/// jobs() is computed on demand, never cached across a move.
 struct VirtualClass {
-  std::vector<JobId> jobs;
-  Time load = 0;
-  Time max_size = 0;
+  std::vector<JobId> frag;  ///< owned jobs (fragments only; else empty)
+  const std::vector<JobId>* whole = nullptr;  ///< aliases Instance storage
+  Time load = 0;            ///< total processing time of the job set
+  Time max_size = 0;        ///< largest job size in the set
+
+  /// The job set of this (virtual) class.
+  std::span<const JobId> jobs() const {
+    return whole != nullptr ? std::span<const JobId>(*whole)
+                            : std::span<const JobId>(frag);
+  }
 };
 
+/// Aliases class `c` of the instance; O(1) (loads/maxima are precomputed).
 VirtualClass make_virtual(const Instance& instance, ClassId c);
+/// Copies `jobs` into an owned fragment; O(|jobs|).
 VirtualClass make_virtual(const Instance& instance,
                           std::span<const JobId> jobs);
 
-// Core routine: schedules `classes` onto the (empty) machine ids `machines`
-// within the scaled deadline 3T. `sched` must have scale 2. Requirements
-// (Lemma 12): every class load <= T, no job > (3/4)T, total load <=
-// |machines| * T, and at most |machines| jobs with size > T/2.
-// Throws std::logic_error if it runs out of machines (i.e. the requirements
-// were violated).
-void no_huge_run(const Instance& instance, std::vector<VirtualClass> classes,
+/// Core routine: schedules `classes` onto the (empty) machine ids
+/// `machines` within the scaled deadline 3T. `sched` must have scale 2.
+/// Requirements (Lemma 12): every class load <= T, no job > (3/4)T, total
+/// load <= |machines| * T, and at most |machines| jobs with size > T/2.
+/// Throws std::logic_error if it runs out of machines (i.e. the
+/// requirements were violated). Reads `classes` without taking ownership
+/// (callers keep — and may reuse — the backing buffer).
+void no_huge_run(const Instance& instance, std::span<VirtualClass> classes,
                  std::span<const int> machines, Time T, Schedule& sched);
 
-// Standalone wrapper: computes T from the instance's lower bounds and runs
-// the algorithm. Requires the instance to contain no job > (3/4)T.
+/// Standalone wrapper: computes T from the instance's lower bounds and runs
+/// the algorithm. Requires the instance to contain no job > (3/4)T.
 AlgoResult no_huge(const Instance& instance);
 
 }  // namespace msrs

@@ -57,7 +57,10 @@ Time three_halves_bound(const Instance& instance) {
     Time t;
     ClassId c;
   };
-  std::vector<Event> events;
+  // Reused per thread: the sweep runs once per three_halves call, which is
+  // itself a hot path of the portfolio.
+  static thread_local std::vector<Event> events;
+  events.clear();
   events.reserve(static_cast<std::size_t>(instance.num_classes()) * 3);
   for (ClassId c = 0; c < instance.num_classes(); ++c) {
     const Time a = instance.class_max(c);

@@ -1,13 +1,14 @@
-// The lower bound T for Algorithm_3/2 (paper Lemmas 8 and 9).
-//
-// Lemma 8 shows every feasible makespan T satisfies the census
-//   |C_H| + max{|C_B|, ceil((|C_B| + |C_{>=3/4} \ (C_H u C_B)|)/2)} <= m
-// where, relative to T: C_H are classes with a job > (3/4)T, C_B classes with
-// a job in (T/2, (3/4)T], and C_{>=3/4} classes with p(c) >= (3/4)T.
-//
-// Lemma 9 finds the smallest integer T >= max{ceil(p(J)/m), max_c p(c),
-// p~_m + p~_{m+1}} satisfying the census in O(n + m log m) via the per-class
-// threshold values at which a class leaves each category.
+/// \file
+/// The lower bound T for Algorithm_3/2 (paper Lemmas 8 and 9).
+///
+/// Lemma 8 shows every feasible makespan T satisfies the census
+///   |C_H| + max{|C_B|, ceil((|C_B| + |C_{>=3/4} \ (C_H u C_B)|)/2)} <= m
+/// where, relative to T: C_H are classes with a job > (3/4)T, C_B classes
+/// with a job in (T/2, (3/4)T], and C_{>=3/4} classes with p(c) >= (3/4)T.
+///
+/// Lemma 9 finds the smallest integer T >= max{ceil(p(J)/m), max_c p(c),
+/// p~_m + p~_{m+1}} satisfying the census in O(n + m log m) via the
+/// per-class threshold values at which a class leaves each category.
 #pragma once
 
 #include <algorithm>
@@ -16,24 +17,26 @@
 
 namespace msrs {
 
-// The census of Lemma 8 evaluated at T: true iff the inequality holds.
+/// The census of Lemma 8 evaluated at T: true iff the inequality holds.
 bool census_ok(const Instance& instance, Time T);
 
-// Per-category counts at T (exposed for tests).
+/// Per-category counts at T (exposed for tests).
 struct Census {
-  int huge = 0;      // |C_H|
-  int big = 0;       // |C_B|
-  int heavy = 0;     // |C_{>=3/4} \ (C_H u C_B)|
+  int huge = 0;      ///< |C_H|
+  int big = 0;       ///< |C_B|
+  int heavy = 0;     ///< |C_{>=3/4} \ (C_H u C_B)|
+  /// True iff the Lemma-8 inequality holds on m machines.
   bool ok(int m) const {
     const int need = huge + std::max(big, static_cast<int>((big + heavy + 1) / 2));
     return need <= m;
   }
 };
+/// Counts the census categories at T.
 Census census(const Instance& instance, Time T);
 
-// Lemma 9: smallest T >= combined lower bound with census_ok(T). Always <=
-// OPT (the census holds at OPT by Lemma 8 and is evaluated on candidate
-// values only, between which it is constant).
+/// Lemma 9: smallest T >= combined lower bound with census_ok(T). Always <=
+/// OPT (the census holds at OPT by Lemma 8 and is evaluated on candidate
+/// values only, between which it is constant).
 Time three_halves_bound(const Instance& instance);
 
 }  // namespace msrs

@@ -1,27 +1,61 @@
 #include "algo/three_halves.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
-#include <deque>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
 #include "algo/no_huge.hpp"
 #include "algo/t_bound.hpp"
 #include "core/class_partition.hpp"
+#include "util/fifo.hpp"
 
 namespace msrs {
 namespace {
 
+// The contiguous block tracked on an open huge machine: a sequence of job
+// segments (spans into Instance / split storage — never copied per job).
+struct MachineBlock {
+  std::vector<std::span<const JobId>> segments;
+  Time load = 0;    // scaled total
+  Time origin = 0;  // scaled start of the block
+};
+
+// Per-thread arena of Algorithm_3/2: every buffer the algorithm needs,
+// reused across calls. One arena per thread means every BatchEngine shard
+// and portfolio worker runs the whole algorithm allocation-free in steady
+// state (docs/benchmarking.md, "hot-path allocations").
+struct Scratch {
+  std::vector<ClassId> huge;
+  std::vector<ClassId> smalls, noncb_mid, cb_mid, cb_heavy, noncb_heavy;
+  std::vector<int> bar_mh;
+  std::vector<MachineBlock> blocks;  // grow-only (nested buffers retained)
+  std::vector<VirtualClass> vclasses;
+  std::vector<int> fresh_machines;
+};
+
+thread_local Scratch t_scratch;
+
 // Mutable algorithm state; the steps below mirror the paper's Steps 2-10.
 class ThreeHalves {
  public:
-  ThreeHalves(const Instance& instance, Time T, Schedule& sched)
-      : inst_(instance), T_(T), D_(3 * T), sched_(sched) {}
+  ThreeHalves(const Instance& instance, Time T, Schedule& sched,
+              Scratch& scratch)
+      : inst_(instance), T_(T), D_(3 * T), sched_(sched), scratch_(scratch) {
+    scratch_.huge.clear();
+    smalls_.reset(&scratch_.smalls);
+    noncb_mid_.reset(&scratch_.noncb_mid);
+    cb_mid_.reset(&scratch_.cb_mid);
+    cb_heavy_.reset(&scratch_.cb_heavy);
+    noncb_heavy_.reset(&scratch_.noncb_heavy);
+    bar_mh_.reset(&scratch_.bar_mh);
+  }
 
   void run() {
     classify();
-    if (huge_.empty()) {
+    if (scratch_.huge.empty()) {
       finish_no_huge();
       return;
     }
@@ -62,11 +96,9 @@ class ThreeHalves {
 
  private:
   // --- machine bookkeeping --------------------------------------------------
-  struct MachineInfo {
-    std::vector<JobId> jobs;  // contiguous block starting at `origin`
-    Time load = 0;            // scaled total
-    Time origin = 0;          // scaled start of the block
-  };
+  MachineBlock& block(int mi) {
+    return scratch_.blocks[static_cast<std::size_t>(mi)];
+  }
 
   int alloc_fresh() {
     if (next_fresh_ >= inst_.machines())
@@ -83,18 +115,19 @@ class ThreeHalves {
 
   // Appends `jobs` to the tracked contiguous block of machine `mi`.
   void stack_on(int mi, std::span<const JobId> jobs) {
-    MachineInfo& info = mh_info_[static_cast<std::size_t>(mi)];
+    MachineBlock& info = block(mi);
     const Time end = place(jobs, mi, info.origin + info.load);
-    info.jobs.insert(info.jobs.end(), jobs.begin(), jobs.end());
+    info.segments.push_back(jobs);
     info.load = end - info.origin;
   }
 
   // Shifts the tracked block of machine `mi` so that it ends at D.
   void shift_to_top(int mi) {
-    MachineInfo& info = mh_info_[static_cast<std::size_t>(mi)];
+    MachineBlock& info = block(mi);
     const Time offset = D_ - (info.origin + info.load);
     assert(offset >= 0);
-    for (JobId j : info.jobs) sched_.assign(j, mi, sched_.start(j) + offset);
+    for (std::span<const JobId> segment : info.segments)
+      for (JobId j : segment) sched_.assign(j, mi, sched_.start(j) + offset);
     info.origin += offset;
   }
 
@@ -105,7 +138,7 @@ class ThreeHalves {
       const Time L = inst_.class_load(c);
       assert(L <= T_);
       if (4 * a > 3 * T_) {
-        huge_.push_back(c);
+        scratch_.huge.push_back(c);
       } else if (2 * a > T_) {  // C_B: big job in (T/2, 3T/4]
         if (4 * L >= 3 * T_) {
           cb_heavy_.push_back(c);
@@ -145,34 +178,39 @@ class ThreeHalves {
   // --- steps -----------------------------------------------------------------
   // Step 2: one machine per huge class, jobs consecutive from 0.
   void step2_open_huge_machines() {
-    assert(static_cast<int>(huge_.size()) <= inst_.machines());
-    mh_info_.resize(huge_.size());
-    for (std::size_t i = 0; i < huge_.size(); ++i) {
+    const std::size_t huge_count = scratch_.huge.size();
+    assert(static_cast<int>(huge_count) <= inst_.machines());
+    // Grow-only: shrinking would free the nested segment buffers.
+    if (scratch_.blocks.size() < huge_count)
+      scratch_.blocks.resize(huge_count);
+    for (std::size_t i = 0; i < huge_count; ++i) {
       const int machine = static_cast<int>(i);
-      const auto& jobs = inst_.class_jobs(huge_[i]);
+      const auto& jobs = inst_.class_jobs(scratch_.huge[i]);
       const Time end = place(jobs, machine, 0);
-      mh_info_[i].jobs.assign(jobs.begin(), jobs.end());
-      mh_info_[i].load = end;
+      MachineBlock& info = scratch_.blocks[i];
+      info.segments.clear();
+      info.segments.push_back(jobs);
+      info.load = end;
+      info.origin = 0;
       // Close machines with load exactly "1" (2T); the rest stay open.
       if (end < 2 * T_) bar_mh_.push_back(machine);
     }
-    next_fresh_ = static_cast<int>(huge_.size());
+    next_fresh_ = static_cast<int>(huge_count);
   }
 
   // Step 3: greedily top up the open huge machines with small classes.
   void step3_greedy_smalls() {
     while (!bar_mh_.empty() && !smalls_.empty()) {
       const int mi = bar_mh_.front();
-      if (mh_info_[static_cast<std::size_t>(mi)].load >= 2 * T_) {
+      if (block(mi).load >= 2 * T_) {
         bar_mh_.pop_front();
         continue;
       }
       const ClassId c = smalls_.front();
       smalls_.pop_front();
       stack_on(mi, inst_.class_jobs(c));
-      assert(mh_info_[static_cast<std::size_t>(mi)].load <= D_);
-      if (mh_info_[static_cast<std::size_t>(mi)].load >= 2 * T_)
-        bar_mh_.pop_front();
+      assert(block(mi).load <= D_);
+      if (block(mi).load >= 2 * T_) bar_mh_.pop_front();
     }
   }
 
@@ -308,19 +346,26 @@ class ThreeHalves {
     }
   }
 
+  std::span<const int> fresh_machines() {
+    scratch_.fresh_machines.clear();
+    for (int k = next_fresh_; k < inst_.machines(); ++k)
+      scratch_.fresh_machines.push_back(k);
+    return scratch_.fresh_machines;
+  }
+
   // Runs Algorithm_no_huge on all residual classes over the remaining fresh
   // machines.
   void finish_no_huge() {
-    std::vector<VirtualClass> classes;
+    std::vector<VirtualClass>& classes = scratch_.vclasses;
+    classes.clear();
     for (auto* queue : {&smalls_, &noncb_mid_, &cb_mid_, &cb_heavy_,
                         &noncb_heavy_}) {
-      for (ClassId c : *queue) classes.push_back(make_virtual(inst_, c));
-      queue->clear();
+      for (ClassId c : queue->remaining())
+        classes.push_back(make_virtual(inst_, c));
+      queue->drain();
     }
     if (classes.empty()) return;
-    std::vector<int> machines;
-    for (int k = next_fresh_; k < inst_.machines(); ++k) machines.push_back(k);
-    no_huge_run(inst_, std::move(classes), machines, T_, sched_);
+    no_huge_run(inst_, classes, fresh_machines(), T_, sched_);
   }
 
   // Steps 5/10: place a part c' (load in (T/4, T/2]) of a class c not in C_B
@@ -352,23 +397,24 @@ class ThreeHalves {
     assert(4 * part_load > T_ && 2 * part_load <= T_);
     assert(4 * rest_load < 3 * T_);  // complement stays contiguous in no_huge
 
-    MachineInfo& info = mh_info_[static_cast<std::size_t>(m0)];
+    MachineBlock& info = block(m0);
     assert(info.origin == 0 && info.load < 2 * T_);
     const Time part_len = 2 * part_load;
     Time part_start = info.load;  // provisional: on top of m0's block
     place(part, m0, part_start);
 
     // Residual instance: everything left plus the complement c''.
-    std::vector<VirtualClass> classes;
+    std::vector<VirtualClass>& classes = scratch_.vclasses;
+    classes.clear();
     if (!rest.empty()) classes.push_back(make_virtual(inst_, rest));
     for (auto* queue : {&smalls_, &noncb_mid_, &cb_mid_, &cb_heavy_,
                         &noncb_heavy_}) {
-      for (ClassId cc : *queue) classes.push_back(make_virtual(inst_, cc));
-      queue->clear();
+      for (ClassId cc : queue->remaining())
+        classes.push_back(make_virtual(inst_, cc));
+      queue->drain();
     }
-    std::vector<int> machines;
-    for (int k = next_fresh_; k < inst_.machines(); ++k) machines.push_back(k);
-    if (!classes.empty()) no_huge_run(inst_, std::move(classes), machines, T_, sched_);
+    if (!classes.empty())
+      no_huge_run(inst_, classes, fresh_machines(), T_, sched_);
 
     if (rest.empty()) return;
     // Locate the (contiguous) complement and resolve any overlap by moving
@@ -388,7 +434,9 @@ class ThreeHalves {
     if (!overlaps(0, part_len)) {
       // Move c' to the bottom, m0's original block right after it.
       place(part, m0, 0);
-      for (JobId j : info.jobs) sched_.assign(j, m0, sched_.start(j) + part_len);
+      for (std::span<const JobId> segment : info.segments)
+        for (JobId j : segment)
+          sched_.assign(j, m0, sched_.start(j) + part_len);
       info.origin += part_len;
       return;
     }
@@ -403,11 +451,10 @@ class ThreeHalves {
   Time T_;
   Time D_;  // 3T: the scaled deadline "(3/2)T"
   Schedule& sched_;
+  Scratch& scratch_;
 
-  std::vector<ClassId> huge_;
-  std::deque<ClassId> smalls_, noncb_mid_, cb_mid_, cb_heavy_, noncb_heavy_;
-  std::vector<MachineInfo> mh_info_;
-  std::deque<int> bar_mh_;
+  FifoView<ClassId> smalls_, noncb_mid_, cb_mid_, cb_heavy_, noncb_heavy_;
+  FifoView<int> bar_mh_;
   int next_fresh_ = 0;
 };
 
@@ -428,7 +475,7 @@ AlgoResult three_halves(const Instance& instance) {
   const Time T = three_halves_bound(instance);
   result.lower_bound = T;
   result.schedule = Schedule(instance.num_jobs(), /*scale=*/2);
-  ThreeHalves algorithm(instance, T, result.schedule);
+  ThreeHalves algorithm(instance, T, result.schedule, t_scratch);
   algorithm.run();
   assert(result.schedule.complete());
   assert(result.schedule.makespan_scaled(instance) <= 3 * T);

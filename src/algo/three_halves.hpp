@@ -1,11 +1,12 @@
-// Algorithm_3/2 (paper Section 3.2, Theorem 7).
-//
-// A 3/2-approximation running in O(n + m log m). Classes containing a huge
-// job (> (3/4)T) each get their own machine; those machines are then topped
-// up with carefully chosen classes/parts, and Algorithm_no_huge finishes the
-// residual instance. T is the Lemma-9 bound (see algo/t_bound.hpp).
-//
-// The returned schedule has scale 2 (the deadline "(3/2)T" is scaled 3T).
+/// \file
+/// Algorithm_3/2 (paper Section 3.2, Theorem 7).
+///
+/// A 3/2-approximation running in O(n + m log m). Classes containing a huge
+/// job (> (3/4)T) each get their own machine; those machines are then topped
+/// up with carefully chosen classes/parts, and Algorithm_no_huge finishes the
+/// residual instance. T is the Lemma-9 bound (see algo/t_bound.hpp).
+///
+/// The returned schedule has scale 2 (the deadline "(3/2)T" is scaled 3T).
 #pragma once
 
 #include "algo/common.hpp"
@@ -13,6 +14,9 @@
 
 namespace msrs {
 
+/// Runs Algorithm_3/2; makespan <= (3/2)T with T the Lemma-9 bound.
+/// Allocation-free in steady state (per-thread scratch arena; see
+/// docs/benchmarking.md).
 AlgoResult three_halves(const Instance& instance);
 
 }  // namespace msrs

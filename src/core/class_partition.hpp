@@ -1,7 +1,8 @@
-// Class splitting lemmas (paper Lemmas 5, 10, 11).
-//
-// All thresholds are fractions of a scale value T; comparisons are done in
-// exact integer arithmetic (e.g. "p(c1) >= T/3" is "3*p(c1) >= T").
+/// \file
+/// Class splitting lemmas (paper Lemmas 5, 10, 11).
+///
+/// All thresholds are fractions of a scale value T; comparisons are done in
+/// exact integer arithmetic (e.g. "p(c1) >= T/3" is "3*p(c1) >= T").
 #pragma once
 
 #include <span>
@@ -11,31 +12,33 @@
 
 namespace msrs {
 
+/// A two-way split of a class's job set.
 struct ClassSplit {
-  std::vector<JobId> hat;    // the larger part (paper: c1 / ĉ)
-  std::vector<JobId> check;  // the smaller part (paper: c2 / č); may be empty
-  Time hat_load = 0;
-  Time check_load = 0;
+  std::vector<JobId> hat;    ///< the larger part (paper: c1 / ĉ)
+  std::vector<JobId> check;  ///< the smaller part (paper: c2 / č); may be empty
+  Time hat_load = 0;         ///< p(hat)
+  Time check_load = 0;       ///< p(check)
 };
 
-// Lemma 5: for a class c with p(c) > (2/3)T and no job > T/2, partitions c
-// into c1, c2 with T/3 <= p(c1) <= (2/3)T and p(c2) <= (2/3)T.
-// Returned with hat = c1 (the part with load >= T/3).
+/// Lemma 5: for a class c with p(c) > (2/3)T and no job > T/2, partitions c
+/// into c1, c2 with T/3 <= p(c1) <= (2/3)T and p(c2) <= (2/3)T.
+/// Returned with hat = c1 (the part with load >= T/3).
 ClassSplit split_lemma5(const Instance& instance, ClassId c, Time T);
 
-// Lemma 10: for a class c with p(c) >= (3/4)T and max job <= (3/4)T,
-// partitions c into ĉ, č with p(č) <= p(ĉ), p(č) <= T/2, p(ĉ) <= (3/4)T.
-// If additionally max job <= T/2, one of the parts has load in (T/4, T/2].
+/// Lemma 10: for a class c with p(c) >= (3/4)T and max job <= (3/4)T,
+/// partitions c into ĉ, č with p(č) <= p(ĉ), p(č) <= T/2, p(ĉ) <= (3/4)T.
+/// If additionally max job <= T/2, one of the parts has load in (T/4, T/2].
 ClassSplit split_lemma10(const Instance& instance, ClassId c, Time T);
 
-// Lemma 11: for a class c with p(c) in (T/2, (3/4)T) and max job <= T/2,
-// partitions c into ĉ, č with p(č) <= p(ĉ) <= T/2 and p(ĉ) > T/4.
+/// Lemma 11: for a class c with p(c) in (T/2, (3/4)T) and max job <= T/2,
+/// partitions c into ĉ, č with p(č) <= p(ĉ) <= T/2 and p(ĉ) > T/4.
 ClassSplit split_lemma11(const Instance& instance, ClassId c, Time T);
 
-// Span-based variants operating on an arbitrary job set (used by
-// Algorithm_3/2, which splits residual class fragments).
+/// Span-based variant of split_lemma10 operating on an arbitrary job set
+/// (used by Algorithm_3/2, which splits residual class fragments).
 ClassSplit split_lemma10_jobs(const Instance& instance,
                               std::span<const JobId> jobs, Time T);
+/// Span-based variant of split_lemma11.
 ClassSplit split_lemma11_jobs(const Instance& instance,
                               std::span<const JobId> jobs, Time T);
 

@@ -19,10 +19,21 @@ LowerBounds lower_bounds(const Instance& instance) {
   // largest processing time. Either j_{m+1} shares a machine with one of the
   // m largest, or two of the m largest share a machine; either way
   // OPT >= p_(m) + p_(m+1).
+  //
+  // One selection instead of two: partition around the (m+1)-st largest
+  // (ascending position q); p_(m) is then the minimum of the m larger
+  // elements above q. The scratch buffer is reused across calls on each
+  // thread — this runs once per solve in the engine's hot path.
   const auto n = static_cast<std::size_t>(instance.num_jobs());
   if (n >= static_cast<std::size_t>(m) + 1) {
-    const Time pm = kth_largest(instance.sizes(), static_cast<std::size_t>(m) - 1);
-    const Time pm1 = kth_largest(instance.sizes(), static_cast<std::size_t>(m));
+    static thread_local std::vector<Time> scratch;
+    const std::span<const Time> sizes = instance.sizes();
+    scratch.assign(sizes.begin(), sizes.end());
+    const std::size_t q = n - 1 - static_cast<std::size_t>(m);
+    nth_element_mom(scratch, q);
+    const Time pm1 = scratch[q];
+    Time pm = scratch[q + 1];
+    for (std::size_t i = q + 2; i < n; ++i) pm = std::min(pm, scratch[i]);
     lb.pair = pm + pm1;
   }
 

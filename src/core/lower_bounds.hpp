@@ -1,24 +1,26 @@
-// Lower bounds on the optimal makespan (paper: Note 1 and Lemma 9).
+/// \file
+/// Lower bounds on the optimal makespan (paper: Note 1 and Lemma 9).
 #pragma once
 
 #include "core/instance.hpp"
 
 namespace msrs {
 
+/// The Note-1 lower bounds on OPT.
 struct LowerBounds {
-  // ceil(p(J)/m): average machine load, rounded up (OPT is integral).
+  /// ceil(p(J)/m): average machine load, rounded up (OPT is integral).
   Time area = 0;
-  // max_c p(c): one resource can only run one job at a time.
+  /// max_c p(c): one resource can only run one job at a time.
   Time class_bound = 0;
-  // p_(m) + p_(m+1): the (m+1) largest jobs cannot all run pairwise disjoint
-  // on m machines / with distinct resources (Note 1 discussion). Zero when
-  // n <= m.
+  /// p_(m) + p_(m+1): the (m+1) largest jobs cannot all run pairwise
+  /// disjoint on m machines / with distinct resources (Note 1 discussion).
+  /// Zero when n <= m.
   Time pair = 0;
-  // max of the above; this is the paper's T of Theorem 2.
+  /// max of the above; this is the paper's T of Theorem 2.
   Time combined = 0;
 };
 
-// Computes all bounds in O(n) using median-of-medians selection.
+/// Computes all bounds in O(n) using median-of-medians selection.
 LowerBounds lower_bounds(const Instance& instance);
 
 }  // namespace msrs

@@ -1,6 +1,7 @@
 #include "core/schedule.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace msrs {
 
@@ -30,14 +31,20 @@ std::vector<GanttBlock> Schedule::gantt_blocks(const Instance& instance,
                                                bool label_jobs) const {
   std::vector<GanttBlock> blocks;
   blocks.reserve(static_cast<std::size_t>(num_jobs()));
+  // One label = one allocation: format into a stack buffer instead of
+  // concatenating temporaries (this loop is per-job on the render path).
+  char label[16];
   for (JobId j = 0; j < num_jobs(); ++j) {
     if (!assigned(j)) continue;
     GanttBlock b;
     b.machine = machine(j);
     b.start = static_cast<double>(start(j)) / static_cast<double>(scale_);
     b.end = static_cast<double>(end(instance, j)) / static_cast<double>(scale_);
-    b.label = label_jobs ? "j" + std::to_string(j)
-                         : "c" + std::to_string(instance.job_class(j));
+    if (label_jobs)
+      std::snprintf(label, sizeof(label), "j%d", j);
+    else
+      std::snprintf(label, sizeof(label), "c%d", instance.job_class(j));
+    b.label = label;
     blocks.push_back(std::move(b));
   }
   return blocks;

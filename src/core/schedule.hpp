@@ -1,5 +1,6 @@
-// Schedule (sigma, t): machine assignment and starting time per job, with an
-// integral time scale for exact rational positions (see core/types.hpp).
+/// \file
+/// Schedule (sigma, t): machine assignment and starting time per job, with an
+/// integral time scale for exact rational positions (see core/types.hpp).
 #pragma once
 
 #include <string>
@@ -11,50 +12,71 @@
 
 namespace msrs {
 
+/// A (possibly partial) schedule: per-job machine and scaled start time.
 class Schedule {
  public:
+  /// An empty schedule (0 jobs, scale 1).
   Schedule() = default;
+  /// `num_jobs` unassigned jobs at the given time scale.
   explicit Schedule(int num_jobs, Time scale = 1)
       : scale_(scale),
         machine_(static_cast<std::size_t>(num_jobs), kUnassigned),
         start_(static_cast<std::size_t>(num_jobs), 0) {}
 
+  /// The time scale: a stored time t means t/scale() instance units.
   Time scale() const noexcept { return scale_; }
 
+  /// Number of jobs this schedule covers.
   int num_jobs() const noexcept { return static_cast<int>(machine_.size()); }
 
+  /// True iff job `j` has a machine.
   bool assigned(JobId j) const {
     return machine_[static_cast<std::size_t>(j)] != kUnassigned;
   }
+  /// Machine of job `j` (kUnassigned if none).
   int machine(JobId j) const { return machine_[static_cast<std::size_t>(j)]; }
-  // Start time in scaled units (divide by scale() for instance units).
+  /// Start time in scaled units (divide by scale() for instance units).
   Time start(JobId j) const { return start_[static_cast<std::size_t>(j)]; }
-  // End time in scaled units; needs the instance for the job size.
+  /// End time in scaled units; needs the instance for the job size.
   Time end(const Instance& instance, JobId j) const {
     return start(j) + checked_mul(instance.size(j), scale_);
   }
 
+  /// Places job `j` on `machine` at scaled time `start_scaled`.
   void assign(JobId j, int machine, Time start_scaled) {
     machine_[static_cast<std::size_t>(j)] = machine;
     start_[static_cast<std::size_t>(j)] = start_scaled;
   }
+  /// Removes job `j` from its machine.
   void unassign(JobId j) { machine_[static_cast<std::size_t>(j)] = kUnassigned; }
 
+  /// Re-initializes to `num_jobs` unassigned jobs at `scale`, reusing the
+  /// existing heap buffers when capacity allows (the allocation-free reset
+  /// of the solver hot paths; see docs/benchmarking.md).
+  void reset(int num_jobs, Time scale = 1) {
+    scale_ = scale;
+    machine_.assign(static_cast<std::size_t>(num_jobs), kUnassigned);
+    start_.assign(static_cast<std::size_t>(num_jobs), 0);
+  }
+
+  /// True iff every job is assigned.
   bool complete() const;
 
-  // Multiplies the scale by `factor`, keeping all times fixed in scaled units
-  // semantics (i.e. all rational times are multiplied accordingly). Used by
-  // algorithms that place jobs at finer grids than instance units.
+  /// Multiplies the scale by `factor`, keeping all times fixed in scaled
+  /// units semantics (i.e. all rational times are multiplied accordingly).
+  /// Used by algorithms that place jobs at finer grids than instance units.
   void rescale(Time factor);
 
-  // Largest end time over assigned jobs, in scaled units.
+  /// Largest end time over assigned jobs, in scaled units.
   Time makespan_scaled(const Instance& instance) const;
-  // Makespan in instance units as a double (exact value is scaled/scale).
+  /// Makespan in instance units as a double (exact value is scaled/scale).
   double makespan(const Instance& instance) const;
 
-  // Gantt adapter: one block per assigned job, labelled "c<class>" by default.
+  /// Gantt adapter: one block per assigned job, labelled "c<class>" by
+  /// default ("j<job>" with `label_jobs`).
   std::vector<GanttBlock> gantt_blocks(const Instance& instance,
                                        bool label_jobs = false) const;
+  /// ASCII gantt rendering, `width` characters wide.
   std::string render(const Instance& instance, int width = 72) const;
 
  private:

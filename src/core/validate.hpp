@@ -1,5 +1,6 @@
-// Exact schedule validation: the two validity conditions of Section 1
-// (no machine overlap, no same-class overlap) plus basic sanity checks.
+/// \file
+/// Exact schedule validation: the two validity conditions of Section 1
+/// (no machine overlap, no same-class overlap) plus basic sanity checks.
 #pragma once
 
 #include <string>
@@ -10,33 +11,38 @@
 
 namespace msrs {
 
+/// One validity violation found by validate().
 struct Violation {
+  /// What went wrong.
   enum class Kind {
-    kUnassignedJob,
-    kBadMachine,
-    kNegativeStart,
-    kMachineOverlap,
-    kClassOverlap,
-    kMakespanExceeded,
+    kUnassignedJob,     ///< a job has no machine
+    kBadMachine,        ///< machine id out of [0, m)
+    kNegativeStart,     ///< a job starts before time 0
+    kMachineOverlap,    ///< two jobs overlap on one machine
+    kClassOverlap,      ///< two same-class jobs overlap in time
+    kMakespanExceeded,  ///< a job ends after the given deadline
   };
-  Kind kind;
-  JobId a = kInvalidJob;
-  JobId b = kInvalidJob;
-  std::string detail;
+  Kind kind;               ///< violation kind
+  JobId a = kInvalidJob;   ///< first involved job (if any)
+  JobId b = kInvalidJob;   ///< second involved job (overlaps)
+  std::string detail;      ///< human-readable description
 };
 
+/// All violations of one schedule; empty means valid.
 struct ValidationReport {
-  std::vector<Violation> violations;
+  std::vector<Violation> violations;  ///< every violation found
+  /// True iff the schedule is valid.
   bool ok() const noexcept { return violations.empty(); }
+  /// One line per violation.
   std::string summary() const;
 };
 
-// Validates the schedule; if `makespan_limit_scaled >= 0`, additionally checks
-// that every job finishes by that (scaled-unit) deadline.
+/// Validates the schedule; if `makespan_limit_scaled >= 0`, additionally
+/// checks that every job finishes by that (scaled-unit) deadline.
 ValidationReport validate(const Instance& instance, const Schedule& schedule,
                           Time makespan_limit_scaled = -1);
 
-// Convenience assertion helper for tests: returns true iff valid.
+/// Convenience assertion helper for tests: returns true iff valid.
 bool is_valid(const Instance& instance, const Schedule& schedule);
 
 }  // namespace msrs

@@ -1,0 +1,108 @@
+#include "perf/alloc.hpp"
+
+#include <cstdlib>
+#include <new>
+
+// ASan replaces the global allocator; interposing operator new underneath
+// it breaks poisoning, so counting is compiled out entirely.
+#if defined(__SANITIZE_ADDRESS__)
+#define MSRS_PERF_ALLOC_HOOKS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MSRS_PERF_ALLOC_HOOKS 0
+#endif
+#endif
+#ifndef MSRS_PERF_ALLOC_HOOKS
+#define MSRS_PERF_ALLOC_HOOKS 1
+#endif
+
+namespace msrs::perf {
+namespace {
+
+thread_local std::uint64_t g_allocs = 0;
+
+}  // namespace
+
+bool alloc_counting_enabled() { return MSRS_PERF_ALLOC_HOOKS != 0; }
+
+std::uint64_t alloc_count() { return g_allocs; }
+
+}  // namespace msrs::perf
+
+#if MSRS_PERF_ALLOC_HOOKS
+
+namespace {
+
+// The standard operator-new contract: on failure, call the installed
+// new-handler and retry until it either frees memory or is absent.
+void run_new_handler_or_throw() {
+  const std::new_handler handler = std::get_new_handler();
+  if (handler == nullptr) throw std::bad_alloc();
+  handler();
+}
+
+void* counted_alloc(std::size_t size) {
+  ++msrs::perf::g_allocs;
+  for (;;) {
+    // malloc(0) may return nullptr; operator new must not.
+    void* p = std::malloc(size > 0 ? size : 1);
+    if (p != nullptr) return p;
+    run_new_handler_or_throw();
+  }
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  ++msrs::perf::g_allocs;
+  // posix_memalign requires align to be a power of two multiple of
+  // sizeof(void*); operator new guarantees a power of two.
+  if (align < sizeof(void*)) align = sizeof(void*);
+  for (;;) {
+    void* p = nullptr;
+    if (posix_memalign(&p, align, size > 0 ? size : 1) == 0) return p;
+    run_new_handler_or_throw();
+  }
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#endif  // MSRS_PERF_ALLOC_HOOKS

@@ -1,0 +1,34 @@
+/// \file
+/// Thread-local heap-allocation counting for the perf harness.
+///
+/// When enabled (the default), linking libmsrs replaces the global
+/// `operator new` family with malloc-backed versions that bump a
+/// thread-local counter, so the Runner can report exact allocations-per-op
+/// for the hot paths — a deterministic metric, unlike wall-clock time.
+///
+/// Counting is compiled out under AddressSanitizer (ASan interposes the
+/// allocator itself); `alloc_counting_enabled()` then returns false and
+/// `alloc_count()` stays 0, and every consumer must degrade gracefully.
+#pragma once
+
+#include <cstdint>
+
+namespace msrs::perf {
+
+/// True when the operator-new hooks are compiled in (false under ASan).
+bool alloc_counting_enabled();
+
+/// Number of heap allocations observed on the calling thread so far.
+/// Monotone; meaningful only as a difference across a region of interest.
+std::uint64_t alloc_count();
+
+/// Allocations on the calling thread during `fn()` (0 when counting is
+/// disabled).
+template <typename Fn>
+std::uint64_t count_allocs(Fn&& fn) {
+  const std::uint64_t before = alloc_count();
+  fn();
+  return alloc_count() - before;
+}
+
+}  // namespace msrs::perf

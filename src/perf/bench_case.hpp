@@ -1,0 +1,70 @@
+/// \file
+/// BenchCase: one named, registered experiment of the perf harness.
+///
+/// A case corresponds to one paper experiment (E1–E12) or one synthetic
+/// probe, and produces a list of BenchRow — one row per measured
+/// configuration (family × size × solver × ...). Cases are registered in a
+/// BenchRegistry (mirroring SolverRegistry) and executed by the shared
+/// bench CLI (perf/cli.hpp), which renders rows as a table and/or a
+/// schema-versioned `BENCH_<case>.json` file (perf/reporter.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "perf/runner.hpp"
+
+namespace msrs::perf {
+
+/// Which harness invocations pick a case up by default.
+enum class Tier {
+  kQuick,  ///< seconds-scale; run by CI and the default CLI invocation
+  kFull,   ///< minutes-scale sweeps; run with --tier=full/all
+};
+
+/// One measured configuration of a case: identity columns, quality
+/// metrics, deterministic counters, and the timing Measurement.
+struct BenchRow {
+  std::string name;    ///< row label, unique within the case (baseline key)
+  std::string solver;  ///< solver/algorithm measured ("" when n/a)
+  int jobs = 0;        ///< instance size n (0 when n/a)
+  int machines = 0;    ///< machine count m (0 when n/a)
+  double makespan_ratio = 0.0;  ///< mean makespan / lower bound (0 = n/a)
+  /// Case-specific deterministic metrics, in insertion order (e.g.
+  /// ratio_max, cache_hits, aug_iterations).
+  std::vector<std::pair<std::string, double>> counters;
+  Measurement timing;  ///< ops / ns stats / allocs from the Runner
+};
+
+/// One registered experiment; subclass or use make_case().
+class BenchCase {
+ public:
+  /// Virtual base; cases are owned by a registry via unique_ptr.
+  virtual ~BenchCase() = default;
+
+  /// Registry key and `BENCH_<name>.json` stem, e.g. "e4_runtime".
+  virtual std::string_view name() const = 0;
+  /// One-line human description (shown by --list, embedded in the JSON).
+  virtual std::string_view description() const = 0;
+  /// The paper section/theorem/figure this case reproduces.
+  virtual std::string_view paper_ref() const = 0;
+  /// Default selection tier.
+  virtual Tier tier() const { return Tier::kQuick; }
+
+  /// Executes the case, measuring through `runner`. Must be deterministic
+  /// in the runner's deterministic mode: equal rows (minus ns fields) on
+  /// every run at every thread count.
+  virtual std::vector<BenchRow> run(const Runner& runner) const = 0;
+};
+
+/// Builds a BenchCase from a run function (how cases.cpp registers E1–E12).
+std::unique_ptr<BenchCase> make_case(
+    std::string name, std::string description, std::string paper_ref,
+    Tier tier, std::function<std::vector<BenchRow>(const Runner&)> run);
+
+}  // namespace msrs::perf

@@ -1,0 +1,379 @@
+#include "perf/cli.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "engine/registry.hpp"
+#include "perf/corpus_case.hpp"
+#include "perf/registry.hpp"
+#include "perf/reporter.hpp"
+#include "sim/workloads.hpp"
+#include "util/json.hpp"
+
+namespace msrs::perf {
+namespace {
+
+struct CliOptions {
+  std::vector<std::string> filters;  // positional case names/prefixes
+  std::vector<std::string> specs;    // --spec corpora
+  std::string sweep;                 // --sweep corpus
+  std::vector<std::string> solvers;  // --solvers for corpus cases
+  std::string json_dir;              // --json output directory
+  std::string baseline_dir;          // --baseline comparison directory
+  std::string notes;                 // --notes embedded in the JSON
+  std::string tier = "quick";        // --tier
+  double max_regression = 0.25;      // --max-regression
+  int count = 3;                     // --count seeds per --spec
+  RunnerOptions runner;
+  bool list = false;
+  bool help = false;
+};
+
+std::optional<std::string> arg_value(const std::string& arg,
+                                     const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.compare(0, prefix.size(), prefix) == 0)
+    return arg.substr(prefix.size());
+  return std::nullopt;
+}
+
+std::vector<std::string> split_csv(const std::string& value) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= value.size()) {
+    const std::size_t comma = value.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? value.size() : comma;
+    if (end > begin) out.push_back(value.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return out;
+}
+
+void print_usage(std::ostream& to) {
+  to << "usage: bench [CASE|PREFIX ...] [options]\n"
+        "\n"
+        "Runs registered perf-harness cases (see docs/benchmarking.md).\n"
+        "Positional arguments select cases by name or prefix; none selects\n"
+        "every case of the tier.\n"
+        "\n"
+        "options:\n"
+        "  --list              list registered cases and exit\n"
+        "  --tier=T            quick (default) | full | all\n"
+        "  --json=DIR          write BENCH_<case>.json files into DIR\n"
+        "  --timing            measure wall clock (ns/op fields; output is\n"
+        "                      no longer byte-reproducible)\n"
+        "  --repeats=N         measured repetitions per row (default 5)\n"
+        "  --warmup=N          untimed warmup repetitions (default 1)\n"
+        "  --min-time-ms=X     per-row minimum measured time (timing mode)\n"
+        "  --notes=TEXT        provenance note embedded in the JSON\n"
+        "  --baseline=DIR      compare ns/op against committed BENCH JSONs\n"
+        "  --max-regression=X  failure threshold for --baseline (def 0.25)\n"
+        "  --spec=SPEC         also bench a generated corpus (repeatable)\n"
+        "  --sweep=SWEEPSPEC   also bench a sweep-grid corpus\n"
+        "  --count=K           seeds per --spec corpus (default 3)\n"
+        "  --solvers=a,b       solvers measured on --spec/--sweep corpora\n"
+        "                      (default: the batched portfolio)\n";
+}
+
+// Parses argv into options; returns a named error string on failure.
+// Value flags accept both `--flag=value` and `--flag value`.
+std::string parse(const std::vector<std::string>& args, CliOptions* options) {
+  std::size_t i = 0;
+  // Returns the value of `--name=...` / `--name <next>`, advancing `i`.
+  // A following flag is never consumed as a value, so `--json --timing`
+  // errors instead of writing into a directory called "--timing".
+  const auto value_of = [&](const char* name) -> std::optional<std::string> {
+    if (auto inline_value = arg_value(args[i], name)) return inline_value;
+    if (args[i] == std::string("--") + name && i + 1 < args.size() &&
+        (args[i + 1].empty() || args[i + 1][0] != '-'))
+      return args[++i];
+    return std::nullopt;
+  };
+  for (; i < args.size(); ++i) {
+    const std::string arg = args[i];
+    if (arg.empty()) continue;
+    if (arg[0] != '-') {
+      options->filters.push_back(arg);
+      continue;
+    }
+    try {
+      if (auto v = value_of("json")) options->json_dir = *v;
+      else if (auto v2 = value_of("baseline")) options->baseline_dir = *v2;
+      else if (auto v3 = value_of("notes")) options->notes = *v3;
+      else if (auto v4 = value_of("tier")) options->tier = *v4;
+      else if (auto v5 = value_of("repeats"))
+        options->runner.repeats = std::stoi(*v5);
+      else if (auto v6 = value_of("warmup"))
+        options->runner.warmup = std::stoi(*v6);
+      else if (auto v7 = value_of("min-time-ms"))
+        options->runner.min_time_ms = std::stod(*v7);
+      else if (auto v8 = value_of("max-regression"))
+        options->max_regression = std::stod(*v8);
+      else if (auto v9 = value_of("spec"))
+        options->specs.push_back(*v9);
+      else if (auto v10 = value_of("sweep")) options->sweep = *v10;
+      else if (auto v11 = value_of("solvers"))
+        options->solvers = split_csv(*v11);
+      else if (auto v12 = value_of("count"))
+        options->count = std::stoi(*v12);
+      else if (arg == "--timing") options->runner.timing = true;
+      else if (arg == "--list") options->list = true;
+      else if (arg == "--help" || arg == "-h") options->help = true;
+      else {
+        for (const char* name :
+             {"json", "baseline", "notes", "tier", "repeats", "warmup",
+              "min-time-ms", "max-regression", "spec", "sweep", "solvers",
+              "count"})
+          if (arg == std::string("--") + name)
+            return "missing value for '" + arg + "'";
+        return "unknown option '" + arg + "'";
+      }
+    } catch (const std::exception&) {
+      return "bad numeric value in '" + arg + "'";
+    }
+  }
+  if (options->tier != "quick" && options->tier != "full" &&
+      options->tier != "all")
+    return "bad --tier '" + options->tier + "' (quick|full|all)";
+  if (options->runner.repeats < 1)
+    return "--repeats must be >= 1";
+  if (options->runner.warmup < 0)
+    return "--warmup must be >= 0";
+  if (options->max_regression <= 0.0)
+    return "--max-regression must be > 0";
+  if (options->count < 1) return "--count must be >= 1";
+  if (!options->baseline_dir.empty() && !options->runner.timing)
+    return "--baseline requires --timing (baselines compare ns/op)";
+  return "";
+}
+
+bool tier_selected(Tier tier, const std::string& wanted) {
+  if (wanted == "all") return true;
+  return (tier == Tier::kQuick) == (wanted == "quick");
+}
+
+// Expands corpus options into dynamic cases; named error on a bad spec.
+std::string corpus_cases(const CliOptions& options,
+                         std::vector<std::unique_ptr<BenchCase>>* cases) {
+  for (const std::string& name : options.solvers)
+    if (engine::SolverRegistry::default_registry().find(name) == nullptr)
+      return "unknown solver '" + name + "' (see list-solvers)";
+  for (std::size_t i = 0; i < options.specs.size(); ++i) {
+    std::string error;
+    const auto spec = parse_spec(options.specs[i], &error);
+    if (!spec) return "bad spec '" + options.specs[i] + "': " + error;
+    cases->push_back(make_corpus_case(
+        "corpus" + std::to_string(i + 1) + "_" + family_name(spec->family),
+        seed_corpus(*spec, options.count), options.solvers));
+  }
+  if (!options.sweep.empty()) {
+    std::string error;
+    const auto sweep = parse_sweep(options.sweep, &error);
+    if (!sweep) return "bad sweep '" + options.sweep + "': " + error;
+    cases->push_back(
+        make_corpus_case("sweep_corpus", make_corpus(*sweep),
+                         options.solvers));
+  }
+  return "";
+}
+
+// ns/op regression check of `result` against `<dir>/BENCH_<case>.json`.
+// Appends one line per regressed row to `problems`.
+std::string compare_to_baseline(const CaseResult& result,
+                                const std::string& dir,
+                                double max_regression,
+                                std::vector<std::string>* problems,
+                                std::ostream& err) {
+  const std::string path = dir + "/BENCH_" + result.name + ".json";
+  std::ifstream in(path);
+  if (!in) {
+    err << "bench: note: no baseline " << path << " (skipped)\n";
+    return "";
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  const auto document = json_parse(buffer.str(), &error);
+  if (!document) return "cannot parse baseline " + path + ": " + error;
+  const std::string schema_error = check_bench_schema(*document);
+  if (!schema_error.empty())
+    return "baseline " + path + " fails schema check: " + schema_error;
+  const Json* rows = document->find("rows");
+  for (const BenchRow& row : result.rows) {
+    if (row.timing.ns_per_op <= 0.0) continue;
+    for (const Json& base_row : rows->items()) {
+      const Json* name = base_row.find("name");
+      if (name == nullptr || name->as_string() != row.name) continue;
+      const Json* timing = base_row.find("timing");
+      if (timing == nullptr) break;  // deterministic baseline: nothing to do
+      const double base_ns = timing->find("ns_per_op")->as_number();
+      // Noise-aware comparison: a regression must clear the threshold even
+      // comparing the new run's fast quartile against the baseline's slow
+      // quartile, so overlapping run-to-run jitter (CPU frequency, cache
+      // state) does not trip the gate while a real >=25% shift — which
+      // moves the whole distribution — still does.
+      const Json* base_p75_json = timing->find("ns_p75");
+      const double base_p75 =
+          base_p75_json != nullptr && base_p75_json->as_number() > 0.0
+              ? base_p75_json->as_number()
+              : base_ns;
+      const double new_p25 =
+          row.timing.ns_p25 > 0.0 ? row.timing.ns_p25 : row.timing.ns_per_op;
+      if (base_ns > 0.0 && new_p25 > base_p75 * (1.0 + max_regression)) {
+        std::ostringstream line;
+        line << result.name << "/" << row.name << ": "
+             << row.timing.ns_per_op << " ns/op (p25 " << new_p25
+             << ") vs baseline " << base_ns << " (p75 " << base_p75 << "): +"
+             << 100.0 * (new_p25 / base_p75 - 1.0) << "% beyond noise";
+        problems->push_back(line.str());
+      }
+      break;
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+int run_bench_cli(const std::vector<std::string>& args,
+                  std::string_view default_filter, std::ostream& out,
+                  std::ostream& err) {
+  CliOptions options;
+  const std::string parse_error = parse(args, &options);
+  if (!parse_error.empty()) {
+    err << "bench: " << parse_error << "\n";
+    print_usage(err);
+    return 2;
+  }
+  if (options.help) {
+    print_usage(out);
+    return 0;
+  }
+
+  const BenchRegistry& registry = BenchRegistry::default_registry();
+  if (options.list) {
+    for (const auto& bench_case : registry.cases())
+      out << bench_case->name() << "  ["
+          << (bench_case->tier() == Tier::kQuick ? "quick" : "full") << "]  "
+          << bench_case->description() << "  (" << bench_case->paper_ref()
+          << ")\n";
+    return 0;
+  }
+
+  // Select registered cases: positional filters win over the default
+  // filter; no filter means every case of the tier.
+  std::vector<std::string> filters = options.filters;
+  if (filters.empty() && !default_filter.empty())
+    filters.emplace_back(default_filter);
+  std::vector<const BenchCase*> selected;
+  for (const std::string& filter : filters) {
+    bool matched = false;
+    for (const auto& bench_case : registry.cases()) {
+      const std::string_view name = bench_case->name();
+      // Prefix matches only at a '_' boundary, so "e1" selects
+      // e1_ratio_53 but not e10_ablation.
+      const std::string boundary = filter + "_";
+      if (name == filter ||
+          name.substr(0, boundary.size()) == boundary) {
+        if (std::find(selected.begin(), selected.end(), bench_case.get()) ==
+            selected.end())
+          selected.push_back(bench_case.get());
+        matched = true;
+      }
+    }
+    if (!matched) {
+      err << "bench: unknown case '" << filter
+          << "' (--list shows the registry)\n";
+      return 2;
+    }
+  }
+  // With no explicit case selection, `--spec`/`--sweep` alone bench just
+  // the corpus; otherwise the whole selected tier runs.
+  const bool corpus_only =
+      filters.empty() && (!options.specs.empty() || !options.sweep.empty());
+  if (filters.empty() && !corpus_only)
+    for (const auto& bench_case : registry.cases())
+      if (tier_selected(bench_case->tier(), options.tier))
+        selected.push_back(bench_case.get());
+
+  // Dynamic corpus cases from --spec/--sweep.
+  std::vector<std::unique_ptr<BenchCase>> dynamic;
+  const std::string corpus_error = corpus_cases(options, &dynamic);
+  if (!corpus_error.empty()) {
+    err << "bench: " << corpus_error << "\n";
+    return 2;
+  }
+  for (const auto& bench_case : dynamic) selected.push_back(bench_case.get());
+
+  if (selected.empty()) {
+    err << "bench: nothing selected (no case matches tier '" << options.tier
+        << "')\n";
+    return 2;
+  }
+
+  if (!options.json_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.json_dir, ec);
+    if (ec) {
+      err << "bench: cannot create --json directory '" << options.json_dir
+          << "': " << ec.message() << "\n";
+      return 1;
+    }
+  }
+
+  const Runner runner(options.runner);
+  std::vector<std::string> regressions;
+  for (const BenchCase* bench_case : selected) {
+    CaseResult result;
+    result.name = bench_case->name();
+    result.description = bench_case->description();
+    result.paper_ref = bench_case->paper_ref();
+    result.tier = bench_case->tier();
+    result.timing = options.runner.timing;
+    result.notes = options.notes;
+    result.rows = bench_case->run(runner);
+
+    out << "== " << result.name << " — " << result.description << "\n"
+        << bench_table(result) << "\n";
+    if (!options.json_dir.empty()) {
+      const std::string write_error =
+          write_bench_json(result, options.json_dir);
+      if (!write_error.empty()) {
+        err << "bench: " << write_error << "\n";
+        return 1;
+      }
+    }
+    if (!options.baseline_dir.empty()) {
+      const std::string compare_error =
+          compare_to_baseline(result, options.baseline_dir,
+                              options.max_regression, &regressions, err);
+      if (!compare_error.empty()) {
+        err << "bench: " << compare_error << "\n";
+        return 1;
+      }
+    }
+  }
+
+  if (!regressions.empty()) {
+    err << "bench: ns/op regressions beyond "
+        << 100.0 * options.max_regression << "%:\n";
+    for (const std::string& line : regressions) err << "  " << line << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+int bench_main(int argc, char** argv, std::string_view default_filter) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc > 1 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return run_bench_cli(args, default_filter, std::cout, std::cerr);
+}
+
+}  // namespace msrs::perf

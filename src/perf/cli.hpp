@@ -1,0 +1,39 @@
+/// \file
+/// The shared bench command line: one implementation behind every
+/// `bench_e*` binary, `bench_all`, and `msrs_engine_cli bench`.
+///
+/// Grammar (named errors, exit codes 0 ok / 1 regression or write failure /
+/// 2 usage):
+///
+///   bench [CASE|PREFIX ...] [--list] [--tier=quick|full|all]
+///         [--json=DIR] [--timing] [--repeats=N] [--warmup=N]
+///         [--min-time-ms=X] [--notes=TEXT]
+///         [--baseline=DIR] [--max-regression=X]
+///         [--spec=SPEC]... [--sweep=SWEEPSPEC] [--count=K] [--solvers=a,b]
+///
+/// Positional arguments select registered cases by exact name or prefix
+/// (`e4` selects `e4_runtime`). `--spec`/`--sweep` append a dynamic case
+/// measuring `--solvers` (default: the batched portfolio) over the
+/// generated corpus. `--baseline` compares ns/op of matching rows against
+/// committed `BENCH_*.json` files and fails on regressions beyond
+/// `--max-regression` (default 0.25).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace msrs::perf {
+
+/// Runs the bench CLI on already-split arguments. `default_filter` is the
+/// case prefix used when no positional case argument is given ("" = every
+/// case of the selected tier). Output goes to `out`, diagnostics to `err`.
+int run_bench_cli(const std::vector<std::string>& args,
+                  std::string_view default_filter, std::ostream& out,
+                  std::ostream& err);
+
+/// main() adapter for the bench_e* / bench_all binaries.
+int bench_main(int argc, char** argv, std::string_view default_filter);
+
+}  // namespace msrs::perf

@@ -1,0 +1,28 @@
+/// \file
+/// Dynamic bench cases over generated corpora: the bridge between the
+/// workload generator subsystem (sim/spec.hpp) and the perf harness.
+///
+/// `msrs_engine_cli bench --spec=... / --sweep=...` builds one of these: a
+/// case measuring named solvers (or the batched portfolio) over the
+/// expanded GeneratorSpec/SweepSpec corpus, reported through the same
+/// Runner/JsonReporter machinery as the registered E1–E12 cases.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "perf/bench_case.hpp"
+#include "sim/generator.hpp"
+
+namespace msrs::perf {
+
+/// Builds a case named `name` measuring `solver_names` (registry names; an
+/// empty list means the batched portfolio) over `corpus`. One row per
+/// solver, aggregated over the whole corpus; inapplicable instances are
+/// skipped and counted in the `skipped` counter.
+std::unique_ptr<BenchCase> make_corpus_case(
+    std::string name, std::vector<CorpusEntry> corpus,
+    std::vector<std::string> solver_names);
+
+}  // namespace msrs::perf

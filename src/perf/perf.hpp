@@ -1,0 +1,17 @@
+/// \file
+/// Umbrella header for the perf-harness layer: engine/sim -> perf.
+///
+///   BenchRegistry — name -> BenchCase over the paper experiments E1–E12
+///   Runner        — warmup/repeat/min-time steady-clock measurement
+///   JsonReporter  — schema-versioned BENCH_<case>.json trajectory files
+///   bench CLI     — the shared front-end of bench_e*, bench_all and
+///                   `msrs_engine_cli bench`
+#pragma once
+
+#include "perf/alloc.hpp"        // IWYU pragma: export
+#include "perf/bench_case.hpp"   // IWYU pragma: export
+#include "perf/cli.hpp"          // IWYU pragma: export
+#include "perf/corpus_case.hpp"  // IWYU pragma: export
+#include "perf/registry.hpp"     // IWYU pragma: export
+#include "perf/reporter.hpp"     // IWYU pragma: export
+#include "perf/runner.hpp"       // IWYU pragma: export

@@ -1,0 +1,72 @@
+#include "perf/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace msrs::perf {
+
+namespace {
+
+class FunctionCase final : public BenchCase {
+ public:
+  FunctionCase(std::string name, std::string description,
+               std::string paper_ref, Tier tier,
+               std::function<std::vector<BenchRow>(const Runner&)> run)
+      : name_(std::move(name)),
+        description_(std::move(description)),
+        paper_ref_(std::move(paper_ref)),
+        tier_(tier),
+        run_(std::move(run)) {}
+
+  std::string_view name() const override { return name_; }
+  std::string_view description() const override { return description_; }
+  std::string_view paper_ref() const override { return paper_ref_; }
+  Tier tier() const override { return tier_; }
+  std::vector<BenchRow> run(const Runner& runner) const override {
+    return run_(runner);
+  }
+
+ private:
+  std::string name_, description_, paper_ref_;
+  Tier tier_;
+  std::function<std::vector<BenchRow>(const Runner&)> run_;
+};
+
+}  // namespace
+
+std::unique_ptr<BenchCase> make_case(
+    std::string name, std::string description, std::string paper_ref,
+    Tier tier, std::function<std::vector<BenchRow>(const Runner&)> run) {
+  return std::make_unique<FunctionCase>(std::move(name),
+                                        std::move(description),
+                                        std::move(paper_ref), tier,
+                                        std::move(run));
+}
+
+void BenchRegistry::add(std::unique_ptr<BenchCase> bench_case) {
+  if (find(bench_case->name()) != nullptr)
+    throw std::invalid_argument("duplicate bench case: " +
+                                std::string(bench_case->name()));
+  cases_.push_back(std::move(bench_case));
+}
+
+const BenchCase* BenchRegistry::find(std::string_view name) const {
+  for (const auto& bench_case : cases_)
+    if (bench_case->name() == name) return bench_case.get();
+  return nullptr;
+}
+
+std::vector<std::string> BenchRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(cases_.size());
+  for (const auto& bench_case : cases_)
+    out.emplace_back(bench_case->name());
+  return out;
+}
+
+const BenchRegistry& BenchRegistry::default_registry() {
+  static const BenchRegistry registry = make_default();
+  return registry;
+}
+
+}  // namespace msrs::perf

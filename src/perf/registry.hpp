@@ -1,0 +1,52 @@
+/// \file
+/// BenchRegistry: name -> BenchCase dispatch, mirroring SolverRegistry.
+///
+/// Registration order is presentation order (--list, bench_all output);
+/// the default registry lists the paper experiments E1–E12 in paper order.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "perf/bench_case.hpp"
+
+namespace msrs::perf {
+
+/// Ordered, uniquely-named collection of bench cases. Move-only; the
+/// default registry is a shared singleton.
+class BenchRegistry {
+ public:
+  /// An empty registry; populate with add().
+  BenchRegistry() = default;
+  /// Move-constructs (registries own their cases, so no copying).
+  BenchRegistry(BenchRegistry&&) = default;
+  /// Move-assigns.
+  BenchRegistry& operator=(BenchRegistry&&) = default;
+
+  /// Registers a case; throws std::invalid_argument on duplicate names.
+  void add(std::unique_ptr<BenchCase> bench_case);
+
+  /// nullptr if no case of that name is registered.
+  const BenchCase* find(std::string_view name) const;
+
+  /// Case names in registration order.
+  std::vector<std::string> names() const;
+
+  /// All cases, in registration order.
+  const std::vector<std::unique_ptr<BenchCase>>& cases() const {
+    return cases_;
+  }
+
+  /// The twelve paper experiments (see cases.cpp / docs/benchmarking.md).
+  static BenchRegistry make_default();
+
+  /// Shared immutable default registry (thread-safe lazy init).
+  static const BenchRegistry& default_registry();
+
+ private:
+  std::vector<std::unique_ptr<BenchCase>> cases_;
+};
+
+}  // namespace msrs::perf

@@ -1,0 +1,137 @@
+#include "perf/reporter.hpp"
+
+#include <fstream>
+
+#include "util/table.hpp"
+
+namespace msrs::perf {
+namespace {
+
+const char* tier_name(Tier tier) {
+  return tier == Tier::kQuick ? "quick" : "full";
+}
+
+Json row_json(const BenchRow& row, bool timing) {
+  Json out = Json::object();
+  out.set("name", row.name);
+  out.set("solver", row.solver);
+  out.set("n", static_cast<std::int64_t>(row.jobs));
+  out.set("m", static_cast<std::int64_t>(row.machines));
+  out.set("ops", static_cast<std::int64_t>(row.timing.ops));
+  out.set("makespan_ratio", row.makespan_ratio);
+  out.set("allocs_per_op", static_cast<std::int64_t>(row.timing.allocs_per_op));
+  Json counters = Json::object();
+  for (const auto& [key, value] : row.counters) counters.set(key, value);
+  out.set("counters", std::move(counters));
+  if (timing) {
+    Json t = Json::object();
+    t.set("ns_per_op", row.timing.ns_per_op);
+    t.set("ns_p25", row.timing.ns_p25);
+    t.set("ns_p75", row.timing.ns_p75);
+    out.set("timing", std::move(t));
+  }
+  return out;
+}
+
+}  // namespace
+
+Json bench_json(const CaseResult& result) {
+  Json out = Json::object();
+  out.set("schema_version", static_cast<std::int64_t>(kBenchSchemaVersion));
+  out.set("case", result.name);
+  out.set("description", result.description);
+  out.set("paper_ref", result.paper_ref);
+  out.set("tier", tier_name(result.tier));
+  out.set("deterministic", !result.timing);
+  Json rows = Json::array();
+  for (const BenchRow& row : result.rows)
+    rows.push_back(row_json(row, result.timing));
+  out.set("rows", std::move(rows));
+  if (!result.notes.empty()) out.set("notes", result.notes);
+  return out;
+}
+
+std::string write_bench_json(const CaseResult& result,
+                             const std::string& directory) {
+  std::string path = directory;
+  if (!path.empty() && path.back() != '/') path += '/';
+  path += "BENCH_" + result.name + ".json";
+  std::ofstream out(path);
+  if (!out) return "cannot write '" + path + "'";
+  out << bench_json(result).str(/*indent=*/2) << "\n";
+  out.close();
+  if (!out) return "write error on '" + path + "'";
+  return "";
+}
+
+std::string check_bench_schema(const Json& document) {
+  if (!document.is_object()) return "document is not an object";
+  const Json* version = document.find("schema_version");
+  if (version == nullptr || !version->is_number())
+    return "missing numeric 'schema_version'";
+  if (static_cast<int>(version->as_number()) != kBenchSchemaVersion)
+    return "unsupported schema_version " +
+           std::to_string(version->as_number());
+  for (const char* key : {"case", "description", "paper_ref", "tier"}) {
+    const Json* value = document.find(key);
+    if (value == nullptr || !value->is_string())
+      return std::string("missing string '") + key + "'";
+  }
+  const Json* deterministic = document.find("deterministic");
+  if (deterministic == nullptr || !deterministic->is_bool())
+    return "missing boolean 'deterministic'";
+  const Json* rows = document.find("rows");
+  if (rows == nullptr || !rows->is_array()) return "missing array 'rows'";
+  for (const Json& row : rows->items()) {
+    if (!row.is_object()) return "row is not an object";
+    const Json* name = row.find("name");
+    if (name == nullptr || !name->is_string())
+      return "row missing string 'name'";
+    for (const char* key :
+         {"n", "m", "ops", "makespan_ratio", "allocs_per_op"}) {
+      const Json* value = row.find(key);
+      if (value == nullptr || !value->is_number())
+        return "row '" + name->as_string() + "' missing numeric '" + key +
+               "'";
+    }
+    const Json* counters = row.find("counters");
+    if (counters == nullptr || !counters->is_object())
+      return "row '" + name->as_string() + "' missing object 'counters'";
+    const Json* timing = row.find("timing");
+    if (timing != nullptr) {
+      if (!timing->is_object())
+        return "row '" + name->as_string() + "': 'timing' is not an object";
+      for (const char* key : {"ns_per_op", "ns_p25", "ns_p75"}) {
+        const Json* value = timing->find(key);
+        if (value == nullptr || !value->is_number())
+          return "row '" + name->as_string() + "' timing missing '" + key +
+                 "'";
+      }
+    }
+  }
+  return "";
+}
+
+std::string bench_table(const CaseResult& result) {
+  Table table({"row", "solver", "n", "m", "ops", "ratio", "allocs/op",
+               "ns/op", "counters"});
+  for (const BenchRow& row : result.rows) {
+    std::string counters;
+    for (const auto& [key, value] : row.counters) {
+      if (!counters.empty()) counters += " ";
+      counters += key + "=" + Table::num(value, 4);
+    }
+    table.add_row(
+        {row.name, row.solver,
+         Table::num(static_cast<std::int64_t>(row.jobs)),
+         Table::num(static_cast<std::int64_t>(row.machines)),
+         Table::num(static_cast<std::int64_t>(row.timing.ops)),
+         row.makespan_ratio > 0.0 ? Table::num(row.makespan_ratio, 4) : "-",
+         Table::num(static_cast<std::int64_t>(row.timing.allocs_per_op)),
+         result.timing ? Table::num(row.timing.ns_per_op, 1) : "-",
+         counters});
+  }
+  return table.str();
+}
+
+}  // namespace msrs::perf

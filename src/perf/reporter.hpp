@@ -1,0 +1,52 @@
+/// \file
+/// JsonReporter: renders bench results as schema-versioned `BENCH_*.json`
+/// perf-trajectory artifacts, plus the human-readable table view.
+///
+/// The JSON schema (version 1; field-by-field reference in
+/// docs/benchmarking.md): a top-level object {schema_version, case,
+/// description, paper_ref, tier, deterministic, rows[, notes]} where each
+/// row is {name, solver, n, m, ops, makespan_ratio, allocs_per_op,
+/// counters{...}[, timing{ns_per_op, ns_p25, ns_p75}]}. The `timing`
+/// object is present only when the harness ran with --timing; without it
+/// every byte of the document is a pure function of the case, which is the
+/// byte-identical-across-runs contract of the committed baseline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perf/bench_case.hpp"
+#include "util/json.hpp"
+
+namespace msrs::perf {
+
+/// Schema version stamped into every document this build writes.
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// The result of one executed case, ready for reporting.
+struct CaseResult {
+  std::string name;         ///< case name (JSON `case`, file stem)
+  std::string description;  ///< case description
+  std::string paper_ref;    ///< paper section/theorem/figure
+  Tier tier = Tier::kQuick;  ///< the case's tier
+  bool timing = false;      ///< rows carry wall-clock measurements
+  std::vector<BenchRow> rows;  ///< measured rows, in case order
+  std::string notes;        ///< optional provenance (baseline refresh info)
+};
+
+/// Builds the schema-version-1 JSON document for one case result.
+Json bench_json(const CaseResult& result);
+
+/// Serializes bench_json() and writes it to `<directory>/BENCH_<case>.json`.
+/// Returns an empty string on success, else a one-line error description.
+std::string write_bench_json(const CaseResult& result,
+                             const std::string& directory);
+
+/// Validates that `document` is a well-formed schema-version-1 bench
+/// document; returns an empty string when valid, else the first problem.
+std::string check_bench_schema(const Json& document);
+
+/// Renders the rows of one case as an aligned text table (util/table).
+std::string bench_table(const CaseResult& result);
+
+}  // namespace msrs::perf

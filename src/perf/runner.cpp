@@ -1,0 +1,46 @@
+#include "perf/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "perf/alloc.hpp"
+#include "util/stats.hpp"
+
+namespace msrs::perf {
+
+Measurement Runner::measure(const std::function<void()>& op) const {
+  Measurement out;
+  for (int i = 0; i < options_.warmup; ++i) op();
+
+  const int repeats = std::max(1, options_.repeats);
+  if (!options_.timing) {
+    // Deterministic mode: exact repetition count, no clocks.
+    for (int i = 0; i < repeats - 1; ++i) op();
+    out.allocs_per_op = count_allocs(op);
+    out.ops = static_cast<std::uint64_t>(repeats);
+    return out;
+  }
+
+  using Clock = std::chrono::steady_clock;
+  std::vector<double> ns;
+  ns.reserve(static_cast<std::size_t>(repeats));
+  double total_ms = 0.0;
+  while (static_cast<int>(ns.size()) < repeats ||
+         total_ms < options_.min_time_ms) {
+    const Clock::time_point begin = Clock::now();
+    out.allocs_per_op = count_allocs(op);
+    const double elapsed_ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - begin).count();
+    ns.push_back(elapsed_ns);
+    total_ms += elapsed_ns / 1e6;
+  }
+  std::sort(ns.begin(), ns.end());
+  out.ops = ns.size();
+  out.ns_per_op = quantile_sorted(ns, 0.5);
+  out.ns_p25 = quantile_sorted(ns, 0.25);
+  out.ns_p75 = quantile_sorted(ns, 0.75);
+  return out;
+}
+
+}  // namespace msrs::perf

@@ -1,0 +1,60 @@
+/// \file
+/// Runner: the measurement core of the perf harness.
+///
+/// One `measure()` call = one benchmark row. The runner executes untimed
+/// warmup repetitions, then timed repetitions on `std::chrono::steady_clock`
+/// until both the configured repeat count and the minimum measured time are
+/// satisfied, and summarizes per-repetition nanoseconds as median + IQR
+/// (robust against scheduler noise, unlike the mean).
+///
+/// Determinism contract: with `timing == false` the runner executes exactly
+/// `warmup + repeats` repetitions and reports zero for every nanosecond
+/// field, so all remaining fields of a row (op counts, makespans,
+/// allocations) are pure functions of the case — this is what makes the
+/// default `BENCH_*.json` output byte-identical across runs and thread
+/// counts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace msrs::perf {
+
+/// Knobs of one Runner (uniform across every case of a harness invocation).
+struct RunnerOptions {
+  int warmup = 1;    ///< untimed repetitions before measuring
+  int repeats = 5;   ///< measured repetitions (exact count when !timing)
+  double min_time_ms = 0.0;  ///< keep repeating until this much measured
+                             ///< time accumulates (timing mode only)
+  bool timing = false;  ///< measure wall clock; false = deterministic mode
+};
+
+/// Result of one measured region.
+struct Measurement {
+  std::uint64_t ops = 0;        ///< repetitions actually executed
+  double ns_per_op = 0.0;       ///< median nanoseconds per repetition
+  double ns_p25 = 0.0;          ///< 25th percentile (IQR low)
+  double ns_p75 = 0.0;          ///< 75th percentile (IQR high)
+  std::uint64_t allocs_per_op = 0;  ///< heap allocations of one repetition
+                                    ///< on the measuring thread (0 when
+                                    ///< counting is disabled, e.g. ASan)
+};
+
+/// Executes operations under the configured warmup/repeat/min-time policy.
+class Runner {
+ public:
+  /// A runner with the given knobs.
+  explicit Runner(RunnerOptions options = {}) : options_(options) {}
+
+  /// Runs `op` per the policy and summarizes it. The allocation count is
+  /// taken over the final repetition (deterministic for deterministic ops).
+  Measurement measure(const std::function<void()>& op) const;
+
+  /// The knobs this runner was built with.
+  const RunnerOptions& options() const { return options_; }
+
+ private:
+  RunnerOptions options_;
+};
+
+}  // namespace msrs::perf

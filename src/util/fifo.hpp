@@ -1,0 +1,38 @@
+// FifoView: a FIFO queue as a view over a reused vector (pop = advance a
+// head index). Replaces std::deque work queues on the solver hot paths: a
+// default-constructed libstdc++ deque already costs two allocations, while
+// a FifoView over a per-thread scratch vector costs zero in steady state
+// (see docs/benchmarking.md, "hot-path allocations").
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace msrs {
+
+template <typename T>
+struct FifoView {
+  std::vector<T>* items = nullptr;
+  std::size_t head = 0;
+
+  // Binds to `store`, clearing it (capacity retained).
+  void reset(std::vector<T>* store) {
+    items = store;
+    items->clear();
+    head = 0;
+  }
+  bool empty() const { return head >= items->size(); }
+  std::size_t size() const { return items->size() - head; }
+  T front() const { return (*items)[head]; }
+  void pop_front() { ++head; }
+  void push_back(T value) { items->push_back(value); }
+  // The not-yet-popped elements, oldest first.
+  std::span<const T> remaining() const {
+    return std::span<const T>(*items).subspan(head);
+  }
+  // Pops everything (used after bulk-consuming remaining()).
+  void drain() { head = items->size(); }
+};
+
+}  // namespace msrs

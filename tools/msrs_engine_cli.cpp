@@ -4,6 +4,7 @@
 //   solve         solve instance files and/or generated batches (default)
 //   generate      emit a corpus of generated instances (instance_io text)
 //   sweep         expand a sweep grid, solve it, print a per-cell report
+//   bench         run perf-harness cases / bench a generated corpus
 //   list-solvers  describe the registered solver ladder
 //   help          full usage with examples
 //
@@ -24,6 +25,7 @@
 
 #include "core/instance_io.hpp"
 #include "engine/engine.hpp"
+#include "perf/cli.hpp"
 #include "sim/workloads.hpp"
 #include "util/table.hpp"
 
@@ -93,6 +95,14 @@ void print_usage(std::FILE* to) {
                "      Expand the grid, solve every cell, print a"
                " deterministic per-cell report\n"
                "      table (stdout) and wall-clock stats (stderr).\n"
+               "  bench [CASE ...] [--list] [--json=DIR] [--timing]"
+               " [--spec=SPEC] [--sweep=SWEEPSPEC]\n"
+               "        [--solvers=a,b] [--baseline=DIR] ...\n"
+               "      Run registered perf-harness cases (E1-E12), or bench"
+               " solvers over a\n"
+               "      generated corpus; writes BENCH_<case>.json with"
+               " --json. `bench --help`\n"
+               "      shows the full grammar (see docs/benchmarking.md).\n"
                "  list-solvers\n"
                "      Describe the registered solver ladder.\n"
                "  help\n"
@@ -431,6 +441,10 @@ int main(int argc, char** argv) {
     command = argv[1];
     flags_begin = 2;
   }
+
+  // `bench` owns its whole flag grammar (perf/cli.hpp): forward verbatim.
+  if (command == "bench")
+    return msrs::perf::bench_main(argc - 1, argv + 1, /*default_filter=*/"");
 
   Options options;
   if (!parse_flags(argc, argv, flags_begin, &options)) return usage();
