@@ -1,0 +1,10 @@
+// E13 — serving layer: steady-state sharded service + cold dispatch.
+//
+// Thin wrapper over the shared perf harness (src/perf): runs the
+// registered "e13_serve" case; all flags of perf::bench_main apply
+// (--json, --timing, --baseline, ... — see docs/benchmarking.md).
+#include "perf/cli.hpp"
+
+int main(int argc, char** argv) {
+  return msrs::perf::bench_main(argc, argv, "e13_serve");
+}

@@ -24,6 +24,11 @@
 
 namespace msrs {
 
+/// Version of the text format this build reads and writes (the integer in
+/// the `msrs 1` header line). Reported by `msrs_engine_cli version` next to
+/// the bench-JSON and wire-protocol schema versions.
+inline constexpr int kInstanceFormatVersion = 1;
+
 /// Renders one instance as a text document.
 std::string to_text(const Instance& instance);
 

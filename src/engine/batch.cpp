@@ -15,12 +15,11 @@ std::uint64_t fold(std::uint64_t h, std::uint64_t v) {
   return splitmix64(s);
 }
 
-// Remaps a result solved on `src_form`'s instance onto the instance behind
-// `dst_form` (same canonical shape): canonical position i of one maps to
-// canonical position i of the other, preserving sizes and class structure.
-PortfolioResult remap(const CanonicalForm& src_form,
-                      const PortfolioResult& src_result,
-                      const CanonicalForm& dst_form) {
+}  // namespace
+
+PortfolioResult remap_result(const CanonicalForm& src_form,
+                             const PortfolioResult& src_result,
+                             const CanonicalForm& dst_form) {
   PortfolioResult out = src_result;
   out.from_cache = true;
   const Schedule& src = src_result.schedule;
@@ -33,8 +32,6 @@ PortfolioResult remap(const CanonicalForm& src_form,
   out.schedule = std::move(dst);
   return out;
 }
-
-}  // namespace
 
 CanonicalForm canonical_form(const Instance& instance) {
   CanonicalForm form;
@@ -93,16 +90,8 @@ BatchEngine::BatchEngine(const SolverRegistry& registry, BatchOptions options)
                    po.threads = 1;
                    return po;
                  }()),
-      options_(std::move(options)) {}
-
-const BatchEngine::CacheEntry* BatchEngine::lookup(
-    const CanonicalForm& form) const {
-  auto it = cache_.find(form.key);
-  if (it == cache_.end()) return nullptr;
-  for (const CacheEntry& entry : it->second)
-    if (entry.form.same_shape(form)) return &entry;
-  return nullptr;
-}
+      options_(std::move(options)),
+      cache_(options_.cache_capacity) {}
 
 void BatchEngine::clear_cache() {
   cache_.clear();
@@ -133,9 +122,9 @@ std::vector<PortfolioResult> BatchEngine::solve(
       reps.push_back(i);
       continue;
     }
-    if (const CacheEntry* entry = lookup(forms[i])) {
+    if (const ResultCache::Entry* entry = cache_.find(forms[i])) {
       source[i] = kFromCache;
-      results[i] = remap(entry->form, entry->result, forms[i]);
+      results[i] = remap_result(entry->first, entry->second, forms[i]);
       ++stats_.cache_hits;
       continue;
     }
@@ -166,14 +155,12 @@ std::vector<PortfolioResult> BatchEngine::solve(
   for (std::size_t i = 0; i < count; ++i) {
     const std::size_t rep = source[i];
     if (rep == kFromCache || rep == i) continue;
-    results[i] = remap(forms[rep], results[rep], forms[i]);
+    results[i] = remap_result(forms[rep], results[rep], forms[i]);
   }
 
   if (options_.cache) {
-    for (std::size_t i : reps) {
-      cache_[forms[i].key].push_back(CacheEntry{forms[i], results[i]});
-      ++stats_.entries;
-    }
+    for (std::size_t i : reps) cache_.insert(forms[i], results[i]);
+    stats_.entries = cache_.size();
   }
   return results;
 }

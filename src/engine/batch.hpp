@@ -13,15 +13,22 @@
 /// solved, all duplicates are remapped from it. Representatives are chosen
 /// and results assembled in input order, so the output is identical for any
 /// thread count — only wall-clock time changes.
+///
+/// The cross-batch cache is a bounded LRU (util/lru.hpp, default 65536
+/// shapes, `BatchOptions::cache_capacity`); long sweeps and long-lived
+/// services stay within a fixed memory budget, with hit/miss/eviction
+/// counters exposed via cache_stats(). Lookups and insertions happen in
+/// input order on the coordinating thread, so eviction order — and thus
+/// every output — remains independent of the thread count.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "core/instance.hpp"
 #include "engine/portfolio.hpp"
 #include "engine/registry.hpp"
+#include "util/lru.hpp"
 
 namespace msrs::engine {
 
@@ -41,10 +48,44 @@ struct CanonicalForm {
 /// Computes the canonical form of an instance (O(n log n)).
 CanonicalForm canonical_form(const Instance& instance);
 
+/// Remaps a result solved on `src_form`'s instance onto the instance behind
+/// `dst_form` (which must have the same canonical shape): canonical position
+/// i of one maps to canonical position i of the other, preserving sizes and
+/// class structure. The returned result is flagged `from_cache`.
+PortfolioResult remap_result(const CanonicalForm& src_form,
+                             const PortfolioResult& src_result,
+                             const CanonicalForm& dst_form);
+
+/// Hashes a canonical-form cache key: the precomputed shape hash.
+struct CanonicalFormHash {
+  /// The form's `key` field, truncated to size_t.
+  std::size_t operator()(const CanonicalForm& form) const {
+    return static_cast<std::size_t>(form.key);
+  }
+};
+
+/// Canonical-form cache-key equivalence: shape equality. The per-instance
+/// job bijection (`order`) is deliberately ignored — it is payload carried
+/// by the resident key for remapping, not identity.
+struct CanonicalFormShapeEq {
+  /// True when machines and class size vectors coincide.
+  bool operator()(const CanonicalForm& a, const CanonicalForm& b) const {
+    return a.same_shape(b);
+  }
+};
+
+/// Bounded LRU from canonical shape to the representative's solved result.
+/// Shared by BatchEngine and the serving layer's per-shard caches.
+using ResultCache = LruCache<CanonicalForm, PortfolioResult,
+                             CanonicalFormHash, CanonicalFormShapeEq>;
+
 /// Options of a BatchEngine.
 struct BatchOptions {
   unsigned threads = 0;  ///< sharding width; 0 = hardware concurrency
   bool cache = true;     ///< canonical-form dedup + cross-batch memory
+  /// Cross-batch cache bound, in resident entries (least recently used
+  /// shape evicted first); 0 opts into the historical unbounded behavior.
+  std::size_t cache_capacity = 1 << 16;
   PortfolioOptions portfolio;  ///< per-instance options (raced sequentially;
                                ///< the batch layer owns the parallelism)
 };
@@ -72,22 +113,17 @@ class BatchEngine {
   /// Lifetime counters (monotone across solve() calls).
   const BatchStats& stats() const { return stats_; }
 
+  /// Counters of the bounded cross-batch result cache (hit/miss/eviction).
+  const LruStats& cache_stats() const { return cache_.stats(); }
+
   /// Drops every resident cache entry (stats().entries becomes 0).
   void clear_cache();
 
  private:
-  struct CacheEntry {
-    CanonicalForm form;      // includes the representative's job order
-    PortfolioResult result;  // solved on the representative instance
-  };
-
-  const CacheEntry* lookup(const CanonicalForm& form) const;
-
   PortfolioSolver portfolio_;
   BatchOptions options_;
   BatchStats stats_;
-  // key -> entries with that hash (collision chain checked by same_shape).
-  std::unordered_map<std::uint64_t, std::vector<CacheEntry>> cache_;
+  ResultCache cache_;
 };
 
 }  // namespace msrs::engine

@@ -20,7 +20,13 @@ std::string CorpusReport::table() const {
                    group.top_solver, Table::num(group.ratio_mean, 4),
                    Table::num(group.ratio_max, 4),
                    Table::num(static_cast<std::int64_t>(group.invalid))});
-  return table.str();
+  std::ostringstream out;
+  out << table.str() << "cache: " << cache.entries << "/"
+      << (cache.capacity == 0 ? std::string("unbounded")
+                              : std::to_string(cache.capacity))
+      << " entries, " << cache.hits << " hits, " << cache.misses
+      << " misses, " << cache.evictions << " evictions\n";
+  return out.str();
 }
 
 std::string CorpusReport::timing() const {
@@ -49,6 +55,7 @@ CorpusReport evaluate_corpus(const std::vector<std::string>& groups,
                           std::chrono::steady_clock::now() - start)
                           .count();
   report.stats = engine.stats();
+  report.cache = engine.cache_stats();
 
   // Aggregate in input order; group rows appear at first occurrence, winner
   // ties break lexicographically — all deterministic.

@@ -35,10 +35,13 @@ struct CorpusReport {
   std::vector<GroupReport> groups;        ///< rows, first-seen group order
   std::vector<PortfolioResult> results;   ///< per item, input order
   BatchStats stats;                       ///< batch/cache counters
+  LruStats cache;                         ///< bounded result-cache counters
   double elapsed_ms = 0.0;                ///< wall clock of the batch solve
   bool all_valid = true;                  ///< every item got a valid schedule
 
-  /// Renders the deterministic report table (one row per group).
+  /// Renders the deterministic report table (one row per group), followed
+  /// by a one-line summary of the bounded result cache (entries/capacity,
+  /// hits, misses, evictions — deterministic for any thread count).
   std::string table() const;
 
   /// One-line wall-clock summary (NOT deterministic; print to stderr).

@@ -12,22 +12,47 @@ ThreadPool::ThreadPool(unsigned threads) {
     workers_.emplace_back([this] { worker_loop(); });
 }
 
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard lock(mutex_);
-    stopping_ = true;
-  }
-  work_available_.notify_all();
-  for (auto& worker : workers_) worker.join();
-}
+ThreadPool::~ThreadPool() { shutdown(); }
 
-void ThreadPool::submit(std::function<void()> task) {
+bool ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mutex_);
+    if (draining_) return false;
     queue_.push(std::move(task));
     ++in_flight_;
   }
   work_available_.notify_one();
+  return true;
+}
+
+bool ThreadPool::shutdown(std::chrono::milliseconds deadline) {
+  std::unique_lock lock(mutex_);
+  draining_ = true;
+  bool drained;
+  if (deadline == std::chrono::milliseconds::max()) {
+    // An effectively infinite deadline must not feed wait_for (time_point
+    // overflow); wait without one.
+    idle_.wait(lock, [this] { return in_flight_ == 0; });
+    drained = true;
+  } else {
+    drained =
+        idle_.wait_for(lock, deadline, [this] { return in_flight_ == 0; });
+  }
+  if (!drained) {
+    // Deadline passed: drop queued-but-unstarted tasks. Running tasks are
+    // never interrupted; the joins below wait for them.
+    while (!queue_.empty()) {
+      queue_.pop();
+      --in_flight_;
+    }
+    if (in_flight_ == 0) idle_.notify_all();  // concurrent wait_idle()
+  }
+  stopping_ = true;
+  lock.unlock();
+  work_available_.notify_all();
+  for (auto& worker : workers_)
+    if (worker.joinable()) worker.join();
+  return drained;
 }
 
 void ThreadPool::wait_idle() {

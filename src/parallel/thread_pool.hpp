@@ -6,6 +6,7 @@
 // seeds, so the partitioning order cannot change any reported number).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -13,6 +14,7 @@
 #include <memory>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -31,22 +33,42 @@ class ThreadPool {
 
   // Enqueues a task. Tasks must not throw; exceptions terminate (by design —
   // harness work items report failures through their results, not exceptions).
-  void submit(std::function<void()> task);
+  // Returns false (and drops the task) after shutdown() has begun.
+  bool submit(std::function<void()> task);
 
   // Enqueues a task and returns a future for its result. Unlike submit(),
   // exceptions escaping the task are captured in the future (std::packaged_task
   // stores them), so throwing solvers are safe to race through this interface.
+  // If the pool has begun shutdown() the task is refused and the future
+  // carries a std::runtime_error naming that — not a bare broken_promise.
   template <typename F, typename R = std::invoke_result_t<std::decay_t<F>>>
   std::future<R> submit_task(F&& task) {
     auto packaged =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
     std::future<R> future = packaged->get_future();
-    submit([packaged] { (*packaged)(); });
+    if (!submit([packaged] { (*packaged)(); })) {
+      std::promise<R> refused;
+      future = refused.get_future();
+      refused.set_exception(std::make_exception_ptr(
+          std::runtime_error("ThreadPool refused the task: shutdown() has "
+                             "begun")));
+    }
     return future;
   }
 
   // Blocks until all submitted tasks have finished.
   void wait_idle();
+
+  // Graceful drain-then-join: stops accepting new tasks, waits up to
+  // `deadline` for the queued + running work to finish, then joins the
+  // workers. If the deadline passes first, tasks still *queued* are
+  // discarded (running tasks always complete — worker threads are never
+  // killed mid-task). Returns true when everything drained in time.
+  // Idempotent; after it returns, submit() refuses new work. Called by the
+  // destructor with an infinite deadline, so plain destruction still runs
+  // every submitted task (the historical contract).
+  bool shutdown(std::chrono::milliseconds deadline =
+                    std::chrono::milliseconds::max());
 
  private:
   void worker_loop();
@@ -57,7 +79,8 @@ class ThreadPool {
   std::condition_variable work_available_;
   std::condition_variable idle_;
   std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  bool draining_ = false;  // submit() refuses; workers drain the queue
+  bool stopping_ = false;  // workers exit once the queue is empty
 };
 
 // Runs body(i) for i in [begin, end) across `threads` workers (0 = hardware

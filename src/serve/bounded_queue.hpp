@@ -1,0 +1,106 @@
+/// \file
+/// BoundedQueue: a small bounded MPMC queue, the admission point of the
+/// serving layer.
+///
+/// Producers choose their backpressure mode per call: push() blocks while
+/// the queue is full (stdin pipelines, in-process benches), try_push()
+/// returns immediately so the caller can shed load with a named
+/// `overloaded` error (socket serving). close() wakes everyone; consumers
+/// drain the remaining items and then see end-of-stream.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace msrs::serve {
+
+/// Bounded MPMC FIFO. All operations are thread-safe.
+///
+/// Storage is a ring buffer preallocated at construction: pushing never
+/// allocates, so a producer's allocation count is independent of how far
+/// the consumers have fallen behind (a deque's block churn would vary
+/// with that race — visible in the e13 `allocs_per_op` determinism
+/// contract) and the hot path stays allocation-free.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// A queue admitting at most `capacity` (>= 1) queued items.
+  explicit BoundedQueue(std::size_t capacity)
+      : ring_(capacity == 0 ? 1 : capacity) {}
+
+  /// Blocks until space is available (backpressure), then enqueues by
+  /// moving from `item`. Returns false — leaving `item` untouched — once
+  /// the queue is closed, so the caller can still answer the request.
+  bool push(T& item) {
+    std::unique_lock lock(mutex_);
+    space_.wait(lock, [this] { return closed_ || count_ < ring_.size(); });
+    if (closed_) return false;
+    enqueue(item);
+    lock.unlock();
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Enqueues (moving from `item`) only if space is available right now;
+  /// false — leaving `item` untouched — when full or closed (the caller
+  /// turns this into a named rejection).
+  bool try_push(T& item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || count_ >= ring_.size()) return false;
+      enqueue(item);
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks for the next item; std::nullopt once closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    ready_.wait(lock, [this] { return closed_ || count_ > 0; });
+    if (count_ == 0) return std::nullopt;
+    std::optional<T> item(std::move(ring_[head_]));
+    head_ = (head_ + 1) % ring_.size();
+    --count_;
+    lock.unlock();
+    space_.notify_one();
+    return item;
+  }
+
+  /// Closes the queue: pending and future push() calls fail, consumers
+  /// drain what is left. Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+    space_.notify_all();
+  }
+
+  /// Queued (not yet popped) items right now.
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return count_;
+  }
+
+ private:
+  void enqueue(T& item) {  // callers hold mutex_ and checked for space
+    ring_[(head_ + count_) % ring_.size()] = std::move(item);
+    ++count_;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;  // consumers wait: item or closed
+  std::condition_variable space_;  // producers wait: space or closed
+  std::vector<T> ring_;            // fixed slots; [head_, head_+count_)
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace msrs::serve

@@ -1,0 +1,304 @@
+#include "serve/driver.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "core/instance_io.hpp"
+#include "serve/socket.hpp"
+#include "serve/wire.hpp"
+#include "sim/workloads.hpp"
+#include "util/stats.hpp"
+
+namespace msrs::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Builds the replay payloads: each is the tail of a solve-request line
+// (everything after the opening '{'), so a request becomes
+// `{"id":N,` + payload without re-serializing JSON per send.
+std::optional<std::vector<std::string>> build_payloads(
+    const DriveOptions& options, std::string* error) {
+  std::vector<CorpusEntry> corpus;
+  for (const std::string& text : options.specs) {
+    std::string spec_error;
+    const auto spec = parse_spec(text, &spec_error);
+    if (!spec) {
+      if (error) *error = "bad_spec '" + text + "': " + spec_error;
+      return std::nullopt;
+    }
+    if (options.seeds_per_spec > 0) {
+      auto seeded = seed_corpus(*spec, options.seeds_per_spec);
+      corpus.insert(corpus.end(), std::make_move_iterator(seeded.begin()),
+                    std::make_move_iterator(seeded.end()));
+    } else {
+      corpus.push_back({*spec, generate(*spec)});
+    }
+  }
+  if (corpus.empty()) {
+    if (error) *error = "drive needs at least one generator spec";
+    return std::nullopt;
+  }
+  std::vector<std::string> payloads;
+  payloads.reserve(corpus.size());
+  for (const CorpusEntry& entry : corpus) {
+    Json request = Json::object();
+    request.set("op", "solve");
+    request.set("wire", static_cast<std::int64_t>(kWireVersion));
+    if (options.payload_spec)
+      request.set("spec", entry.spec.str());
+    else
+      request.set("instance", to_text(entry.instance));
+    std::string payload = request.str();
+    payload.front() = ',';  // the '{' comes from the id prefix instead
+    payloads.push_back(std::move(payload));
+  }
+  return payloads;
+}
+
+std::string make_line(std::size_t id, const std::string& payload) {
+  return "{\"id\":" + std::to_string(id) + payload;
+}
+
+// Reads `cache_hits`/`cache_misses` out of a `stats` response.
+bool cache_counters(SocketClient& client, double* hits, double* misses) {
+  if (!client.send_line("{\"op\":\"stats\"}")) return false;
+  std::string line;
+  if (!client.recv_line(&line)) return false;
+  const std::optional<Json> document = json_parse(line);
+  if (!document) return false;
+  const Json* h = document->find("cache_hits");
+  const Json* m = document->find("cache_misses");
+  if (h == nullptr || !h->is_number() || m == nullptr || !m->is_number())
+    return false;
+  *hits = h->as_number();
+  *misses = m->as_number();
+  return true;
+}
+
+}  // namespace
+
+std::string DriveReport::str() const {
+  std::ostringstream out;
+  out << "drive: " << sent << " requests, " << ok << " ok, " << errors
+      << " errors (" << rejected << " rejected)\n";
+  if (transport_errors > 0)
+    out << "TRANSPORT FAILURE: " << transport_errors
+        << " connection(s) died mid-run\n";
+  out
+      << "time:  " << elapsed_s << " s (" << throughput << " req/s)\n"
+      << "latency: p50 " << p50_ms << " ms, p95 " << p95_ms << " ms, p99 "
+      << p99_ms << " ms, max " << max_ms << " ms\n";
+  if (cache_hit_rate >= 0.0)
+    out << "cache: " << 100.0 * cache_hit_rate << "% hit rate\n";
+  return out.str();
+}
+
+Json DriveReport::json() const {
+  Json document = Json::object();
+  document.set("sent", static_cast<std::int64_t>(sent));
+  document.set("ok", static_cast<std::int64_t>(ok));
+  document.set("errors", static_cast<std::int64_t>(errors));
+  document.set("rejected", static_cast<std::int64_t>(rejected));
+  document.set("transport_errors",
+               static_cast<std::int64_t>(transport_errors));
+  document.set("elapsed_s", elapsed_s);
+  document.set("throughput", throughput);
+  document.set("p50_ms", p50_ms);
+  document.set("p95_ms", p95_ms);
+  document.set("p99_ms", p99_ms);
+  document.set("max_ms", max_ms);
+  document.set("cache_hit_rate", cache_hit_rate);
+  return document;
+}
+
+std::optional<DriveReport> drive(const DriveOptions& options,
+                                 std::string* error) {
+  const auto payloads = build_payloads(options, error);
+  if (!payloads) return std::nullopt;
+  std::size_t requests = options.requests;
+  if (requests == 0 && options.duration_s <= 0.0)
+    requests = payloads->size();  // default: one pass over the corpus
+
+  if (!options.emit.empty()) {
+    // Emit mode: write the request stream for a stdio `serve` pipeline.
+    const std::size_t count = requests == 0 ? payloads->size() : requests;
+    std::ofstream file;
+    const bool to_stdout = options.emit == "-";
+    if (!to_stdout) {
+      file.open(options.emit);
+      if (!file) {
+        if (error) *error = "cannot write " + options.emit;
+        return std::nullopt;
+      }
+    }
+    std::ostream& out = to_stdout ? std::cout : file;
+    for (std::size_t i = 0; i < count; ++i)
+      out << make_line(i, (*payloads)[i % payloads->size()]) << '\n';
+    out.flush();
+    if (!out) {
+      if (error) *error = "write error on " + options.emit;
+      return std::nullopt;
+    }
+    DriveReport report;
+    report.sent = count;
+    return report;
+  }
+
+  if (options.socket.empty()) {
+    if (error) *error = "drive needs --socket=PATH (or --emit=FILE)";
+    return std::nullopt;
+  }
+
+  // Version handshake on a dedicated connection (also used for the
+  // before/after cache counters).
+  SocketClient control;
+  if (!control.connect(options.socket, error)) return std::nullopt;
+  {
+    Json hello = Json::object();
+    hello.set("op", "version");
+    hello.set("wire", static_cast<std::int64_t>(kWireVersion));
+    std::string response_line;
+    if (!control.send_line(hello.str()) ||
+        !control.recv_line(&response_line)) {
+      if (error) *error = "service closed the connection during handshake";
+      return std::nullopt;
+    }
+    const std::optional<Json> response = json_parse(response_line);
+    if (!response) {
+      if (error) *error = "handshake response is not JSON: " + response_line;
+      return std::nullopt;
+    }
+    if (const Json* ok = response->find("ok");
+        ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
+      const Json* code = response->find("error");
+      const Json* detail = response->find("detail");
+      if (error)
+        *error = (code && code->is_string() ? code->as_string()
+                                            : std::string("handshake_failed")) +
+                 ": " +
+                 (detail && detail->is_string() ? detail->as_string()
+                                                : response_line);
+      return std::nullopt;
+    }
+    const Json* wire = response->find("wire");
+    if (wire == nullptr || !wire->is_number() ||
+        static_cast<int>(wire->as_number()) != kWireVersion) {
+      if (error)
+        *error = std::string(wire_error_name(WireError::kVersionMismatch)) +
+                 ": driver speaks wire version " +
+                 std::to_string(kWireVersion) + ", service reports " +
+                 (wire && wire->is_number()
+                      ? std::to_string(static_cast<int>(wire->as_number()))
+                      : std::string("none"));
+      return std::nullopt;
+    }
+  }
+  double hits_before = 0.0, misses_before = 0.0;
+  const bool have_before =
+      cache_counters(control, &hits_before, &misses_before);
+
+  const unsigned conns = options.conns == 0 ? 1 : options.conns;
+  std::vector<std::unique_ptr<SocketClient>> clients;
+  for (unsigned c = 0; c < conns; ++c) {
+    auto client = std::make_unique<SocketClient>();
+    if (!client->connect(options.socket, error)) return std::nullopt;
+    clients.push_back(std::move(client));
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> ok_count{0}, error_count{0}, rejected_count{0};
+  std::atomic<std::size_t> transport_failures{0};
+  std::vector<std::vector<double>> latencies(conns);
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point deadline =
+      options.duration_s > 0.0
+          ? start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(options.duration_s))
+          : Clock::time_point::max();
+  const double interval_s = options.qps > 0.0 ? 1.0 / options.qps : 0.0;
+
+  std::vector<std::thread> workers;
+  for (unsigned c = 0; c < conns; ++c) {
+    workers.emplace_back([&, c] {
+      SocketClient& client = *clients[c];
+      std::vector<double>& mine = latencies[c];
+      std::string response;
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (requests != 0 && i >= requests) break;
+        Clock::time_point reference = Clock::now();
+        if (interval_s > 0.0) {
+          // Open loop: request i is due at start + i/qps; latency is
+          // charged from the *scheduled* time (no coordinated omission).
+          const Clock::time_point scheduled =
+              start + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(
+                              static_cast<double>(i) * interval_s));
+          std::this_thread::sleep_until(scheduled);
+          reference = scheduled;
+        }
+        if (Clock::now() >= deadline) break;
+        const std::string line =
+            make_line(i, (*payloads)[i % payloads->size()]);
+        if (!client.send_line(line) || !client.recv_line(&response)) {
+          // The peer vanished mid-run: surface it — a run that silently
+          // stops early must not report success.
+          transport_failures.fetch_add(1);
+          break;
+        }
+        const double ms = std::chrono::duration<double, std::milli>(
+                              Clock::now() - reference)
+                              .count();
+        mine.push_back(ms);
+        if (response.find("\"ok\":true") != std::string::npos) {
+          ok_count.fetch_add(1);
+        } else {
+          error_count.fetch_add(1);
+          if (response.find("\"error\":\"overloaded\"") != std::string::npos)
+            rejected_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  DriveReport report;
+  report.ok = ok_count.load();
+  report.errors = error_count.load();
+  report.rejected = rejected_count.load();
+  report.transport_errors = transport_failures.load();
+  report.sent = report.ok + report.errors;
+  report.elapsed_s = elapsed_s;
+  report.throughput =
+      elapsed_s > 0.0 ? static_cast<double>(report.sent) / elapsed_s : 0.0;
+
+  std::vector<double> all;
+  for (const auto& conn_latencies : latencies)
+    all.insert(all.end(), conn_latencies.begin(), conn_latencies.end());
+  std::sort(all.begin(), all.end());
+  if (!all.empty()) {
+    report.p50_ms = quantile_sorted(all, 0.5);
+    report.p95_ms = quantile_sorted(all, 0.95);
+    report.p99_ms = quantile_sorted(all, 0.99);
+    report.max_ms = all.back();
+  }
+
+  double hits_after = 0.0, misses_after = 0.0;
+  if (have_before && cache_counters(control, &hits_after, &misses_after)) {
+    const double lookups =
+        (hits_after + misses_after) - (hits_before + misses_before);
+    if (lookups > 0.0)
+      report.cache_hit_rate = (hits_after - hits_before) / lookups;
+  }
+  return report;
+}
+
+}  // namespace msrs::serve

@@ -1,0 +1,79 @@
+/// \file
+/// Load driver: replays generator corpora against a running service and
+/// reports latency percentiles and throughput
+/// (`msrs_engine_cli drive --socket=... SPEC...`).
+///
+/// The driver expands its spec strings into a corpus (sim/generator), turns
+/// every instance into a prebuilt solve-request payload, and replays the
+/// payload list round-robin from `conns` concurrent connections — so a
+/// corpus smaller than the request count produces *repeated-corpus*
+/// traffic, the serving cache's steady state. Closed loop (qps = 0) keeps
+/// one request in flight per connection; open loop paces requests at a
+/// target rate and measures latency from each request's *scheduled* send
+/// time, so queueing delay is charged to the service, not hidden
+/// (coordinated omission). Before driving, the driver handshakes wire
+/// versions via the `version` op and fails fast with a named error on
+/// mismatch.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace msrs::serve {
+
+/// Configuration of one drive run.
+struct DriveOptions {
+  std::string socket;  ///< UNIX socket path of the target service
+  std::vector<std::string> specs;  ///< generator specs -> replay corpus
+  int seeds_per_spec = 0;   ///< like `generate --count`: seeds 1..K per
+                            ///< spec (0 = each spec's own seed)
+  std::size_t requests = 0;   ///< stop after this many requests (0 = only
+                              ///< the duration bound applies)
+  double duration_s = 0.0;    ///< stop after this much wall clock (0 = only
+                              ///< the request bound applies)
+  double qps = 0.0;      ///< open-loop target rate; 0 = closed loop
+  unsigned conns = 1;    ///< concurrent connections
+  bool payload_spec = false;  ///< send `spec` payloads instead of inline
+                              ///< `instance` text
+  /// When non-empty: write the request lines to this file (or "-" for
+  /// stdout) instead of driving a service — the corpus-to-JSONL tool the
+  /// serving smoke test pipes into `serve`.
+  std::string emit;
+};
+
+/// Aggregated outcome of a drive run.
+struct DriveReport {
+  std::size_t sent = 0;      ///< requests sent
+  std::size_t ok = 0;        ///< `"ok":true` responses
+  std::size_t errors = 0;    ///< error responses (rejections included)
+  std::size_t rejected = 0;  ///< `overloaded` rejections among the errors
+  /// Connections that died mid-run (send/recv failure); a nonzero count
+  /// means the service dropped clients and the run must not pass green.
+  std::size_t transport_errors = 0;
+  double elapsed_s = 0.0;    ///< wall clock of the measured window
+  double throughput = 0.0;   ///< responses per second
+  double p50_ms = 0.0;       ///< median response latency
+  double p95_ms = 0.0;       ///< 95th percentile latency
+  double p99_ms = 0.0;       ///< 99th percentile latency
+  double max_ms = 0.0;       ///< worst observed latency
+  /// Service cache hit rate over the drive window ([0,1]; from `stats`
+  /// deltas), -1 when the service did not report stats.
+  double cache_hit_rate = -1.0;
+
+  /// Human-readable multi-line summary.
+  std::string str() const;
+  /// Machine-readable document (deterministic key order; values are
+  /// measurements and thus not byte-stable).
+  Json json() const;
+};
+
+/// Runs the driver. Returns std::nullopt and fills `*error` (named, e.g.
+/// "wire_version_mismatch: ...") when the run could not execute.
+std::optional<DriveReport> drive(const DriveOptions& options,
+                                 std::string* error);
+
+}  // namespace msrs::serve

@@ -1,0 +1,258 @@
+#include "serve/service.hpp"
+
+#include <future>
+#include <utility>
+
+#include "core/instance_io.hpp"
+#include "sim/workloads.hpp"
+
+namespace msrs::serve {
+
+std::string stats_response(const Json& id, const ServiceStats& stats) {
+  const auto count = [](std::size_t v) {
+    return Json(static_cast<std::int64_t>(v));
+  };
+  Json response = Json::object();
+  response.set("id", id);
+  response.set("ok", true);
+  response.set("shards", count(stats.shards));
+  response.set("received", count(stats.received));
+  response.set("responded", count(stats.responded));
+  response.set("rejected", count(stats.rejected));
+  response.set("errors", count(stats.errors));
+  response.set("solved", count(stats.solved));
+  response.set("cache_hits", count(stats.cache_hits));
+  response.set("cache_misses", count(stats.cache_misses));
+  response.set("cache_evictions", count(stats.cache_evictions));
+  response.set("cache_entries", count(stats.cache_entries));
+  return response.str();
+}
+
+Service::Service(ServiceOptions options,
+                 const engine::SolverRegistry& registry)
+    : options_(std::move(options)),
+      registry_(&registry),
+      pool_(options_.shards == 0 ? std::thread::hardware_concurrency()
+                                 : options_.shards) {
+  const unsigned shard_count = pool_.size();
+  engine::PortfolioOptions portfolio;
+  portfolio.budget_ms = options_.budget_ms;
+  portfolio.only = options_.solvers;
+  portfolio.threads = 1;  // the shard layer owns the parallelism
+  shards_.reserve(shard_count);
+  for (unsigned s = 0; s < shard_count; ++s) {
+    auto shard = std::make_unique<Shard>(options_.queue_depth,
+                                         options_.cache_capacity);
+    shard->portfolio =
+        std::make_unique<engine::PortfolioSolver>(registry, portfolio);
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_)
+    pool_.submit([this, raw = shard.get()] { shard_loop(*raw); });
+}
+
+Service::~Service() { shutdown(std::chrono::seconds(30)); }
+
+void Service::respond(Done& done, std::string&& line, bool is_error) {
+  if (is_error) ++errors_;
+  ++responded_;
+  done(std::move(line));
+}
+
+void Service::finish_item() {
+  std::lock_guard lock(pending_mutex_);
+  if (--pending_ == 0) drained_.notify_all();
+}
+
+void Service::submit(const std::string& line, Done done) {
+  ++received_;
+  Json salvaged_id;
+  WireError code = WireError::kParseError;
+  std::string detail;
+  std::optional<Request> request =
+      parse_request(line, &code, &detail, &salvaged_id);
+  if (!request) {
+    respond(done, error_response(salvaged_id, code, detail), true);
+    return;
+  }
+  if (!accepting_.load()) {
+    respond(done,
+            error_response(request->id, WireError::kShuttingDown,
+                           "service is shutting down"),
+            true);
+    return;
+  }
+  if (request->wire != 0 && request->wire != kWireVersion) {
+    respond(done,
+            error_response(request->id, WireError::kVersionMismatch,
+                           "client speaks wire version " +
+                               std::to_string(request->wire) +
+                               ", service speaks " +
+                               std::to_string(kWireVersion)),
+            true);
+    return;
+  }
+
+  switch (request->op) {
+    case Op::kPing:
+      respond(done, ok_response(request->id, "ping"), false);
+      return;
+    case Op::kVersion:
+      respond(done, version_response(request->id), false);
+      return;
+    case Op::kStats:
+      respond(done, stats_response(request->id, stats()), false);
+      return;
+    case Op::kShutdown:
+      accepting_.store(false);
+      respond(done, ok_response(request->id, "shutdown"), false);
+      return;
+    case Op::kSolve:
+      break;
+  }
+
+  Item item;
+  item.id = std::move(request->id);
+  item.budget_ms = request->budget_ms;
+  item.done = std::move(done);
+  if (!request->spec.empty()) {
+    std::string error;
+    const auto spec = parse_spec(request->spec, &error);
+    if (!spec) {
+      respond(item.done, error_response(item.id, WireError::kBadSpec, error),
+              true);
+      return;
+    }
+    item.instance = generate(*spec);
+  } else {
+    std::string error;
+    auto parsed = from_text(request->instance, &error);
+    if (!parsed) {
+      respond(item.done,
+              error_response(item.id, WireError::kBadInstance, error), true);
+      return;
+    }
+    item.instance = std::move(*parsed);
+  }
+  item.form = engine::canonical_form(item.instance);
+  Shard& shard =
+      *shards_[static_cast<std::size_t>(item.form.key % shards_.size())];
+
+  {
+    std::lock_guard lock(pending_mutex_);
+    ++pending_;
+  }
+  const bool admitted = options_.reject_when_full ? shard.queue.try_push(item)
+                                                  : shard.queue.push(item);
+  if (!admitted) {
+    // try_push: full (overloaded); push: only fails when closed (shutdown).
+    const bool closed = !accepting_.load();
+    if (!closed) ++rejected_;
+    respond(item.done,
+            error_response(item.id,
+                           closed ? WireError::kShuttingDown
+                                  : WireError::kOverloaded,
+                           closed ? "service is shutting down"
+                                  : "request queue is full"),
+            true);
+    finish_item();
+  }
+}
+
+std::string Service::handle(const std::string& line) {
+  std::promise<std::string> promise;
+  std::future<std::string> future = promise.get_future();
+  submit(line, [&promise](std::string&& response) {
+    promise.set_value(std::move(response));
+  });
+  return future.get();
+}
+
+void Service::shard_loop(Shard& shard) {
+  while (std::optional<Item> item = shard.queue.pop()) process(shard, *item);
+}
+
+void Service::process(Shard& shard, Item& item) {
+  if (abort_.load()) {
+    respond(item.done,
+            error_response(item.id, WireError::kShuttingDown,
+                           "service stopped before this request was served"),
+            true);
+    finish_item();
+    return;
+  }
+  std::string response;
+  if (item.budget_ms != 0) {
+    // Non-default effort changes the result, so it must not share cache
+    // entries with default-budget traffic; solve uncached.
+    engine::PortfolioOptions per_request = shard.portfolio->options();
+    per_request.budget_ms = item.budget_ms;
+    response = solve_response(item.id,
+                              engine::PortfolioSolver(*registry_, per_request)
+                                  .solve(item.instance));
+    shard.solved.fetch_add(1);
+  } else if (const TailCache::Entry* entry = shard.cache.find(item.form)) {
+    response = compose_response(item.id, entry->second);
+  } else {
+    std::string tail =
+        solve_response_tail(shard.portfolio->solve(item.instance));
+    response = compose_response(item.id, tail);
+    shard.cache.insert(std::move(item.form), std::move(tail));
+    shard.solved.fetch_add(1);
+  }
+  // Mirror the (single-threaded) LRU counters into atomics for stats().
+  const LruStats& cache = shard.cache.stats();
+  shard.hits.store(cache.hits);
+  shard.misses.store(cache.misses);
+  shard.evictions.store(cache.evictions);
+  shard.entries.store(cache.entries);
+  respond(item.done, std::move(response), false);
+  finish_item();
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats stats;
+  stats.shards = static_cast<unsigned>(shards_.size());
+  stats.received = received_.load();
+  stats.responded = responded_.load();
+  stats.rejected = rejected_.load();
+  stats.errors = errors_.load();
+  for (const auto& shard : shards_) {
+    stats.solved += shard->solved.load();
+    stats.cache_hits += shard->hits.load();
+    stats.cache_misses += shard->misses.load();
+    stats.cache_evictions += shard->evictions.load();
+    stats.cache_entries += shard->entries.load();
+  }
+  return stats;
+}
+
+bool Service::shutdown(std::chrono::milliseconds deadline) {
+  std::call_once(shutdown_once_, [this, deadline] {
+    accepting_.store(false);
+    for (auto& shard : shards_) shard->queue.close();
+    bool drained;
+    {
+      std::unique_lock lock(pending_mutex_);
+      if (deadline == std::chrono::milliseconds::max()) {
+        drained_.wait(lock, [this] { return pending_ == 0; });
+        drained = true;
+      } else {
+        drained = drained_.wait_for(lock, deadline,
+                                    [this] { return pending_ == 0; });
+      }
+    }
+    if (!drained) {
+      // Deadline passed: remaining queued items are answered with the
+      // named shutting_down error (cheap), never silently dropped.
+      abort_.store(true);
+      std::unique_lock lock(pending_mutex_);
+      drained_.wait(lock, [this] { return pending_ == 0; });
+    }
+    pool_.shutdown();  // shard loops exit once their queues are drained
+    shutdown_result_ = drained;
+  });
+  return shutdown_result_;
+}
+
+}  // namespace msrs::serve

@@ -1,0 +1,171 @@
+/// \file
+/// Service: the long-running sharded scheduling service.
+///
+/// Request lifecycle (see docs/architecture.md, "serving layer"):
+///
+///   transport line ──> submit(): parse (wire.hpp) ──> non-solve ops are
+///   answered inline; solve ops materialize the Instance (spec/instance
+///   payload), compute its canonical form (engine/batch.hpp) and are
+///   admitted into the target shard's bounded queue — blocking
+///   (backpressure) or failing with the named `overloaded` error,
+///   per ServiceOptions. Shard = canonical hash % shards, so isomorphic
+///   instances always colocate: each shard owns a PortfolioSolver and a
+///   bounded LRU result cache (util/lru.hpp) that serves repeats by
+///   canonical remapping, without cross-shard locks. Shard workers run on
+///   a parallel/thread_pool and answer through the per-request callback.
+///
+/// Determinism: a response body is a pure function of the request (solver
+/// determinism; cache provenance is kept out of the body), and same-shape
+/// requests hit the same shard FIFO in arrival order — so the response
+/// *bytes* per request are identical at any shard count, which the serving
+/// smoke test asserts. Only completion order varies; transports restore
+/// input order with an OrderedWriter (serve/transport.hpp).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/batch.hpp"
+#include "engine/registry.hpp"
+#include "parallel/thread_pool.hpp"
+#include "serve/bounded_queue.hpp"
+#include "serve/wire.hpp"
+#include "util/json.hpp"
+
+namespace msrs::serve {
+
+/// Configuration of one Service.
+struct ServiceOptions {
+  unsigned shards = 4;  ///< worker shards; 0 = hardware concurrency
+  std::size_t queue_depth = 1024;  ///< per-shard admission queue bound
+  /// Per-shard result-cache bound, in canonical shapes (0 = unbounded).
+  std::size_t cache_capacity = 1 << 14;
+  /// Admission when the target shard queue is full: false blocks the
+  /// submitting thread (backpressure — deterministic pipelines), true
+  /// fails fast with the named `overloaded` error (load shedding).
+  bool reject_when_full = false;
+  int budget_ms = 20;  ///< default portfolio effort gate per request
+  std::vector<std::string> solvers;  ///< portfolio `only` filter ([] = all)
+};
+
+/// Snapshot of the service counters (the `stats` op payload).
+struct ServiceStats {
+  std::size_t received = 0;   ///< submit() calls
+  std::size_t responded = 0;  ///< response callbacks fired
+  std::size_t rejected = 0;   ///< admissions refused (`overloaded`)
+  std::size_t errors = 0;     ///< error responses (rejections included)
+  std::size_t solved = 0;     ///< portfolio races actually run
+  std::size_t cache_hits = 0;       ///< repeats served by remapping
+  std::size_t cache_misses = 0;     ///< solve requests that missed
+  std::size_t cache_evictions = 0;  ///< LRU entries dropped (capacity)
+  std::size_t cache_entries = 0;    ///< resident entries, all shards
+  unsigned shards = 0;              ///< configured shard count
+};
+
+/// Renders the `stats` response line for a snapshot.
+std::string stats_response(const Json& id, const ServiceStats& stats);
+
+/// The sharded async scheduling service. Thread-safe: any number of
+/// transport threads may submit() concurrently.
+class Service {
+ public:
+  /// Response sink of one request; invoked exactly once with the response
+  /// line (no trailing newline), either inline from submit() (errors,
+  /// non-solve ops, rejections) or from a shard worker thread.
+  using Done = std::function<void(std::string&&)>;
+
+  /// Starts the shard workers. The registry must outlive the service.
+  explicit Service(
+      ServiceOptions options = {},
+      const engine::SolverRegistry& registry =
+          engine::SolverRegistry::default_registry());
+
+  /// Drains and stops (equivalent to shutdown() with a 30s deadline).
+  ~Service();
+
+  Service(const Service&) = delete;             ///< not copyable
+  Service& operator=(const Service&) = delete;  ///< not copyable
+
+  /// Admits one raw request line. `done` is called exactly once.
+  void submit(const std::string& line, Done done);
+
+  /// Synchronous convenience (tests, tools): submits and waits for the
+  /// response line.
+  std::string handle(const std::string& line);
+
+  /// True until a shutdown op or shutdown() call; afterwards submit()
+  /// answers `shutting_down`. Transports poll this to stop reading.
+  bool accepting() const { return accepting_.load(); }
+
+  /// Counter snapshot (cheap; safe from any thread).
+  ServiceStats stats() const;
+
+  /// Effective shard count.
+  unsigned shards() const { return static_cast<unsigned>(shards_.size()); }
+
+  /// Graceful drain-then-stop: stops admitting, waits up to `deadline` for
+  /// queued requests to be answered; requests still queued past the
+  /// deadline are answered with the named `shutting_down` error (callbacks
+  /// always fire). Returns true when everything drained in time.
+  /// Idempotent.
+  bool shutdown(std::chrono::milliseconds deadline);
+
+ private:
+  struct Item {
+    Json id;
+    Instance instance;
+    engine::CanonicalForm form;
+    int budget_ms = 0;  // 0 = service default (cacheable)
+    Done done;
+  };
+
+  /// Per-shard result cache: canonical shape -> the rendered response
+  /// tail (every solve-response field is isomorphism-invariant, so a
+  /// repeat — even with renamed jobs/classes — is answered by one string
+  /// concatenation, no remapping or re-rendering; BatchEngine keeps the
+  /// full-schedule variant via remap_result for batch consumers).
+  using TailCache =
+      LruCache<engine::CanonicalForm, std::string, engine::CanonicalFormHash,
+               engine::CanonicalFormShapeEq>;
+
+  /// One shard: admission queue, solver, bounded result cache, counters.
+  struct Shard {
+    explicit Shard(std::size_t queue_depth, std::size_t cache_capacity)
+        : queue(queue_depth), cache(cache_capacity) {}
+    BoundedQueue<Item> queue;
+    TailCache cache;  // touched only by the shard worker
+    std::unique_ptr<engine::PortfolioSolver> portfolio;
+    // Snapshots mirrored after every request so stats() never races the
+    // worker's non-atomic LRU counters.
+    std::atomic<std::size_t> solved{0}, hits{0}, misses{0}, evictions{0},
+        entries{0};
+  };
+
+  void shard_loop(Shard& shard);
+  void process(Shard& shard, Item& item);
+  void respond(Done& done, std::string&& line, bool is_error);
+  void finish_item();  // pending_ bookkeeping of queued items
+
+  ServiceOptions options_;
+  const engine::SolverRegistry* registry_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  ThreadPool pool_;
+  std::atomic<bool> accepting_{true};
+  std::atomic<bool> abort_{false};  // deadline passed: fail queued items
+  std::atomic<std::size_t> received_{0}, responded_{0}, rejected_{0},
+      errors_{0};
+  std::mutex pending_mutex_;
+  std::condition_variable drained_;
+  std::size_t pending_ = 0;  // queued items whose callback has not fired
+  std::once_flag shutdown_once_;
+  bool shutdown_result_ = true;
+};
+
+}  // namespace msrs::serve

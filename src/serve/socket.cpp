@@ -1,0 +1,247 @@
+#include "serve/socket.hpp"
+
+#if !defined(_WIN32)
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/transport.hpp"
+
+namespace msrs::serve {
+namespace {
+
+// Writes the whole buffer, retrying on EINTR/partial writes. MSG_NOSIGNAL
+// turns a dead peer into an error return instead of SIGPIPE.
+bool send_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t sent = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += sent;
+    size -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+// One connection: read JSONL requests, submit, answer in request order.
+void serve_connection(Service& service, int fd) {
+  // OrderedWriter invokes the sink under its own lock (single-threaded),
+  // so the framing buffer is reused without further synchronization.
+  OrderedWriter writer(
+      [fd, framed = std::string()](const std::string& line) mutable {
+        framed.assign(line);
+        framed.push_back('\n');
+        send_all(fd, framed.data(), framed.size());  // peer gone: drop it
+      });
+
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open && service.accepting() && !stop_requested()) {
+    const ssize_t got = ::read(fd, chunk, sizeof chunk);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (got == 0) break;  // EOF
+    buffer.append(chunk, static_cast<std::size_t>(got));
+    std::size_t begin = 0;
+    for (std::size_t nl = buffer.find('\n', begin); nl != std::string::npos;
+         nl = buffer.find('\n', begin)) {
+      std::string line = buffer.substr(begin, nl - begin);
+      begin = nl + 1;
+      if (line.empty()) continue;
+      const std::uint64_t seq = writer.reserve();
+      service.submit(line, [seq, &writer](std::string&& response) {
+        writer.deliver(seq, std::move(response));
+      });
+      // Shutdown op: stop *reading*, but keep submitting the lines already
+      // buffered — each still gets its (shutting_down) response line, per
+      // the one-response-per-request wire contract.
+      if (!service.accepting()) open = false;
+    }
+    buffer.erase(0, begin);
+  }
+  // Every submitted request must answer before the socket closes.
+  writer.wait_drained();
+}
+
+}  // namespace
+
+bool socket_transport_available() { return true; }
+
+int serve_socket(Service& service, const std::string& path,
+                 std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    if (error) *error = what + ": " + std::strerror(errno);
+    return 1;
+  };
+  sockaddr_un address = {};
+  address.sun_family = AF_UNIX;
+  if (path.size() >= sizeof address.sun_path) {
+    if (error) *error = "socket path too long: " + path;
+    return 1;
+  }
+  std::strncpy(address.sun_path, path.c_str(), sizeof address.sun_path - 1);
+
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) return fail("socket");
+  ::unlink(path.c_str());  // stale socket file from a previous run
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&address),
+             sizeof address) != 0) {
+    ::close(listen_fd);
+    return fail("bind " + path);
+  }
+  if (::listen(listen_fd, 128) != 0) {
+    ::close(listen_fd);
+    return fail("listen " + path);
+  }
+
+  // One entry per live connection; finished ones are reaped (joined +
+  // fd closed) on every accept-loop tick, so a long-running service does
+  // not accumulate dead threads or leak fds across client churn.
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> finished{false};
+  };
+  std::vector<std::unique_ptr<Connection>> connections;
+  const auto reap = [&connections](bool all) {
+    for (auto it = connections.begin(); it != connections.end();) {
+      Connection& connection = **it;
+      if (!all && !connection.finished.load()) {
+        ++it;
+        continue;
+      }
+      if (all) ::shutdown(connection.fd, SHUT_RDWR);  // unblock its read
+      connection.thread.join();
+      ::close(connection.fd);
+      it = connections.erase(it);
+    }
+  };
+
+  while (service.accepting() && !stop_requested()) {
+    pollfd poll_fd = {listen_fd, POLLIN, 0};
+    const int ready = ::poll(&poll_fd, 1, 200 /*ms*/);
+    reap(/*all=*/false);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (conn_fd < 0) continue;
+    auto connection = std::make_unique<Connection>();
+    connection->fd = conn_fd;
+    Connection* raw = connection.get();
+    connection->thread = std::thread([&service, raw] {
+      serve_connection(service, raw->fd);
+      raw->finished.store(true);
+    });
+    connections.push_back(std::move(connection));
+  }
+
+  // Drain in-flight work, then unblock any reader still waiting on its
+  // peer so the connection threads can exit, and close everything.
+  service.shutdown(std::chrono::seconds(30));
+  reap(/*all=*/true);
+  ::close(listen_fd);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+SocketClient::~SocketClient() { close(); }
+
+bool SocketClient::connect(const std::string& path, std::string* error) {
+  close();
+  sockaddr_un address = {};
+  address.sun_family = AF_UNIX;
+  if (path.size() >= sizeof address.sun_path) {
+    if (error) *error = "socket path too long: " + path;
+    return false;
+  }
+  std::strncpy(address.sun_path, path.c_str(), sizeof address.sun_path - 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&address),
+                sizeof address) != 0) {
+    if (error)
+      *error = "connect " + path + ": " + std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool SocketClient::send_line(const std::string& line) {
+  if (fd_ < 0) return false;
+  std::string framed = line;
+  framed.push_back('\n');
+  return send_all(fd_, framed.data(), framed.size());
+}
+
+bool SocketClient::recv_line(std::string* line) {
+  if (fd_ < 0) return false;
+  char chunk[4096];
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n', scanned_);
+    if (nl != std::string::npos) {
+      line->assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      scanned_ = 0;
+      return true;
+    }
+    scanned_ = buffer_.size();
+    const ssize_t got = ::read(fd_, chunk, sizeof chunk);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) return false;
+    buffer_.append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+void SocketClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+  scanned_ = 0;
+}
+
+}  // namespace msrs::serve
+
+#else  // _WIN32: no UNIX-domain transport; entry points fail descriptively.
+
+namespace msrs::serve {
+
+bool socket_transport_available() { return false; }
+
+int serve_socket(Service&, const std::string&, std::string* error) {
+  if (error) *error = "UNIX socket transport is unavailable on this platform";
+  return 1;
+}
+
+SocketClient::~SocketClient() = default;
+bool SocketClient::connect(const std::string&, std::string* error) {
+  if (error) *error = "UNIX socket transport is unavailable on this platform";
+  return false;
+}
+bool SocketClient::send_line(const std::string&) { return false; }
+bool SocketClient::recv_line(std::string*) { return false; }
+void SocketClient::close() {}
+
+}  // namespace msrs::serve
+
+#endif

@@ -1,0 +1,59 @@
+/// \file
+/// UNIX-domain socket transport: the server loop behind
+/// `msrs_engine_cli serve --socket=PATH` and the line-oriented client the
+/// load driver (serve/driver.hpp) connects with.
+///
+/// One JSONL stream per connection; responses return in that connection's
+/// request order (OrderedWriter). The accept loop polls a stop flag
+/// (transport.hpp), so SIGINT/SIGTERM and the wire `shutdown` op both end
+/// in the same graceful drain. Only built on POSIX platforms; elsewhere
+/// the entry points fail with a descriptive error.
+#pragma once
+
+#include <string>
+
+#include "serve/service.hpp"
+
+namespace msrs::serve {
+
+/// True when this build carries the socket transport (POSIX only).
+bool socket_transport_available();
+
+/// Binds `path` (unlinking any stale socket file first), accepts
+/// connections, and serves until a stop signal or a client `shutdown` op;
+/// then drains and removes the socket file. Returns the process exit code
+/// (0 = clean; 1 with `*error` filled on setup failure).
+int serve_socket(Service& service, const std::string& path,
+                 std::string* error);
+
+/// Blocking line-oriented client of one serving connection.
+class SocketClient {
+ public:
+  /// An unconnected client.
+  SocketClient() = default;
+  /// Closes the connection if still open.
+  ~SocketClient();
+
+  SocketClient(const SocketClient&) = delete;             ///< not copyable
+  SocketClient& operator=(const SocketClient&) = delete;  ///< not copyable
+
+  /// Connects to the UNIX socket at `path`; false + `*error` on failure.
+  bool connect(const std::string& path, std::string* error);
+
+  /// Sends one request line (newline appended). False on a broken pipe.
+  bool send_line(const std::string& line);
+
+  /// Receives the next response line (newline stripped); false on EOF or
+  /// a read error.
+  bool recv_line(std::string* line);
+
+  /// Closes the connection (idempotent).
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;     // bytes read but not yet returned
+  std::size_t scanned_ = 0;  // prefix of buffer_ known to hold no newline
+};
+
+}  // namespace msrs::serve

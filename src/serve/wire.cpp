@@ -1,0 +1,152 @@
+#include "serve/wire.hpp"
+
+#include <cmath>
+
+#include "core/instance_io.hpp"
+#include "perf/reporter.hpp"
+
+namespace msrs::serve {
+namespace {
+
+// Reads an integer member; returns false (with a detail message) when the
+// member exists but is not an int-range non-negative integral number (the
+// range check matters: casting an untrusted 3e9 to int is UB).
+bool read_int(const Json& object, const std::string& key, int* out,
+              std::string* detail) {
+  const Json* member = object.find(key);
+  if (member == nullptr) return true;
+  const double v = member->is_number() ? member->as_number() : -1.0;
+  if (v != std::floor(v) || v < 0 || v > 2147483647.0) {
+    if (detail)
+      *detail = "'" + key + "' must be a non-negative 32-bit integer";
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+}  // namespace
+
+std::string_view wire_error_name(WireError code) {
+  switch (code) {
+    case WireError::kParseError: return "parse_error";
+    case WireError::kBadRequest: return "bad_request";
+    case WireError::kUnknownOp: return "unknown_op";
+    case WireError::kBadSpec: return "bad_spec";
+    case WireError::kBadInstance: return "bad_instance";
+    case WireError::kOverloaded: return "overloaded";
+    case WireError::kVersionMismatch: return "wire_version_mismatch";
+    case WireError::kShuttingDown: return "shutting_down";
+  }
+  return "unknown_error";
+}
+
+std::optional<Request> parse_request(const std::string& line, WireError* code,
+                                     std::string* detail, Json* id_out) {
+  const auto fail = [&](WireError c, std::string d) -> std::optional<Request> {
+    if (code) *code = c;
+    if (detail) *detail = std::move(d);
+    return std::nullopt;
+  };
+
+  std::string parse_error;
+  const std::optional<Json> document = json_parse(line, &parse_error);
+  if (!document) return fail(WireError::kParseError, parse_error);
+  if (!document->is_object())
+    return fail(WireError::kBadRequest, "request is not a JSON object");
+  if (const Json* id = document->find("id"); id != nullptr && id_out)
+    *id_out = *id;
+
+  Request request;
+  if (const Json* id = document->find("id")) request.id = *id;
+
+  const Json* op = document->find("op");
+  if (op == nullptr || !op->is_string())
+    return fail(WireError::kBadRequest, "missing string member 'op'");
+  const std::string& name = op->as_string();
+  if (name == "solve") request.op = Op::kSolve;
+  else if (name == "ping") request.op = Op::kPing;
+  else if (name == "stats") request.op = Op::kStats;
+  else if (name == "version") request.op = Op::kVersion;
+  else if (name == "shutdown") request.op = Op::kShutdown;
+  else return fail(WireError::kUnknownOp, "unknown op '" + name + "'");
+
+  std::string int_error;
+  if (!read_int(*document, "wire", &request.wire, &int_error))
+    return fail(WireError::kBadRequest, int_error);
+  if (!read_int(*document, "budget_ms", &request.budget_ms, &int_error))
+    return fail(WireError::kBadRequest, int_error);
+
+  if (const Json* spec = document->find("spec")) {
+    if (!spec->is_string())
+      return fail(WireError::kBadRequest, "'spec' must be a string");
+    request.spec = spec->as_string();
+  }
+  if (const Json* instance = document->find("instance")) {
+    if (!instance->is_string())
+      return fail(WireError::kBadRequest, "'instance' must be a string");
+    request.instance = instance->as_string();
+  }
+  if (request.op == Op::kSolve &&
+      (request.spec.empty() == request.instance.empty()))
+    return fail(WireError::kBadRequest,
+                "solve needs exactly one of 'spec' or 'instance'");
+  return request;
+}
+
+std::string error_response(const Json& id, WireError code,
+                           std::string_view detail) {
+  Json response = Json::object();
+  response.set("id", id);
+  response.set("ok", false);
+  response.set("error", std::string(wire_error_name(code)));
+  response.set("detail", std::string(detail));
+  return response.str();
+}
+
+std::string solve_response(const Json& id,
+                           const engine::PortfolioResult& result) {
+  return compose_response(id, solve_response_tail(result));
+}
+
+std::string solve_response_tail(const engine::PortfolioResult& result) {
+  Json body = Json::object();
+  body.set("ok", true);
+  body.set("solver", result.solver);
+  body.set("makespan", result.makespan);
+  body.set("t_bound", static_cast<std::int64_t>(result.t_bound));
+  body.set("ratio", result.ratio_vs_bound);
+  body.set("valid", result.valid);
+  std::string tail = body.str();
+  tail.front() = ',';  // the '{' comes from the id prefix
+  return tail;
+}
+
+std::string compose_response(const Json& id, const std::string& tail) {
+  std::string line = "{\"id\":";
+  line += id.str();
+  line += tail;
+  return line;
+}
+
+std::string ok_response(const Json& id, std::string_view op) {
+  Json response = Json::object();
+  response.set("id", id);
+  response.set("ok", true);
+  response.set("op", std::string(op));
+  return response.str();
+}
+
+std::string version_response(const Json& id) {
+  Json response = Json::object();
+  response.set("id", id);
+  response.set("ok", true);
+  response.set("instance_format", static_cast<std::int64_t>(
+                                      kInstanceFormatVersion));
+  response.set("bench_schema",
+               static_cast<std::int64_t>(perf::kBenchSchemaVersion));
+  response.set("wire", static_cast<std::int64_t>(kWireVersion));
+  return response.str();
+}
+
+}  // namespace msrs::serve

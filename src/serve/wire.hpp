@@ -1,0 +1,111 @@
+/// \file
+/// Wire protocol of the serving layer: JSONL requests and responses.
+///
+/// One request per line, one response line per request, over either
+/// transport (stdin/stdout or a UNIX-domain socket — serve/transport.hpp).
+/// Requests:
+/// \verbatim
+///   {"id":7,"op":"solve","spec":"uniform:n=40,m=4,seed=9"}
+///   {"id":8,"op":"solve","instance":"msrs 1\nmachines 4\n..."}
+///   {"op":"ping"} {"op":"stats"} {"op":"version"} {"op":"shutdown"}
+/// \endverbatim
+/// `id` is echoed verbatim (null when absent); an optional `"wire":N`
+/// member asserts the client's protocol version and fails the request with
+/// the named error `wire_version_mismatch` when it differs from
+/// kWireVersion. Responses are deterministic bytes: a fixed key order
+/// rendered by the canonical util/json writer, so a response body is a pure
+/// function of the request (+ solver determinism) — the property the
+/// serving smoke test asserts across shard counts.
+///
+/// Malformed input never kills the service: every defect maps to a named
+/// error response `{"id":...,"ok":false,"error":"<code>","detail":"..."}`
+/// and the stream continues with the next line.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "engine/portfolio.hpp"
+#include "util/json.hpp"
+
+namespace msrs::serve {
+
+/// Version of this JSONL protocol; bumped on any incompatible change.
+/// Clients (the load driver) handshake via the `version` op and fail fast
+/// with a named error on mismatch.
+inline constexpr int kWireVersion = 1;
+
+/// Named wire error codes (the stable `error` strings of the protocol).
+enum class WireError {
+  kParseError,       ///< line is not a JSON document
+  kBadRequest,       ///< JSON is well-formed but violates the schema
+  kUnknownOp,        ///< `op` names no operation of this protocol
+  kBadSpec,          ///< `spec` is not a valid generator spec string
+  kBadInstance,      ///< `instance` is not valid instance_io text
+  kOverloaded,       ///< admission queue full (reject admission mode)
+  kVersionMismatch,  ///< client `wire` version differs from kWireVersion
+  kShuttingDown,     ///< service no longer accepts requests
+};
+
+/// The stable wire string of an error code (e.g. "overloaded").
+std::string_view wire_error_name(WireError code);
+
+/// Request operations.
+enum class Op {
+  kSolve,     ///< solve one instance (from `spec` or `instance` text)
+  kPing,      ///< liveness probe; answers {"ok":true,"op":"ping"}
+  kStats,     ///< service counters snapshot
+  kVersion,   ///< schema versions (instance/bench/wire) of the service
+  kShutdown,  ///< stop accepting, drain, exit the serve loop
+};
+
+/// One parsed request line.
+struct Request {
+  Op op = Op::kPing;     ///< requested operation
+  Json id;               ///< client correlation id, echoed verbatim
+  int wire = 0;          ///< asserted protocol version (0 = unchecked)
+  std::string spec;      ///< kSolve: generator spec string (exclusive
+                         ///< with `instance`)
+  std::string instance;  ///< kSolve: instance_io text
+  int budget_ms = 0;     ///< kSolve: portfolio effort gate (0 = default)
+};
+
+/// Parses one JSONL request line. On failure returns std::nullopt and
+/// fills `code`/`detail` (both optional) with the named error; `id_out`,
+/// when non-null, receives whatever id could be salvaged from the line so
+/// the error response still correlates.
+std::optional<Request> parse_request(const std::string& line,
+                                     WireError* code = nullptr,
+                                     std::string* detail = nullptr,
+                                     Json* id_out = nullptr);
+
+/// Renders the named error response line (no trailing newline).
+std::string error_response(const Json& id, WireError code,
+                           std::string_view detail);
+
+/// Renders a solve response line: id, ok, solver provenance, makespan,
+/// Lemma-9 bound, ratio, validity. Deterministic bytes for a deterministic
+/// result; `from_cache` is deliberately *not* part of the body (it depends
+/// on arrival order, not the request) — cache behavior is observable via
+/// the `stats` op instead.
+std::string solve_response(const Json& id,
+                           const engine::PortfolioResult& result);
+
+/// The solve response minus its `{"id":<id>` prefix (starts with the comma
+/// before `"ok"`). Every field is isomorphism-invariant, so the tail is
+/// shared by all requests of one canonical shape — the serving layer
+/// caches it rendered and answers repeats with one concatenation.
+std::string solve_response_tail(const engine::PortfolioResult& result);
+
+/// Prepends the id prefix onto a cached tail: the full response line.
+std::string compose_response(const Json& id, const std::string& tail);
+
+/// Renders the acknowledgement line of ping/shutdown ops.
+std::string ok_response(const Json& id, std::string_view op);
+
+/// Renders the `version` response: instance-format, bench-schema and wire
+/// versions of this build (the driver's handshake target).
+std::string version_response(const Json& id);
+
+}  // namespace msrs::serve

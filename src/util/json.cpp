@@ -219,9 +219,17 @@ class Parser {
       fail("unexpected end of input");
       return std::nullopt;
     }
+    // Depth cap: the parser recurses once per container level, and inputs
+    // arrive from untrusted sources (the serving layer's wire protocol) —
+    // without a bound, a line of 100k '['s overflows the stack and kills
+    // the process. 128 levels is far beyond any document this repo emits.
+    if (depth_ >= 128) {
+      fail("nesting deeper than 128 levels");
+      return std::nullopt;
+    }
     const char c = text_[pos_];
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
+    if (c == '{') return nested([this] { return parse_object(); });
+    if (c == '[') return nested([this] { return parse_array(); });
     if (c == '"') {
       auto s = parse_string();
       if (!s) return std::nullopt;
@@ -365,9 +373,20 @@ class Parser {
     }
   }
 
+  // Runs a container parse one level deeper (RAII would be overkill: the
+  // parsers return through this frame on every path).
+  template <typename F>
+  std::optional<Json> nested(F&& parse) {
+    ++depth_;
+    std::optional<Json> value = parse();
+    --depth_;
+    return value;
+  }
+
   const std::string& text_;
   std::string* error_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -1,0 +1,57 @@
+# Serving-path smoke: emits a 1k-request repeated-corpus JSONL stream with
+# the load driver, pipes it through `serve` at two shard counts, and
+# asserts the response streams are byte-identical (thread-count invariance
+# extended to the serving path). A malformed line in the middle must
+# produce a named error response without killing the service.
+# Invoked by ctest with -DCLI=<binary> -DWORKDIR=<scratch dir>.
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+execute_process(
+  COMMAND ${CLI} drive "uniform:n=32,m=4" --count=16 --requests=1000
+          --emit=${WORKDIR}/requests.jsonl
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "drive --emit failed with exit code ${rc}:\n${err}")
+endif()
+
+# Sprinkle a defect into the stream: line 501 is not JSON.
+file(READ ${WORKDIR}/requests.jsonl requests)
+string(REPLACE "{\"id\":500," "this line is not json\n{\"id\":500,"
+       requests "${requests}")
+file(WRITE ${WORKDIR}/requests.jsonl "${requests}")
+
+foreach(shards 1 4)
+  execute_process(
+    COMMAND ${CLI} serve --shards=${shards}
+    INPUT_FILE ${WORKDIR}/requests.jsonl
+    OUTPUT_FILE ${WORKDIR}/responses_${shards}.jsonl
+    RESULT_VARIABLE rc ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "serve --shards=${shards} failed with exit code ${rc}:\n${err}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORKDIR}/responses_1.jsonl ${WORKDIR}/responses_4.jsonl
+  RESULT_VARIABLE differs)
+if(NOT differs EQUAL 0)
+  message(FATAL_ERROR
+          "serving responses differ between 1 shard and 4 shards")
+endif()
+
+file(READ ${WORKDIR}/responses_4.jsonl responses)
+string(REGEX MATCHALL "\n" newlines "${responses}")
+list(LENGTH newlines response_count)
+if(NOT response_count EQUAL 1001)
+  message(FATAL_ERROR
+          "expected 1001 response lines (1000 + 1 error), got"
+          " ${response_count}")
+endif()
+if(NOT responses MATCHES "\"error\":\"parse_error\"")
+  message(FATAL_ERROR "malformed line did not produce a named parse_error")
+endif()
+if(responses MATCHES "\"ok\":false.*\"ok\":false")
+  message(FATAL_ERROR "more than one response failed:\n${responses}")
+endif()

@@ -315,6 +315,33 @@ TEST(BatchEngine, CacheRemapsPermutedTwins) {
   EXPECT_EQ(results[0].solver, results[1].solver);
 }
 
+TEST(BatchEngine, BoundedCacheEvictsButStaysCorrect) {
+  BatchOptions options;
+  options.cache_capacity = 2;  // room for two shapes
+  BatchEngine engine(SolverRegistry::default_registry(), options);
+  // Four distinct shapes, then a repeat of the first: with capacity 2 the
+  // first shape has been evicted, so it is re-solved — correctly.
+  std::vector<Instance> batch;
+  for (int s = 1; s <= 4; ++s)
+    batch.push_back(generate(Family::kUniform, 18 + 2 * s, 4,
+                             static_cast<std::uint64_t>(s)));
+  const auto first = engine.solve(batch);
+  EXPECT_EQ(engine.stats().entries, 2u);
+  EXPECT_GE(engine.cache_stats().evictions, 2u);
+  EXPECT_EQ(engine.cache_stats().capacity, 2u);
+
+  const auto again = engine.solve({batch[0]});
+  EXPECT_EQ(engine.stats().solved, 5u);  // evicted shape solved again
+  ASSERT_TRUE(again[0].valid);
+  EXPECT_DOUBLE_EQ(again[0].makespan, first[0].makespan);
+  EXPECT_TRUE(is_valid(batch[0], again[0].schedule));
+
+  // The repeat of a *resident* shape is still a hit.
+  const auto resident = engine.solve({batch[3]});
+  EXPECT_EQ(engine.stats().solved, 5u);
+  EXPECT_TRUE(resident[0].from_cache);
+}
+
 TEST(BatchEngine, CacheDisabledSolvesEverything) {
   const std::vector<Instance> batch = {
       generate(Family::kUniform, 16, 4, 1),

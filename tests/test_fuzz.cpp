@@ -15,6 +15,7 @@
 #include "core/instance_io.hpp"
 #include "core/lower_bounds.hpp"
 #include "core/validate.hpp"
+#include "serve/service.hpp"
 #include "sim/workloads.hpp"
 #include "test_support.hpp"
 #include "util/rng.hpp"
@@ -159,6 +160,51 @@ TEST(IoFuzz, TruncatedValidInstancesAreRejected) {
       EXPECT_TRUE(parsed->check().empty());
     }
   }
+}
+
+// ---------------- wire request-parser fuzz ----------------
+
+TEST(WireFuzz, RandomRequestLinesNeverCrashAndAlwaysNameAnError) {
+  // Random bytes over a JSON-flavored alphabet: the serving-layer request
+  // parser must either produce a valid request or a named error — never
+  // crash, never return an unnamed failure.
+  Rng rng(20260729);
+  const char alphabet[] = "{}[]\":,solvepingtau 0123456789.\\ne";
+  for (int round = 0; round < 300; ++round) {
+    std::string line;
+    const auto len = static_cast<std::size_t>(rng.uniform(0, 100));
+    for (std::size_t i = 0; i < len; ++i)
+      line.push_back(alphabet[static_cast<std::size_t>(rng.uniform(
+          0, static_cast<std::int64_t>(sizeof alphabet) - 2))]);
+    serve::WireError code = serve::WireError::kParseError;
+    std::string detail;
+    const auto request = serve::parse_request(line, &code, &detail);
+    if (!request.has_value()) {
+      EXPECT_FALSE(std::string(serve::wire_error_name(code)).empty());
+      EXPECT_NE(serve::wire_error_name(code), "unknown_error") << line;
+    }
+  }
+}
+
+TEST(WireFuzz, MutatedValidRequestsAreHandledByName) {
+  // Start from a valid solve request and corrupt one byte at every
+  // position; each mutant must parse cleanly or fail with a named error,
+  // and a live service must answer it without dying.
+  const std::string valid =
+      R"({"id":3,"op":"solve","spec":"uniform:n=8,m=2,seed=1","wire":1})";
+  serve::ServiceOptions options;
+  options.shards = 1;
+  serve::Service service(options);
+  Rng rng(77);
+  for (std::size_t position = 0; position < valid.size(); position += 3) {
+    std::string mutant = valid;
+    mutant[position] = static_cast<char>(rng.uniform(32, 126));
+    const std::string response = service.handle(mutant);
+    EXPECT_NE(response.find("\"ok\":"), std::string::npos) << mutant;
+  }
+  // The service survived the whole mutation sweep.
+  const std::string response = service.handle(valid);
+  EXPECT_NE(response.find("\"ok\":true"), std::string::npos);
 }
 
 // ---------------- cross-algorithm coherence ----------------

@@ -2,10 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "parallel/thread_pool.hpp"
@@ -58,6 +60,58 @@ TEST(ThreadPool, SubmitTaskCapturesExceptionsInTheFuture) {
       []() -> int { throw std::runtime_error("solver failed"); });
   EXPECT_THROW(future.get(), std::runtime_error);
 }
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasksThenRefusesNewOnes) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i)
+    EXPECT_TRUE(pool.submit([&counter] { counter.fetch_add(1); }));
+  EXPECT_TRUE(pool.shutdown(std::chrono::seconds(60)));
+  EXPECT_EQ(counter.load(), 64);
+  EXPECT_FALSE(pool.submit([&counter] { counter.fetch_add(1); }));
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, ShutdownDeadlineDropsQueuedButFinishesRunning) {
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  // One task blocks the single worker; the rest stay queued past the
+  // (tiny) deadline and must be dropped without being run. The gate is
+  // released only after a full second, so the 5 ms shutdown deadline
+  // verdict cannot race the worker even on a badly loaded machine.
+  pool.submit([gate, &ran] {
+    gate.wait();
+    ran.fetch_add(1);
+  });
+  for (int i = 0; i < 8; ++i)
+    pool.submit([&ran] { ran.fetch_add(1); });
+  std::thread unblock([&release] {
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+    release.set_value();
+  });
+  EXPECT_FALSE(pool.shutdown(std::chrono::milliseconds(5)));
+  unblock.join();
+  EXPECT_EQ(ran.load(), 1);  // the running task finished; queued dropped
+}
+
+TEST(ThreadPool, SubmitTaskAfterShutdownYieldsNamedError) {
+  ThreadPool pool(2);
+  pool.shutdown(std::chrono::seconds(60));
+  auto future = pool.submit_task([] { return 42; });
+  // The refusal surfaces as a descriptive exception, not broken_promise.
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotentAndDestructorSafe) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  EXPECT_TRUE(pool.shutdown(std::chrono::seconds(60)));
+  EXPECT_TRUE(pool.shutdown(std::chrono::seconds(60)));  // no-op
+  EXPECT_EQ(counter.load(), 1);
+}  // destructor runs after shutdown: must not deadlock or double-join
 
 TEST(ParallelFor, CoversRangeExactlyOnce) {
   std::vector<std::atomic<int>> hits(1000);

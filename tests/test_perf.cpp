@@ -52,6 +52,23 @@ TEST(Json, ParserRejectsMalformedInputWithNamedErrors) {
   }
 }
 
+TEST(Json, ParserBoundsNestingDepth) {
+  // Untrusted input (the serving layer's wire protocol) must not be able
+  // to overflow the parser's stack: one level of recursion per '[', so a
+  // 100k-bracket bomb without the cap would kill the process.
+  const std::string bomb(100000, '[');
+  std::string error;
+  EXPECT_FALSE(json_parse(bomb, &error).has_value());
+  EXPECT_NE(error.find("nesting"), std::string::npos) << error;
+
+  // Well under the cap still parses.
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  deep += '1';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_TRUE(json_parse(deep).has_value());
+}
+
 TEST(Json, NumberFormattingIsCanonical) {
   EXPECT_EQ(Json(static_cast<std::int64_t>(1000000)).str(), "1000000");
   EXPECT_EQ(Json(1.5).str(), "1.5");

@@ -1,0 +1,297 @@
+// Serving layer: wire protocol, ordered delivery, sharded service
+// semantics (determinism across shard counts, named errors, admission
+// rejection, graceful shutdown) and the stdio transport loop.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/instance_io.hpp"
+#include "serve/serve.hpp"
+#include "sim/workloads.hpp"
+
+namespace msrs::serve {
+namespace {
+
+// ---------------- wire protocol ----------------
+
+TEST(Wire, ParsesSolveWithSpec) {
+  const auto request = parse_request(
+      R"({"id":7,"op":"solve","spec":"uniform:n=20,m=4,seed=1","wire":1})");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->op, Op::kSolve);
+  EXPECT_EQ(request->spec, "uniform:n=20,m=4,seed=1");
+  EXPECT_EQ(request->wire, 1);
+  ASSERT_TRUE(request->id.is_number());
+  EXPECT_EQ(request->id.as_number(), 7.0);
+}
+
+TEST(Wire, ParsesSolveWithInstanceText) {
+  const Instance instance = generate(Family::kUniform, 10, 2, 3);
+  Json line = Json::object();
+  line.set("op", "solve");
+  line.set("instance", to_text(instance));
+  const auto request = parse_request(line.str());
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->op, Op::kSolve);
+  EXPECT_FALSE(request->instance.empty());
+  EXPECT_TRUE(request->id.is_null());  // absent id echoes as null
+}
+
+TEST(Wire, NamedErrorsForEveryDefect) {
+  struct Case {
+    const char* line;
+    WireError expect;
+  };
+  const Case cases[] = {
+      {"not json at all", WireError::kParseError},
+      {"[1,2,3]", WireError::kBadRequest},
+      {R"({"id":1})", WireError::kBadRequest},
+      {R"({"op":"fly"})", WireError::kUnknownOp},
+      {R"({"op":"solve"})", WireError::kBadRequest},
+      {R"({"op":"solve","spec":"a","instance":"b"})", WireError::kBadRequest},
+      {R"({"op":"solve","spec":"a","wire":1.5})", WireError::kBadRequest},
+      {R"({"op":"solve","spec":[1]})", WireError::kBadRequest},
+      // Out-of-int-range numbers must be refused, not cast (UB).
+      {R"({"op":"solve","spec":"a","budget_ms":3000000000})",
+       WireError::kBadRequest},
+      {R"({"op":"ping","wire":1e300})", WireError::kBadRequest},
+      {R"({"op":"ping","wire":-7})", WireError::kBadRequest},
+  };
+  for (const Case& test_case : cases) {
+    WireError code = WireError::kShuttingDown;
+    std::string detail;
+    const auto request = parse_request(test_case.line, &code, &detail);
+    EXPECT_FALSE(request.has_value()) << test_case.line;
+    EXPECT_EQ(wire_error_name(code), wire_error_name(test_case.expect))
+        << test_case.line;
+    EXPECT_FALSE(detail.empty()) << test_case.line;
+  }
+}
+
+TEST(Wire, SalvagesIdFromBadRequests) {
+  Json id;
+  WireError code;
+  std::string detail;
+  const auto request =
+      parse_request(R"({"id":42,"op":"fly"})", &code, &detail, &id);
+  EXPECT_FALSE(request.has_value());
+  ASSERT_TRUE(id.is_number());
+  const std::string response = error_response(id, code, detail);
+  EXPECT_NE(response.find("\"id\":42"), std::string::npos);
+  EXPECT_NE(response.find("\"error\":\"unknown_op\""), std::string::npos);
+}
+
+TEST(Wire, ResponsesAreSingleLines) {
+  engine::PortfolioResult result;
+  result.solver = "greedy";
+  result.makespan = 12.5;
+  result.t_bound = 10;
+  result.ratio_vs_bound = 1.25;
+  result.valid = true;
+  for (const std::string& line :
+       {solve_response(Json(std::int64_t{1}), result),
+        error_response(Json(), WireError::kOverloaded, "queue full"),
+        ok_response(Json("abc"), "ping"), version_response(Json())}) {
+    EXPECT_EQ(line.find('\n'), std::string::npos) << line;
+    EXPECT_TRUE(json_parse(line).has_value()) << line;
+  }
+}
+
+// ---------------- ordered delivery ----------------
+
+TEST(OrderedWriter, RestoresReservationOrder) {
+  std::vector<std::string> written;
+  OrderedWriter writer([&](const std::string& line) {
+    written.push_back(line);
+  });
+  const std::uint64_t a = writer.reserve();
+  const std::uint64_t b = writer.reserve();
+  const std::uint64_t c = writer.reserve();
+  writer.deliver(c, "third");
+  writer.deliver(b, "second");
+  EXPECT_TRUE(written.empty());  // head still missing
+  writer.deliver(a, "first");
+  writer.wait_drained();
+  EXPECT_EQ(written, (std::vector<std::string>{"first", "second", "third"}));
+}
+
+// ---------------- service ----------------
+
+ServiceOptions small_service(unsigned shards) {
+  ServiceOptions options;
+  options.shards = shards;
+  options.budget_ms = 10;  // keep race fields small for test speed
+  return options;
+}
+
+TEST(Service, AnswersControlOps) {
+  Service service(small_service(2));
+  EXPECT_NE(service.handle(R"({"id":1,"op":"ping"})").find("\"op\":\"ping\""),
+            std::string::npos);
+  const std::string version = service.handle(R"({"op":"version"})");
+  EXPECT_NE(version.find("\"wire\":1"), std::string::npos);
+  EXPECT_NE(version.find("\"instance_format\":1"), std::string::npos);
+  const std::string stats = service.handle(R"({"op":"stats"})");
+  EXPECT_NE(stats.find("\"shards\":2"), std::string::npos);
+}
+
+TEST(Service, SolvesAndCachesRepeats) {
+  Service service(small_service(2));
+  const std::string line =
+      R"({"id":1,"op":"solve","spec":"uniform:n=20,m=4,seed=1"})";
+  const std::string first = service.handle(line);
+  const std::string second = service.handle(line);
+  EXPECT_NE(first.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(first.find("\"valid\":true"), std::string::npos);
+  // Identical request -> identical body; the repeat was a cache hit.
+  EXPECT_EQ(first, second);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.solved, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+}
+
+TEST(Service, IsomorphicInstancesShareOneSolve) {
+  // Same shape, different job order: canonical sharding + remapping must
+  // serve the second from the first's cache entry on any shard count.
+  Service service(small_service(4));
+  const Instance instance = generate(Family::kUniform, 16, 3, 9);
+  Json a = Json::object();
+  a.set("op", "solve");
+  a.set("instance", to_text(instance));
+  const std::string response_a = service.handle(a.str());
+  EXPECT_NE(response_a.find("\"ok\":true"), std::string::npos);
+  EXPECT_EQ(service.stats().solved, 1u);
+  EXPECT_EQ(service.handle(a.str()), response_a);
+  EXPECT_EQ(service.stats().solved, 1u);  // served by the cache
+}
+
+TEST(Service, MalformedLinesGetNamedErrorsAndServiceSurvives) {
+  Service service(small_service(2));
+  const std::string error = service.handle("}{ not json");
+  EXPECT_NE(error.find("\"error\":\"parse_error\""), std::string::npos);
+  const std::string bad_spec =
+      service.handle(R"({"op":"solve","spec":"no_such_family:n=5"})");
+  EXPECT_NE(bad_spec.find("\"error\":\"bad_spec\""), std::string::npos);
+  const std::string bad_instance =
+      service.handle(R"({"op":"solve","instance":"msrs 9000"})");
+  EXPECT_NE(bad_instance.find("\"error\":\"bad_instance\""),
+            std::string::npos);
+  // A nesting bomb is a named parse error, not a stack overflow.
+  const std::string bomb = "{\"id\":1,\"op\":" + std::string(100000, '[');
+  EXPECT_NE(service.handle(bomb).find("\"error\":\"parse_error\""),
+            std::string::npos);
+  // Still serving after every defect:
+  EXPECT_NE(service.handle(R"({"op":"ping"})").find("\"ok\":true"),
+            std::string::npos);
+}
+
+TEST(Service, WireVersionMismatchIsNamed) {
+  Service service(small_service(1));
+  const std::string response =
+      service.handle(R"({"op":"ping","wire":999})");
+  EXPECT_NE(response.find("\"error\":\"wire_version_mismatch\""),
+            std::string::npos);
+}
+
+TEST(Service, BudgetOverrideBypassesCache) {
+  Service service(small_service(1));
+  const std::string line =
+      R"({"op":"solve","spec":"uniform:n=20,m=4,seed=2","budget_ms":500})";
+  EXPECT_NE(service.handle(line).find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(service.handle(line).find("\"ok\":true"), std::string::npos);
+  EXPECT_EQ(service.stats().solved, 2u);  // solved twice, never cached
+  EXPECT_EQ(service.stats().cache_entries, 0u);
+}
+
+TEST(Service, RejectsWhenQueueFullInRejectMode) {
+  ServiceOptions options = small_service(1);
+  options.queue_depth = 1;
+  options.reject_when_full = true;
+  Service service(options);
+  // Occupy the single shard with one slow solve, then burst cheap
+  // requests: with depth 1, at most a couple can be admitted while the
+  // shard is busy; the rest must be rejected by name — and every
+  // callback must still fire exactly once.
+  Json big = Json::object();
+  big.set("op", "solve");
+  big.set("instance", to_text(generate(Family::kUniform, 12000, 8, 1)));
+  std::atomic<int> overloaded{0}, answered{0};
+  const auto classify = [&](std::string&& response) {
+    if (response.find("\"error\":\"overloaded\"") != std::string::npos)
+      overloaded.fetch_add(1);
+    answered.fetch_add(1);
+  };
+  service.submit(big.str(), classify);
+  constexpr int kBurst = 23;
+  const std::string small_line =
+      R"({"op":"solve","spec":"uniform:n=10,m=2,seed=1"})";
+  for (int i = 0; i < kBurst; ++i) service.submit(small_line, classify);
+  EXPECT_TRUE(service.shutdown(std::chrono::seconds(60)));
+  EXPECT_EQ(answered.load(), kBurst + 1);
+  EXPECT_GE(overloaded.load(), 1);
+  EXPECT_EQ(service.stats().rejected,
+            static_cast<std::size_t>(overloaded.load()));
+}
+
+TEST(Service, ShutdownDrainsAndRefusesNewWork) {
+  Service service(small_service(2));
+  std::atomic<int> answered{0};
+  for (int i = 0; i < 8; ++i)
+    service.submit(
+        R"({"op":"solve","spec":"uniform:n=30,m=4,seed=)" +
+            std::to_string(i + 1) + "\"}",
+        [&](std::string&&) { answered.fetch_add(1); });
+  EXPECT_TRUE(service.shutdown(std::chrono::seconds(60)));
+  EXPECT_EQ(answered.load(), 8);
+  const std::string refused = service.handle(R"({"op":"ping"})");
+  EXPECT_NE(refused.find("\"error\":\"shutting_down\""), std::string::npos);
+}
+
+// ---------------- stdio transport ----------------
+
+std::string serve_all(const std::string& input, unsigned shards) {
+  ServiceOptions options = small_service(shards);
+  Service service(options);
+  std::istringstream in(input);
+  std::ostringstream out;
+  EXPECT_EQ(serve_stdio(service, in, out), 0);
+  return out.str();
+}
+
+TEST(ServeStdio, ByteIdenticalAcrossShardCounts) {
+  std::string input;
+  for (int i = 0; i < 40; ++i) {
+    // Repeated-corpus traffic: 8 distinct shapes, 5 passes, plus defects
+    // sprinkled in — the response stream must not depend on sharding.
+    input += R"({"id":)" + std::to_string(i) +
+             R"(,"op":"solve","spec":"uniform:n=24,m=4,seed=)" +
+             std::to_string(i % 8 + 1) + "\"}\n";
+    if (i % 10 == 7) input += "defective line " + std::to_string(i) + "\n";
+  }
+  input += R"({"op":"stats_is_not_an_op"})" "\n";
+  const std::string one = serve_all(input, 1);
+  const std::string four = serve_all(input, 4);
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, four);
+  // One response line per non-empty request line, in request order.
+  EXPECT_EQ(std::count(one.begin(), one.end(), '\n'), 40 + 4 + 1);
+}
+
+TEST(ServeStdio, ShutdownOpStopsTheLoop) {
+  const std::string output = serve_all(
+      "{\"id\":1,\"op\":\"ping\"}\n"
+      "{\"id\":2,\"op\":\"shutdown\"}\n"
+      "{\"id\":3,\"op\":\"ping\"}\n",  // never read: loop stopped
+      2);
+  EXPECT_NE(output.find("\"op\":\"shutdown\""), std::string::npos);
+  EXPECT_EQ(output.find("\"id\":3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msrs::serve

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <vector>
 
+#include <string>
+
 #include "util/gantt.hpp"
+#include "util/lru.hpp"
 #include "util/rng.hpp"
 #include "util/selection.hpp"
 #include "util/stats.hpp"
@@ -166,6 +169,61 @@ TEST(Gantt, OverlapGetsExtraRow) {
   // Machine row plus one continuation row => at least two '|'-framed lines.
   const auto count = std::count(out.begin(), out.end(), '\n');
   EXPECT_GE(count, 3);
+}
+
+TEST(Lru, EvictsLeastRecentlyUsed) {
+  LruCache<int, std::string> cache(2);
+  cache.insert(1, "one");
+  cache.insert(2, "two");
+  ASSERT_NE(cache.find(1), nullptr);  // refresh 1: now 2 is coldest
+  cache.insert(3, "three");           // evicts 2
+  EXPECT_EQ(cache.find(2), nullptr);
+  ASSERT_NE(cache.find(1), nullptr);
+  EXPECT_EQ(cache.find(1)->second, "one");
+  ASSERT_NE(cache.find(3), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(Lru, CountsHitsAndMisses) {
+  LruCache<int, int> cache(4);
+  EXPECT_EQ(cache.find(7), nullptr);
+  cache.insert(7, 49);
+  EXPECT_NE(cache.find(7), nullptr);
+  EXPECT_NE(cache.find(7), nullptr);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().capacity, 4u);
+}
+
+TEST(Lru, InsertOverwritesEquivalentKey) {
+  LruCache<int, int> cache(2);
+  cache.insert(1, 10);
+  cache.insert(1, 11);
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_NE(cache.find(1), nullptr);
+  EXPECT_EQ(cache.find(1)->second, 11);
+  EXPECT_EQ(cache.stats().insertions, 1u);  // overwrite, not a new entry
+}
+
+TEST(Lru, ZeroCapacityMeansUnbounded) {
+  LruCache<int, int> cache(0);
+  for (int i = 0; i < 1000; ++i) cache.insert(i, i);
+  EXPECT_EQ(cache.size(), 1000u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(Lru, ClearKeepsCountersButDropsEntries) {
+  LruCache<int, int> cache(8);
+  cache.insert(1, 1);
+  (void)cache.find(1);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.find(1), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().entries, 0u);
 }
 
 }  // namespace

@@ -1,17 +1,23 @@
-// msrs_engine_cli — front-end for the engine + generator subsystems.
+// msrs_engine_cli — front-end for the engine + generator + serving
+// subsystems.
 //
 // Subcommands:
 //   solve         solve instance files and/or generated batches (default)
 //   generate      emit a corpus of generated instances (instance_io text)
 //   sweep         expand a sweep grid, solve it, print a per-cell report
 //   bench         run perf-harness cases / bench a generated corpus
+//   serve         long-running scheduling service (stdio or UNIX socket)
+//   drive         load driver: replay generated corpora against a service
+//   version       schema versions (instance / bench / wire formats)
 //   list-solvers  describe the registered solver ladder
 //   help          full usage with examples
 //
 //   $ ./msrs_engine_cli generate "huge_heavy:n=200,m=16,seed=3"
 //   $ ./msrs_engine_cli generate uniform --count=8 | ./msrs_engine_cli solve --file=-
 //   $ ./msrs_engine_cli sweep "families=all;n=40,80,160;m=8;seeds=5" --threads=4
-//   $ ./msrs_engine_cli solve --family=all --jobs=60 --machines=8 --seeds=20
+//   $ ./msrs_engine_cli serve --socket=/tmp/msrs.sock --shards=4 &
+//   $ ./msrs_engine_cli drive --socket=/tmp/msrs.sock uniform:n=32,m=4
+//         --count=64 --requests=100000 --conns=4
 //
 // Legacy flag-only invocations (no subcommand) behave exactly like `solve`.
 #include <chrono>
@@ -26,6 +32,8 @@
 #include "core/instance_io.hpp"
 #include "engine/engine.hpp"
 #include "perf/cli.hpp"
+#include "perf/reporter.hpp"
+#include "serve/serve.hpp"
 #include "sim/workloads.hpp"
 #include "util/table.hpp"
 
@@ -46,10 +54,24 @@ struct Options {
   int budget_ms = 100;
   unsigned threads = 0;
   bool cache = true;
+  std::size_t cache_capacity = 1 << 16;  // batch/corpus cache bound
   bool attempts = false;
   bool list_solvers = false;
   bool help = false;
   std::vector<std::string> solvers;  // portfolio `only` filter
+  // serve / drive
+  std::string socket;              // UNIX socket path ("" = stdio serve)
+  unsigned shards = 4;             // serve: worker shards
+  std::size_t queue_depth = 1024;  // serve: per-shard admission bound
+  std::size_t serve_cache = 1 << 14;  // serve: per-shard LRU entries
+  bool reject = false;   // serve: shed load instead of blocking
+  std::size_t requests = 0;  // drive: total request bound
+  double duration = 0.0;     // drive: wall-clock bound, seconds
+  double qps = 0.0;          // drive: open-loop rate (0 = closed loop)
+  unsigned conns = 1;        // drive: concurrent connections
+  bool payload_spec = false; // drive: send spec strings, not instance text
+  std::string emit;          // drive: write request JSONL instead
+  bool json_report = false;  // drive: machine-readable report
 };
 
 std::optional<std::string> arg_value(const char* arg, const char* name) {
@@ -103,6 +125,30 @@ void print_usage(std::FILE* to) {
                "      generated corpus; writes BENCH_<case>.json with"
                " --json. `bench --help`\n"
                "      shows the full grammar (see docs/benchmarking.md).\n"
+               "  serve [--socket=PATH] [--shards=N] [--queue-depth=D]"
+               " [--serve-cache=K]\n"
+               "        [--budget=MS] [--reject] [--solvers=a,b]\n"
+               "      Long-running scheduling service: JSONL requests on"
+               " stdin (default) or a\n"
+               "      UNIX socket; one response line per request, in"
+               " request order. --reject\n"
+               "      sheds load with 'overloaded' errors instead of"
+               " blocking; SIGINT/SIGTERM\n"
+               "      and the wire 'shutdown' op drain gracefully (see"
+               " docs/architecture.md).\n"
+               "  drive SPEC [SPEC ...] --socket=PATH [--count=K]"
+               " [--requests=N] [--duration=S]\n"
+               "        [--qps=Q] [--conns=C] [--payload=instance|spec]"
+               " [--emit=FILE] [--json]\n"
+               "      Replay the generated corpus against a running"
+               " service; reports p50/p95/p99\n"
+               "      latency, throughput and cache hit rate. --qps paces"
+               " an open loop (default\n"
+               "      closed loop); --emit writes the request JSONL for a"
+               " stdio pipeline.\n"
+               "  version\n"
+               "      Schema versions of the instance, bench and wire"
+               " formats.\n"
                "  list-solvers\n"
                "      Describe the registered solver ladder.\n"
                "  help\n"
@@ -185,6 +231,34 @@ bool parse_flags(int argc, char** argv, int begin, Options* options) {
       else if (auto v10 = arg_value(argv[i], "count"))
         options->count = std::stoi(*v10);
       else if (auto v11 = arg_value(argv[i], "out")) options->out = *v11;
+      else if (auto v12 = arg_value(argv[i], "cache-capacity"))
+        options->cache_capacity = std::stoul(*v12);
+      else if (auto v13 = arg_value(argv[i], "socket"))
+        options->socket = *v13;
+      else if (auto v14 = arg_value(argv[i], "shards"))
+        options->shards = static_cast<unsigned>(std::stoul(*v14));
+      else if (auto v15 = arg_value(argv[i], "queue-depth"))
+        options->queue_depth = std::stoul(*v15);
+      else if (auto v16 = arg_value(argv[i], "serve-cache"))
+        options->serve_cache = std::stoul(*v16);
+      else if (auto v17 = arg_value(argv[i], "requests"))
+        options->requests = std::stoul(*v17);
+      else if (auto v18 = arg_value(argv[i], "duration"))
+        options->duration = std::stod(*v18);
+      else if (auto v19 = arg_value(argv[i], "qps"))
+        options->qps = std::stod(*v19);
+      else if (auto v20 = arg_value(argv[i], "conns"))
+        options->conns = static_cast<unsigned>(std::stoul(*v20));
+      else if (auto v21 = arg_value(argv[i], "emit")) options->emit = *v21;
+      else if (auto v22 = arg_value(argv[i], "payload")) {
+        if (*v22 == "spec") options->payload_spec = true;
+        else if (*v22 == "instance") options->payload_spec = false;
+        else return false;
+      }
+      else if (std::strcmp(argv[i], "--reject") == 0)
+        options->reject = true;
+      else if (std::strcmp(argv[i], "--json") == 0)
+        options->json_report = true;
       else if (std::strcmp(argv[i], "--no-cache") == 0)
         options->cache = false;
       else if (std::strcmp(argv[i], "--attempts") == 0)
@@ -206,6 +280,7 @@ engine::BatchOptions batch_options(const Options& options) {
   engine::BatchOptions batch;
   batch.threads = options.threads;
   batch.cache = options.cache;
+  batch.cache_capacity = options.cache_capacity;
   batch.portfolio.budget_ms = options.budget_ms;
   batch.portfolio.only = options.solvers;
   return batch;
@@ -431,6 +506,75 @@ int run_solve(const Options& options) {
   return 0;
 }
 
+int run_version() {
+  Table table({"format", "version", "where"});
+  table.add_row({"instance", Table::num(static_cast<std::int64_t>(
+                                 kInstanceFormatVersion)),
+                 "instance_io text ('msrs 1' header)"});
+  table.add_row({"bench", Table::num(static_cast<std::int64_t>(
+                              perf::kBenchSchemaVersion)),
+                 "BENCH_*.json schema_version"});
+  table.add_row({"wire", Table::num(static_cast<std::int64_t>(
+                             serve::kWireVersion)),
+                 "serve/drive JSONL protocol"});
+  std::printf("%s", table.str().c_str());
+  return 0;
+}
+
+int run_serve(const Options& options) {
+  if (!check_solvers(options)) return 2;
+  serve::ServiceOptions service_options;
+  service_options.shards = options.shards;
+  service_options.queue_depth = options.queue_depth;
+  service_options.cache_capacity = options.serve_cache;
+  service_options.reject_when_full = options.reject;
+  service_options.budget_ms = options.budget_ms;
+  service_options.solvers = options.solvers;
+  serve::Service service(service_options);
+  serve::install_stop_signals();
+  if (options.socket.empty())
+    return serve::serve_stdio(service, std::cin, std::cout);
+  std::fprintf(stderr, "serving on %s (%u shards, depth %zu, cache %zu)\n",
+               options.socket.c_str(), service.shards(),
+               options.queue_depth, options.serve_cache);
+  std::string error;
+  const int code = serve::serve_socket(service, options.socket, &error);
+  if (code != 0) std::fprintf(stderr, "serve: %s\n", error.c_str());
+  return code;
+}
+
+int run_drive(const Options& options) {
+  serve::DriveOptions drive_options;
+  drive_options.socket = options.socket;
+  drive_options.specs = options.specs;
+  drive_options.seeds_per_spec = options.count;
+  drive_options.requests = options.requests;
+  drive_options.duration_s = options.duration;
+  drive_options.qps = options.qps;
+  drive_options.conns = options.conns;
+  drive_options.payload_spec = options.payload_spec;
+  drive_options.emit = options.emit;
+  std::string error;
+  const auto report = serve::drive(drive_options, &error);
+  if (!report) {
+    std::fprintf(stderr, "drive: %s\n", error.c_str());
+    return error.find("bad_spec") != std::string::npos ||
+                   error.find("needs") != std::string::npos
+               ? 2
+               : 1;
+  }
+  if (!drive_options.emit.empty()) {
+    std::fprintf(stderr, "emitted %zu request lines to %s\n", report->sent,
+                 drive_options.emit.c_str());
+    return 0;
+  }
+  if (options.json_report)
+    std::printf("%s\n", report->json().str(2).c_str());
+  else
+    std::printf("%s", report->str().c_str());
+  return report->errors == 0 && report->transport_errors == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -456,6 +600,9 @@ int main(int argc, char** argv) {
     return list_solvers();
   if (command == "generate") return run_generate(options);
   if (command == "sweep") return run_sweep(options);
+  if (command == "serve") return run_serve(options);
+  if (command == "drive") return run_drive(options);
+  if (command == "version") return run_version();
   if (command == "solve") return run_solve(options);
   std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
   return usage();
