@@ -1,0 +1,10 @@
+// E14 — telemetry overhead: obs hot paths, snapshot render, stats op.
+//
+// Thin wrapper over the shared perf harness (src/perf): runs the
+// registered "e14_obs" case; all flags of perf::bench_main apply
+// (--json, --timing, --baseline, ... — see docs/benchmarking.md).
+#include "perf/cli.hpp"
+
+int main(int argc, char** argv) {
+  return msrs::perf::bench_main(argc, argv, "e14_obs");
+}

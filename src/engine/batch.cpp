@@ -4,6 +4,7 @@
 #include <numeric>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/rng.hpp"
 
@@ -104,6 +105,7 @@ std::vector<PortfolioResult> BatchEngine::solve(
   std::vector<PortfolioResult> results(count);
   if (count == 0) return results;
   stats_.instances += count;
+  const std::size_t hits_before = stats_.cache_hits;
 
   std::vector<CanonicalForm> forms(count);
   parallel_for(
@@ -161,6 +163,14 @@ std::vector<PortfolioResult> BatchEngine::solve(
   if (options_.cache) {
     for (std::size_t i : reps) cache_.insert(forms[i], results[i]);
     stats_.entries = cache_.size();
+  }
+  if (obs::MetricsRegistry* metrics = options_.portfolio.metrics;
+      metrics != nullptr) {
+    metrics->counter("batch.instances").add(count);
+    metrics->counter("batch.solved").add(reps.size());
+    metrics->counter("batch.cache_hits").add(stats_.cache_hits - hits_before);
+    metrics->gauge("batch.cache_entries")
+        .set(static_cast<std::int64_t>(stats_.entries));
   }
   return results;
 }

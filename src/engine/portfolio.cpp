@@ -5,6 +5,7 @@
 
 #include "algo/t_bound.hpp"
 #include "core/validate.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace msrs::engine {
@@ -66,6 +67,10 @@ PortfolioResult PortfolioSolver::solve(const Instance& instance) const {
     result.solver = "trivial";
     result.valid = true;
     result.ratio_vs_bound = 1.0;
+    if (options_.metrics != nullptr) {
+      options_.metrics->counter("engine.races").inc();
+      options_.metrics->counter("engine.race_win.trivial").inc();
+    }
     return result;
   }
 
@@ -126,6 +131,21 @@ PortfolioResult PortfolioSolver::solve(const Instance& instance) const {
         result.t_bound > 0
             ? result.makespan / static_cast<double>(result.t_bound)
             : 1.0;
+  }
+
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("engine.races").inc();
+    options_.metrics->counter("engine.race_attempts")
+        .add(result.attempts.size());
+    std::uint64_t invalid = 0;
+    for (const Attempt& attempt : result.attempts)
+      if (!attempt.valid) ++invalid;
+    if (invalid > 0)
+      options_.metrics->counter("engine.race_invalid").add(invalid);
+    if (result.valid)
+      options_.metrics->counter("engine.race_win." + result.solver).inc();
+    else
+      options_.metrics->counter("engine.race_failed").inc();
   }
   return result;
 }

@@ -20,6 +20,10 @@
 #include "engine/registry.hpp"
 #include "engine/solver.hpp"
 
+namespace msrs::obs {
+class MetricsRegistry;
+}  // namespace msrs::obs
+
 namespace msrs::engine {
 
 /// Options of one portfolio race.
@@ -36,6 +40,11 @@ struct PortfolioOptions {
   /// When non-empty, restrict the race to these solver names (still
   /// filtered by applicability).
   std::vector<std::string> only;
+  /// Optional telemetry sink (not owned; must outlive the solver). Each
+  /// race increments `engine.races`, `engine.race_attempts`,
+  /// `engine.race_invalid` and the per-winner `engine.race_win.<solver>`
+  /// counters. Never affects the solve result.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One raced candidate, in candidate order (provenance of the whole race).

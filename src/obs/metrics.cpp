@@ -1,0 +1,226 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+namespace msrs::obs {
+namespace {
+
+// The shared exponential 1us..5s ladder (21 finite buckets + overflow).
+constexpr double kLatencyBucketsUs[] = {
+    1.0,      2.0,      5.0,      10.0,      20.0,      50.0,      100.0,
+    200.0,    500.0,    1000.0,   2000.0,    5000.0,    10000.0,   20000.0,
+    50000.0,  100000.0, 200000.0, 500000.0,  1000000.0, 2000000.0,
+    5000000.0};
+
+// Fixed-point scale of Histogram sums: merging integer stripes is exact.
+constexpr double kSumScale = 1024.0;
+
+// Prometheus sample name: prefix + [a-zA-Z0-9_] only.
+std::string prometheus_name(std::string_view name) {
+  std::string out = "msrs_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name)
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  return out;
+}
+
+// Canonical number bytes (shared with the Json writer, so both exposition
+// formats agree on every digit).
+std::string number_str(double v) { return Json(v).str(); }
+
+}  // namespace
+
+std::size_t stripe_index() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return index;
+}
+
+std::span<const double> latency_buckets_us() noexcept {
+  return kLatencyBucketsUs;
+}
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.empty() ? std::vector<double>(kLatencyBucketsUs,
+                                                   std::end(kLatencyBucketsUs))
+                             : std::vector<double>(bounds.begin(),
+                                                   bounds.end())),
+      counts_(kStripes * (bounds_.size() + 1)),
+      sums_(kStripes) {}
+
+void Histogram::record(double value) noexcept {
+  const double v = value < 0.0 ? 0.0 : value;
+  // Bounds are inclusive upper edges (Prometheus `le` semantics): bucket b
+  // covers (bounds[b-1], bounds[b]], so a sample equal to a bound belongs
+  // to that bound's bucket.
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  const std::size_t stripe = stripe_index();
+  counts_[stripe * (bounds_.size() + 1) + bucket].fetch_add(
+      1, std::memory_order_relaxed);
+  sums_[stripe].fetch_add(static_cast<std::uint64_t>(std::llround(v * kSumScale)),
+                          std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  const std::size_t buckets = bounds_.size() + 1;
+  for (std::size_t stripe = 0; stripe < kStripes; ++stripe)
+    for (std::size_t b = 0; b < buckets; ++b)
+      snap.counts[b] +=
+          counts_[stripe * buckets + b].load(std::memory_order_relaxed);
+  std::uint64_t scaled_sum = 0;
+  for (const auto& cell : sums_)
+    scaled_sum += cell.load(std::memory_order_relaxed);
+  for (const std::uint64_t c : snap.counts) snap.count += c;
+  snap.sum = static_cast<double>(scaled_sum) / kSumScale;
+  return snap;
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample (1-based), then the covering bucket.
+  const double rank = q * static_cast<double>(count - 1) + 1.0;
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts[b];
+    if (static_cast<double>(cumulative) + 1e-9 < rank) continue;
+    if (b >= bounds.size())  // overflow: no finite upper edge
+      return bounds.empty() ? 0.0 : bounds.back();
+    const double lower = b == 0 ? 0.0 : bounds[b - 1];
+    const double upper = bounds[b];
+    const double inside = (rank - before) / static_cast<double>(counts[b]);
+    return lower + (upper - lower) * std::clamp(inside, 0.0, 1.0);
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+std::uint64_t MetricsSnapshot::counter_or(std::string_view name,
+                                          std::uint64_t fallback) const {
+  for (const auto& [key, value] : counters)
+    if (key == name) return value;
+  return fallback;
+}
+
+std::int64_t MetricsSnapshot::gauge_or(std::string_view name,
+                                       std::int64_t fallback) const {
+  for (const auto& [key, value] : gauges)
+    if (key == name) return value;
+  return fallback;
+}
+
+const Histogram::Snapshot* MetricsSnapshot::histogram(
+    std::string_view name) const {
+  for (const auto& [key, snap] : histograms)
+    if (key == name) return &snap;
+  return nullptr;
+}
+
+std::string MetricsSnapshot::prometheus() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    const std::string sample = prometheus_name(name);
+    out += "# TYPE " + sample + " counter\n";
+    out += sample + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string sample = prometheus_name(name);
+    out += "# TYPE " + sample + " gauge\n";
+    out += sample + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, snap] : histograms) {
+    const std::string sample = prometheus_name(name);
+    out += "# TYPE " + sample + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < snap.counts.size(); ++b) {
+      cumulative += snap.counts[b];
+      const std::string le =
+          b < snap.bounds.size() ? number_str(snap.bounds[b]) : "+Inf";
+      out += sample + "_bucket{le=\"" + le + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += sample + "_sum " + number_str(snap.sum) + "\n";
+    out += sample + "_count " + std::to_string(snap.count) + "\n";
+  }
+  return out;
+}
+
+Json MetricsSnapshot::json() const {
+  Json counters_json = Json::object();
+  for (const auto& [name, value] : counters)
+    counters_json.set(name, static_cast<std::int64_t>(value));
+  Json gauges_json = Json::object();
+  for (const auto& [name, value] : gauges) gauges_json.set(name, value);
+  Json histograms_json = Json::object();
+  for (const auto& [name, snap] : histograms) {
+    Json h = Json::object();
+    h.set("count", static_cast<std::int64_t>(snap.count));
+    h.set("sum", snap.sum);
+    h.set("p50", snap.quantile(0.50));
+    h.set("p95", snap.quantile(0.95));
+    h.set("p99", snap.quantile(0.99));
+    Json counts = Json::array();
+    for (const std::uint64_t c : snap.counts)
+      counts.push_back(Json(static_cast<std::int64_t>(c)));
+    h.set("buckets", std::move(counts));
+    histograms_json.set(name, std::move(h));
+  }
+  Json document = Json::object();
+  document.set("counters", std::move(counters_json));
+  document.set("gauges", std::move(gauges_json));
+  document.set("histograms", std::move(histograms_json));
+  return document;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> bounds) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(bounds))
+             .first;
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard lock(mutex_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_)
+    snap.counters.emplace_back(name, counter->value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_)
+    snap.gauges.emplace_back(name, gauge->value());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_)
+    snap.histograms.emplace_back(name, histogram->snapshot());
+  return snap;
+}
+
+}  // namespace msrs::obs

@@ -1,0 +1,191 @@
+/// \file
+/// MetricsRegistry: lock-cheap named counters, gauges and fixed-bucket
+/// latency histograms for every layer of the system.
+///
+/// Hot-path writes are single relaxed atomic operations on cache-line-
+/// padded stripes (one stripe per recording thread, modulo kStripes), so
+/// shard workers and transport threads never contend on a shared line;
+/// reads merge the stripes. Registration (name -> metric) takes a mutex,
+/// so callers on hot paths look their metric up once and keep the pointer
+/// — metric objects are never invalidated or moved for the registry's
+/// lifetime.
+///
+/// Snapshots are deterministic: metrics render sorted by name with the
+/// canonical util/json number format, so two snapshots of equal counter
+/// states are byte-identical regardless of registration or thread
+/// interleaving (the property tests/test_obs.cpp pins). Exposition comes
+/// in two formats: a Json document (the wire `stats` op) and a
+/// Prometheus-style text page (`msrs_engine_cli serve --metrics-dump`).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace msrs::obs {
+
+/// Write stripes per metric; each recording thread owns (thread-id modulo
+/// kStripes) so concurrent recorders on different threads rarely share a
+/// cache line.
+inline constexpr std::size_t kStripes = 8;
+
+/// Stable per-thread stripe index in [0, kStripes).
+std::size_t stripe_index() noexcept;
+
+/// Default latency bucket upper bounds, in microseconds: exponential
+/// 1us..5s ladder shared by every request-lifecycle histogram (values
+/// above the last bound land in the overflow bucket).
+std::span<const double> latency_buckets_us() noexcept;
+
+/// Monotone counter with sharded relaxed atomics (thread-safe; writes are
+/// one fetch_add on the caller's stripe).
+class Counter {
+ public:
+  /// Adds `delta` to the calling thread's stripe.
+  void add(std::uint64_t delta = 1) noexcept {
+    cells_[stripe_index()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Shorthand for add(1).
+  void inc() noexcept { add(1); }
+  /// Merged value: the sum over all stripes.
+  std::uint64_t value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const Cell& cell : cells_)
+      sum += cell.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Cell, kStripes> cells_;
+};
+
+/// Last-writer-wins signed gauge (queue depths, resident entries, active
+/// connections). Thread-safe.
+class Gauge {
+ public:
+  /// Replaces the value.
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  /// Adjusts the value by `delta` (may be negative).
+  void add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Current value.
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram over non-negative samples (latencies in
+/// microseconds by convention). record() is two relaxed fetch_adds on the
+/// caller's stripe; quantiles are estimated by linear interpolation inside
+/// the covering bucket, so accuracy follows the bucket ladder (exact
+/// counts, approximate quantiles — the usual exposition trade-off).
+class Histogram {
+ public:
+  /// Merged read-side view of a histogram (see Histogram::snapshot()).
+  struct Snapshot {
+    std::vector<double> bounds;  ///< ascending bucket upper bounds
+    std::vector<std::uint64_t> counts;  ///< bounds.size()+1 (overflow last)
+    std::uint64_t count = 0;  ///< total samples
+    double sum = 0.0;         ///< sum of samples (1/1024-unit resolution)
+
+    /// Interpolated quantile, q in [0,1]; 0 when empty. Samples in the
+    /// overflow bucket report the last finite bound.
+    double quantile(double q) const;
+    /// Mean sample (0 when empty).
+    double mean() const {
+      return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+  };
+
+  /// A histogram over the given ascending upper bounds (a private copy is
+  /// taken); an empty span falls back to latency_buckets_us().
+  explicit Histogram(std::span<const double> bounds);
+
+  Histogram(const Histogram&) = delete;             ///< not copyable
+  Histogram& operator=(const Histogram&) = delete;  ///< not copyable
+
+  /// Records one sample (negative samples clamp to 0).
+  void record(double value) noexcept;
+
+  /// Merges every stripe into one deterministic view.
+  Snapshot snapshot() const;
+
+ private:
+  std::vector<double> bounds_;
+  // Stripe-major: counts_[stripe * (bounds+1) + bucket]; one extra sum
+  // cell per stripe accumulates value * 1024 (integer, so merging is
+  // exact and TSan-clean without atomic<double> CAS loops).
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::vector<std::atomic<std::uint64_t>> sums_;
+};
+
+/// Deterministic point-in-time view of a whole registry: every metric,
+/// sorted by name within its kind.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;  ///< by name
+  std::vector<std::pair<std::string, std::int64_t>> gauges;     ///< by name
+  std::vector<std::pair<std::string, Histogram::Snapshot>>
+      histograms;  ///< by name
+
+  /// The merged counter value, or `fallback` when `name` is absent.
+  std::uint64_t counter_or(std::string_view name,
+                           std::uint64_t fallback = 0) const;
+  /// The gauge value, or `fallback` when `name` is absent.
+  std::int64_t gauge_or(std::string_view name, std::int64_t fallback = 0) const;
+  /// Pointer to the named histogram snapshot, or nullptr when absent.
+  const Histogram::Snapshot* histogram(std::string_view name) const;
+
+  /// Renders a Prometheus-style text page ('.'/'-' become '_', names are
+  /// prefixed `msrs_`, histograms expose cumulative `_bucket{le=...}`,
+  /// `_sum` and `_count` series). Byte-stable for equal metric states.
+  std::string prometheus() const;
+  /// Renders a Json object {counters:{...},gauges:{...},histograms:{...}}
+  /// with keys sorted by name (byte-stable for equal metric states).
+  Json json() const;
+};
+
+/// Named metric registry. Thread-safe; returned references stay valid (and
+/// at a stable address) for the registry's lifetime, so hot paths resolve
+/// a metric once and then touch only its atomics.
+class MetricsRegistry {
+ public:
+  /// The counter named `name`, created on first use.
+  Counter& counter(std::string_view name);
+  /// The gauge named `name`, created on first use.
+  Gauge& gauge(std::string_view name);
+  /// The histogram named `name`, created on first use with the given
+  /// bucket bounds (empty = latency_buckets_us()); later calls return the
+  /// existing histogram and ignore `bounds`.
+  Histogram& histogram(std::string_view name,
+                       std::span<const double> bounds = {});
+
+  /// Deterministic snapshot of every registered metric, sorted by name.
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace msrs::obs

@@ -1,0 +1,7 @@
+/// \file
+/// Umbrella header of the telemetry subsystem: the metrics registry
+/// (obs/metrics.hpp) and request-lifecycle tracing (obs/trace.hpp).
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"

@@ -1,0 +1,70 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+
+namespace msrs::obs {
+
+double stage_us(TraceClock::time_point from, TraceClock::time_point to) {
+  if (from.time_since_epoch().count() == 0 ||
+      to.time_since_epoch().count() == 0 || to < from)
+    return 0.0;
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+std::string Span::line() const {
+  Json span = Json::object();
+  span.set("seq", static_cast<std::int64_t>(seq));
+  span.set("shard", static_cast<std::int64_t>(shard));
+  span.set("solver", solver);
+  span.set("cache", std::string(cache));
+  span.set("error", error);
+  span.set("admission_us", admission_us);
+  span.set("queue_us", queue_us);
+  span.set("solve_us", solve_us);
+  span.set("write_us", write_us);
+  span.set("total_us", total_us);
+  return span.str();
+}
+
+Tracer::Tracer(TraceOptions options) : options_(std::move(options)) {
+  if (options_.path.empty()) return;
+  if (options_.path == "-") {
+    to_stderr_ = true;
+    sink_open_ = true;
+    return;
+  }
+  file_.open(options_.path, std::ios::out | std::ios::trunc);
+  if (file_.is_open()) {
+    sink_open_ = true;
+  } else {
+    failed_ = true;
+    std::fprintf(stderr, "msrs-serve: cannot open trace sink %s\n",
+                 options_.path.c_str());
+  }
+}
+
+void Tracer::observe(const Span& span) {
+  if (sampled(span.seq)) {
+    const std::string line = span.line();
+    std::lock_guard lock(mutex_);
+    if (to_stderr_)
+      std::fprintf(stderr, "%s\n", line.c_str());
+    else
+      file_ << line << '\n';
+  }
+  if (slow(span.total_us))
+    std::fprintf(stderr,
+                 "msrs-serve: slow request seq=%llu total_us=%.0f "
+                 "queue_us=%.0f solve_us=%.0f shard=%d solver=%s cache=%s\n",
+                 static_cast<unsigned long long>(span.seq), span.total_us,
+                 span.queue_us, span.solve_us, span.shard,
+                 span.solver.empty() ? "-" : span.solver.c_str(),
+                 *span.cache != '\0' ? span.cache : "-");
+}
+
+void Tracer::flush() {
+  std::lock_guard lock(mutex_);
+  if (file_.is_open()) file_.flush();
+}
+
+}  // namespace msrs::obs

@@ -24,6 +24,7 @@
 #include "core/lower_bounds.hpp"
 #include "core/validate.hpp"
 #include "engine/engine.hpp"
+#include "obs/obs.hpp"
 #include "serve/service.hpp"
 #include "ext/completion_time.hpp"
 #include "multires/mschedule.hpp"
@@ -804,6 +805,113 @@ std::vector<BenchRow> e13_serve(const Runner& runner) {
   return rows;
 }
 
+// E14 — telemetry overhead: the obs hot paths (counter add, histogram
+// record), read-side snapshot + Prometheus render, and the live `stats` op
+// of an instrumented service. Guards the "instrumentation is cheap enough
+// to be always-on" contract (docs/observability.md). All emitted counters
+// are constants of the workload shape, never live metric values, so the
+// non-timing output stays byte-reproducible.
+std::vector<BenchRow> e14_obs(const Runner& runner) {
+  constexpr std::size_t kOps = 1024;
+  std::vector<BenchRow> rows;
+
+  {
+    obs::MetricsRegistry registry;
+    obs::Counter& counter = registry.counter("bench.counter");
+    BenchRow row;
+    row.timing = runner.measure([&] {
+      for (std::size_t i = 0; i < kOps; ++i) counter.add(1);
+    });
+    row.name = "counter/add";
+    row.solver = "obs";
+    row.counters.emplace_back("per_op", static_cast<double>(kOps));
+    rows.push_back(std::move(row));
+  }
+
+  {
+    obs::MetricsRegistry registry;
+    obs::Histogram& histogram = registry.histogram("bench.latency_us");
+    // Fixed cycling samples spanning the bucket ladder: the recorded
+    // distribution (and thus any later render) is run-independent.
+    constexpr double kSamples[] = {0.5, 3.0, 42.0, 180.0, 950.0, 7500.0};
+    std::size_t cursor = 0;
+    BenchRow row;
+    row.timing = runner.measure([&] {
+      for (std::size_t i = 0; i < kOps; ++i) {
+        histogram.record(kSamples[cursor]);
+        cursor = (cursor + 1) % std::size(kSamples);
+      }
+    });
+    row.name = "histogram/record";
+    row.solver = "obs";
+    row.counters.emplace_back("per_op", static_cast<double>(kOps));
+    rows.push_back(std::move(row));
+  }
+
+  {
+    // Read side: snapshot a fixed registry and render the Prometheus page.
+    obs::MetricsRegistry registry;
+    for (int c = 0; c < 16; ++c)
+      registry.counter("bench.counter." + std::to_string(c)).add(
+          static_cast<std::uint64_t>(c) * 17 + 1);
+    for (int g = 0; g < 4; ++g)
+      registry.gauge("bench.gauge." + std::to_string(g)).set(g * 5 - 3);
+    obs::Histogram& histogram = registry.histogram("bench.latency_us");
+    for (std::size_t i = 0; i < kOps; ++i)
+      histogram.record(static_cast<double>((i * 37) % 4096));
+    std::size_t page_bytes = 0;
+    BenchRow row;
+    row.timing = runner.measure(
+        [&] { page_bytes = registry.snapshot().prometheus().size(); });
+    row.name = "snapshot/prometheus";
+    row.solver = "obs";
+    row.counters.emplace_back("page_bytes", static_cast<double>(page_bytes));
+    rows.push_back(std::move(row));
+  }
+
+  {
+    // The live stats surface: render the full telemetry `stats` response
+    // (counter body + breakdowns + quantile decomposition) from a fixed
+    // synthetic snapshot. A live service's latency histograms carry real
+    // clock values, whose rendered digit counts (and thus allocations)
+    // vary run to run — a synthetic snapshot keeps the row reproducible
+    // while exercising the same render path the serve hot loop uses.
+    obs::MetricsRegistry registry;
+    registry.counter("serve.errors.bad_spec").add(3);
+    registry.counter("engine.race_win.three_halves").add(5);
+    registry.counter("serve.conns.accepted").add(4);
+    registry.gauge("serve.conns.active").set(2);
+    constexpr const char* kStages[] = {"admission", "queue", "solve",
+                                       "write", "total"};
+    for (const char* stage : kStages) {
+      obs::Histogram& histogram = registry.histogram(
+          std::string("serve.latency.") + stage + "_us");
+      for (std::size_t i = 0; i < 256; ++i)
+        histogram.record(static_cast<double>((i * 53) % 2048));
+    }
+    serve::ServiceStats stats;
+    stats.received = 512;
+    stats.responded = 512;
+    stats.solved = 256;
+    stats.cache_hits = 128;
+    stats.cache_misses = 256;
+    stats.shards = 2;
+    stats.queue_depths = {3, 1};
+    stats.shard_requests = {200, 184};
+    const obs::MetricsSnapshot snapshot = registry.snapshot();
+    std::size_t line_bytes = 0;
+    BenchRow row;
+    row.timing = runner.measure([&] {
+      line_bytes = serve::stats_response(Json(), stats, snapshot).size();
+    });
+    row.name = "serve/stats_op";
+    row.solver = "obs";
+    row.counters.emplace_back("line_bytes", static_cast<double>(line_bytes));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
 }  // namespace
 
 BenchRegistry BenchRegistry::make_default() {
@@ -868,6 +976,11 @@ BenchRegistry BenchRegistry::make_default() {
       "e13_serve",
       "serving path: sharded service steady-state (cache) and cold dispatch",
       "serving layer (docs/architecture.md)", Tier::kQuick, e13_serve));
+  registry.add(make_case(
+      "e14_obs",
+      "telemetry overhead: counter/histogram hot path, snapshot render, "
+      "stats op",
+      "observability layer (docs/observability.md)", Tier::kQuick, e14_obs));
   return registry;
 }
 

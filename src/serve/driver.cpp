@@ -9,10 +9,11 @@
 #include <thread>
 
 #include "core/instance_io.hpp"
+#include "obs/metrics.hpp"
 #include "serve/socket.hpp"
 #include "serve/wire.hpp"
 #include "sim/workloads.hpp"
-#include "util/stats.hpp"
+#include "util/table.hpp"
 
 namespace msrs::serve {
 namespace {
@@ -65,12 +66,17 @@ std::string make_line(std::size_t id, const std::string& payload) {
   return "{\"id\":" + std::to_string(id) + payload;
 }
 
+// Sends one `stats` op and parses the response document.
+std::optional<Json> fetch_stats(SocketClient& client) {
+  if (!client.send_line("{\"op\":\"stats\"}")) return std::nullopt;
+  std::string line;
+  if (!client.recv_line(&line)) return std::nullopt;
+  return json_parse(line);
+}
+
 // Reads `cache_hits`/`cache_misses` out of a `stats` response.
 bool cache_counters(SocketClient& client, double* hits, double* misses) {
-  if (!client.send_line("{\"op\":\"stats\"}")) return false;
-  std::string line;
-  if (!client.recv_line(&line)) return false;
-  const std::optional<Json> document = json_parse(line);
+  const std::optional<Json> document = fetch_stats(client);
   if (!document) return false;
   const Json* h = document->find("cache_hits");
   const Json* m = document->find("cache_misses");
@@ -79,6 +85,55 @@ bool cache_counters(SocketClient& client, double* hits, double* misses) {
   *hits = h->as_number();
   *misses = m->as_number();
   return true;
+}
+
+// Renders one mid-run stats poll: a one-line counter summary plus the
+// latency decomposition table (lifecycle stage x percentiles).
+std::string render_stats_poll(const Json& document, double at_s) {
+  const auto count = [&document](const char* key) -> std::int64_t {
+    const Json* v = document.find(key);
+    return v != nullptr && v->is_number()
+               ? static_cast<std::int64_t>(v->as_number())
+               : 0;
+  };
+  std::ostringstream out;
+  out << "drive stats @ " << Table::num(at_s, 1)
+      << " s: received=" << count("received")
+      << " responded=" << count("responded") << " errors=" << count("errors")
+      << " cache_hits=" << count("cache_hits")
+      << " cache_misses=" << count("cache_misses");
+  if (const Json* depths = document.find("queue_depths");
+      depths != nullptr && depths->is_array()) {
+    out << " queue_depths=[";
+    for (std::size_t i = 0; i < depths->items().size(); ++i) {
+      if (i > 0) out << ',';
+      out << static_cast<std::int64_t>(depths->items()[i].as_number());
+    }
+    out << ']';
+  }
+  out << '\n';
+
+  const Json* latency = document.find("latency");
+  if (latency != nullptr && latency->is_object() &&
+      !latency->members().empty()) {
+    Table table({"stage", "count", "p50_us", "p95_us", "p99_us", "mean_us"});
+    for (const auto& [stage, entry] : latency->members()) {
+      const auto cell = [&entry](const char* key) {
+        const Json* v = entry.find(key);
+        return v != nullptr && v->is_number() ? Table::num(v->as_number(), 1)
+                                              : std::string("-");
+      };
+      const Json* n = entry.find("count");
+      table.add_row({stage,
+                     Table::num(n != nullptr && n->is_number()
+                                    ? static_cast<std::int64_t>(n->as_number())
+                                    : 0),
+                     cell("p50_us"), cell("p95_us"), cell("p99_us"),
+                     cell("mean_us")});
+    }
+    out << table.str();
+  }
+  return out.str();
 }
 
 }  // namespace
@@ -214,7 +269,11 @@ std::optional<DriveReport> drive(const DriveOptions& options,
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> ok_count{0}, error_count{0}, rejected_count{0};
   std::atomic<std::size_t> transport_failures{0};
-  std::vector<std::vector<double>> latencies(conns);
+  // One shared latency histogram (obs/metrics.hpp): recording is two
+  // relaxed striped fetch_adds, so the measurement loop never allocates —
+  // unlike the per-connection vectors it replaced.
+  obs::Histogram latency_hist{obs::latency_buckets_us()};
+  std::atomic<std::uint64_t> max_latency_us{0};
   const Clock::time_point start = Clock::now();
   const Clock::time_point deadline =
       options.duration_s > 0.0
@@ -223,11 +282,35 @@ std::optional<DriveReport> drive(const DriveOptions& options,
           : Clock::time_point::max();
   const double interval_s = options.qps > 0.0 ? 1.0 / options.qps : 0.0;
 
+  // Mid-run stats poller: shares the control connection (the workers never
+  // touch it during the measured window), prints to stderr so a piped
+  // --json report stays clean.
+  std::atomic<bool> polling{true};
+  std::thread poller;
+  if (options.stats_interval_s > 0.0) {
+    poller = std::thread([&] {
+      const auto interval = std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(options.stats_interval_s));
+      Clock::time_point due = start + interval;
+      while (polling.load()) {
+        if (Clock::now() < due) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          continue;
+        }
+        due += interval;
+        const std::optional<Json> document = fetch_stats(control);
+        if (!document) return;  // control connection died; stop quietly
+        const double at_s =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        std::cerr << render_stats_poll(*document, at_s);
+      }
+    });
+  }
+
   std::vector<std::thread> workers;
   for (unsigned c = 0; c < conns; ++c) {
     workers.emplace_back([&, c] {
       SocketClient& client = *clients[c];
-      std::vector<double>& mine = latencies[c];
       std::string response;
       for (;;) {
         const std::size_t i = next.fetch_add(1);
@@ -252,10 +335,16 @@ std::optional<DriveReport> drive(const DriveOptions& options,
           transport_failures.fetch_add(1);
           break;
         }
-        const double ms = std::chrono::duration<double, std::milli>(
+        const double us = std::chrono::duration<double, std::micro>(
                               Clock::now() - reference)
                               .count();
-        mine.push_back(ms);
+        latency_hist.record(us);
+        const std::uint64_t us_int =
+            static_cast<std::uint64_t>(us < 0.0 ? 0.0 : us);
+        std::uint64_t prev = max_latency_us.load();
+        while (us_int > prev &&
+               !max_latency_us.compare_exchange_weak(prev, us_int)) {
+        }
         if (response.find("\"ok\":true") != std::string::npos) {
           ok_count.fetch_add(1);
         } else {
@@ -267,6 +356,8 @@ std::optional<DriveReport> drive(const DriveOptions& options,
     });
   }
   for (std::thread& worker : workers) worker.join();
+  polling.store(false);
+  if (poller.joinable()) poller.join();
   const double elapsed_s =
       std::chrono::duration<double>(Clock::now() - start).count();
 
@@ -280,15 +371,12 @@ std::optional<DriveReport> drive(const DriveOptions& options,
   report.throughput =
       elapsed_s > 0.0 ? static_cast<double>(report.sent) / elapsed_s : 0.0;
 
-  std::vector<double> all;
-  for (const auto& conn_latencies : latencies)
-    all.insert(all.end(), conn_latencies.begin(), conn_latencies.end());
-  std::sort(all.begin(), all.end());
-  if (!all.empty()) {
-    report.p50_ms = quantile_sorted(all, 0.5);
-    report.p95_ms = quantile_sorted(all, 0.95);
-    report.p99_ms = quantile_sorted(all, 0.99);
-    report.max_ms = all.back();
+  const obs::Histogram::Snapshot latency = latency_hist.snapshot();
+  if (latency.count > 0) {
+    report.p50_ms = latency.quantile(0.5) / 1000.0;
+    report.p95_ms = latency.quantile(0.95) / 1000.0;
+    report.p99_ms = latency.quantile(0.99) / 1000.0;
+    report.max_ms = static_cast<double>(max_latency_us.load()) / 1000.0;
   }
 
   double hits_after = 0.0, misses_after = 0.0;

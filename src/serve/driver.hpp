@@ -39,6 +39,10 @@ struct DriveOptions {
   unsigned conns = 1;    ///< concurrent connections
   bool payload_spec = false;  ///< send `spec` payloads instead of inline
                               ///< `instance` text
+  /// When > 0: poll the service's `stats` op every this many seconds
+  /// during the run and print a live latency-decomposition table
+  /// (lifecycle stage x count/p50/p95/p99/mean) to stderr.
+  double stats_interval_s = 0.0;
   /// When non-empty: write the request lines to this file (or "-" for
   /// stdout) instead of driving a service — the corpus-to-JSONL tool the
   /// serving smoke test pipes into `serve`.

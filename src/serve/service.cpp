@@ -7,24 +7,91 @@
 #include "sim/workloads.hpp"
 
 namespace msrs::serve {
+namespace {
 
-std::string stats_response(const Json& id, const ServiceStats& stats) {
-  const auto count = [](std::size_t v) {
-    return Json(static_cast<std::int64_t>(v));
-  };
+// Lifecycle-stage histogram names, in decomposition order.
+constexpr const char* kStageNames[] = {"admission", "queue", "solve", "write",
+                                       "total"};
+
+std::string stage_metric(std::string_view stage) {
+  return "serve.latency." + std::string(stage) + "_us";
+}
+
+Json count_json(std::size_t v) { return Json(static_cast<std::int64_t>(v)); }
+
+// The legacy counter-only body shared by both stats_response overloads.
+Json stats_body(const Json& id, const ServiceStats& stats) {
   Json response = Json::object();
   response.set("id", id);
   response.set("ok", true);
-  response.set("shards", count(stats.shards));
-  response.set("received", count(stats.received));
-  response.set("responded", count(stats.responded));
-  response.set("rejected", count(stats.rejected));
-  response.set("errors", count(stats.errors));
-  response.set("solved", count(stats.solved));
-  response.set("cache_hits", count(stats.cache_hits));
-  response.set("cache_misses", count(stats.cache_misses));
-  response.set("cache_evictions", count(stats.cache_evictions));
-  response.set("cache_entries", count(stats.cache_entries));
+  response.set("shards", count_json(stats.shards));
+  response.set("received", count_json(stats.received));
+  response.set("responded", count_json(stats.responded));
+  response.set("rejected", count_json(stats.rejected));
+  response.set("errors", count_json(stats.errors));
+  response.set("solved", count_json(stats.solved));
+  response.set("cache_hits", count_json(stats.cache_hits));
+  response.set("cache_misses", count_json(stats.cache_misses));
+  response.set("cache_evictions", count_json(stats.cache_evictions));
+  response.set("cache_entries", count_json(stats.cache_entries));
+  return response;
+}
+
+}  // namespace
+
+std::string stats_response(const Json& id, const ServiceStats& stats) {
+  return stats_body(id, stats).str();
+}
+
+std::string stats_response(const Json& id, const ServiceStats& stats,
+                           const obs::MetricsSnapshot& snapshot) {
+  Json response = stats_body(id, stats);
+
+  Json depths = Json::array();
+  for (const std::size_t d : stats.queue_depths) depths.push_back(count_json(d));
+  response.set("queue_depths", std::move(depths));
+
+  Json per_shard = Json::array();
+  for (const std::size_t r : stats.shard_requests)
+    per_shard.push_back(count_json(r));
+  response.set("shard_requests", std::move(per_shard));
+
+  Json errors_by_code = Json::object();
+  for (const WireError code : kAllWireErrors) {
+    const std::string name(wire_error_name(code));
+    errors_by_code.set(name, count_json(snapshot.counter_or(
+                                 "serve.errors." + name)));
+  }
+  response.set("errors_by_code", std::move(errors_by_code));
+
+  Json solver_wins = Json::object();
+  constexpr std::string_view kWinPrefix = "engine.race_win.";
+  for (const auto& [name, value] : snapshot.counters)
+    if (name.size() > kWinPrefix.size() &&
+        std::string_view(name).substr(0, kWinPrefix.size()) == kWinPrefix)
+      solver_wins.set(name.substr(kWinPrefix.size()), count_json(value));
+  response.set("solver_wins", std::move(solver_wins));
+
+  Json conns = Json::object();
+  conns.set("accepted", count_json(snapshot.counter_or("serve.conns.accepted")));
+  conns.set("rejected", count_json(snapshot.counter_or("serve.conns.rejected")));
+  conns.set("active", Json(snapshot.gauge_or("serve.conns.active")));
+  response.set("conns", std::move(conns));
+
+  Json latency = Json::object();
+  for (const char* stage : kStageNames) {
+    const obs::Histogram::Snapshot* h =
+        snapshot.histogram(stage_metric(stage));
+    if (h == nullptr) continue;
+    Json entry = Json::object();
+    entry.set("count", count_json(h->count));
+    entry.set("p50_us", h->quantile(0.50));
+    entry.set("p95_us", h->quantile(0.95));
+    entry.set("p99_us", h->quantile(0.99));
+    entry.set("mean_us", h->mean());
+    latency.set(stage, std::move(entry));
+  }
+  response.set("latency", std::move(latency));
   return response.str();
 }
 
@@ -32,19 +99,43 @@ Service::Service(ServiceOptions options,
                  const engine::SolverRegistry& registry)
     : options_(std::move(options)),
       registry_(&registry),
+      tracer_(std::make_unique<obs::Tracer>(options_.trace)),
       pool_(options_.shards == 0 ? std::thread::hardware_concurrency()
                                  : options_.shards) {
+  // Pre-register every exposed metric so the stats key set is stable from
+  // the first snapshot, and resolve the hot-path handles once.
+  received_c_ = &metrics_.counter("serve.received");
+  responded_c_ = &metrics_.counter("serve.responded");
+  rejected_c_ = &metrics_.counter("serve.rejected");
+  errors_c_ = &metrics_.counter("serve.errors");
+  for (const WireError code : kAllWireErrors)
+    error_code_c_.push_back(&metrics_.counter(
+        "serve.errors." + std::string(wire_error_name(code))));
+  lat_admission_ = &metrics_.histogram(stage_metric("admission"));
+  lat_queue_ = &metrics_.histogram(stage_metric("queue"));
+  lat_solve_ = &metrics_.histogram(stage_metric("solve"));
+  lat_write_ = &metrics_.histogram(stage_metric("write"));
+  lat_total_ = &metrics_.histogram(stage_metric("total"));
+  metrics_.counter("serve.conns.accepted");
+  metrics_.counter("serve.conns.rejected");
+  metrics_.gauge("serve.conns.active");
+
   const unsigned shard_count = pool_.size();
   engine::PortfolioOptions portfolio;
   portfolio.budget_ms = options_.budget_ms;
   portfolio.only = options_.solvers;
   portfolio.threads = 1;  // the shard layer owns the parallelism
+  portfolio.metrics = &metrics_;
   shards_.reserve(shard_count);
   for (unsigned s = 0; s < shard_count; ++s) {
     auto shard = std::make_unique<Shard>(options_.queue_depth,
                                          options_.cache_capacity);
+    shard->index = static_cast<int>(s);
     shard->portfolio =
         std::make_unique<engine::PortfolioSolver>(registry, portfolio);
+    shard->requests =
+        &metrics_.counter("serve.shard_requests." + std::to_string(s));
+    metrics_.gauge("serve.queue_depth." + std::to_string(s));
     shards_.push_back(std::move(shard));
   }
   for (auto& shard : shards_)
@@ -53,10 +144,31 @@ Service::Service(ServiceOptions options,
 
 Service::~Service() { shutdown(std::chrono::seconds(30)); }
 
-void Service::respond(Done& done, std::string&& line, bool is_error) {
-  if (is_error) ++errors_;
-  ++responded_;
+void Service::respond(Done& done, std::string&& line) {
+  responded_c_->inc();
   done(std::move(line));
+}
+
+void Service::respond_error(Done& done, const Json& id, WireError code,
+                            std::string_view detail,
+                            const obs::TraceContext* trace) {
+  errors_c_->inc();
+  error_code_c_[static_cast<std::size_t>(code)]->inc();
+  responded_c_->inc();
+  done(error_response(id, code, detail));
+  if (trace != nullptr) {
+    const double total =
+        obs::stage_us(trace->admit, obs::TraceClock::now());
+    if (tracer_->sampled(trace->seq) || tracer_->slow(total)) {
+      obs::Span span;
+      span.seq = trace->seq;
+      span.error = std::string(wire_error_name(code));
+      span.admission_us = obs::stage_us(trace->admit, trace->enqueue);
+      span.queue_us = obs::stage_us(trace->enqueue, trace->dispatch);
+      span.total_us = total;
+      tracer_->observe(span);
+    }
+  }
 }
 
 void Service::finish_item() {
@@ -65,47 +177,47 @@ void Service::finish_item() {
 }
 
 void Service::submit(const std::string& line, Done done) {
-  ++received_;
+  received_c_->inc();
+  obs::TraceContext trace;
+  trace.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  trace.admit = obs::TraceClock::now();
   Json salvaged_id;
   WireError code = WireError::kParseError;
   std::string detail;
   std::optional<Request> request =
       parse_request(line, &code, &detail, &salvaged_id);
   if (!request) {
-    respond(done, error_response(salvaged_id, code, detail), true);
+    respond_error(done, salvaged_id, code, detail, &trace);
     return;
   }
   if (!accepting_.load()) {
-    respond(done,
-            error_response(request->id, WireError::kShuttingDown,
-                           "service is shutting down"),
-            true);
+    respond_error(done, request->id, WireError::kShuttingDown,
+                  "service is shutting down", &trace);
     return;
   }
   if (request->wire != 0 && request->wire != kWireVersion) {
-    respond(done,
-            error_response(request->id, WireError::kVersionMismatch,
-                           "client speaks wire version " +
-                               std::to_string(request->wire) +
-                               ", service speaks " +
-                               std::to_string(kWireVersion)),
-            true);
+    respond_error(done, request->id, WireError::kVersionMismatch,
+                  "client speaks wire version " +
+                      std::to_string(request->wire) + ", service speaks " +
+                      std::to_string(kWireVersion),
+                  &trace);
     return;
   }
 
   switch (request->op) {
     case Op::kPing:
-      respond(done, ok_response(request->id, "ping"), false);
+      respond(done, ok_response(request->id, "ping"));
       return;
     case Op::kVersion:
-      respond(done, version_response(request->id), false);
+      respond(done, version_response(request->id));
       return;
     case Op::kStats:
-      respond(done, stats_response(request->id, stats()), false);
+      respond(done,
+              stats_response(request->id, stats(), metrics_snapshot()));
       return;
     case Op::kShutdown:
       accepting_.store(false);
-      respond(done, ok_response(request->id, "shutdown"), false);
+      respond(done, ok_response(request->id, "shutdown"));
       return;
     case Op::kSolve:
       break;
@@ -115,12 +227,13 @@ void Service::submit(const std::string& line, Done done) {
   item.id = std::move(request->id);
   item.budget_ms = request->budget_ms;
   item.done = std::move(done);
+  item.trace = trace;
   if (!request->spec.empty()) {
     std::string error;
     const auto spec = parse_spec(request->spec, &error);
     if (!spec) {
-      respond(item.done, error_response(item.id, WireError::kBadSpec, error),
-              true);
+      respond_error(item.done, item.id, WireError::kBadSpec, error,
+                    &item.trace);
       return;
     }
     item.instance = generate(*spec);
@@ -128,8 +241,8 @@ void Service::submit(const std::string& line, Done done) {
     std::string error;
     auto parsed = from_text(request->instance, &error);
     if (!parsed) {
-      respond(item.done,
-              error_response(item.id, WireError::kBadInstance, error), true);
+      respond_error(item.done, item.id, WireError::kBadInstance, error,
+                    &item.trace);
       return;
     }
     item.instance = std::move(*parsed);
@@ -142,19 +255,18 @@ void Service::submit(const std::string& line, Done done) {
     std::lock_guard lock(pending_mutex_);
     ++pending_;
   }
+  item.trace.enqueue = obs::TraceClock::now();
   const bool admitted = options_.reject_when_full ? shard.queue.try_push(item)
                                                   : shard.queue.push(item);
   if (!admitted) {
     // try_push: full (overloaded); push: only fails when closed (shutdown).
     const bool closed = !accepting_.load();
-    if (!closed) ++rejected_;
-    respond(item.done,
-            error_response(item.id,
-                           closed ? WireError::kShuttingDown
-                                  : WireError::kOverloaded,
-                           closed ? "service is shutting down"
-                                  : "request queue is full"),
-            true);
+    if (!closed) rejected_c_->inc();
+    respond_error(item.done, item.id,
+                  closed ? WireError::kShuttingDown : WireError::kOverloaded,
+                  closed ? "service is shutting down"
+                         : "request queue is full",
+                  &item.trace);
     finish_item();
   }
 }
@@ -173,58 +285,116 @@ void Service::shard_loop(Shard& shard) {
 }
 
 void Service::process(Shard& shard, Item& item) {
+  item.trace.dispatch = obs::TraceClock::now();
   if (abort_.load()) {
-    respond(item.done,
-            error_response(item.id, WireError::kShuttingDown,
-                           "service stopped before this request was served"),
-            true);
+    respond_error(item.done, item.id, WireError::kShuttingDown,
+                  "service stopped before this request was served",
+                  &item.trace);
     finish_item();
     return;
   }
+  item.trace.solve_begin = item.trace.dispatch;
   std::string response;
+  std::string solver;
+  const char* cache_state = "";
   if (item.budget_ms != 0) {
     // Non-default effort changes the result, so it must not share cache
     // entries with default-budget traffic; solve uncached.
     engine::PortfolioOptions per_request = shard.portfolio->options();
     per_request.budget_ms = item.budget_ms;
-    response = solve_response(item.id,
-                              engine::PortfolioSolver(*registry_, per_request)
-                                  .solve(item.instance));
+    engine::PortfolioResult result =
+        engine::PortfolioSolver(*registry_, per_request).solve(item.instance);
+    solver = result.solver;
+    cache_state = "bypass";
+    response = solve_response(item.id, result);
     shard.solved.fetch_add(1);
   } else if (const TailCache::Entry* entry = shard.cache.find(item.form)) {
-    response = compose_response(item.id, entry->second);
+    response = compose_response(item.id, entry->second.tail);
+    solver = entry->second.solver;
+    cache_state = "hit";
   } else {
-    std::string tail =
-        solve_response_tail(shard.portfolio->solve(item.instance));
+    engine::PortfolioResult result = shard.portfolio->solve(item.instance);
+    std::string tail = solve_response_tail(result);
     response = compose_response(item.id, tail);
-    shard.cache.insert(std::move(item.form), std::move(tail));
+    solver = result.solver;
+    cache_state = "miss";
+    shard.cache.insert(std::move(item.form),
+                       CachedResult{std::move(tail), std::move(result.solver)});
     shard.solved.fetch_add(1);
   }
+  item.trace.solve_end = obs::TraceClock::now();
   // Mirror the (single-threaded) LRU counters into atomics for stats().
   const LruStats& cache = shard.cache.stats();
   shard.hits.store(cache.hits);
   shard.misses.store(cache.misses);
   shard.evictions.store(cache.evictions);
   shard.entries.store(cache.entries);
-  respond(item.done, std::move(response), false);
+  shard.requests->inc();
+  const obs::TraceClock::time_point end = obs::TraceClock::now();
+
+  // Stage decomposition: every solve request feeds the five lifecycle
+  // histograms; spans are materialized only when sampled or slow. All
+  // telemetry is recorded BEFORE the response is delivered so that a
+  // synchronous observer (handle(), the stats op) sees a consistent
+  // count; "write" therefore covers post-solve bookkeeping, not the
+  // ordered-writer flush.
+  const double admission_us = obs::stage_us(item.trace.admit,
+                                            item.trace.enqueue);
+  const double queue_us = obs::stage_us(item.trace.enqueue,
+                                        item.trace.dispatch);
+  const double solve_us = obs::stage_us(item.trace.solve_begin,
+                                        item.trace.solve_end);
+  const double write_us = obs::stage_us(item.trace.solve_end, end);
+  const double total_us = obs::stage_us(item.trace.admit, end);
+  lat_admission_->record(admission_us);
+  lat_queue_->record(queue_us);
+  lat_solve_->record(solve_us);
+  lat_write_->record(write_us);
+  lat_total_->record(total_us);
+  if (tracer_->sampled(item.trace.seq) || tracer_->slow(total_us)) {
+    obs::Span span;
+    span.seq = item.trace.seq;
+    span.shard = shard.index;
+    span.solver = solver;
+    span.cache = cache_state;
+    span.admission_us = admission_us;
+    span.queue_us = queue_us;
+    span.solve_us = solve_us;
+    span.write_us = write_us;
+    span.total_us = total_us;
+    tracer_->observe(span);
+  }
+  respond(item.done, std::move(response));
   finish_item();
 }
 
 ServiceStats Service::stats() const {
   ServiceStats stats;
   stats.shards = static_cast<unsigned>(shards_.size());
-  stats.received = received_.load();
-  stats.responded = responded_.load();
-  stats.rejected = rejected_.load();
-  stats.errors = errors_.load();
+  stats.received = received_c_->value();
+  stats.responded = responded_c_->value();
+  stats.rejected = rejected_c_->value();
+  stats.errors = errors_c_->value();
+  stats.queue_depths.reserve(shards_.size());
+  stats.shard_requests.reserve(shards_.size());
   for (const auto& shard : shards_) {
     stats.solved += shard->solved.load();
     stats.cache_hits += shard->hits.load();
     stats.cache_misses += shard->misses.load();
     stats.cache_evictions += shard->evictions.load();
     stats.cache_entries += shard->entries.load();
+    stats.queue_depths.push_back(shard->queue.size());
+    stats.shard_requests.push_back(
+        static_cast<std::size_t>(shard->requests->value()));
   }
   return stats;
+}
+
+obs::MetricsSnapshot Service::metrics_snapshot() {
+  for (const auto& shard : shards_)
+    metrics_.gauge("serve.queue_depth." + std::to_string(shard->index))
+        .set(static_cast<std::int64_t>(shard->queue.size()));
+  return metrics_.snapshot();
 }
 
 bool Service::shutdown(std::chrono::milliseconds deadline) {
@@ -250,6 +420,7 @@ bool Service::shutdown(std::chrono::milliseconds deadline) {
       drained_.wait(lock, [this] { return pending_ == 0; });
     }
     pool_.shutdown();  // shard loops exit once their queues are drained
+    tracer_->flush();
     shutdown_result_ = drained;
   });
   return shutdown_result_;

@@ -34,6 +34,7 @@
 
 #include "engine/batch.hpp"
 #include "engine/registry.hpp"
+#include "obs/obs.hpp"
 #include "parallel/thread_pool.hpp"
 #include "serve/bounded_queue.hpp"
 #include "serve/wire.hpp"
@@ -53,6 +54,10 @@ struct ServiceOptions {
   bool reject_when_full = false;
   int budget_ms = 20;  ///< default portfolio effort gate per request
   std::vector<std::string> solvers;  ///< portfolio `only` filter ([] = all)
+  /// Request-lifecycle tracing: the sampled `--trace` JSONL span sink and
+  /// the always-on slow-request log (obs/trace.hpp). An empty path only
+  /// disables span emission; the slow log stays armed.
+  obs::TraceOptions trace;
 };
 
 /// Snapshot of the service counters (the `stats` op payload).
@@ -67,10 +72,20 @@ struct ServiceStats {
   std::size_t cache_evictions = 0;  ///< LRU entries dropped (capacity)
   std::size_t cache_entries = 0;    ///< resident entries, all shards
   unsigned shards = 0;              ///< configured shard count
+  std::vector<std::size_t> queue_depths;    ///< per-shard queued requests
+  std::vector<std::size_t> shard_requests;  ///< per-shard served solves
 };
 
-/// Renders the `stats` response line for a snapshot.
+/// Renders the `stats` response line for a counter snapshot (the legacy
+/// counter-only body; the live `stats` op uses the telemetry overload).
 std::string stats_response(const Json& id, const ServiceStats& stats);
+
+/// Renders the full `stats` response: the counter body plus queue depths,
+/// per-shard throughput, the per-code error breakdown, solver-win and
+/// connection counters, and the p50/p95/p99 latency decomposition by
+/// lifecycle stage — all read from the metrics snapshot.
+std::string stats_response(const Json& id, const ServiceStats& stats,
+                           const obs::MetricsSnapshot& snapshot);
 
 /// The sharded async scheduling service. Thread-safe: any number of
 /// transport threads may submit() concurrently.
@@ -107,6 +122,15 @@ class Service {
   /// Counter snapshot (cheap; safe from any thread).
   ServiceStats stats() const;
 
+  /// The service's metrics registry; transports attach their connection
+  /// counters here so one `stats` snapshot covers the whole stack.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
+  /// Deterministically ordered snapshot of every metric, with the live
+  /// queue-depth gauges refreshed first (feeds the `stats` op and the
+  /// --metrics-dump Prometheus page).
+  obs::MetricsSnapshot metrics_snapshot();
+
   /// Effective shard count.
   unsigned shards() const { return static_cast<unsigned>(shards_.size()); }
 
@@ -124,6 +148,14 @@ class Service {
     engine::CanonicalForm form;
     int budget_ms = 0;  // 0 = service default (cacheable)
     Done done;
+    obs::TraceContext trace;  // lifecycle stamps (admission -> write)
+  };
+
+  // A cached solve: the rendered response tail plus the winning solver's
+  // name, so cache-hit spans keep their provenance.
+  struct CachedResult {
+    std::string tail;
+    std::string solver;
   };
 
   /// Per-shard result cache: canonical shape -> the rendered response
@@ -132,16 +164,18 @@ class Service {
   /// concatenation, no remapping or re-rendering; BatchEngine keeps the
   /// full-schedule variant via remap_result for batch consumers).
   using TailCache =
-      LruCache<engine::CanonicalForm, std::string, engine::CanonicalFormHash,
+      LruCache<engine::CanonicalForm, CachedResult, engine::CanonicalFormHash,
                engine::CanonicalFormShapeEq>;
 
   /// One shard: admission queue, solver, bounded result cache, counters.
   struct Shard {
     explicit Shard(std::size_t queue_depth, std::size_t cache_capacity)
         : queue(queue_depth), cache(cache_capacity) {}
+    int index = 0;
     BoundedQueue<Item> queue;
     TailCache cache;  // touched only by the shard worker
     std::unique_ptr<engine::PortfolioSolver> portfolio;
+    obs::Counter* requests = nullptr;  // registry: serve.shard_requests.<i>
     // Snapshots mirrored after every request so stats() never races the
     // worker's non-atomic LRU counters.
     std::atomic<std::size_t> solved{0}, hits{0}, misses{0}, evictions{0},
@@ -150,17 +184,33 @@ class Service {
 
   void shard_loop(Shard& shard);
   void process(Shard& shard, Item& item);
-  void respond(Done& done, std::string&& line, bool is_error);
+  void respond(Done& done, std::string&& line);
+  void respond_error(Done& done, const Json& id, WireError code,
+                     std::string_view detail,
+                     const obs::TraceContext* trace = nullptr);
   void finish_item();  // pending_ bookkeeping of queued items
 
   ServiceOptions options_;
   const engine::SolverRegistry* registry_;
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  // Hot-path metric handles, resolved once at construction (registry
+  // addresses are stable for its lifetime).
+  obs::Counter* received_c_ = nullptr;
+  obs::Counter* responded_c_ = nullptr;
+  obs::Counter* rejected_c_ = nullptr;
+  obs::Counter* errors_c_ = nullptr;
+  std::vector<obs::Counter*> error_code_c_;  // by WireError enum value
+  obs::Histogram* lat_admission_ = nullptr;
+  obs::Histogram* lat_queue_ = nullptr;
+  obs::Histogram* lat_solve_ = nullptr;
+  obs::Histogram* lat_write_ = nullptr;
+  obs::Histogram* lat_total_ = nullptr;
+  std::atomic<std::uint64_t> seq_{0};  // request sequence (trace sampling)
   std::vector<std::unique_ptr<Shard>> shards_;
   ThreadPool pool_;
   std::atomic<bool> accepting_{true};
   std::atomic<bool> abort_{false};  // deadline passed: fail queued items
-  std::atomic<std::size_t> received_{0}, responded_{0}, rejected_{0},
-      errors_{0};
   std::mutex pending_mutex_;
   std::condition_variable drained_;
   std::size_t pending_ = 0;  // queued items whose callback has not fired

@@ -83,7 +83,7 @@ void serve_connection(Service& service, int fd) {
 bool socket_transport_available() { return true; }
 
 int serve_socket(Service& service, const std::string& path,
-                 std::string* error) {
+                 std::string* error, SocketOptions options) {
   const auto fail = [&](const std::string& what) {
     if (error) *error = what + ": " + std::strerror(errno);
     return 1;
@@ -132,6 +132,14 @@ int serve_socket(Service& service, const std::string& path,
     }
   };
 
+  // Connection accounting lives in the service's registry so one `stats`
+  // snapshot covers transport and service alike.
+  obs::Counter& accepted = service.metrics().counter("serve.conns.accepted");
+  obs::Counter& rejected = service.metrics().counter("serve.conns.rejected");
+  obs::Gauge& active = service.metrics().gauge("serve.conns.active");
+  const std::size_t max_connections =
+      options.max_connections == 0 ? 1 : options.max_connections;
+
   while (service.accepting() && !stop_requested()) {
     pollfd poll_fd = {listen_fd, POLLIN, 0};
     const int ready = ::poll(&poll_fd, 1, 200 /*ms*/);
@@ -140,11 +148,27 @@ int serve_socket(Service& service, const std::string& path,
     if (ready <= 0) continue;
     const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
     if (conn_fd < 0) continue;
+    if (connections.size() >= max_connections) {
+      // At the budget even after reaping: shed the connection with one
+      // named error line instead of growing the thread pool. The zombie
+      // list therefore never exceeds max_connections entries.
+      rejected.inc();
+      const std::string line =
+          error_response(Json(), WireError::kOverloaded,
+                         "connection limit reached") +
+          "\n";
+      send_all(conn_fd, line.data(), line.size());
+      ::close(conn_fd);
+      continue;
+    }
+    accepted.inc();
+    active.add(1);
     auto connection = std::make_unique<Connection>();
     connection->fd = conn_fd;
     Connection* raw = connection.get();
-    connection->thread = std::thread([&service, raw] {
+    connection->thread = std::thread([&service, raw, &active] {
       serve_connection(service, raw->fd);
+      active.add(-1);
       raw->finished.store(true);
     });
     connections.push_back(std::move(connection));
@@ -228,7 +252,8 @@ namespace msrs::serve {
 
 bool socket_transport_available() { return false; }
 
-int serve_socket(Service&, const std::string&, std::string* error) {
+int serve_socket(Service&, const std::string&, std::string* error,
+                 SocketOptions) {
   if (error) *error = "UNIX socket transport is unavailable on this platform";
   return 1;
 }

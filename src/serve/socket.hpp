@@ -19,12 +19,23 @@ namespace msrs::serve {
 /// True when this build carries the socket transport (POSIX only).
 bool socket_transport_available();
 
+/// Options of the socket server loop.
+struct SocketOptions {
+  /// Live-connection budget. At the budget, further accepts are answered
+  /// with one `overloaded` error line and closed immediately (counted as
+  /// `serve.conns.rejected`), so a connection flood cannot grow the
+  /// thread-per-connection pool without bound.
+  std::size_t max_connections = 256;
+};
+
 /// Binds `path` (unlinking any stale socket file first), accepts
 /// connections, and serves until a stop signal or a client `shutdown` op;
-/// then drains and removes the socket file. Returns the process exit code
-/// (0 = clean; 1 with `*error` filled on setup failure).
+/// then drains and removes the socket file. Accepted, rejected and active
+/// connections are counted in the service's metrics registry
+/// (`serve.conns.*`). Returns the process exit code (0 = clean; 1 with
+/// `*error` filled on setup failure).
 int serve_socket(Service& service, const std::string& path,
-                 std::string* error);
+                 std::string* error, SocketOptions options = {});
 
 /// Blocking line-oriented client of one serving connection.
 class SocketClient {

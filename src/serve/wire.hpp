@@ -48,6 +48,15 @@ enum class WireError {
   kShuttingDown,     ///< service no longer accepts requests
 };
 
+/// Every wire error code, in enum order — the telemetry layer pre-registers
+/// one counter per code so the `stats` error breakdown has a stable key set.
+inline constexpr WireError kAllWireErrors[] = {
+    WireError::kParseError,   WireError::kBadRequest,
+    WireError::kUnknownOp,    WireError::kBadSpec,
+    WireError::kBadInstance,  WireError::kOverloaded,
+    WireError::kVersionMismatch, WireError::kShuttingDown,
+};
+
 /// The stable wire string of an error code (e.g. "overloaded").
 std::string_view wire_error_name(WireError code);
 

@@ -1,17 +1,22 @@
 // Serving layer: wire protocol, ordered delivery, sharded service
 // semantics (determinism across shard counts, named errors, admission
-// rejection, graceful shutdown) and the stdio transport loop.
+// rejection, graceful shutdown), the stdio transport loop, and the
+// telemetry surface (stats breakdowns, trace spans, connection budget).
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/instance_io.hpp"
 #include "serve/serve.hpp"
+#include "serve/socket.hpp"
 #include "sim/workloads.hpp"
 
 namespace msrs::serve {
@@ -291,6 +296,205 @@ TEST(ServeStdio, ShutdownOpStopsTheLoop) {
       2);
   EXPECT_NE(output.find("\"op\":\"shutdown\""), std::string::npos);
   EXPECT_EQ(output.find("\"id\":3"), std::string::npos);
+}
+
+// ---------------- telemetry surface ----------------
+
+TEST(Telemetry, StatsOpCarriesBreakdownsAndLatencyDecomposition) {
+  Service service(small_service(2));
+  const std::string solve_line =
+      R"({"op":"solve","spec":"uniform:n=20,m=4,seed=3"})";
+  EXPECT_NE(service.handle(solve_line).find("\"ok\":true"),
+            std::string::npos);
+  EXPECT_NE(service.handle(solve_line).find("\"ok\":true"),
+            std::string::npos);  // cache hit
+  (void)service.handle(R"({"op":"solve","spec":"no_such_family:n=5"})");
+
+  const std::string line = service.handle(R"({"op":"stats"})");
+  const std::optional<Json> stats = json_parse(line);
+  ASSERT_TRUE(stats.has_value()) << line;
+
+  const Json* depths = stats->find("queue_depths");
+  ASSERT_NE(depths, nullptr);
+  ASSERT_TRUE(depths->is_array());
+  EXPECT_EQ(depths->items().size(), 2u);
+
+  const Json* per_shard = stats->find("shard_requests");
+  ASSERT_NE(per_shard, nullptr);
+  ASSERT_TRUE(per_shard->is_array());
+  double served = 0.0;
+  for (const Json& v : per_shard->items()) served += v.as_number();
+  EXPECT_EQ(served, 2.0);  // both solve requests, rejections excluded
+
+  // Every wire error code has a key; the bad_spec defect was counted.
+  const Json* errors_by_code = stats->find("errors_by_code");
+  ASSERT_NE(errors_by_code, nullptr);
+  for (const WireError code : kAllWireErrors)
+    EXPECT_NE(errors_by_code->find(std::string(wire_error_name(code))),
+              nullptr)
+        << wire_error_name(code);
+  EXPECT_EQ(errors_by_code->find("bad_spec")->as_number(), 1.0);
+
+  // Exactly one race ran (the repeat was a cache hit) and its winner is
+  // named in the breakdown.
+  const Json* solver_wins = stats->find("solver_wins");
+  ASSERT_NE(solver_wins, nullptr);
+  double wins = 0.0;
+  for (const auto& [name, value] : solver_wins->members())
+    wins += value.as_number();
+  EXPECT_EQ(wins, 1.0);
+
+  const Json* conns = stats->find("conns");
+  ASSERT_NE(conns, nullptr);
+  ASSERT_NE(conns->find("accepted"), nullptr);
+  ASSERT_NE(conns->find("active"), nullptr);
+  ASSERT_NE(conns->find("rejected"), nullptr);
+
+  // Latency decomposition: all five lifecycle stages, each with count and
+  // quantiles; the solve requests were measured.
+  const Json* latency = stats->find("latency");
+  ASSERT_NE(latency, nullptr);
+  for (const char* stage : {"admission", "queue", "solve", "write", "total"}) {
+    const Json* entry = latency->find(stage);
+    ASSERT_NE(entry, nullptr) << stage;
+    ASSERT_NE(entry->find("count"), nullptr) << stage;
+    EXPECT_EQ(entry->find("count")->as_number(), 2.0) << stage;
+    ASSERT_NE(entry->find("p50_us"), nullptr) << stage;
+    ASSERT_NE(entry->find("p95_us"), nullptr) << stage;
+    ASSERT_NE(entry->find("p99_us"), nullptr) << stage;
+    ASSERT_NE(entry->find("mean_us"), nullptr) << stage;
+  }
+}
+
+TEST(Telemetry, EveryErrorResponseIncrementsItsNamedCounter) {
+  Service service(small_service(1));
+  (void)service.handle("}{ not json");                       // parse_error
+  (void)service.handle("}{ not json");                       // parse_error
+  (void)service.handle(R"({"op":"fly"})");                   // unknown_op
+  (void)service.handle(R"({"op":"ping","wire":999})");       // mismatch
+  (void)service.handle(R"({"op":"solve","instance":"x"})");  // bad_instance
+
+  const std::optional<Json> stats =
+      json_parse(service.handle(R"({"op":"stats"})"));
+  ASSERT_TRUE(stats.has_value());
+  const Json* by_code = stats->find("errors_by_code");
+  ASSERT_NE(by_code, nullptr);
+  EXPECT_EQ(by_code->find("parse_error")->as_number(), 2.0);
+  EXPECT_EQ(by_code->find("unknown_op")->as_number(), 1.0);
+  EXPECT_EQ(by_code->find("wire_version_mismatch")->as_number(), 1.0);
+  EXPECT_EQ(by_code->find("bad_instance")->as_number(), 1.0);
+  EXPECT_EQ(by_code->find("overloaded")->as_number(), 0.0);
+  // The aggregate matches the sum of the per-code counters.
+  double sum = 0.0;
+  for (const auto& [name, value] : by_code->members())
+    sum += value.as_number();
+  EXPECT_EQ(stats->find("errors")->as_number(), sum);
+}
+
+TEST(Telemetry, TraceSinkEmitsValidSpansWithProvenance) {
+  const std::string path = ::testing::TempDir() + "msrs_serve_trace.jsonl";
+  {
+    ServiceOptions options = small_service(1);
+    options.trace.path = path;
+    options.trace.sample_every = 1;  // every request
+    options.trace.slow_ms = 0.0;     // quiet slow log under sanitizers
+    Service service(options);
+    const std::string solve_line =
+        R"({"op":"solve","spec":"uniform:n=20,m=4,seed=5"})";
+    (void)service.handle(solve_line);  // miss
+    (void)service.handle(solve_line);  // hit
+    (void)service.handle(R"({"op":"solve","spec":"no_such_family:n=5"})");
+    service.shutdown(std::chrono::seconds(30));
+  }
+  std::ifstream file(path);
+  ASSERT_TRUE(file.is_open());
+  std::string line;
+  int spans = 0;
+  bool saw_miss = false, saw_hit = false, saw_error = false;
+  while (std::getline(file, line)) {
+    const std::optional<Json> span = json_parse(line);
+    ASSERT_TRUE(span.has_value()) << line;
+    ++spans;
+    const Json* cache = span->find("cache");
+    const Json* error = span->find("error");
+    const Json* total = span->find("total_us");
+    ASSERT_NE(total, nullptr);
+    EXPECT_GE(total->as_number(), 0.0);
+    if (cache != nullptr && cache->as_string() == "miss") {
+      saw_miss = true;
+      // A miss span carries the winning solver's name.
+      ASSERT_NE(span->find("solver"), nullptr);
+      EXPECT_FALSE(span->find("solver")->as_string().empty());
+    }
+    if (cache != nullptr && cache->as_string() == "hit") saw_hit = true;
+    if (error != nullptr && error->as_string() == "bad_spec")
+      saw_error = true;
+  }
+  EXPECT_EQ(spans, 3);
+  EXPECT_TRUE(saw_miss);
+  EXPECT_TRUE(saw_hit);
+  EXPECT_TRUE(saw_error);
+  std::remove(path.c_str());
+}
+
+TEST(Telemetry, PrometheusPageExposesServiceSeries) {
+  Service service(small_service(1));
+  (void)service.handle(R"({"op":"solve","spec":"uniform:n=16,m=2,seed=1"})");
+  const std::string page = service.metrics_snapshot().prometheus();
+  EXPECT_NE(page.find("# TYPE msrs_serve_received counter"),
+            std::string::npos);
+  EXPECT_NE(page.find("msrs_serve_received 1"), std::string::npos);
+  EXPECT_NE(page.find("# TYPE msrs_serve_latency_total_us histogram"),
+            std::string::npos);
+  EXPECT_NE(page.find("msrs_serve_latency_total_us_count 1"),
+            std::string::npos);
+  EXPECT_NE(page.find("msrs_serve_queue_depth_0"), std::string::npos);
+}
+
+TEST(ServeSocket, ConnectionBudgetShedsExtraClients) {
+  if (!socket_transport_available())
+    GTEST_SKIP() << "no socket transport on this platform";
+  const std::string path = ::testing::TempDir() + "msrs_budget.sock";
+  ServiceOptions options = small_service(1);
+  Service service(options);
+  SocketOptions socket_options;
+  socket_options.max_connections = 1;
+  std::thread server([&service, &path, socket_options] {
+    std::string error;
+    EXPECT_EQ(serve_socket(service, path, &error, socket_options), 0)
+        << error;
+  });
+
+  SocketClient first;
+  std::string error;
+  bool connected = false;
+  for (int i = 0; i < 500 && !connected; ++i) {
+    connected = first.connect(path, &error);
+    if (!connected)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(connected) << error;
+  std::string line;
+  ASSERT_TRUE(first.send_line(R"({"id":1,"op":"ping"})"));
+  ASSERT_TRUE(first.recv_line(&line));
+  EXPECT_NE(line.find("\"ok\":true"), std::string::npos);
+
+  // Over budget: the second client gets one named overloaded line, then
+  // the connection closes.
+  SocketClient second;
+  ASSERT_TRUE(second.connect(path, &error)) << error;
+  ASSERT_TRUE(second.recv_line(&line));
+  EXPECT_NE(line.find("\"error\":\"overloaded\""), std::string::npos);
+  EXPECT_FALSE(second.recv_line(&line));  // EOF
+
+  ASSERT_TRUE(first.send_line(R"({"op":"shutdown"})"));
+  ASSERT_TRUE(first.recv_line(&line));
+  server.join();
+
+  const obs::MetricsSnapshot snapshot = service.metrics_snapshot();
+  EXPECT_EQ(snapshot.counter_or("serve.conns.accepted"), 1u);
+  EXPECT_EQ(snapshot.counter_or("serve.conns.rejected"), 1u);
+  EXPECT_EQ(snapshot.gauge_or("serve.conns.active"), 0);
 }
 
 }  // namespace

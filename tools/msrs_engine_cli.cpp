@@ -72,6 +72,14 @@ struct Options {
   bool payload_spec = false; // drive: send spec strings, not instance text
   std::string emit;          // drive: write request JSONL instead
   bool json_report = false;  // drive: machine-readable report
+  // serve telemetry
+  std::string trace;              // serve: JSONL span sink ("-" = stderr)
+  std::size_t trace_sample = 64;  // serve: emit every Nth span
+  double slow_ms = 1000.0;        // serve: slow-request log threshold
+  std::string metrics_dump;       // serve: Prometheus page at exit
+                                  // ("" = off, "-" = stderr)
+  std::size_t max_conns = 256;    // serve: socket connection budget
+  double stats_interval = 0.0;    // drive: mid-run stats poll period, s
 };
 
 std::optional<std::string> arg_value(const char* arg, const char* name) {
@@ -127,7 +135,10 @@ void print_usage(std::FILE* to) {
                "      shows the full grammar (see docs/benchmarking.md).\n"
                "  serve [--socket=PATH] [--shards=N] [--queue-depth=D]"
                " [--serve-cache=K]\n"
-               "        [--budget=MS] [--reject] [--solvers=a,b]\n"
+               "        [--budget=MS] [--reject] [--solvers=a,b]"
+               " [--max-conns=C]\n"
+               "        [--trace=FILE] [--trace-sample=N] [--slow-ms=MS]"
+               " [--metrics-dump[=FILE]]\n"
                "      Long-running scheduling service: JSONL requests on"
                " stdin (default) or a\n"
                "      UNIX socket; one response line per request, in"
@@ -136,16 +147,31 @@ void print_usage(std::FILE* to) {
                " blocking; SIGINT/SIGTERM\n"
                "      and the wire 'shutdown' op drain gracefully (see"
                " docs/architecture.md).\n"
+               "      --trace samples every Nth request as a JSONL"
+               " lifecycle span; requests\n"
+               "      slower than --slow-ms always log to stderr."
+               " --metrics-dump prints a\n"
+               "      Prometheus-style metrics page at exit (see"
+               " docs/observability.md).\n"
                "  drive SPEC [SPEC ...] --socket=PATH [--count=K]"
                " [--requests=N] [--duration=S]\n"
                "        [--qps=Q] [--conns=C] [--payload=instance|spec]"
                " [--emit=FILE] [--json]\n"
+               "        [--stats-interval=S]\n"
                "      Replay the generated corpus against a running"
                " service; reports p50/p95/p99\n"
                "      latency, throughput and cache hit rate. --qps paces"
                " an open loop (default\n"
                "      closed loop); --emit writes the request JSONL for a"
-               " stdio pipeline.\n"
+               " stdio pipeline;\n"
+               "      --stats-interval polls `stats` mid-run and prints a"
+               " live latency\n"
+               "      decomposition table to stderr.\n"
+               "  stats --socket=PATH [--json]\n"
+               "      One-shot `stats` op against a running service:"
+               " counters, queue depths,\n"
+               "      error/solver breakdowns and the per-stage latency"
+               " decomposition.\n"
                "  version\n"
                "      Schema versions of the instance, bench and wire"
                " formats.\n"
@@ -255,6 +281,20 @@ bool parse_flags(int argc, char** argv, int begin, Options* options) {
         else if (*v22 == "instance") options->payload_spec = false;
         else return false;
       }
+      else if (auto v23 = arg_value(argv[i], "trace"))
+        options->trace = *v23;
+      else if (auto v24 = arg_value(argv[i], "trace-sample"))
+        options->trace_sample = std::stoul(*v24);
+      else if (auto v25 = arg_value(argv[i], "slow-ms"))
+        options->slow_ms = std::stod(*v25);
+      else if (auto v26 = arg_value(argv[i], "metrics-dump"))
+        options->metrics_dump = *v26;
+      else if (std::strcmp(argv[i], "--metrics-dump") == 0)
+        options->metrics_dump = "-";
+      else if (auto v27 = arg_value(argv[i], "max-conns"))
+        options->max_conns = std::stoul(*v27);
+      else if (auto v28 = arg_value(argv[i], "stats-interval"))
+        options->stats_interval = std::stod(*v28);
       else if (std::strcmp(argv[i], "--reject") == 0)
         options->reject = true;
       else if (std::strcmp(argv[i], "--json") == 0)
@@ -521,6 +561,23 @@ int run_version() {
   return 0;
 }
 
+// Writes the end-of-run Prometheus-style metrics page of --metrics-dump
+// ("-" = stderr, otherwise a file path).
+void dump_metrics(serve::Service& service, const std::string& target) {
+  const std::string page = service.metrics_snapshot().prometheus();
+  if (target == "-") {
+    std::fprintf(stderr, "%s", page.c_str());
+    return;
+  }
+  std::ofstream file(target);
+  if (!file) {
+    std::fprintf(stderr, "serve: cannot write metrics dump %s\n",
+                 target.c_str());
+    return;
+  }
+  file << page;
+}
+
 int run_serve(const Options& options) {
   if (!check_solvers(options)) return 2;
   serve::ServiceOptions service_options;
@@ -530,17 +587,55 @@ int run_serve(const Options& options) {
   service_options.reject_when_full = options.reject;
   service_options.budget_ms = options.budget_ms;
   service_options.solvers = options.solvers;
+  service_options.trace.path = options.trace;
+  service_options.trace.sample_every = options.trace_sample;
+  service_options.trace.slow_ms = options.slow_ms;
   serve::Service service(service_options);
   serve::install_stop_signals();
-  if (options.socket.empty())
-    return serve::serve_stdio(service, std::cin, std::cout);
+  if (options.socket.empty()) {
+    const int code = serve::serve_stdio(service, std::cin, std::cout);
+    if (!options.metrics_dump.empty())
+      dump_metrics(service, options.metrics_dump);
+    return code;
+  }
   std::fprintf(stderr, "serving on %s (%u shards, depth %zu, cache %zu)\n",
                options.socket.c_str(), service.shards(),
                options.queue_depth, options.serve_cache);
   std::string error;
-  const int code = serve::serve_socket(service, options.socket, &error);
+  serve::SocketOptions socket_options;
+  socket_options.max_connections = options.max_conns;
+  const int code =
+      serve::serve_socket(service, options.socket, &error, socket_options);
   if (code != 0) std::fprintf(stderr, "serve: %s\n", error.c_str());
+  if (!options.metrics_dump.empty())
+    dump_metrics(service, options.metrics_dump);
   return code;
+}
+
+// One-shot `stats` op against a running socket service; prints the
+// pretty-printed stats document (queue depths, error/solver breakdowns,
+// latency decomposition).
+int run_stats(const Options& options) {
+  if (options.socket.empty()) {
+    std::fprintf(stderr, "stats: needs --socket=PATH\n");
+    return 2;
+  }
+  serve::SocketClient client;
+  std::string error;
+  if (!client.connect(options.socket, &error)) {
+    std::fprintf(stderr, "stats: %s\n", error.c_str());
+    return 1;
+  }
+  std::string line;
+  if (!client.send_line("{\"op\":\"stats\"}") || !client.recv_line(&line)) {
+    std::fprintf(stderr, "stats: service closed the connection\n");
+    return 1;
+  }
+  if (const std::optional<Json> document = json_parse(line))
+    std::printf("%s\n", document->str(options.json_report ? 0 : 2).c_str());
+  else
+    std::printf("%s\n", line.c_str());
+  return 0;
 }
 
 int run_drive(const Options& options) {
@@ -553,6 +648,7 @@ int run_drive(const Options& options) {
   drive_options.qps = options.qps;
   drive_options.conns = options.conns;
   drive_options.payload_spec = options.payload_spec;
+  drive_options.stats_interval_s = options.stats_interval;
   drive_options.emit = options.emit;
   std::string error;
   const auto report = serve::drive(drive_options, &error);
@@ -602,6 +698,7 @@ int main(int argc, char** argv) {
   if (command == "sweep") return run_sweep(options);
   if (command == "serve") return run_serve(options);
   if (command == "drive") return run_drive(options);
+  if (command == "stats") return run_stats(options);
   if (command == "version") return run_version();
   if (command == "solve") return run_solve(options);
   std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
