@@ -11,6 +11,7 @@
 #include <future>
 #include <map>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -25,7 +26,9 @@
 #include "core/validate.hpp"
 #include "engine/engine.hpp"
 #include "obs/obs.hpp"
+#include "serve/driver.hpp"
 #include "serve/service.hpp"
+#include "serve/tcp.hpp"
 #include "ext/completion_time.hpp"
 #include "multires/mschedule.hpp"
 #include "multires/reduction.hpp"
@@ -801,6 +804,61 @@ std::vector<BenchRow> e13_serve(const Runner& runner) {
                               static_cast<double>(lines.size()));
     row.counters.emplace_back("resp_bytes", static_cast<double>(bytes));
     rows.push_back(std::move(row));
+  }
+  if (serve::tcp_transport_available()) {
+    // Fan-in path: the same steady-state traffic, but through the TCP
+    // event loop — 64 concurrent closed-loop connections per measured op
+    // (connect, version handshake, request/response over the wire, drain).
+    // One op = one full drive run, so the row prices the whole transport:
+    // accept, framing, shard fan-out, ordered write-back.
+    serve::ServiceOptions options;
+    options.shards = 4;
+    options.queue_depth = 1024;
+    options.cache_capacity = 1 << 14;
+    serve::Service service(options);
+    std::promise<std::uint16_t> port_promise;
+    std::future<std::uint16_t> port = port_promise.get_future();
+    serve::TcpOptions tcp_options;
+    tcp_options.max_connections = 256;
+    tcp_options.on_listen = [&port_promise](std::uint16_t p) {
+      port_promise.set_value(p);
+    };
+    std::thread server([&service, &tcp_options] {
+      std::string error;
+      (void)serve::serve_tcp(service, "127.0.0.1:0", &error, tcp_options);
+    });
+    serve::DriveOptions drive_options;
+    drive_options.tcp = "127.0.0.1:" + std::to_string(port.get());
+    drive_options.specs = {"uniform:n=32,m=4,seed=1"};
+    drive_options.seeds_per_spec = 64;  // the corpus of the steady rows
+    drive_options.requests = 512;
+    drive_options.conns = 64;
+    std::string error;
+    (void)serve::drive(drive_options, &error);  // prewarm the cache
+    std::size_t ok = 0;
+    BenchRow row;
+    row.timing = runner.measure([&] {
+      const auto report = serve::drive(drive_options, &error);
+      ok = report ? report->ok : 0;
+    });
+    row.name = "tcp_fanin/c=64";
+    row.solver = "portfolio";
+    row.jobs = spec.jobs;
+    row.machines = spec.machines;
+    row.counters.emplace_back("requests",
+                              static_cast<double>(drive_options.requests));
+    row.counters.emplace_back("conns",
+                              static_cast<double>(drive_options.conns));
+    row.counters.emplace_back("ok", static_cast<double>(ok));
+    rows.push_back(std::move(row));
+    // End the event loop with the protocol's own shutdown op.
+    serve::TcpClient closer;
+    if (closer.connect(drive_options.tcp, &error)) {
+      (void)closer.send_line("{\"op\":\"shutdown\"}");
+      std::string line;
+      (void)closer.recv_line(&line);
+    }
+    server.join();
   }
   return rows;
 }

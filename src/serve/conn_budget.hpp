@@ -1,0 +1,84 @@
+/// \file
+/// ConnectionBudget: the one live-connection accounting object shared by
+/// every transport (UNIX-socket thread-per-connection, TCP event loop).
+///
+/// A transport calls try_acquire() at accept time and release() the moment
+/// a connection ends — both against a single atomic, so the accept path
+/// and the teardown path can never disagree about how many slots are in
+/// use (the thread-per-connection transport used to race its reaper's
+/// zombie list against the accept check on abrupt client disconnect;
+/// tests/test_tcp.cpp pins the fix). Acquire/release also keep the
+/// transport's accepted/rejected counters and active gauge in the metrics
+/// registry consistent with the decision actually taken.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "obs/metrics.hpp"
+
+namespace msrs::serve {
+
+/// Thread-safe live-connection budget with metric side effects.
+class ConnectionBudget {
+ public:
+  /// A budget of `limit` live connections (0 is clamped to 1), wired to
+  /// the transport's counters: `accepted` and `rejected` count
+  /// try_acquire() outcomes, `active` mirrors the live count. The metric
+  /// objects must outlive the budget.
+  ConnectionBudget(std::size_t limit, obs::Counter& accepted,
+                   obs::Counter& rejected, obs::Gauge& active)
+      : limit_(limit == 0 ? 1 : limit),
+        accepted_(&accepted),
+        rejected_(&rejected),
+        active_gauge_(&active) {}
+
+  ConnectionBudget(const ConnectionBudget&) = delete;  ///< not copyable
+  ConnectionBudget& operator=(const ConnectionBudget&) =
+      delete;  ///< not copyable
+
+  /// Claims one slot. True (and `accepted`/`active` updated) when under
+  /// budget; false (and `rejected` counted) at the budget — the caller
+  /// sheds the connection with a named `overloaded` line.
+  bool try_acquire() {
+    std::size_t current = active_.load(std::memory_order_relaxed);
+    do {
+      if (current >= limit_) {
+        rejected_->inc();
+        return false;
+      }
+    } while (!active_.compare_exchange_weak(current, current + 1,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed));
+    accepted_->inc();
+    active_gauge_->add(1);
+    return true;
+  }
+
+  /// Returns one slot. Call exactly once per successful try_acquire(),
+  /// as soon as the connection is finished — the slot (budget first, then
+  /// gauge) is free for the accept path before any teardown bookkeeping,
+  /// so `active() == 0` observed through the gauge implies a new client
+  /// will be admitted.
+  void release() {
+    active_.fetch_sub(1, std::memory_order_acq_rel);
+    active_gauge_->add(-1);
+  }
+
+  /// Live connections.
+  std::size_t active() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  /// The configured limit.
+  std::size_t limit() const { return limit_; }
+
+ private:
+  std::size_t limit_;
+  std::atomic<std::size_t> active_{0};
+  obs::Counter* accepted_;
+  obs::Counter* rejected_;
+  obs::Gauge* active_gauge_;
+};
+
+}  // namespace msrs::serve

@@ -11,6 +11,7 @@
 #include "core/instance_io.hpp"
 #include "obs/metrics.hpp"
 #include "serve/socket.hpp"
+#include "serve/tcp.hpp"
 #include "serve/wire.hpp"
 #include "sim/workloads.hpp"
 #include "util/table.hpp"
@@ -67,7 +68,7 @@ std::string make_line(std::size_t id, const std::string& payload) {
 }
 
 // Sends one `stats` op and parses the response document.
-std::optional<Json> fetch_stats(SocketClient& client) {
+std::optional<Json> fetch_stats(LineClient& client) {
   if (!client.send_line("{\"op\":\"stats\"}")) return std::nullopt;
   std::string line;
   if (!client.recv_line(&line)) return std::nullopt;
@@ -75,7 +76,7 @@ std::optional<Json> fetch_stats(SocketClient& client) {
 }
 
 // Reads `cache_hits`/`cache_misses` out of a `stats` response.
-bool cache_counters(SocketClient& client, double* hits, double* misses) {
+bool cache_counters(LineClient& client, double* hits, double* misses) {
   const std::optional<Json> document = fetch_stats(client);
   if (!document) return false;
   const Json* h = document->find("cache_hits");
@@ -205,15 +206,18 @@ std::optional<DriveReport> drive(const DriveOptions& options,
     return report;
   }
 
-  if (options.socket.empty()) {
-    if (error) *error = "drive needs --socket=PATH (or --emit=FILE)";
+  if (options.socket.empty() && options.tcp.empty()) {
+    if (error)
+      *error = "drive needs --socket=PATH or --tcp=HOST:PORT (or --emit=FILE)";
     return std::nullopt;
   }
 
   // Version handshake on a dedicated connection (also used for the
   // before/after cache counters).
-  SocketClient control;
-  if (!control.connect(options.socket, error)) return std::nullopt;
+  std::unique_ptr<LineClient> control_client =
+      connect_line_client(options.socket, options.tcp, error);
+  if (!control_client) return std::nullopt;
+  LineClient& control = *control_client;
   {
     Json hello = Json::object();
     hello.set("op", "version");
@@ -259,10 +263,10 @@ std::optional<DriveReport> drive(const DriveOptions& options,
       cache_counters(control, &hits_before, &misses_before);
 
   const unsigned conns = options.conns == 0 ? 1 : options.conns;
-  std::vector<std::unique_ptr<SocketClient>> clients;
+  std::vector<std::unique_ptr<LineClient>> clients;
   for (unsigned c = 0; c < conns; ++c) {
-    auto client = std::make_unique<SocketClient>();
-    if (!client->connect(options.socket, error)) return std::nullopt;
+    auto client = connect_line_client(options.socket, options.tcp, error);
+    if (!client) return std::nullopt;
     clients.push_back(std::move(client));
   }
 
@@ -310,7 +314,7 @@ std::optional<DriveReport> drive(const DriveOptions& options,
   std::vector<std::thread> workers;
   for (unsigned c = 0; c < conns; ++c) {
     workers.emplace_back([&, c] {
-      SocketClient& client = *clients[c];
+      LineClient& client = *clients[c];
       std::string response;
       for (;;) {
         const std::size_t i = next.fetch_add(1);

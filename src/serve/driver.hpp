@@ -28,6 +28,9 @@ namespace msrs::serve {
 /// Configuration of one drive run.
 struct DriveOptions {
   std::string socket;  ///< UNIX socket path of the target service
+  /// TCP target of the service ("HOST:PORT"); takes precedence over
+  /// `socket` — the fan-in path of bench case E13 and the CI TCP smoke.
+  std::string tcp;
   std::vector<std::string> specs;  ///< generator specs -> replay corpus
   int seeds_per_spec = 0;   ///< like `generate --count`: seeds 1..K per
                             ///< spec (0 = each spec's own seed)

@@ -1,0 +1,214 @@
+#include "serve/event_loop.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <string_view>
+
+namespace msrs::serve {
+
+// ---------------- TimerWheel ----------------
+
+TimerWheel::TimerWheel(std::uint64_t tick_ms, std::size_t slots)
+    : tick_ms_(tick_ms == 0 ? 1 : tick_ms),
+      slots_(std::max<std::size_t>(slots, 2)) {}
+
+void TimerWheel::arm(int key, std::uint64_t deadline_ms) {
+  Entry& entry = entries_[key];
+  entry.deadline_ms = deadline_ms;
+  if (!entry.parked) {
+    slots_[slot_of(deadline_ms)].push_back(key);
+    entry.parked = true;
+  }
+}
+
+void TimerWheel::cancel(int key) { entries_.erase(key); }
+
+void TimerWheel::advance(std::uint64_t now_ms, std::vector<int>* expired) {
+  if (now_ms < cursor_ms_) return;
+  std::uint64_t from_tick = cursor_ms_ / tick_ms_;
+  const std::uint64_t to_tick = now_ms / tick_ms_;
+  // A long sleep laps the wheel at most once: every slot is visited.
+  if (to_tick - from_tick >= slots_.size())
+    from_tick = to_tick - slots_.size() + 1;
+  std::vector<int> bucket;
+  for (std::uint64_t tick = from_tick; tick <= to_tick; ++tick) {
+    bucket.clear();
+    bucket.swap(slots_[static_cast<std::size_t>(tick % slots_.size())]);
+    for (const int key : bucket) {
+      const auto it = entries_.find(key);
+      if (it == entries_.end()) continue;  // cancelled: stale reference
+      if (it->second.deadline_ms <= now_ms) {
+        entries_.erase(it);
+        expired->push_back(key);
+      } else {
+        // Re-armed past this slot: park it where it now belongs. A
+        // deadline inside the tick currently being processed re-parks
+        // into the same (now empty) bucket and is caught next advance.
+        slots_[slot_of(it->second.deadline_ms)].push_back(key);
+      }
+    }
+  }
+  cursor_ms_ = now_ms;
+}
+
+// ---------------- LineFramer ----------------
+
+void LineFramer::append(const char* data, std::size_t size) {
+  // Compact once the consumed prefix dominates, so the buffer does not
+  // creep toward max_line_bytes through O(n^2) erases or dead space.
+  if (begin_ > 4096 && begin_ > buffer_.size() / 2) {
+    buffer_.erase(0, begin_);
+    scanned_ -= begin_;
+    begin_ = 0;
+  }
+  buffer_.append(data, size);
+  highwater_ = std::max(highwater_, buffer_.size() - begin_);
+  // Track the unterminated tail incrementally (only the appended chunk is
+  // scanned): once it exceeds the bound the connection is past saving,
+  // even if a newline completes the frame later.
+  const std::size_t last_nl = std::string_view(data, size).rfind('\n');
+  if (last_nl == std::string_view::npos)
+    tail_len_ += size;
+  else
+    tail_len_ = size - last_nl - 1;
+  if (tail_len_ > max_line_bytes_) overflowed_ = true;
+}
+
+bool LineFramer::next_line(std::string* line) {
+  const std::size_t nl = buffer_.find('\n', scanned_);
+  if (nl == std::string::npos) {
+    scanned_ = buffer_.size();
+    return false;
+  }
+  line->assign(buffer_, begin_, nl - begin_);
+  // A complete frame over the bound latches too — frames that arrive
+  // whole in one read would otherwise slip past the tail accounting.
+  if (line->size() > max_line_bytes_) overflowed_ = true;
+  begin_ = nl + 1;
+  scanned_ = begin_;
+  return true;
+}
+
+std::string LineFramer::take_remainder() {
+  std::string tail = buffer_.substr(begin_);
+  buffer_.clear();
+  begin_ = 0;
+  scanned_ = 0;
+  tail_len_ = 0;
+  return tail;
+}
+
+}  // namespace msrs::serve
+
+// ---------------- platform pieces (Linux epoll + eventfd) ----------------
+
+#if defined(__linux__)
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+namespace msrs::serve {
+namespace {
+
+class EpollPoller final : public Poller {
+ public:
+  explicit EpollPoller(int fd) : epoll_fd_(fd) {}
+  ~EpollPoller() override { ::close(epoll_fd_); }
+
+  bool add(int fd, bool want_read, bool want_write) override {
+    epoll_event event = make_event(fd, want_read, want_write);
+    return ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) == 0;
+  }
+
+  bool modify(int fd, bool want_read, bool want_write) override {
+    epoll_event event = make_event(fd, want_read, want_write);
+    return ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) == 0;
+  }
+
+  bool remove(int fd) override {
+    return ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) == 0 ||
+           errno == ENOENT || errno == EBADF;
+  }
+
+  int wait(std::vector<Event>* events, int timeout_ms) override {
+    epoll_event ready[64];
+    const int n = ::epoll_wait(epoll_fd_, ready, 64, timeout_ms);
+    if (n <= 0) return n;  // 0 = timeout; -1 with EINTR = interrupted sleep
+    for (int i = 0; i < n; ++i) {
+      Event event;
+      event.fd = ready[i].data.fd;
+      event.readable = (ready[i].events & (EPOLLIN | EPOLLHUP)) != 0;
+      event.writable = (ready[i].events & EPOLLOUT) != 0;
+      event.error = (ready[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      events->push_back(event);
+    }
+    return n;
+  }
+
+ private:
+  static epoll_event make_event(int fd, bool want_read, bool want_write) {
+    epoll_event event = {};
+    event.data.fd = fd;
+    if (want_read) event.events |= EPOLLIN;
+    if (want_write) event.events |= EPOLLOUT;
+    return event;  // level-triggered: no EPOLLET
+  }
+
+  int epoll_fd_;
+};
+
+}  // namespace
+
+bool poller_available() { return true; }
+
+std::unique_ptr<Poller> make_poller(std::string* error) {
+  const int fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (fd < 0) {
+    if (error) *error = std::string("epoll_create1: ") + std::strerror(errno);
+    return nullptr;
+  }
+  return std::make_unique<EpollPoller>(fd);
+}
+
+WakeupFd::WakeupFd() : fd_(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)) {}
+
+WakeupFd::~WakeupFd() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void WakeupFd::signal() {
+  if (fd_ < 0) return;
+  const std::uint64_t one = 1;
+  // A full eventfd counter already guarantees a pending wakeup.
+  [[maybe_unused]] const ssize_t n = ::write(fd_, &one, sizeof one);
+}
+
+void WakeupFd::drain() {
+  if (fd_ < 0) return;
+  std::uint64_t count = 0;
+  [[maybe_unused]] const ssize_t n = ::read(fd_, &count, sizeof count);
+}
+
+}  // namespace msrs::serve
+
+#else  // no epoll: the TCP transport reports itself unavailable.
+
+namespace msrs::serve {
+
+bool poller_available() { return false; }
+
+std::unique_ptr<Poller> make_poller(std::string* error) {
+  if (error) *error = "no event-loop poller on this platform";
+  return nullptr;
+}
+
+WakeupFd::WakeupFd() = default;
+WakeupFd::~WakeupFd() = default;
+void WakeupFd::signal() {}
+void WakeupFd::drain() {}
+
+}  // namespace msrs::serve
+
+#endif

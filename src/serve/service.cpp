@@ -78,6 +78,18 @@ std::string stats_response(const Json& id, const ServiceStats& stats,
   conns.set("active", Json(snapshot.gauge_or("serve.conns.active")));
   response.set("conns", std::move(conns));
 
+  Json tcp = Json::object();
+  tcp.set("accepted", count_json(snapshot.counter_or("serve.tcp.accepted")));
+  tcp.set("shed", count_json(snapshot.counter_or("serve.tcp.shed")));
+  tcp.set("idle_reaped",
+          count_json(snapshot.counter_or("serve.tcp.idle_reaped")));
+  tcp.set("active", Json(snapshot.gauge_or("serve.tcp.active")));
+  tcp.set("read_buf_highwater",
+          Json(snapshot.gauge_or("serve.tcp.read_buf_highwater")));
+  tcp.set("write_buf_highwater",
+          Json(snapshot.gauge_or("serve.tcp.write_buf_highwater")));
+  response.set("tcp", std::move(tcp));
+
   Json latency = Json::object();
   for (const char* stage : kStageNames) {
     const obs::Histogram::Snapshot* h =
@@ -119,6 +131,12 @@ Service::Service(ServiceOptions options,
   metrics_.counter("serve.conns.accepted");
   metrics_.counter("serve.conns.rejected");
   metrics_.gauge("serve.conns.active");
+  metrics_.counter("serve.tcp.accepted");
+  metrics_.counter("serve.tcp.shed");
+  metrics_.counter("serve.tcp.idle_reaped");
+  metrics_.gauge("serve.tcp.active");
+  metrics_.gauge("serve.tcp.read_buf_highwater");
+  metrics_.gauge("serve.tcp.write_buf_highwater");
 
   const unsigned shard_count = pool_.size();
   engine::PortfolioOptions portfolio;

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "serve/conn_budget.hpp"
 #include "serve/transport.hpp"
 
 namespace msrs::serve {
@@ -133,12 +134,15 @@ int serve_socket(Service& service, const std::string& path,
   };
 
   // Connection accounting lives in the service's registry so one `stats`
-  // snapshot covers transport and service alike.
-  obs::Counter& accepted = service.metrics().counter("serve.conns.accepted");
-  obs::Counter& rejected = service.metrics().counter("serve.conns.rejected");
-  obs::Gauge& active = service.metrics().gauge("serve.conns.active");
-  const std::size_t max_connections =
-      options.max_connections == 0 ? 1 : options.max_connections;
+  // snapshot covers transport and service alike. The shared budget — not
+  // the zombie list — gates admission: a slot frees the instant its
+  // connection finishes, never a reap-tick later, and the accept check can
+  // no longer race the teardown path on abrupt client disconnect (the
+  // zombie list used to be the counter, and it only shrank on reap).
+  ConnectionBudget budget(options.max_connections,
+                          service.metrics().counter("serve.conns.accepted"),
+                          service.metrics().counter("serve.conns.rejected"),
+                          service.metrics().gauge("serve.conns.active"));
 
   while (service.accepting() && !stop_requested()) {
     pollfd poll_fd = {listen_fd, POLLIN, 0};
@@ -148,11 +152,9 @@ int serve_socket(Service& service, const std::string& path,
     if (ready <= 0) continue;
     const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
     if (conn_fd < 0) continue;
-    if (connections.size() >= max_connections) {
-      // At the budget even after reaping: shed the connection with one
-      // named error line instead of growing the thread pool. The zombie
-      // list therefore never exceeds max_connections entries.
-      rejected.inc();
+    if (!budget.try_acquire()) {
+      // At the budget: shed the connection with one named error line
+      // instead of growing the thread pool.
       const std::string line =
           error_response(Json(), WireError::kOverloaded,
                          "connection limit reached") +
@@ -161,14 +163,16 @@ int serve_socket(Service& service, const std::string& path,
       ::close(conn_fd);
       continue;
     }
-    accepted.inc();
-    active.add(1);
     auto connection = std::make_unique<Connection>();
     connection->fd = conn_fd;
     Connection* raw = connection.get();
-    connection->thread = std::thread([&service, raw, &active] {
+    connection->thread = std::thread([&service, raw, &budget] {
       serve_connection(service, raw->fd);
-      active.add(-1);
+      // Slot back before the zombie flag: a replacement client is
+      // admitted the moment this connection is done, not a reap-tick
+      // later (tests/test_tcp.cpp pins this with an abrupt-disconnect
+      // regression test).
+      budget.release();
       raw->finished.store(true);
     });
     connections.push_back(std::move(connection));

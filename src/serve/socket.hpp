@@ -37,13 +37,33 @@ struct SocketOptions {
 int serve_socket(Service& service, const std::string& path,
                  std::string* error, SocketOptions options = {});
 
+/// Transport-agnostic face of a blocking line client: one JSONL stream,
+/// one response line per request line. The load driver and the `stats`
+/// subcommand program against this interface so they work unchanged over
+/// the UNIX-socket and TCP transports (connect_line_client in
+/// serve/tcp.hpp picks the implementation from the target given).
+class LineClient {
+ public:
+  virtual ~LineClient() = default;
+
+  /// Sends one request line (newline appended). False on a broken pipe.
+  virtual bool send_line(const std::string& line) = 0;
+
+  /// Receives the next response line (newline stripped); false on EOF or
+  /// a read error.
+  virtual bool recv_line(std::string* line) = 0;
+
+  /// Closes the connection (idempotent).
+  virtual void close() = 0;
+};
+
 /// Blocking line-oriented client of one serving connection.
-class SocketClient {
+class SocketClient : public LineClient {
  public:
   /// An unconnected client.
   SocketClient() = default;
   /// Closes the connection if still open.
-  ~SocketClient();
+  ~SocketClient() override;
 
   SocketClient(const SocketClient&) = delete;             ///< not copyable
   SocketClient& operator=(const SocketClient&) = delete;  ///< not copyable
@@ -52,14 +72,14 @@ class SocketClient {
   bool connect(const std::string& path, std::string* error);
 
   /// Sends one request line (newline appended). False on a broken pipe.
-  bool send_line(const std::string& line);
+  bool send_line(const std::string& line) override;
 
   /// Receives the next response line (newline stripped); false on EOF or
   /// a read error.
-  bool recv_line(std::string* line);
+  bool recv_line(std::string* line) override;
 
   /// Closes the connection (idempotent).
-  void close();
+  void close() override;
 
  private:
   int fd_ = -1;

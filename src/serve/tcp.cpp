@@ -1,0 +1,694 @@
+#include "serve/tcp.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "serve/event_loop.hpp"
+#include "serve/transport.hpp"
+
+namespace msrs::serve {
+
+bool tcp_transport_available() { return poller_available(); }
+
+bool parse_host_port(const std::string& target, std::string* host,
+                     std::uint16_t* port, std::string* error) {
+  const std::size_t colon = target.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == target.size()) {
+    if (error) *error = "expected HOST:PORT, got: " + target;
+    return false;
+  }
+  unsigned long value = 0;
+  for (std::size_t i = colon + 1; i < target.size(); ++i) {
+    const char c = target[i];
+    if (c < '0' || c > '9' || value > 65535) {
+      if (error) *error = "bad port in target: " + target;
+      return false;
+    }
+    value = value * 10 + static_cast<unsigned long>(c - '0');
+  }
+  if (value > 65535) {
+    if (error) *error = "bad port in target: " + target;
+    return false;
+  }
+  if (host) *host = target.substr(0, colon);
+  if (port) *port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+std::unique_ptr<LineClient> connect_line_client(const std::string& unix_path,
+                                                const std::string& tcp_target,
+                                                std::string* error) {
+  if (!tcp_target.empty()) {
+    auto client = std::make_unique<TcpClient>();
+    if (!client->connect(tcp_target, error)) return nullptr;
+    return client;
+  }
+  if (!unix_path.empty()) {
+    auto client = std::make_unique<SocketClient>();
+    if (!client->connect(unix_path, error)) return nullptr;
+    return client;
+  }
+  if (error) *error = "no target: need a UNIX socket path or HOST:PORT";
+  return nullptr;
+}
+
+}  // namespace msrs::serve
+
+#if !defined(_WIN32)
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace msrs::serve {
+namespace {
+
+// Writes the whole buffer over a blocking socket, retrying on
+// EINTR/partial writes. MSG_NOSIGNAL turns a dead peer into an error
+// return instead of SIGPIPE.
+bool send_all_blocking(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t sent = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += sent;
+    size -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------- TcpClient ----------------
+
+TcpClient::~TcpClient() { close(); }
+
+bool TcpClient::connect(const std::string& host_port, std::string* error) {
+  close();
+  std::string host;
+  std::uint16_t port = 0;
+  if (!parse_host_port(host_port, &host, &port, error)) return false;
+  addrinfo hints = {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  addrinfo* results = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(),
+                               &hints, &results);
+  if (rc != 0) {
+    if (error) *error = "resolve " + host + ": " + ::gai_strerror(rc);
+    return false;
+  }
+  for (const addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      fd_ = fd;
+      break;
+    }
+    ::close(fd);
+  }
+  ::freeaddrinfo(results);
+  if (fd_ < 0) {
+    if (error) *error = "connect " + host_port + ": " + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;  // latency over batching: requests are single lines
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return true;
+}
+
+bool TcpClient::send_line(const std::string& line) {
+  if (fd_ < 0) return false;
+  std::string framed = line;
+  framed.push_back('\n');
+  return send_all_blocking(fd_, framed.data(), framed.size());
+}
+
+bool TcpClient::send_bytes(const char* data, std::size_t size) {
+  if (fd_ < 0) return false;
+  return send_all_blocking(fd_, data, size);
+}
+
+void TcpClient::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+bool TcpClient::recv_line(std::string* line) {
+  if (fd_ < 0) return false;
+  char chunk[4096];
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n', scanned_);
+    if (nl != std::string::npos) {
+      line->assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      scanned_ = 0;
+      return true;
+    }
+    scanned_ = buffer_.size();
+    const ssize_t got = ::read(fd_, chunk, sizeof chunk);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) return false;
+    buffer_.append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+void TcpClient::abort_connection() {
+  if (fd_ < 0) return;
+  // SO_LINGER with a zero timeout makes close() send RST and discard any
+  // unsent/unread data — the wire signature of a client killed mid-flight.
+  linger lg = {};
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+  close();
+}
+
+void TcpClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+  scanned_ = 0;
+}
+
+}  // namespace msrs::serve
+
+#else  // _WIN32: no TCP client; every operation fails descriptively.
+
+namespace msrs::serve {
+
+TcpClient::~TcpClient() = default;
+bool TcpClient::connect(const std::string&, std::string* error) {
+  if (error) *error = "TCP transport is unavailable on this platform";
+  return false;
+}
+bool TcpClient::send_line(const std::string&) { return false; }
+bool TcpClient::send_bytes(const char*, std::size_t) { return false; }
+void TcpClient::shutdown_write() {}
+bool TcpClient::recv_line(std::string*) { return false; }
+void TcpClient::abort_connection() {}
+void TcpClient::close() {}
+
+}  // namespace msrs::serve
+
+#endif
+
+// ---------------- server (needs the epoll event loop) ----------------
+
+#if defined(__linux__)
+
+#include <chrono>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/conn_budget.hpp"
+
+namespace msrs::serve {
+namespace {
+
+// One live TCP connection owned by the event loop. Socket I/O and the
+// reading/draining flags are touched only on the loop thread; shard
+// workers reach just the outbox (under `mutex`) through the OrderedWriter
+// sink.
+struct TcpConn {
+  explicit TcpConn(std::size_t max_line_bytes) : framer(max_line_bytes) {}
+
+  int fd = -1;
+  LineFramer framer;
+  std::unique_ptr<OrderedWriter> writer;
+  bool reading = true;     // read interest armed (false while gated)
+  bool want_write = false;  // write interest armed (partial flush pending)
+  bool draining = false;   // no more reads; close once responses flush
+
+  std::mutex mutex;  // guards everything below
+  std::string outbox;      // rendered response bytes pending write
+  std::size_t offset = 0;  // written prefix of outbox
+  std::size_t outbox_highwater = 0;
+  bool closed = false;  // sink drops late deliveries once set
+};
+
+// The event loop: one thread owning the listen socket, every connection
+// fd, the framers and the timer wheel. Responses completed on shard
+// worker threads land in per-connection outboxes and nudge the loop via
+// an eventfd; the loop is the only thread that reads, writes or closes a
+// socket, so connection state needs no further locking.
+class TcpServer {
+ public:
+  TcpServer(Service& service, const TcpOptions& options)
+      : service_(service),
+        options_(options),
+        wheel_(options.tick_ms <= 0 ? 100 : options.tick_ms, 512),
+        budget_(options.max_connections,
+                service.metrics().counter("serve.tcp.accepted"),
+                service.metrics().counter("serve.tcp.shed"),
+                service.metrics().gauge("serve.tcp.active")),
+        idle_reaped_(service.metrics().counter("serve.tcp.idle_reaped")),
+        read_hw_gauge_(
+            service.metrics().gauge("serve.tcp.read_buf_highwater")),
+        write_hw_gauge_(
+            service.metrics().gauge("serve.tcp.write_buf_highwater")) {}
+
+  int run(const std::string& host_port, std::string* error) {
+    std::string host;
+    std::uint16_t port = 0;
+    if (!parse_host_port(host_port, &host, &port, error)) return 1;
+    if (!listen_on(host, port, error)) return 1;
+    poller_ = make_poller(error);
+    if (!poller_) {
+      ::close(listen_fd_);
+      return 1;
+    }
+    poller_->add(listen_fd_, /*want_read=*/true, /*want_write=*/false);
+    if (wakeup_.fd() >= 0)
+      poller_->add(wakeup_.fd(), /*want_read=*/true, /*want_write=*/false);
+    install_stop_signals();
+
+    const int tick = options_.tick_ms <= 0 ? 100 : options_.tick_ms;
+    std::vector<Poller::Event> events;
+    std::vector<int> expired;
+    while (service_.accepting() && !stop_requested()) {
+      events.clear();
+      poller_->wait(&events, tick);  // EINTR/timeout: housekeeping only
+      now_ms_ = elapsed_ms();
+      for (const Poller::Event& event : events) {
+        if (event.fd == listen_fd_) {
+          accept_new();
+          continue;
+        }
+        if (event.fd == wakeup_.fd()) {
+          wakeup_.drain();
+          continue;
+        }
+        const auto it = conns_.find(event.fd);
+        if (it == conns_.end()) continue;  // closed earlier this batch
+        std::shared_ptr<TcpConn> conn = it->second;
+        if (event.readable && conn->reading) handle_read(conn);
+        if (conns_.count(event.fd) == 0) continue;  // closed by the read
+        if (event.writable && !flush_conn(conn)) {
+          close_conn(conn);
+          continue;
+        }
+        if (event.error && conns_.count(event.fd) != 0) close_conn(conn);
+      }
+      flush_dirty();
+      reap_idle(expired);
+    }
+    drain_and_close();
+    return 0;
+  }
+
+ private:
+  std::uint64_t elapsed_ms() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+  bool listen_on(const std::string& host, std::uint16_t port,
+                 std::string* error) {
+    addrinfo hints = {};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE | AI_NUMERICSERV;
+    addrinfo* results = nullptr;
+    const int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(),
+                                 &hints, &results);
+    if (rc != 0) {
+      if (error) *error = "resolve " + host + ": " + ::gai_strerror(rc);
+      return false;
+    }
+    for (const addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+      const int fd = ::socket(ai->ai_family,
+                              ai->ai_socktype | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                              ai->ai_protocol);
+      if (fd < 0) continue;
+      const int one = 1;
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+      if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+          ::listen(fd, 512) == 0) {
+        listen_fd_ = fd;
+        break;
+      }
+      ::close(fd);
+    }
+    ::freeaddrinfo(results);
+    if (listen_fd_ < 0) {
+      if (error)
+        *error = "listen " + host + ":" + std::to_string(port) + ": " +
+                 std::strerror(errno);
+      return false;
+    }
+    if (options_.on_listen) {
+      sockaddr_storage bound = {};
+      socklen_t len = sizeof bound;
+      std::uint16_t actual = port;
+      if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                        &len) == 0) {
+        if (bound.ss_family == AF_INET)
+          actual = ntohs(reinterpret_cast<sockaddr_in*>(&bound)->sin_port);
+        else if (bound.ss_family == AF_INET6)
+          actual = ntohs(reinterpret_cast<sockaddr_in6*>(&bound)->sin6_port);
+      }
+      options_.on_listen(actual);
+    }
+    return true;
+  }
+
+  void accept_new() {
+    for (;;) {
+      const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // EAGAIN: accepted everything pending
+      }
+      if (!budget_.try_acquire()) {
+        // Shed with one named line, then close. A fresh socket's send
+        // buffer is empty, so the single nonblocking send goes through.
+        const std::string line =
+            error_response(Json(), WireError::kOverloaded,
+                           "connection limit reached") +
+            "\n";
+        [[maybe_unused]] const ssize_t sent =
+            ::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
+        ::close(fd);
+        continue;
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      auto conn = std::make_shared<TcpConn>(options_.max_line_bytes);
+      conn->fd = fd;
+      TcpConn* raw = conn.get();
+      // The sink holds a raw pointer, not the shared_ptr (that would be a
+      // conn -> writer -> sink -> conn cycle). Safe: every deliver() path
+      // runs through a callback owning the shared_ptr, so the connection
+      // outlives any sink invocation.
+      conn->writer =
+          std::make_unique<OrderedWriter>([this, raw](const std::string& line) {
+            int conn_fd = -1;
+            {
+              std::lock_guard lock(raw->mutex);
+              if (raw->closed) return;  // response after abrupt close
+              raw->outbox.append(line);
+              raw->outbox.push_back('\n');
+              raw->outbox_highwater = std::max(
+                  raw->outbox_highwater, raw->outbox.size() - raw->offset);
+              conn_fd = raw->fd;  // fd is invalidated under this lock
+            }
+            mark_dirty(conn_fd);
+          });
+      if (options_.idle_timeout_ms > 0)
+        wheel_.arm(fd, now_ms_ + options_.idle_timeout_ms);
+      poller_->add(fd, /*want_read=*/true, /*want_write=*/false);
+      conns_.emplace(fd, std::move(conn));
+    }
+  }
+
+  void mark_dirty(int fd) {
+    {
+      std::lock_guard lock(dirty_mutex_);
+      dirty_.push_back(fd);
+    }
+    wakeup_.signal();
+  }
+
+  void submit_line(const std::shared_ptr<TcpConn>& conn, std::string&& line) {
+    const std::uint64_t seq = conn->writer->reserve();
+    OrderedWriter* writer = conn->writer.get();
+    service_.submit(line, [conn, writer, seq](std::string&& response) {
+      writer->deliver(seq, std::move(response));
+    });
+  }
+
+  void handle_read(const std::shared_ptr<TcpConn>& conn) {
+    char chunk[16384];
+    bool eof = false;
+    for (;;) {
+      const ssize_t got = ::read(conn->fd, chunk, sizeof chunk);
+      if (got > 0) {
+        conn->framer.append(chunk, static_cast<std::size_t>(got));
+        if (options_.idle_timeout_ms > 0)
+          wheel_.arm(conn->fd, now_ms_ + options_.idle_timeout_ms);
+        continue;
+      }
+      if (got == 0) {
+        eof = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_conn(conn);  // ECONNRESET and friends: abrupt teardown
+      return;
+    }
+    note_read_highwater(conn->framer.highwater());
+    std::string line;
+    while (conn->framer.next_line(&line)) {
+      if (line.empty()) continue;  // the stdio transport skips them too
+      if (line.size() > options_.max_line_bytes) {
+        reject_oversized(conn);
+        return;
+      }
+      // After a shutdown op keeps submitting: each line already on the
+      // wire still gets its (shutting_down) response, per the
+      // one-response-per-request contract (same as the socket transport).
+      submit_line(conn, std::move(line));
+    }
+    if (conn->framer.overflowed()) {
+      reject_oversized(conn);
+      return;
+    }
+    if (eof) {
+      // Orderly EOF: flush the unterminated final line as a request —
+      // std::getline does on the stdio transport, and byte-identity
+      // between the transports is a tested contract.
+      std::string tail = conn->framer.take_remainder();
+      if (!tail.empty()) submit_line(conn, std::move(tail));
+      begin_drain(conn);
+      return;
+    }
+    if (!service_.accepting()) begin_drain(conn);
+  }
+
+  void reject_oversized(const std::shared_ptr<TcpConn>& conn) {
+    const std::uint64_t seq = conn->writer->reserve();
+    conn->writer->deliver(
+        seq, error_response(Json(), WireError::kParseError,
+                            "request line exceeds the transport limit"));
+    begin_drain(conn);
+  }
+
+  void begin_drain(const std::shared_ptr<TcpConn>& conn) {
+    conn->draining = true;
+    conn->reading = false;
+    wheel_.cancel(conn->fd);
+    if (!flush_conn(conn)) close_conn(conn);
+  }
+
+  // Writes as much of the outbox as the socket accepts, re-arms interest
+  // and applies read gating. False on a fatal write error (peer gone).
+  bool flush_conn(const std::shared_ptr<TcpConn>& conn) {
+    std::size_t pending = 0;
+    std::size_t highwater = 0;
+    {
+      std::lock_guard lock(conn->mutex);
+      while (conn->offset < conn->outbox.size()) {
+        const ssize_t sent =
+            ::send(conn->fd, conn->outbox.data() + conn->offset,
+                   conn->outbox.size() - conn->offset, MSG_NOSIGNAL);
+        if (sent > 0) {
+          conn->offset += static_cast<std::size_t>(sent);
+          continue;
+        }
+        if (sent < 0 && errno == EINTR) continue;
+        if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        return false;
+      }
+      if (conn->offset >= conn->outbox.size()) {
+        conn->outbox.clear();
+        conn->offset = 0;
+      }
+      pending = conn->outbox.size() - conn->offset;
+      highwater = conn->outbox_highwater;
+    }
+    note_write_highwater(highwater);
+    conn->want_write = pending > 0;
+    if (!conn->draining) {
+      // Backpressure on a slow consumer: stop reading while its outbox is
+      // over the gate, resume once it drains below half.
+      if (pending > options_.write_gate_bytes)
+        conn->reading = false;
+      else if (!conn->reading && pending <= options_.write_gate_bytes / 2)
+        conn->reading = true;
+    }
+    poller_->modify(conn->fd, conn->reading, conn->want_write);
+    try_finish(conn);
+    return true;
+  }
+
+  // Closes a draining connection once every reserved response has been
+  // delivered and written to the socket.
+  void try_finish(const std::shared_ptr<TcpConn>& conn) {
+    if (!conn->draining) return;
+    // drained() first, outbox second, both without holding the other's
+    // lock (sink takes conn->mutex inside the writer's lock — acquiring
+    // them here in the opposite order would be an inversion). No deliver
+    // can slip between the checks: drained() true means every reserved
+    // slot has been written, and a draining connection reserves no more.
+    if (!conn->writer->drained()) return;
+    bool empty = false;
+    {
+      std::lock_guard lock(conn->mutex);
+      empty = conn->offset >= conn->outbox.size();
+    }
+    if (empty) close_conn(conn);
+  }
+
+  void flush_dirty() {
+    std::vector<int> dirty;
+    {
+      std::lock_guard lock(dirty_mutex_);
+      dirty.swap(dirty_);
+    }
+    for (const int fd : dirty) {
+      const auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // already closed (or fd reused)
+      const std::shared_ptr<TcpConn> conn = it->second;
+      if (!flush_conn(conn)) close_conn(conn);
+    }
+  }
+
+  void reap_idle(std::vector<int>& expired) {
+    if (options_.idle_timeout_ms == 0) return;
+    expired.clear();
+    wheel_.advance(now_ms_, &expired);
+    for (const int fd : expired) {
+      const auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      const std::shared_ptr<TcpConn> conn = it->second;
+      if (conn->draining) continue;  // already on its way out
+      idle_reaped_.inc();
+      close_conn(conn);
+    }
+  }
+
+  void close_conn(const std::shared_ptr<TcpConn>& conn) {
+    if (conn->fd < 0) return;
+    const int fd = conn->fd;
+    std::size_t write_highwater = 0;
+    {
+      std::lock_guard lock(conn->mutex);
+      if (conn->closed) return;
+      conn->closed = true;
+      conn->fd = -1;  // the sink reads fd under this lock
+      write_highwater = conn->outbox_highwater;
+    }
+    note_read_highwater(conn->framer.highwater());
+    note_write_highwater(write_highwater);
+    poller_->remove(fd);
+    wheel_.cancel(fd);
+    ::close(fd);
+    conns_.erase(fd);
+    budget_.release();
+  }
+
+  void note_read_highwater(std::size_t value) {
+    if (value > read_hw_max_) {
+      read_hw_max_ = value;
+      read_hw_gauge_.set(static_cast<std::int64_t>(value));
+    }
+  }
+
+  void note_write_highwater(std::size_t value) {
+    if (value > write_hw_max_) {
+      write_hw_max_ = value;
+      write_hw_gauge_.set(static_cast<std::int64_t>(value));
+    }
+  }
+
+  void drain_and_close() {
+    if (listen_fd_ >= 0) {
+      poller_->remove(listen_fd_);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    // Every admitted request is answered (shutting_down past the
+    // deadline) before shutdown returns; wait_drained then guarantees the
+    // last sink invocation has happened — after this, outboxes are final.
+    service_.shutdown(std::chrono::seconds(30));
+    for (const auto& [fd, conn] : conns_) conn->writer->wait_drained();
+    // Bounded flush phase: push the final outboxes to every peer still
+    // reading; give up on the rest after the deadline.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    std::vector<Poller::Event> events;
+    while (!conns_.empty() && std::chrono::steady_clock::now() < deadline) {
+      std::vector<std::shared_ptr<TcpConn>> open;
+      open.reserve(conns_.size());
+      for (const auto& [fd, conn] : conns_) open.push_back(conn);
+      for (const std::shared_ptr<TcpConn>& conn : open) {
+        conn->draining = true;
+        conn->reading = false;
+        if (!flush_conn(conn)) close_conn(conn);
+      }
+      if (conns_.empty()) break;
+      events.clear();
+      poller_->wait(&events, 50);
+    }
+    std::vector<std::shared_ptr<TcpConn>> rest;
+    rest.reserve(conns_.size());
+    for (const auto& [fd, conn] : conns_) rest.push_back(conn);
+    for (const std::shared_ptr<TcpConn>& conn : rest) close_conn(conn);
+  }
+
+  Service& service_;
+  TcpOptions options_;
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+  std::uint64_t now_ms_ = 0;  // loop-iteration timestamp (ms since start_)
+  std::unique_ptr<Poller> poller_;
+  WakeupFd wakeup_;
+  TimerWheel wheel_;
+  ConnectionBudget budget_;
+  obs::Counter& idle_reaped_;
+  obs::Gauge& read_hw_gauge_;
+  obs::Gauge& write_hw_gauge_;
+  std::size_t read_hw_max_ = 0;
+  std::size_t write_hw_max_ = 0;
+  int listen_fd_ = -1;
+  std::unordered_map<int, std::shared_ptr<TcpConn>> conns_;
+  std::mutex dirty_mutex_;
+  std::vector<int> dirty_;  // fds with freshly appended outbox bytes
+};
+
+}  // namespace
+
+int serve_tcp(Service& service, const std::string& host_port,
+              std::string* error, TcpOptions options) {
+  TcpServer server(service, options);
+  return server.run(host_port, error);
+}
+
+}  // namespace msrs::serve
+
+#else  // no epoll event loop on this platform
+
+namespace msrs::serve {
+
+int serve_tcp(Service&, const std::string&, std::string* error, TcpOptions) {
+  if (error) *error = "TCP transport is unavailable on this platform";
+  return 1;
+}
+
+}  // namespace msrs::serve
+
+#endif

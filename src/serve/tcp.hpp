@@ -1,0 +1,126 @@
+/// \file
+/// TCP transport: a single-threaded, level-triggered epoll event loop
+/// (serve/event_loop.hpp) behind `msrs_engine_cli serve --tcp=HOST:PORT`,
+/// plus the blocking line client the load driver and tests connect with.
+///
+/// One JSONL stream per connection, responses in that connection's request
+/// order (one OrderedWriter per connection). The loop owns non-blocking
+/// accept, per-connection bounded read/write buffers with framing across
+/// arbitrary packetization, idle-timeout reaping via a timer wheel, and a
+/// connection budget (serve/conn_budget.hpp) that sheds over-budget
+/// accepts with one named `overloaded` line before close. Shard workers
+/// deliver responses into a connection's outbox under its lock and nudge
+/// the loop through an eventfd; only the loop thread touches sockets.
+///
+/// Response bytes are identical to the stdio transport for the same
+/// request stream — including a final unterminated line, which is flushed
+/// as a request on orderly EOF exactly as std::getline would read it
+/// (tests/test_tcp.cpp pins this byte-identity under adversarial
+/// chunking). Only built where an event-loop poller exists (Linux);
+/// elsewhere the entry points fail with a descriptive error.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "serve/service.hpp"
+#include "serve/socket.hpp"
+
+namespace msrs::serve {
+
+/// True when this build carries the TCP event-loop transport.
+bool tcp_transport_available();
+
+/// Options of the TCP server loop.
+struct TcpOptions {
+  /// Live-connection budget: over-budget accepts are answered with one
+  /// `overloaded` error line and closed (counted as `serve.tcp.shed`).
+  std::size_t max_connections = 1024;
+  /// Connections idle (no bytes read) longer than this are reaped — closed
+  /// and counted as `serve.tcp.idle_reaped`. 0 disables reaping.
+  std::uint64_t idle_timeout_ms = 60'000;
+  /// Read-buffer bound: a single request line longer than this is answered
+  /// with a named `parse_error` and the connection is closed.
+  std::size_t max_line_bytes = 1 << 20;
+  /// Soft write-buffer bound: while a connection's outbox holds more than
+  /// this, the loop stops reading from it (backpressure on a slow
+  /// consumer) until the outbox drains below half the bound.
+  std::size_t write_gate_bytes = 256 << 10;
+  /// Poll tick in milliseconds: the upper bound on how long the loop
+  /// sleeps before noticing stop flags and timer-wheel deadlines.
+  int tick_ms = 100;
+  /// Invoked once from the serve loop with the bound port (useful with
+  /// port 0 — tests and `serve --port-file`).
+  std::function<void(std::uint16_t)> on_listen;
+};
+
+/// Splits "HOST:PORT" (the last ':' wins, so bracketless IPv6 hosts are
+/// not supported). False + `*error` on a malformed target.
+bool parse_host_port(const std::string& target, std::string* host,
+                     std::uint16_t* port, std::string* error);
+
+/// Binds `host_port` ("HOST:PORT"; port 0 picks an ephemeral port,
+/// reported via TcpOptions::on_listen), accepts connections, and serves
+/// until a stop signal or a client `shutdown` op; then drains in-flight
+/// requests, flushes every connection's pending responses, and closes.
+/// Connection metrics land in the service's registry (`serve.tcp.*`).
+/// Returns the process exit code (0 = clean; 1 with `*error` filled on
+/// setup failure).
+int serve_tcp(Service& service, const std::string& host_port,
+              std::string* error, TcpOptions options = {});
+
+/// Blocking line-oriented TCP client of one serving connection — the
+/// driver's fan-in client and the scripted raw-socket client of the
+/// transport test harness (adversarial chunking, half-close, RST).
+class TcpClient : public LineClient {
+ public:
+  /// An unconnected client.
+  TcpClient() = default;
+  /// Closes the connection if still open.
+  ~TcpClient() override;
+
+  TcpClient(const TcpClient&) = delete;             ///< not copyable
+  TcpClient& operator=(const TcpClient&) = delete;  ///< not copyable
+
+  /// Connects to "HOST:PORT"; false + `*error` on failure.
+  bool connect(const std::string& host_port, std::string* error);
+
+  /// Sends one request line (newline appended). False on a broken pipe.
+  bool send_line(const std::string& line) override;
+
+  /// Sends raw bytes exactly as given — the adversarial-chunking hook (no
+  /// framing, no newline). False on a broken pipe.
+  bool send_bytes(const char* data, std::size_t size);
+
+  /// Half-closes the write side (the server sees orderly EOF and flushes
+  /// any unterminated final line) while responses remain readable.
+  void shutdown_write();
+
+  /// Receives the next response line (newline stripped); false on EOF or
+  /// a read error.
+  bool recv_line(std::string* line) override;
+
+  /// Closes the connection abruptly: SO_LINGER 0 makes close() emit RST
+  /// instead of FIN — the "client killed mid-request" fault.
+  void abort_connection();
+
+  /// Closes the connection (idempotent).
+  void close() override;
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;       // bytes read but not yet returned
+  std::size_t scanned_ = 0;  // prefix of buffer_ known to hold no newline
+};
+
+/// Connects to whichever target is non-empty — `tcp_target` ("HOST:PORT")
+/// wins over `unix_path` — and returns the connected client, or null with
+/// `*error` filled (also when both targets are empty). The driver and the
+/// `stats` subcommand speak to either transport through this one seam.
+std::unique_ptr<LineClient> connect_line_client(const std::string& unix_path,
+                                                const std::string& tcp_target,
+                                                std::string* error);
+
+}  // namespace msrs::serve

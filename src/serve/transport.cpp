@@ -30,6 +30,11 @@ void OrderedWriter::wait_drained() {
   drained_.wait(lock, [this] { return next_write_ == next_reserve_; });
 }
 
+bool OrderedWriter::drained() {
+  std::lock_guard lock(mutex_);
+  return next_write_ == next_reserve_;
+}
+
 int serve_stdio(Service& service, std::istream& in, std::ostream& out) {
   OrderedWriter writer([&out](const std::string& line) {
     out << line << '\n';

@@ -42,6 +42,11 @@ class OrderedWriter {
   /// Blocks until every reserved slot has been delivered and written.
   void wait_drained();
 
+  /// True when every reserved slot has been delivered and written — the
+  /// non-blocking probe an event loop polls to decide whether a draining
+  /// connection may close yet.
+  bool drained();
+
  private:
   std::function<void(const std::string&)> sink_;
   std::mutex mutex_;

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <future>
+#include <thread>
 
 #include "algo/baselines.hpp"
 #include "algo/exact.hpp"
@@ -15,7 +17,10 @@
 #include "core/instance_io.hpp"
 #include "core/lower_bounds.hpp"
 #include "core/validate.hpp"
+#include "serve/event_loop.hpp"
 #include "serve/service.hpp"
+#include "serve/tcp.hpp"
+#include "serve/transport.hpp"
 #include "sim/workloads.hpp"
 #include "test_support.hpp"
 #include "util/rng.hpp"
@@ -205,6 +210,171 @@ TEST(WireFuzz, MutatedValidRequestsAreHandledByName) {
   // The service survived the whole mutation sweep.
   const std::string response = service.handle(valid);
   EXPECT_NE(response.find("\"ok\":true"), std::string::npos);
+}
+
+// ---------------- byte-stream reassembly fuzz ----------------
+
+// Reference framing: what any correct JSONL reassembler must produce for
+// a byte stream, independent of packetization.
+void reference_frames(const std::string& stream, std::vector<std::string>* lines,
+                      std::string* remainder) {
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    if (stream[i] == '\n') {
+      lines->push_back(stream.substr(begin, i - begin));
+      begin = i + 1;
+    }
+  }
+  *remainder = stream.substr(begin);
+}
+
+TEST(FramerFuzz, RandomSplitPointsNeverChangeTheRecoveredLines) {
+  // The transport cannot choose its packet boundaries; the reassembly
+  // buffer must recover the identical line sequence for every chunking of
+  // the same bytes — including splits through '\n' neighborhoods, empty
+  // appends, and an unterminated tail.
+  Rng rng(20260807);
+  const char alphabet[] = "{}\":,solve ping\\n0123456789\r";
+  for (int round = 0; round < 120; ++round) {
+    std::string stream;
+    const int pieces = static_cast<int>(rng.uniform(0, 12));
+    for (int p = 0; p < pieces; ++p) {
+      const auto len = static_cast<std::size_t>(rng.uniform(0, 40));
+      for (std::size_t i = 0; i < len; ++i)
+        stream.push_back(alphabet[static_cast<std::size_t>(rng.uniform(
+            0, static_cast<std::int64_t>(sizeof alphabet) - 2))]);
+      if (rng.uniform(0, 3) != 0) stream.push_back('\n');
+    }
+    std::vector<std::string> expected_lines;
+    std::string expected_remainder;
+    reference_frames(stream, &expected_lines, &expected_remainder);
+
+    serve::LineFramer framer(1 << 16);
+    std::vector<std::string> lines;
+    std::string line;
+    std::size_t offset = 0;
+    while (offset < stream.size()) {
+      if (rng.uniform(0, 7) == 0) framer.append(stream.data(), 0);  // no-op
+      const auto chunk = static_cast<std::size_t>(rng.uniform(
+          1, static_cast<std::int64_t>(stream.size() - offset)));
+      framer.append(stream.data() + offset, chunk);
+      offset += chunk;
+      while (framer.next_line(&line)) lines.push_back(line);
+    }
+    ASSERT_EQ(lines, expected_lines) << "round " << round;
+    EXPECT_FALSE(framer.overflowed()) << "round " << round;
+    EXPECT_EQ(framer.take_remainder(), expected_remainder)
+        << "round " << round;
+    EXPECT_EQ(framer.buffered(), 0u) << "round " << round;
+  }
+}
+
+TEST(FramerFuzz, OverflowLatchIsMonotoneUnderRandomChunking) {
+  // Flood streams around the line bound: the framer must never crash, and
+  // once the overflow latch trips it must never reset — the transport
+  // relies on it to turn the connection into a drain-close exactly once.
+  Rng rng(4242);
+  for (int round = 0; round < 60; ++round) {
+    serve::LineFramer framer(32);
+    std::string stream;
+    const auto len = static_cast<std::size_t>(rng.uniform(0, 200));
+    for (std::size_t i = 0; i < len; ++i)
+      stream.push_back(rng.uniform(0, 9) == 0 ? '\n' : 'x');
+    bool seen_overflow = false;
+    std::string line;
+    std::size_t offset = 0;
+    while (offset < stream.size()) {
+      const auto chunk = static_cast<std::size_t>(
+          rng.uniform(1, static_cast<std::int64_t>(stream.size() - offset)));
+      framer.append(stream.data() + offset, chunk);
+      offset += chunk;
+      while (framer.next_line(&line)) {
+      }
+      if (seen_overflow)
+        EXPECT_TRUE(framer.overflowed()) << "latch reset, round " << round;
+      seen_overflow = framer.overflowed();
+    }
+  }
+}
+
+TEST(FramerFuzz, RandomlyChunkedTcpStreamAnswersEveryLineInOrder) {
+  // End to end: a mixed valid/garbage request stream pushed through the
+  // TCP transport in random-size segments must yield exactly one response
+  // per non-empty line, with id-carrying responses in request order.
+  if (!serve::tcp_transport_available())
+    GTEST_SKIP() << "no TCP transport on this platform";
+  serve::ServiceOptions service_options;
+  service_options.shards = 2;
+  service_options.budget_ms = 10;
+  serve::Service service(service_options);
+  std::promise<std::uint16_t> promise;
+  std::future<std::uint16_t> future = promise.get_future();
+  serve::TcpOptions options;
+  options.tick_ms = 20;
+  options.on_listen = [&promise](std::uint16_t p) { promise.set_value(p); };
+  std::thread server([&service, options] {
+    std::string error;
+    EXPECT_EQ(serve::serve_tcp(service, "127.0.0.1:0", &error, options), 0)
+        << error;
+  });
+  const std::string target = "127.0.0.1:" + std::to_string(future.get());
+
+  Rng rng(31337);
+  std::string stream;
+  std::vector<int> sent_ids;
+  std::size_t expected_responses = 0;
+  for (int i = 0; i < 40; ++i) {
+    switch (rng.uniform(0, 3)) {
+      case 0:
+        stream += "{\"id\":" + std::to_string(i) + ",\"op\":\"ping\"}\n";
+        sent_ids.push_back(i);
+        ++expected_responses;
+        break;
+      case 1:
+        stream += "{\"id\":" + std::to_string(i) +
+                  ",\"op\":\"solve\",\"spec\":\"uniform:n=10,m=2,seed=" +
+                  std::to_string(1 + i % 4) + "\"}\n";
+        sent_ids.push_back(i);
+        ++expected_responses;
+        break;
+      case 2:
+        stream += "%% not json at all %%\n";  // parse_error, no id echo
+        ++expected_responses;
+        break;
+      default:
+        stream += "\n";  // blank: skipped, no response
+        break;
+    }
+  }
+  serve::TcpClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect(target, &error)) << error;
+  std::size_t offset = 0;
+  while (offset < stream.size()) {
+    const auto chunk = static_cast<std::size_t>(
+        rng.uniform(1, static_cast<std::int64_t>(stream.size() - offset)));
+    ASSERT_TRUE(client.send_bytes(stream.data() + offset, chunk));
+    offset += chunk;
+  }
+  client.shutdown_write();
+  std::vector<int> got_ids;
+  std::size_t responses = 0;
+  std::string line;
+  while (client.recv_line(&line)) {
+    ++responses;
+    const std::optional<Json> document = json_parse(line);
+    ASSERT_TRUE(document.has_value()) << line;
+    // Garbage lines come back as named errors with a null id; the order
+    // contract is checked over the id-carrying successful responses.
+    if (document->find("error") == nullptr)
+      got_ids.push_back(static_cast<int>(document->find("id")->as_number()));
+  }
+  EXPECT_EQ(responses, expected_responses);
+  EXPECT_EQ(got_ids, sent_ids) << "responses reordered or dropped";
+
+  serve::request_stop();
+  server.join();
+  serve::reset_stop();
 }
 
 // ---------------- cross-algorithm coherence ----------------

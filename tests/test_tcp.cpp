@@ -1,0 +1,533 @@
+// TCP transport: event-loop building blocks (timer wheel, line framer,
+// host:port parsing), byte-identity with the stdio transport under
+// adversarial packetization, fault injection (silent client, client
+// killed mid-request, over-budget floods), the socket-transport budget
+// race regression, and the >=256-connection fan-in acceptance bar.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/serve.hpp"
+
+namespace msrs::serve {
+namespace {
+
+// ---------------- event-loop building blocks ----------------
+
+TEST(TimerWheel, ExpiresArmedKeysOncePassedTheirDeadline) {
+  TimerWheel wheel(10, 8);
+  wheel.arm(1, 95);
+  std::vector<int> expired;
+  wheel.advance(50, &expired);
+  EXPECT_TRUE(expired.empty());
+  wheel.advance(100, &expired);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], 1);
+  EXPECT_EQ(wheel.armed(), 0u);
+}
+
+TEST(TimerWheel, ReArmingPushesTheDeadlineWithoutDoubleFiring) {
+  TimerWheel wheel(10, 8);
+  wheel.arm(5, 30);
+  std::vector<int> expired;
+  wheel.advance(20, &expired);
+  EXPECT_TRUE(expired.empty());
+  wheel.arm(5, 100);  // activity on the connection: deadline moves out
+  wheel.advance(50, &expired);
+  EXPECT_TRUE(expired.empty()) << "stale slot entry fired early";
+  wheel.advance(120, &expired);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], 5);
+}
+
+TEST(TimerWheel, CancelDisarmsAndLongSleepsLapTheWholeWheel) {
+  TimerWheel wheel(10, 8);
+  wheel.arm(7, 40);
+  wheel.cancel(7);
+  wheel.arm(9, 60);
+  std::vector<int> expired;
+  // A jump much longer than one wheel revolution must still visit every
+  // slot exactly once and fire the armed key.
+  wheel.advance(10'000, &expired);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], 9);
+}
+
+TEST(LineFramer, ReassemblesLinesFromOneByteAppends) {
+  LineFramer framer(1024);
+  const std::string stream = "first\nsecond\n\nlast-no-newline";
+  std::vector<std::string> lines;
+  std::string line;
+  for (const char byte : stream) {
+    framer.append(&byte, 1);
+    while (framer.next_line(&line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "first");
+  EXPECT_EQ(lines[1], "second");
+  EXPECT_EQ(lines[2], "");  // empty frames surface; transports skip them
+  EXPECT_FALSE(framer.overflowed());
+  EXPECT_EQ(framer.take_remainder(), "last-no-newline");
+  EXPECT_EQ(framer.buffered(), 0u);
+}
+
+TEST(LineFramer, CoalescedSegmentYieldsEveryFrame) {
+  LineFramer framer(1024);
+  const std::string segment = "{\"op\":\"ping\"}\n{\"op\":\"version\"}\n";
+  framer.append(segment.data(), segment.size());
+  std::string line;
+  ASSERT_TRUE(framer.next_line(&line));
+  EXPECT_EQ(line, "{\"op\":\"ping\"}");
+  ASSERT_TRUE(framer.next_line(&line));
+  EXPECT_EQ(line, "{\"op\":\"version\"}");
+  EXPECT_FALSE(framer.next_line(&line));
+  EXPECT_GE(framer.highwater(), segment.size());
+}
+
+TEST(LineFramer, OverflowLatchesOnceTheTailExceedsTheBound) {
+  LineFramer framer(16);
+  const std::string flood(64, 'x');  // no newline anywhere
+  framer.append(flood.data(), flood.size());
+  EXPECT_TRUE(framer.overflowed());
+  // Latch: still overflowed after a newline finally arrives.
+  framer.append("\n", 1);
+  EXPECT_TRUE(framer.overflowed());
+}
+
+TEST(ParseHostPort, AcceptsValidAndRejectsMalformedTargets) {
+  std::string host;
+  std::uint16_t port = 0;
+  std::string error;
+  ASSERT_TRUE(parse_host_port("127.0.0.1:8080", &host, &port, &error));
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 8080);
+  ASSERT_TRUE(parse_host_port("localhost:0", &host, &port, &error));
+  EXPECT_EQ(port, 0);  // ephemeral
+  for (const char* bad :
+       {"no-port", ":7", "host:", "host:abc", "host:70000", "host:-1"}) {
+    EXPECT_FALSE(parse_host_port(bad, &host, &port, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+// ---------------- in-process TCP server fixture ----------------
+
+ServiceOptions small_service(unsigned shards) {
+  ServiceOptions options;
+  options.shards = shards;
+  options.budget_ms = 10;  // keep race fields small for test speed
+  return options;
+}
+
+// Runs serve_tcp on an ephemeral loopback port in a background thread;
+// stop() ends the loop via the cooperative stop flag (works even when
+// every budget slot is taken, unlike a shutdown-op connection).
+class TcpTestServer {
+ public:
+  explicit TcpTestServer(ServiceOptions service_options, TcpOptions options)
+      : service_(service_options) {
+    std::promise<std::uint16_t> promise;
+    std::future<std::uint16_t> future = promise.get_future();
+    options.on_listen = [&promise](std::uint16_t p) { promise.set_value(p); };
+    if (options.tick_ms <= 0 || options.tick_ms > 20)
+      options.tick_ms = 20;  // keep stop() and reaping prompt in tests
+    thread_ = std::thread([this, options] {
+      std::string error;
+      code_ = serve_tcp(service_, "127.0.0.1:0", &error, options);
+      error_ = error;
+    });
+    port_ = future.get();
+  }
+
+  ~TcpTestServer() { stop(); }
+
+  void stop() {
+    if (stopped_) return;
+    stopped_ = true;
+    request_stop();
+    thread_.join();
+    reset_stop();
+    EXPECT_EQ(code_, 0) << error_;
+  }
+
+  std::string target() const { return "127.0.0.1:" + std::to_string(port_); }
+  Service& service() { return service_; }
+
+ private:
+  Service service_;
+  std::thread thread_;
+  std::uint16_t port_ = 0;
+  int code_ = -1;
+  std::string error_;
+  bool stopped_ = false;
+};
+
+// Polls a metrics gauge until it reaches `want` (event-loop teardown is
+// asynchronous relative to the client's view of the close).
+[[nodiscard]] bool wait_for_gauge(Service& service, const std::string& name,
+                                  std::int64_t want) {
+  for (int i = 0; i < 500; ++i) {
+    if (service.metrics_snapshot().gauge_or(name) == want) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
+[[nodiscard]] bool wait_for_counter(Service& service, const std::string& name,
+                                    std::uint64_t at_least) {
+  for (int i = 0; i < 500; ++i) {
+    if (service.metrics_snapshot().counter_or(name) >= at_least) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
+// ---------------- byte-identity with the stdio transport ----------------
+
+std::string stdio_serve_all(const std::string& input, unsigned shards) {
+  Service service(small_service(shards));
+  std::istringstream in(input);
+  std::ostringstream out;
+  EXPECT_EQ(serve_stdio(service, in, out), 0);
+  return out.str();
+}
+
+// The adversarial request stream: control ops, real solves (repeats for
+// cache traffic), every named defect, blank lines, trailing garbage with
+// no final newline.
+std::string adversarial_stream() {
+  std::string stream;
+  stream += "{\"id\":1,\"op\":\"ping\"}\n";
+  stream += "\n";  // blank line: skipped by both transports
+  stream += "{\"id\":2,\"op\":\"solve\",\"spec\":\"uniform:n=14,m=3,seed=4\"}\n";
+  stream += "{\"id\":3,\"op\":\"version\"}\n";
+  stream += "}{ not json\n";
+  stream += "{\"id\":4,\"op\":\"solve\",\"spec\":\"uniform:n=14,m=3,seed=4\"}\n";
+  stream += "{\"op\":\"solve\",\"spec\":\"no_such_family:n=4\"}\n";
+  stream += "{\"id\":5,\"op\":\"fly\"}\n";
+  stream += "{\"id\":6,\"op\":\"solve\",\"spec\":\"uniform:n=10,m=2,seed=9\"}\n";
+  stream += "trailing garbage without newline";  // final unterminated line
+  return stream;
+}
+
+// Sends `bytes` in fixed-size chunks over a fresh connection, half-closes,
+// and returns everything the server wrote until EOF.
+std::string roundtrip_chunked(const std::string& target,
+                              const std::string& bytes, std::size_t chunk) {
+  TcpClient client;
+  std::string error;
+  EXPECT_TRUE(client.connect(target, &error)) << error;
+  for (std::size_t i = 0; i < bytes.size(); i += chunk) {
+    EXPECT_TRUE(
+        client.send_bytes(bytes.data() + i, std::min(chunk, bytes.size() - i)));
+    // Give tiny segments a chance to arrive as separate reads now and
+    // then; correctness must not depend on it either way.
+    if (chunk == 1 && i % 64 == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  client.shutdown_write();  // orderly EOF: server flushes the final line
+  std::string out;
+  std::string line;
+  while (client.recv_line(&line)) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(TcpTransport, ByteIdenticalToStdioUnderAdversarialChunking) {
+  if (!tcp_transport_available())
+    GTEST_SKIP() << "no TCP transport on this platform";
+  const std::string stream = adversarial_stream();
+  const std::string expected = stdio_serve_all(stream, 2);
+  ASSERT_FALSE(expected.empty());
+  // The same shard count on the serving side; chunk sizes cover 1-byte
+  // writes, splits through the middle of every JSON document, and the
+  // whole stream coalesced into one segment.
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{64}, stream.size()}) {
+    TcpTestServer server(small_service(2), TcpOptions{});
+    EXPECT_EQ(roundtrip_chunked(server.target(), stream, chunk), expected)
+        << "chunk=" << chunk;
+    server.stop();
+  }
+}
+
+TEST(TcpTransport, ResponsesStayInRequestOrderAcrossShardCounts) {
+  if (!tcp_transport_available())
+    GTEST_SKIP() << "no TCP transport on this platform";
+  // Mixed-cost solves race across shards; the per-connection writer must
+  // restore request order, so 1-shard and 4-shard responses are identical.
+  std::string stream;
+  for (int i = 0; i < 12; ++i)
+    stream += "{\"id\":" + std::to_string(i) +
+              ",\"op\":\"solve\",\"spec\":\"uniform:n=" +
+              std::to_string(10 + 10 * (i % 4)) + ",m=2,seed=" +
+              std::to_string(1 + i % 3) + "\"}\n";
+  std::string outputs[2];
+  const unsigned shard_counts[2] = {1, 4};
+  for (int run = 0; run < 2; ++run) {
+    TcpTestServer server(small_service(shard_counts[run]), TcpOptions{});
+    outputs[run] = roundtrip_chunked(server.target(), stream, 13);
+    server.stop();
+  }
+  EXPECT_EQ(outputs[0], outputs[1]);
+}
+
+TEST(TcpTransport, OversizedLineIsNamedParseErrorThenClose) {
+  if (!tcp_transport_available())
+    GTEST_SKIP() << "no TCP transport on this platform";
+  TcpOptions options;
+  options.max_line_bytes = 128;
+  TcpTestServer server(small_service(1), options);
+  TcpClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect(server.target(), &error)) << error;
+  const std::string flood(4096, 'x');  // no newline: unbounded-line attack
+  ASSERT_TRUE(client.send_bytes(flood.data(), flood.size()));
+  std::string line;
+  ASSERT_TRUE(client.recv_line(&line));
+  EXPECT_NE(line.find("\"error\":\"parse_error\""), std::string::npos);
+  EXPECT_FALSE(client.recv_line(&line));  // EOF: connection is closed
+  EXPECT_TRUE(wait_for_gauge(server.service(), "serve.tcp.active", 0));
+}
+
+// ---------------- fault injection ----------------
+
+TEST(TcpTransport, SilentClientIsReapedByIdleTimeout) {
+  if (!tcp_transport_available())
+    GTEST_SKIP() << "no TCP transport on this platform";
+  TcpOptions options;
+  options.idle_timeout_ms = 100;
+  options.tick_ms = 10;
+  TcpTestServer server(small_service(1), options);
+  TcpClient silent;
+  std::string error;
+  ASSERT_TRUE(silent.connect(server.target(), &error)) << error;
+  // Never sends a byte: the server must close it of its own accord.
+  std::string line;
+  EXPECT_FALSE(silent.recv_line(&line));  // EOF from the reaper
+  EXPECT_TRUE(wait_for_counter(server.service(), "serve.tcp.idle_reaped", 1));
+  EXPECT_TRUE(wait_for_gauge(server.service(), "serve.tcp.active", 0));
+  // An active client with the same timeout keeps its connection: every
+  // request re-arms the idle deadline.
+  TcpClient busy;
+  ASSERT_TRUE(busy.connect(server.target(), &error)) << error;
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(busy.send_line("{\"op\":\"ping\"}"));
+    ASSERT_TRUE(busy.recv_line(&line)) << "reaped a live connection at " << i;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+TEST(TcpTransport, ClientKilledMidRequestLeaksNothing) {
+  if (!tcp_transport_available())
+    GTEST_SKIP() << "no TCP transport on this platform";
+  TcpTestServer server(small_service(2), TcpOptions{});
+  // A batch of casualties: each sends a real solve, then RSTs without
+  // reading its response. Every fd and connection record must be
+  // reclaimed (gauge back to zero; ASan owns the leak check).
+  for (int i = 0; i < 8; ++i) {
+    TcpClient victim;
+    std::string error;
+    ASSERT_TRUE(victim.connect(server.target(), &error)) << error;
+    ASSERT_TRUE(victim.send_line(
+        "{\"id\":1,\"op\":\"solve\",\"spec\":\"uniform:n=40,m=4,seed=" +
+        std::to_string(i + 1) + "\"}"));
+    victim.abort_connection();  // SO_LINGER(0): RST mid-request
+  }
+  EXPECT_TRUE(wait_for_gauge(server.service(), "serve.tcp.active", 0));
+  // The service survived and still answers.
+  TcpClient probe;
+  std::string error;
+  ASSERT_TRUE(probe.connect(server.target(), &error)) << error;
+  std::string line;
+  ASSERT_TRUE(probe.send_line("{\"op\":\"ping\"}"));
+  ASSERT_TRUE(probe.recv_line(&line));
+  EXPECT_NE(line.find("\"ok\":true"), std::string::npos);
+}
+
+TEST(TcpTransport, BudgetShedsOverflowWithNamedErrorAndRecovers) {
+  if (!tcp_transport_available())
+    GTEST_SKIP() << "no TCP transport on this platform";
+  TcpOptions options;
+  options.max_connections = 2;
+  TcpTestServer server(small_service(1), options);
+  std::string error;
+  std::string line;
+  // Fill the budget (N connections against --max-conns N).
+  std::vector<std::unique_ptr<TcpClient>> holders;
+  for (int i = 0; i < 2; ++i) {
+    auto holder = std::make_unique<TcpClient>();
+    ASSERT_TRUE(holder->connect(server.target(), &error)) << error;
+    ASSERT_TRUE(holder->send_line("{\"op\":\"ping\"}"));
+    ASSERT_TRUE(holder->recv_line(&line));
+    holders.push_back(std::move(holder));
+  }
+  // Connection N+1: one named overloaded line, then EOF.
+  TcpClient extra;
+  ASSERT_TRUE(extra.connect(server.target(), &error)) << error;
+  ASSERT_TRUE(extra.recv_line(&line));
+  EXPECT_NE(line.find("\"error\":\"overloaded\""), std::string::npos);
+  EXPECT_FALSE(extra.recv_line(&line));
+  // Drop the holders: the gauge returns to zero and a new client is
+  // admitted again.
+  for (auto& holder : holders) holder->close();
+  EXPECT_TRUE(wait_for_gauge(server.service(), "serve.tcp.active", 0));
+  TcpClient after;
+  ASSERT_TRUE(after.connect(server.target(), &error)) << error;
+  ASSERT_TRUE(after.send_line("{\"op\":\"ping\"}"));
+  ASSERT_TRUE(after.recv_line(&line));
+  EXPECT_NE(line.find("\"ok\":true"), std::string::npos);
+
+  const obs::MetricsSnapshot snapshot = server.service().metrics_snapshot();
+  EXPECT_EQ(snapshot.counter_or("serve.tcp.shed"), 1u);
+  EXPECT_GE(snapshot.counter_or("serve.tcp.accepted"), 3u);
+  server.stop();
+  EXPECT_EQ(server.service().metrics_snapshot().gauge_or("serve.tcp.active"),
+            0);
+}
+
+TEST(TcpTransport, StatsOpCoversTheTcpSection) {
+  if (!tcp_transport_available())
+    GTEST_SKIP() << "no TCP transport on this platform";
+  TcpTestServer server(small_service(1), TcpOptions{});
+  TcpClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect(server.target(), &error)) << error;
+  std::string line;
+  ASSERT_TRUE(client.send_line("{\"op\":\"ping\"}"));
+  ASSERT_TRUE(client.recv_line(&line));
+  ASSERT_TRUE(client.send_line("{\"op\":\"stats\"}"));
+  ASSERT_TRUE(client.recv_line(&line));
+  const std::optional<Json> document = json_parse(line);
+  ASSERT_TRUE(document.has_value()) << line;
+  const Json* tcp = document->find("tcp");
+  ASSERT_NE(tcp, nullptr) << line;
+  for (const char* key : {"accepted", "shed", "idle_reaped", "active",
+                          "read_buf_highwater", "write_buf_highwater"})
+    ASSERT_NE(tcp->find(key), nullptr) << key;
+  EXPECT_EQ(tcp->find("accepted")->as_number(), 1.0);
+  EXPECT_EQ(tcp->find("active")->as_number(), 1.0);
+  EXPECT_GT(tcp->find("read_buf_highwater")->as_number(), 0.0);
+}
+
+TEST(TcpTransport, ShutdownOpAnswersDrainsAndExits) {
+  if (!tcp_transport_available())
+    GTEST_SKIP() << "no TCP transport on this platform";
+  TcpTestServer server(small_service(1), TcpOptions{});
+  TcpClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect(server.target(), &error)) << error;
+  // A solve queued before the shutdown op must still be answered, in
+  // order, before the connection closes.
+  ASSERT_TRUE(client.send_line(
+      R"({"id":1,"op":"solve","spec":"uniform:n=20,m=3,seed=2"})"));
+  ASSERT_TRUE(client.send_line(R"({"id":2,"op":"shutdown"})"));
+  std::string line;
+  ASSERT_TRUE(client.recv_line(&line));
+  EXPECT_NE(line.find("\"id\":1"), std::string::npos);
+  EXPECT_NE(line.find("\"ok\":true"), std::string::npos);
+  ASSERT_TRUE(client.recv_line(&line));
+  EXPECT_NE(line.find("\"op\":\"shutdown\""), std::string::npos);
+  EXPECT_FALSE(client.recv_line(&line));  // server closed after the drain
+  server.stop();  // the loop already exited; this only joins
+}
+
+// ---------------- socket-transport budget race regression ----------------
+
+TEST(ServeSocketBudget, SlotFreesTheInstantAConnectionEnds) {
+  if (!socket_transport_available())
+    GTEST_SKIP() << "no socket transport on this platform";
+  // Regression: the thread-per-connection transport used to gate accepts
+  // on its zombie list, which only shrank on reap ticks — after an abrupt
+  // disconnect a fresh client could be shed although the slot was free.
+  // The shared ConnectionBudget releases in the connection thread itself,
+  // so once the active gauge reads 0 the next client MUST be admitted.
+  const std::string path = ::testing::TempDir() + "msrs_budget_race.sock";
+  Service service(small_service(1));
+  SocketOptions options;
+  options.max_connections = 1;
+  std::thread server([&service, &path, options] {
+    std::string error;
+    EXPECT_EQ(serve_socket(service, path, &error, options), 0) << error;
+  });
+  std::string error;
+  std::string line;
+  {
+    SocketClient first;
+    bool connected = false;
+    for (int i = 0; i < 500 && !connected; ++i) {
+      connected = first.connect(path, &error);
+      if (!connected)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_TRUE(connected) << error;
+    ASSERT_TRUE(first.send_line(R"({"op":"ping"})"));
+    ASSERT_TRUE(first.recv_line(&line));
+  }
+  for (int round = 0; round < 20; ++round) {
+    ASSERT_TRUE(wait_for_gauge(service, "serve.conns.active", 0))
+        << "round " << round;
+    SocketClient next;
+    ASSERT_TRUE(next.connect(path, &error)) << error;
+    ASSERT_TRUE(next.send_line(R"({"op":"ping"})"));
+    ASSERT_TRUE(next.recv_line(&line)) << "round " << round;
+    // With the old zombie-list gate this was an overloaded shed whenever
+    // the reaper had not run yet; the budget makes it impossible.
+    EXPECT_EQ(line.find("\"error\":\"overloaded\""), std::string::npos)
+        << "round " << round;
+    next.close();  // abrupt from the server's poll loop's point of view
+  }
+  SocketClient closer;
+  ASSERT_TRUE(wait_for_gauge(service, "serve.conns.active", 0));
+  ASSERT_TRUE(closer.connect(path, &error)) << error;
+  ASSERT_TRUE(closer.send_line(R"({"op":"shutdown"})"));
+  ASSERT_TRUE(closer.recv_line(&line));
+  server.join();
+  EXPECT_EQ(service.metrics_snapshot().counter_or("serve.conns.rejected"),
+            0u);
+}
+
+// ---------------- fan-in acceptance ----------------
+
+TEST(TcpTransport, Sustains256ConcurrentDriverConnections) {
+  if (!tcp_transport_available())
+    GTEST_SKIP() << "no TCP transport on this platform";
+  TcpOptions options;
+  options.max_connections = 512;
+  ServiceOptions service_options = small_service(4);
+  service_options.budget_ms = 5;
+  TcpTestServer server(service_options, options);
+
+  DriveOptions drive_options;
+  drive_options.tcp = server.target();
+  drive_options.specs = {"uniform:n=10,m=2,seed=1"};
+  drive_options.seeds_per_spec = 8;
+  drive_options.requests = 2048;
+  drive_options.conns = 256;
+  std::string error;
+  const std::optional<DriveReport> report = drive(drive_options, &error);
+  ASSERT_TRUE(report.has_value()) << error;
+  EXPECT_EQ(report->sent, 2048u);
+  EXPECT_EQ(report->ok, 2048u);
+  EXPECT_EQ(report->errors, 0u);
+  EXPECT_EQ(report->transport_errors, 0u);
+
+  const obs::MetricsSnapshot snapshot = server.service().metrics_snapshot();
+  EXPECT_GE(snapshot.counter_or("serve.tcp.accepted"), 257u);  // +control
+  EXPECT_EQ(snapshot.counter_or("serve.tcp.shed"), 0u);
+  server.stop();
+  EXPECT_TRUE(wait_for_gauge(server.service(), "serve.tcp.active", 0));
+}
+
+}  // namespace
+}  // namespace msrs::serve

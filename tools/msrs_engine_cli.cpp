@@ -6,8 +6,10 @@
 //   generate      emit a corpus of generated instances (instance_io text)
 //   sweep         expand a sweep grid, solve it, print a per-cell report
 //   bench         run perf-harness cases / bench a generated corpus
-//   serve         long-running scheduling service (stdio or UNIX socket)
+//   serve         long-running scheduling service (stdio, UNIX socket or
+//                 TCP event loop)
 //   drive         load driver: replay generated corpora against a service
+//   stats         one-shot `stats` op against a running service
 //   version       schema versions (instance / bench / wire formats)
 //   list-solvers  describe the registered solver ladder
 //   help          full usage with examples
@@ -25,6 +27,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -61,6 +64,9 @@ struct Options {
   std::vector<std::string> solvers;  // portfolio `only` filter
   // serve / drive
   std::string socket;              // UNIX socket path ("" = stdio serve)
+  std::string tcp;                 // TCP HOST:PORT target ("" = off)
+  std::size_t idle_timeout_ms = 60'000;  // serve --tcp: idle reap bound
+  std::string port_file;  // serve --tcp: write bound HOST:PORT here
   unsigned shards = 4;             // serve: worker shards
   std::size_t queue_depth = 1024;  // serve: per-shard admission bound
   std::size_t serve_cache = 1 << 14;  // serve: per-shard LRU entries
@@ -133,16 +139,21 @@ void print_usage(std::FILE* to) {
                "      generated corpus; writes BENCH_<case>.json with"
                " --json. `bench --help`\n"
                "      shows the full grammar (see docs/benchmarking.md).\n"
-               "  serve [--socket=PATH] [--shards=N] [--queue-depth=D]"
-               " [--serve-cache=K]\n"
-               "        [--budget=MS] [--reject] [--solvers=a,b]"
-               " [--max-conns=C]\n"
-               "        [--trace=FILE] [--trace-sample=N] [--slow-ms=MS]"
-               " [--metrics-dump[=FILE]]\n"
+               "  serve [--socket=PATH | --tcp=HOST:PORT] [--shards=N]"
+               " [--queue-depth=D]\n"
+               "        [--serve-cache=K] [--budget=MS] [--reject]"
+               " [--solvers=a,b] [--max-conns=C]\n"
+               "        [--idle-timeout=MS] [--port-file=FILE]"
+               " [--trace=FILE] [--trace-sample=N]\n"
+               "        [--slow-ms=MS] [--metrics-dump[=FILE]]\n"
                "      Long-running scheduling service: JSONL requests on"
-               " stdin (default) or a\n"
-               "      UNIX socket; one response line per request, in"
-               " request order. --reject\n"
+               " stdin (default), a\n"
+               "      UNIX socket, or TCP (epoll event loop; --tcp port 0"
+               " picks an ephemeral\n"
+               "      port, --port-file records it; --idle-timeout reaps"
+               " silent connections);\n"
+               "      one response line per request, in request order."
+               " --reject\n"
                "      sheds load with 'overloaded' errors instead of"
                " blocking; SIGINT/SIGTERM\n"
                "      and the wire 'shutdown' op drain gracefully (see"
@@ -153,8 +164,9 @@ void print_usage(std::FILE* to) {
                " --metrics-dump prints a\n"
                "      Prometheus-style metrics page at exit (see"
                " docs/observability.md).\n"
-               "  drive SPEC [SPEC ...] --socket=PATH [--count=K]"
-               " [--requests=N] [--duration=S]\n"
+               "  drive SPEC [SPEC ...] (--socket=PATH | --tcp=HOST:PORT)"
+               " [--count=K]\n"
+               "        [--requests=N] [--duration=S]\n"
                "        [--qps=Q] [--conns=C] [--payload=instance|spec]"
                " [--emit=FILE] [--json]\n"
                "        [--stats-interval=S]\n"
@@ -167,7 +179,7 @@ void print_usage(std::FILE* to) {
                "      --stats-interval polls `stats` mid-run and prints a"
                " live latency\n"
                "      decomposition table to stderr.\n"
-               "  stats --socket=PATH [--json]\n"
+               "  stats (--socket=PATH | --tcp=HOST:PORT) [--json]\n"
                "      One-shot `stats` op against a running service:"
                " counters, queue depths,\n"
                "      error/solver breakdowns and the per-stage latency"
@@ -295,6 +307,11 @@ bool parse_flags(int argc, char** argv, int begin, Options* options) {
         options->max_conns = std::stoul(*v27);
       else if (auto v28 = arg_value(argv[i], "stats-interval"))
         options->stats_interval = std::stod(*v28);
+      else if (auto v29 = arg_value(argv[i], "tcp")) options->tcp = *v29;
+      else if (auto v30 = arg_value(argv[i], "idle-timeout"))
+        options->idle_timeout_ms = std::stoul(*v30);
+      else if (auto v31 = arg_value(argv[i], "port-file"))
+        options->port_file = *v31;
       else if (std::strcmp(argv[i], "--reject") == 0)
         options->reject = true;
       else if (std::strcmp(argv[i], "--json") == 0)
@@ -592,20 +609,39 @@ int run_serve(const Options& options) {
   service_options.trace.slow_ms = options.slow_ms;
   serve::Service service(service_options);
   serve::install_stop_signals();
-  if (options.socket.empty()) {
+  if (options.socket.empty() && options.tcp.empty()) {
     const int code = serve::serve_stdio(service, std::cin, std::cout);
     if (!options.metrics_dump.empty())
       dump_metrics(service, options.metrics_dump);
     return code;
   }
-  std::fprintf(stderr, "serving on %s (%u shards, depth %zu, cache %zu)\n",
-               options.socket.c_str(), service.shards(),
-               options.queue_depth, options.serve_cache);
   std::string error;
-  serve::SocketOptions socket_options;
-  socket_options.max_connections = options.max_conns;
-  const int code =
-      serve::serve_socket(service, options.socket, &error, socket_options);
+  int code = 0;
+  if (!options.tcp.empty()) {
+    serve::TcpOptions tcp_options;
+    tcp_options.max_connections = options.max_conns;
+    tcp_options.idle_timeout_ms = options.idle_timeout_ms;
+    tcp_options.on_listen = [&options](std::uint16_t port) {
+      std::string host = options.tcp;
+      const std::size_t colon = host.rfind(':');
+      if (colon != std::string::npos) host.resize(colon);
+      std::fprintf(stderr, "serving on tcp %s:%u (%u shards)\n", host.c_str(),
+                   static_cast<unsigned>(port), options.shards);
+      if (options.port_file.empty()) return;
+      // The bound HOST:PORT, for scripts that serve on an ephemeral port.
+      std::ofstream file(options.port_file);
+      file << host << ':' << port << '\n';
+    };
+    code = serve::serve_tcp(service, options.tcp, &error, tcp_options);
+  } else {
+    std::fprintf(stderr, "serving on %s (%u shards, depth %zu, cache %zu)\n",
+                 options.socket.c_str(), service.shards(),
+                 options.queue_depth, options.serve_cache);
+    serve::SocketOptions socket_options;
+    socket_options.max_connections = options.max_conns;
+    code = serve::serve_socket(service, options.socket, &error,
+                               socket_options);
+  }
   if (code != 0) std::fprintf(stderr, "serve: %s\n", error.c_str());
   if (!options.metrics_dump.empty())
     dump_metrics(service, options.metrics_dump);
@@ -616,18 +652,19 @@ int run_serve(const Options& options) {
 // pretty-printed stats document (queue depths, error/solver breakdowns,
 // latency decomposition).
 int run_stats(const Options& options) {
-  if (options.socket.empty()) {
-    std::fprintf(stderr, "stats: needs --socket=PATH\n");
+  if (options.socket.empty() && options.tcp.empty()) {
+    std::fprintf(stderr, "stats: needs --socket=PATH or --tcp=HOST:PORT\n");
     return 2;
   }
-  serve::SocketClient client;
   std::string error;
-  if (!client.connect(options.socket, &error)) {
+  const std::unique_ptr<serve::LineClient> client =
+      serve::connect_line_client(options.socket, options.tcp, &error);
+  if (!client) {
     std::fprintf(stderr, "stats: %s\n", error.c_str());
     return 1;
   }
   std::string line;
-  if (!client.send_line("{\"op\":\"stats\"}") || !client.recv_line(&line)) {
+  if (!client->send_line("{\"op\":\"stats\"}") || !client->recv_line(&line)) {
     std::fprintf(stderr, "stats: service closed the connection\n");
     return 1;
   }
@@ -641,6 +678,7 @@ int run_stats(const Options& options) {
 int run_drive(const Options& options) {
   serve::DriveOptions drive_options;
   drive_options.socket = options.socket;
+  drive_options.tcp = options.tcp;
   drive_options.specs = options.specs;
   drive_options.seeds_per_spec = options.count;
   drive_options.requests = options.requests;
