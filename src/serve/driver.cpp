@@ -13,6 +13,7 @@
 #include "serve/socket.hpp"
 #include "serve/tcp.hpp"
 #include "serve/wire.hpp"
+#include "sim/arrivals.hpp"
 #include "sim/workloads.hpp"
 #include "util/table.hpp"
 
@@ -65,6 +66,100 @@ std::optional<std::vector<std::string>> build_payloads(
 
 std::string make_line(std::size_t id, const std::string& payload) {
   return "{\"id\":" + std::to_string(id) + payload;
+}
+
+// Builds the request lines of one churn-session replay: open_session, the
+// trace's submit/cancel/snapshot events in order, close_session. Cancel
+// targets use *predicted* job ids, never parsed responses: the session
+// engine assigns ids from a monotone counter, so a job's id equals its
+// submission index — which is what makes one-pass `--emit` possible.
+std::vector<std::string> churn_lines(const ChurnSpec& spec,
+                                     const std::vector<ChurnEvent>& events,
+                                     const std::string& session) {
+  std::vector<std::string> lines;
+  lines.reserve(events.size() + 2);
+  std::size_t id = 0;
+  const auto add = [&](const Json& body) {
+    std::string payload = body.str();
+    payload.front() = ',';  // the '{' comes from the id prefix instead
+    lines.push_back(make_line(id++, payload));
+  };
+  Json open = Json::object();
+  open.set("op", "open_session");
+  open.set("wire", static_cast<std::int64_t>(kWireVersion));
+  open.set("session", session);
+  open.set("machines", static_cast<std::int64_t>(spec.machines));
+  add(open);
+  for (const ChurnEvent& event : events) {
+    Json body = Json::object();
+    switch (event.kind) {
+      case ChurnEvent::Kind::kSubmit:
+        body.set("op", "submit_job");
+        body.set("session", session);
+        body.set("class", "c" + std::to_string(event.cls));
+        body.set("size", static_cast<std::int64_t>(event.size));
+        break;
+      case ChurnEvent::Kind::kCancel:
+        body.set("op", "cancel_job");
+        body.set("session", session);
+        body.set("job", event.target);
+        break;
+      case ChurnEvent::Kind::kSnapshot:
+        body.set("op", "snapshot");
+        body.set("session", session);
+        break;
+    }
+    add(body);
+  }
+  Json close = Json::object();
+  close.set("op", "close_session");
+  close.set("session", session);
+  add(close);
+  return lines;
+}
+
+// Version handshake on an open connection: sends `version`, verifies the
+// service speaks kWireVersion, surfaces named errors. Returns false (with
+// `*error` filled) on any mismatch or transport failure.
+bool handshake(LineClient& control, std::string* error) {
+  Json hello = Json::object();
+  hello.set("op", "version");
+  hello.set("wire", static_cast<std::int64_t>(kWireVersion));
+  std::string response_line;
+  if (!control.send_line(hello.str()) || !control.recv_line(&response_line)) {
+    if (error) *error = "service closed the connection during handshake";
+    return false;
+  }
+  const std::optional<Json> response = json_parse(response_line);
+  if (!response) {
+    if (error) *error = "handshake response is not JSON: " + response_line;
+    return false;
+  }
+  if (const Json* ok = response->find("ok");
+      ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
+    const Json* code = response->find("error");
+    const Json* detail = response->find("detail");
+    if (error)
+      *error = (code && code->is_string() ? code->as_string()
+                                          : std::string("handshake_failed")) +
+               ": " +
+               (detail && detail->is_string() ? detail->as_string()
+                                              : response_line);
+    return false;
+  }
+  const Json* wire = response->find("wire");
+  if (wire == nullptr || !wire->is_number() ||
+      static_cast<int>(wire->as_number()) != kWireVersion) {
+    if (error)
+      *error = std::string(wire_error_name(WireError::kVersionMismatch)) +
+               ": driver speaks wire version " + std::to_string(kWireVersion) +
+               ", service reports " +
+               (wire && wire->is_number()
+                    ? std::to_string(static_cast<int>(wire->as_number()))
+                    : std::string("none"));
+    return false;
+  }
+  return true;
 }
 
 // Sends one `stats` op and parses the response document.
@@ -137,6 +232,149 @@ std::string render_stats_poll(const Json& document, double at_s) {
   return out.str();
 }
 
+// Churn mode: replay a generated session trace (one session per
+// connection, strictly in order — mutations are causally dependent, so
+// there is no open-loop pacing or shared work queue here).
+std::optional<DriveReport> drive_churn(const DriveOptions& options,
+                                       std::string* error) {
+  std::string churn_error;
+  const auto spec = parse_churn(options.churn, &churn_error);
+  if (!spec) {
+    if (error) *error = "bad_churn '" + options.churn + "': " + churn_error;
+    return std::nullopt;
+  }
+  const std::vector<ChurnEvent> events = generate_churn(*spec);
+
+  if (!options.emit.empty()) {
+    // Emit mode: the single-session request stream for a stdio pipeline.
+    std::ofstream file;
+    const bool to_stdout = options.emit == "-";
+    if (!to_stdout) {
+      file.open(options.emit);
+      if (!file) {
+        if (error) *error = "cannot write " + options.emit;
+        return std::nullopt;
+      }
+    }
+    std::ostream& out = to_stdout ? std::cout : file;
+    const std::vector<std::string> lines = churn_lines(*spec, events, "churn-0");
+    for (const std::string& line : lines) out << line << '\n';
+    out.flush();
+    if (!out) {
+      if (error) *error = "write error on " + options.emit;
+      return std::nullopt;
+    }
+    DriveReport report;
+    report.sent = lines.size();
+    return report;
+  }
+
+  if (options.socket.empty() && options.tcp.empty()) {
+    if (error)
+      *error = "drive needs --socket=PATH or --tcp=HOST:PORT (or --emit=FILE)";
+    return std::nullopt;
+  }
+
+  std::unique_ptr<LineClient> control_client =
+      connect_line_client(options.socket, options.tcp, error);
+  if (!control_client) return std::nullopt;
+  if (!handshake(*control_client, error)) return std::nullopt;
+
+  const unsigned conns = options.conns == 0 ? 1 : options.conns;
+  std::vector<std::unique_ptr<LineClient>> clients;
+  for (unsigned c = 0; c < conns; ++c) {
+    auto client = connect_line_client(options.socket, options.tcp, error);
+    if (!client) return std::nullopt;
+    clients.push_back(std::move(client));
+  }
+
+  std::ofstream capture_file;
+  std::ostream* capture = nullptr;
+  if (!options.churn_out.empty()) {
+    if (options.churn_out == "-") {
+      capture = &std::cout;
+    } else {
+      capture_file.open(options.churn_out);
+      if (!capture_file) {
+        if (error) *error = "cannot write " + options.churn_out;
+        return std::nullopt;
+      }
+      capture = &capture_file;
+    }
+  }
+
+  std::atomic<std::size_t> ok_count{0}, error_count{0}, rejected_count{0};
+  std::atomic<std::size_t> transport_failures{0};
+  obs::Histogram latency_hist{obs::latency_buckets_us()};
+  std::atomic<std::uint64_t> max_latency_us{0};
+  const Clock::time_point start = Clock::now();
+
+  std::vector<std::thread> workers;
+  for (unsigned c = 0; c < conns; ++c) {
+    workers.emplace_back([&, c] {
+      LineClient& client = *clients[c];
+      const std::vector<std::string> lines =
+          churn_lines(*spec, events, "churn-" + std::to_string(c));
+      std::string response;
+      for (const std::string& line : lines) {
+        const Clock::time_point sent_at = Clock::now();
+        if (!client.send_line(line) || !client.recv_line(&response)) {
+          transport_failures.fetch_add(1);
+          return;
+        }
+        const double us = std::chrono::duration<double, std::micro>(
+                              Clock::now() - sent_at)
+                              .count();
+        latency_hist.record(us);
+        const std::uint64_t us_int =
+            static_cast<std::uint64_t>(us < 0.0 ? 0.0 : us);
+        std::uint64_t prev = max_latency_us.load();
+        while (us_int > prev &&
+               !max_latency_us.compare_exchange_weak(prev, us_int)) {
+        }
+        if (response.find("\"ok\":true") != std::string::npos) {
+          ok_count.fetch_add(1);
+        } else {
+          error_count.fetch_add(1);
+          if (response.find("\"error\":\"overloaded\"") != std::string::npos)
+            rejected_count.fetch_add(1);
+        }
+        // Only connection 0 captures: its session replay is a deterministic
+        // byte stream, the cross-shard/transport identity artifact.
+        if (c == 0 && capture != nullptr) *capture << response << '\n';
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  if (capture != nullptr) {
+    capture->flush();
+    if (!*capture) {
+      if (error) *error = "write error on " + options.churn_out;
+      return std::nullopt;
+    }
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  DriveReport report;
+  report.ok = ok_count.load();
+  report.errors = error_count.load();
+  report.rejected = rejected_count.load();
+  report.transport_errors = transport_failures.load();
+  report.sent = report.ok + report.errors;
+  report.elapsed_s = elapsed_s;
+  report.throughput =
+      elapsed_s > 0.0 ? static_cast<double>(report.sent) / elapsed_s : 0.0;
+  const obs::Histogram::Snapshot latency = latency_hist.snapshot();
+  if (latency.count > 0) {
+    report.p50_ms = latency.quantile(0.5) / 1000.0;
+    report.p95_ms = latency.quantile(0.95) / 1000.0;
+    report.p99_ms = latency.quantile(0.99) / 1000.0;
+    report.max_ms = static_cast<double>(max_latency_us.load()) / 1000.0;
+  }
+  return report;
+}
+
 }  // namespace
 
 std::string DriveReport::str() const {
@@ -175,6 +413,7 @@ Json DriveReport::json() const {
 
 std::optional<DriveReport> drive(const DriveOptions& options,
                                  std::string* error) {
+  if (!options.churn.empty()) return drive_churn(options, error);
   const auto payloads = build_payloads(options, error);
   if (!payloads) return std::nullopt;
   std::size_t requests = options.requests;
@@ -218,46 +457,7 @@ std::optional<DriveReport> drive(const DriveOptions& options,
       connect_line_client(options.socket, options.tcp, error);
   if (!control_client) return std::nullopt;
   LineClient& control = *control_client;
-  {
-    Json hello = Json::object();
-    hello.set("op", "version");
-    hello.set("wire", static_cast<std::int64_t>(kWireVersion));
-    std::string response_line;
-    if (!control.send_line(hello.str()) ||
-        !control.recv_line(&response_line)) {
-      if (error) *error = "service closed the connection during handshake";
-      return std::nullopt;
-    }
-    const std::optional<Json> response = json_parse(response_line);
-    if (!response) {
-      if (error) *error = "handshake response is not JSON: " + response_line;
-      return std::nullopt;
-    }
-    if (const Json* ok = response->find("ok");
-        ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
-      const Json* code = response->find("error");
-      const Json* detail = response->find("detail");
-      if (error)
-        *error = (code && code->is_string() ? code->as_string()
-                                            : std::string("handshake_failed")) +
-                 ": " +
-                 (detail && detail->is_string() ? detail->as_string()
-                                                : response_line);
-      return std::nullopt;
-    }
-    const Json* wire = response->find("wire");
-    if (wire == nullptr || !wire->is_number() ||
-        static_cast<int>(wire->as_number()) != kWireVersion) {
-      if (error)
-        *error = std::string(wire_error_name(WireError::kVersionMismatch)) +
-                 ": driver speaks wire version " +
-                 std::to_string(kWireVersion) + ", service reports " +
-                 (wire && wire->is_number()
-                      ? std::to_string(static_cast<int>(wire->as_number()))
-                      : std::string("none"));
-      return std::nullopt;
-    }
-  }
+  if (!handshake(control, error)) return std::nullopt;
   double hits_before = 0.0, misses_before = 0.0;
   const bool have_before =
       cache_counters(control, &hits_before, &misses_before);

@@ -14,6 +14,11 @@
 /// (coordinated omission). Before driving, the driver handshakes wire
 /// versions via the `version` op and fails fast with a named error on
 /// mismatch.
+///
+/// Churn mode (`--churn=SPEC`) swaps the solve corpus for an online-session
+/// trace: each connection opens its own session and replays the spec's
+/// submit/cancel/snapshot stream in order, optionally capturing the
+/// response bytes (`--churn-out`) for byte-identity comparison.
 #pragma once
 
 #include <cstddef>
@@ -50,6 +55,18 @@ struct DriveOptions {
   /// stdout) instead of driving a service — the corpus-to-JSONL tool the
   /// serving smoke test pipes into `serve`.
   std::string emit;
+  /// When non-empty: churn mode. The value is a churn spec string
+  /// (sim/arrivals.hpp, e.g. `poisson:events=200,cancel=0.3,seed=1`); the
+  /// driver replays the generated submit/cancel/snapshot trace as one
+  /// session per connection (`churn-0`, `churn-1`, ...) instead of a solve
+  /// corpus — `specs`/`qps`/`requests`/`duration_s` are ignored. Session
+  /// job ids are predicted (the engine assigns a monotone counter), so the
+  /// trace also works through `emit` without a live service.
+  std::string churn;
+  /// Churn mode: when non-empty, append every response line of connection
+  /// 0 to this file ("-" for stdout) — the byte stream CI diffs across
+  /// shard counts and transports.
+  std::string churn_out;
 };
 
 /// Aggregated outcome of a drive run.

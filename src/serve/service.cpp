@@ -19,6 +19,18 @@ std::string stage_metric(std::string_view stage) {
 
 Json count_json(std::size_t v) { return Json(static_cast<std::int64_t>(v)); }
 
+// FNV-1a over the session name: the shard placement of a session. Any
+// stable hash works (placement is invisible in response bytes); it only has
+// to keep one session's ops on one shard.
+std::uint64_t session_hash(const std::string& name) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 // The legacy counter-only body shared by both stats_response overloads.
 Json stats_body(const Json& id, const ServiceStats& stats) {
   Json response = Json::object();
@@ -90,6 +102,24 @@ std::string stats_response(const Json& id, const ServiceStats& stats,
           Json(snapshot.gauge_or("serve.tcp.write_buf_highwater")));
   response.set("tcp", std::move(tcp));
 
+  Json sessions = Json::object();
+  sessions.set("active", Json(snapshot.gauge_or("serve.session.active")));
+  sessions.set("opened",
+               count_json(snapshot.counter_or("serve.session.opened")));
+  sessions.set("closed",
+               count_json(snapshot.counter_or("serve.session.closed")));
+  sessions.set("submits",
+               count_json(snapshot.counter_or("serve.session.submits")));
+  sessions.set("cancels",
+               count_json(snapshot.counter_or("serve.session.cancels")));
+  sessions.set("snapshots",
+               count_json(snapshot.counter_or("serve.session.snapshots")));
+  sessions.set("repairs",
+               count_json(snapshot.counter_or("serve.session.repairs")));
+  sessions.set("fallbacks",
+               count_json(snapshot.counter_or("serve.session.fallbacks")));
+  response.set("sessions", std::move(sessions));
+
   Json latency = Json::object();
   for (const char* stage : kStageNames) {
     const obs::Histogram::Snapshot* h =
@@ -137,6 +167,14 @@ Service::Service(ServiceOptions options,
   metrics_.gauge("serve.tcp.active");
   metrics_.gauge("serve.tcp.read_buf_highwater");
   metrics_.gauge("serve.tcp.write_buf_highwater");
+  session_opened_c_ = &metrics_.counter("serve.session.opened");
+  session_closed_c_ = &metrics_.counter("serve.session.closed");
+  session_submits_c_ = &metrics_.counter("serve.session.submits");
+  session_cancels_c_ = &metrics_.counter("serve.session.cancels");
+  session_snapshots_c_ = &metrics_.counter("serve.session.snapshots");
+  session_repairs_c_ = &metrics_.counter("serve.session.repairs");
+  session_fallbacks_c_ = &metrics_.counter("serve.session.fallbacks");
+  session_active_g_ = &metrics_.gauge("serve.session.active");
 
   const unsigned shard_count = pool_.size();
   engine::PortfolioOptions portfolio;
@@ -237,6 +275,80 @@ void Service::submit(const std::string& line, Done done) {
       accepting_.store(false);
       respond(done, ok_response(request->id, "shutdown"));
       return;
+    case Op::kOpenSession:
+    case Op::kSubmitJob:
+    case Op::kCancelJob:
+    case Op::kSnapshot:
+    case Op::kCloseSession: {
+      // Session ops route by the session-name hash, not the canonical
+      // form: every op of one session serializes on one shard's FIFO, so
+      // the owning worker mutates session state shared-nothing and the
+      // response stream is a pure function of the session's op order —
+      // identical at any shard count.
+      Item item;
+      item.op = request->op;
+      item.id = std::move(request->id);
+      item.session = std::move(request->session);
+      item.job_class = std::move(request->job_class);
+      item.size = request->size;
+      item.job = request->job;
+      item.machines = request->machines;
+      item.done = std::move(done);
+      item.trace = trace;
+      Shard& shard = *shards_[static_cast<std::size_t>(
+          session_hash(item.session) % shards_.size())];
+      if (options_.session_queue_budget > 0) {
+        // Admission fairness: a churn burst may hold at most
+        // session_queue_budget slots of this shard's queue, so solve ops
+        // behind it are delayed by a bounded number of cheap mutations.
+        if (options_.reject_when_full) {
+          std::lock_guard lock(shard.session_gate_mutex);
+          if (shard.queued_session_ops >=
+              options_.session_queue_budget) {
+            rejected_c_->inc();
+            respond_error(item.done, item.id, WireError::kOverloaded,
+                          "session op budget of this shard is full",
+                          &item.trace);
+            return;
+          }
+          ++shard.queued_session_ops;
+        } else {
+          std::unique_lock lock(shard.session_gate_mutex);
+          shard.session_gate_cv.wait(lock, [this, &shard] {
+            return !accepting_.load() ||
+                   shard.queued_session_ops <
+                       options_.session_queue_budget;
+          });
+          if (!accepting_.load()) {
+            respond_error(item.done, item.id, WireError::kShuttingDown,
+                          "service is shutting down", &item.trace);
+            return;
+          }
+          ++shard.queued_session_ops;
+        }
+      }
+      {
+        std::lock_guard lock(pending_mutex_);
+        ++pending_;
+      }
+      item.trace.enqueue = obs::TraceClock::now();
+      const bool admitted = options_.reject_when_full
+                                ? shard.queue.try_push(item)
+                                : shard.queue.push(item);
+      if (!admitted) {
+        release_session_slot(shard);
+        const bool closed = !accepting_.load();
+        if (!closed) rejected_c_->inc();
+        respond_error(item.done, item.id,
+                      closed ? WireError::kShuttingDown
+                             : WireError::kOverloaded,
+                      closed ? "service is shutting down"
+                             : "request queue is full",
+                      &item.trace);
+        finish_item();
+      }
+      return;
+    }
     case Op::kSolve:
       break;
   }
@@ -299,7 +411,23 @@ std::string Service::handle(const std::string& line) {
 }
 
 void Service::shard_loop(Shard& shard) {
-  while (std::optional<Item> item = shard.queue.pop()) process(shard, *item);
+  while (std::optional<Item> item = shard.queue.pop()) {
+    const bool session_op = item->op != Op::kSolve;
+    process(shard, *item);
+    // The fairness gate slot is held until the op is *processed*, not just
+    // dequeued — the budget bounds queue occupancy, so it must only free
+    // up when the burst actually drains.
+    if (session_op) release_session_slot(shard);
+  }
+}
+
+void Service::release_session_slot(Shard& shard) {
+  if (options_.session_queue_budget == 0) return;
+  {
+    std::lock_guard lock(shard.session_gate_mutex);
+    if (shard.queued_session_ops > 0) --shard.queued_session_ops;
+  }
+  shard.session_gate_cv.notify_one();
 }
 
 void Service::process(Shard& shard, Item& item) {
@@ -308,6 +436,11 @@ void Service::process(Shard& shard, Item& item) {
     respond_error(item.done, item.id, WireError::kShuttingDown,
                   "service stopped before this request was served",
                   &item.trace);
+    finish_item();
+    return;
+  }
+  if (item.op != Op::kSolve) {
+    process_session(shard, item);
     finish_item();
     return;
   }
@@ -386,6 +519,118 @@ void Service::process(Shard& shard, Item& item) {
   finish_item();
 }
 
+void Service::process_session(Shard& shard, Item& item) {
+  item.trace.solve_begin = item.trace.dispatch;
+  const auto found = shard.sessions.find(item.session);
+  const auto unknown_session = [this, &item] {
+    respond_error(item.done, item.id, WireError::kUnknownSession,
+                  "no open session named '" + item.session + "'",
+                  &item.trace);
+  };
+  std::string response;
+  switch (item.op) {
+    case Op::kOpenSession: {
+      if (found != shard.sessions.end()) {
+        respond_error(item.done, item.id, WireError::kBadRequest,
+                      "session '" + item.session + "' is already open",
+                      &item.trace);
+        return;
+      }
+      // Global cap, checked optimistically: open_session is rare, so the
+      // fetch_add/rollback race window is irrelevant in practice.
+      if (active_sessions_.fetch_add(1) + 1 > options_.session_limit) {
+        active_sessions_.fetch_sub(1);
+        respond_error(item.done, item.id, WireError::kSessionLimit,
+                      "open sessions are capped at " +
+                          std::to_string(options_.session_limit),
+                      &item.trace);
+        return;
+      }
+      engine::SessionOptions session_options;
+      session_options.portfolio = shard.portfolio->options();
+      session_options.cache_capacity = options_.session_cache;
+      shard.sessions.emplace(item.session, std::make_unique<engine::SessionEngine>(
+                                               item.machines, *registry_,
+                                               session_options));
+      session_active_g_->set(
+          static_cast<std::int64_t>(active_sessions_.load()));
+      session_opened_c_->inc();
+      response = session_response(item.id, "open_session", item.session);
+      break;
+    }
+    case Op::kSubmitJob: {
+      if (found == shard.sessions.end()) return unknown_session();
+      const std::uint64_t job =
+          found->second->submit(item.job_class, item.size);
+      session_submits_c_->inc();
+      response = submit_response(item.id, item.session, job);
+      break;
+    }
+    case Op::kCancelJob: {
+      if (found == shard.sessions.end()) return unknown_session();
+      if (!found->second->cancel(static_cast<std::uint64_t>(item.job))) {
+        respond_error(item.done, item.id, WireError::kUnknownJob,
+                      "job " + std::to_string(item.job) +
+                          " is not an alive job of session '" +
+                          item.session + "'",
+                      &item.trace);
+        return;
+      }
+      session_cancels_c_->inc();
+      response = cancel_response(item.id, item.session,
+                                 static_cast<std::uint64_t>(item.job));
+      break;
+    }
+    case Op::kSnapshot: {
+      if (found == shard.sessions.end()) return unknown_session();
+      engine::SessionEngine& session = *found->second;
+      const engine::SessionStats before = session.stats();
+      const engine::SessionSnapshot& snap = session.snapshot();
+      session_snapshots_c_->inc();
+      session_repairs_c_->add(session.stats().repairs - before.repairs);
+      session_fallbacks_c_->add(session.stats().fallbacks -
+                                before.fallbacks);
+      SnapshotBody body;
+      body.session = item.session;
+      body.jobs = session.jobs_alive();
+      body.classes = session.classes_alive();
+      body.machines = session.machines();
+      body.solver = snap.result.solver;
+      body.makespan = snap.result.makespan;
+      body.t_bound = static_cast<std::int64_t>(snap.result.t_bound);
+      body.ratio = snap.result.ratio_vs_bound;
+      body.valid = snap.result.valid;
+      body.source = engine::snapshot_source_name(snap.source);
+      response = snapshot_response(item.id, body);
+      break;
+    }
+    case Op::kCloseSession: {
+      if (found == shard.sessions.end()) return unknown_session();
+      shard.sessions.erase(found);
+      active_sessions_.fetch_sub(1);
+      session_active_g_->set(
+          static_cast<std::int64_t>(active_sessions_.load()));
+      session_closed_c_->inc();
+      response = session_response(item.id, "close_session", item.session);
+      break;
+    }
+    default:
+      return;  // unreachable: submit() routes only session ops here
+  }
+  item.trace.solve_end = obs::TraceClock::now();
+  shard.requests->inc();
+  const obs::TraceClock::time_point end = obs::TraceClock::now();
+  // Session ops feed the same lifecycle histograms as solves ("solve"
+  // covers the session mutation/repair work); spans stay solve-only.
+  lat_admission_->record(obs::stage_us(item.trace.admit, item.trace.enqueue));
+  lat_queue_->record(obs::stage_us(item.trace.enqueue, item.trace.dispatch));
+  lat_solve_->record(
+      obs::stage_us(item.trace.solve_begin, item.trace.solve_end));
+  lat_write_->record(obs::stage_us(item.trace.solve_end, end));
+  lat_total_->record(obs::stage_us(item.trace.admit, end));
+  respond(item.done, std::move(response));
+}
+
 ServiceStats Service::stats() const {
   ServiceStats stats;
   stats.shards = static_cast<unsigned>(shards_.size());
@@ -418,7 +663,12 @@ obs::MetricsSnapshot Service::metrics_snapshot() {
 bool Service::shutdown(std::chrono::milliseconds deadline) {
   std::call_once(shutdown_once_, [this, deadline] {
     accepting_.store(false);
-    for (auto& shard : shards_) shard->queue.close();
+    for (auto& shard : shards_) {
+      shard->queue.close();
+      // Wake submitters blocked on the session fairness gate; they see
+      // !accepting() and answer shutting_down.
+      shard->session_gate_cv.notify_all();
+    }
     bool drained;
     {
       std::unique_lock lock(pending_mutex_);

@@ -14,6 +14,15 @@
 ///   canonical remapping, without cross-shard locks. Shard workers run on
 ///   a parallel/thread_pool and answer through the per-request callback.
 ///
+/// Session ops (open_session/submit_job/cancel_job/snapshot/close_session)
+/// route by the hash of the session *name* instead: every mutation of one
+/// session lands on the same shard FIFO, so session state (a per-shard map
+/// of engine/session.hpp SessionEngines) is mutated shared-nothing by that
+/// shard's worker — no locks, and snapshot responses are a pure function of
+/// the session's mutation history. A per-shard session-op budget
+/// (ServiceOptions::session_queue_budget) bounds how much of a queue a
+/// churn burst may occupy, so one chatty session cannot starve solve ops.
+///
 /// Determinism: a response body is a pure function of the request (solver
 /// determinism; cache provenance is kept out of the body), and same-shape
 /// requests hit the same shard FIFO in arrival order — so the response
@@ -30,10 +39,12 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/batch.hpp"
 #include "engine/registry.hpp"
+#include "engine/session.hpp"
 #include "obs/obs.hpp"
 #include "parallel/thread_pool.hpp"
 #include "serve/bounded_queue.hpp"
@@ -54,6 +65,20 @@ struct ServiceOptions {
   bool reject_when_full = false;
   int budget_ms = 20;  ///< default portfolio effort gate per request
   std::vector<std::string> solvers;  ///< portfolio `only` filter ([] = all)
+  /// Open-session cap across all shards; open_session beyond it fails with
+  /// the named `session_limit` error.
+  std::size_t session_limit = 1024;
+  /// Per-shard cap on *queued* session ops — the admission fairness bound:
+  /// a chatty session (cheap mutations arrive much faster than solves
+  /// drain) can occupy at most this many of a shard's queue slots, so solve
+  /// traffic behind a churn burst waits for at most `session_queue_budget`
+  /// cheap ops instead of a full queue of them. Blocking admission applies
+  /// backpressure at the budget; reject admission sheds with `overloaded`.
+  /// 0 disables the gate (sessions compete for the whole queue).
+  std::size_t session_queue_budget = 64;
+  /// Per-session repair-memo bound, in canonical shapes
+  /// (engine/session.hpp; session-local by design — determinism).
+  std::size_t session_cache = 256;
   /// Request-lifecycle tracing: the sampled `--trace` JSONL span sink and
   /// the always-on slow-request log (obs/trace.hpp). An empty path only
   /// disables span emission; the slow log stays armed.
@@ -143,12 +168,19 @@ class Service {
 
  private:
   struct Item {
+    Op op = Op::kSolve;
     Json id;
     Instance instance;
     engine::CanonicalForm form;
     int budget_ms = 0;  // 0 = service default (cacheable)
     Done done;
     obs::TraceContext trace;  // lifecycle stamps (admission -> write)
+    // Session ops (routed by session-name hash, not canonical form):
+    std::string session;
+    std::string job_class;  // kSubmitJob
+    Time size = 0;          // kSubmitJob
+    std::int64_t job = -1;  // kCancelJob
+    int machines = 0;       // kOpenSession
   };
 
   // A cached solve: the rendered response tail plus the winning solver's
@@ -167,7 +199,9 @@ class Service {
       LruCache<engine::CanonicalForm, CachedResult, engine::CanonicalFormHash,
                engine::CanonicalFormShapeEq>;
 
-  /// One shard: admission queue, solver, bounded result cache, counters.
+  /// One shard: admission queue, solver, bounded result cache, counters,
+  /// and the sessions it owns (shared-nothing: a session's name hash picks
+  /// its shard, so all its mutations serialize on one worker, no locks).
   struct Shard {
     explicit Shard(std::size_t queue_depth, std::size_t cache_capacity)
         : queue(queue_depth), cache(cache_capacity) {}
@@ -180,10 +214,22 @@ class Service {
     // worker's non-atomic LRU counters.
     std::atomic<std::size_t> solved{0}, hits{0}, misses{0}, evictions{0},
         entries{0};
+    /// Sessions owned by this shard, touched only by its worker.
+    std::unordered_map<std::string, std::unique_ptr<engine::SessionEngine>>
+        sessions;
+    /// Admission fairness gate (ServiceOptions::session_queue_budget):
+    /// session ops queued on this shard right now. Producers block (or
+    /// shed) at the budget; the worker decrements and signals after each
+    /// session op it finishes.
+    std::mutex session_gate_mutex;
+    std::condition_variable session_gate_cv;
+    std::size_t queued_session_ops = 0;  // guarded by session_gate_mutex
   };
 
   void shard_loop(Shard& shard);
   void process(Shard& shard, Item& item);
+  void process_session(Shard& shard, Item& item);
+  void release_session_slot(Shard& shard);
   void respond(Done& done, std::string&& line);
   void respond_error(Done& done, const Json& id, WireError code,
                      std::string_view detail,
@@ -206,6 +252,16 @@ class Service {
   obs::Histogram* lat_solve_ = nullptr;
   obs::Histogram* lat_write_ = nullptr;
   obs::Histogram* lat_total_ = nullptr;
+  // serve.session.* handles (pre-registered for a stable stats key set).
+  obs::Counter* session_opened_c_ = nullptr;
+  obs::Counter* session_closed_c_ = nullptr;
+  obs::Counter* session_submits_c_ = nullptr;
+  obs::Counter* session_cancels_c_ = nullptr;
+  obs::Counter* session_snapshots_c_ = nullptr;
+  obs::Counter* session_repairs_c_ = nullptr;
+  obs::Counter* session_fallbacks_c_ = nullptr;
+  obs::Gauge* session_active_g_ = nullptr;
+  std::atomic<std::size_t> active_sessions_{0};
   std::atomic<std::uint64_t> seq_{0};  // request sequence (trace sampling)
   std::vector<std::unique_ptr<Shard>> shards_;
   ThreadPool pool_;

@@ -37,6 +37,9 @@ std::string_view wire_error_name(WireError code) {
     case WireError::kOverloaded: return "overloaded";
     case WireError::kVersionMismatch: return "wire_version_mismatch";
     case WireError::kShuttingDown: return "shutting_down";
+    case WireError::kUnknownSession: return "unknown_session";
+    case WireError::kUnknownJob: return "unknown_job";
+    case WireError::kSessionLimit: return "session_limit";
   }
   return "unknown_error";
 }
@@ -69,6 +72,11 @@ std::optional<Request> parse_request(const std::string& line, WireError* code,
   else if (name == "stats") request.op = Op::kStats;
   else if (name == "version") request.op = Op::kVersion;
   else if (name == "shutdown") request.op = Op::kShutdown;
+  else if (name == "open_session") request.op = Op::kOpenSession;
+  else if (name == "submit_job") request.op = Op::kSubmitJob;
+  else if (name == "cancel_job") request.op = Op::kCancelJob;
+  else if (name == "snapshot") request.op = Op::kSnapshot;
+  else if (name == "close_session") request.op = Op::kCloseSession;
   else return fail(WireError::kUnknownOp, "unknown op '" + name + "'");
 
   std::string int_error;
@@ -91,6 +99,43 @@ std::optional<Request> parse_request(const std::string& line, WireError* code,
       (request.spec.empty() == request.instance.empty()))
     return fail(WireError::kBadRequest,
                 "solve needs exactly one of 'spec' or 'instance'");
+
+  const bool session_op =
+      request.op == Op::kOpenSession || request.op == Op::kSubmitJob ||
+      request.op == Op::kCancelJob || request.op == Op::kSnapshot ||
+      request.op == Op::kCloseSession;
+  if (session_op) {
+    const Json* session = document->find("session");
+    if (session == nullptr || !session->is_string() ||
+        session->as_string().empty())
+      return fail(WireError::kBadRequest,
+                  "'" + name + "' needs a non-empty string 'session'");
+    request.session = session->as_string();
+  }
+  if (request.op == Op::kOpenSession) {
+    if (!read_int(*document, "machines", &request.machines, &int_error))
+      return fail(WireError::kBadRequest, int_error);
+    if (request.machines < 1)
+      return fail(WireError::kBadRequest, "'machines' must be >= 1");
+  }
+  if (request.op == Op::kSubmitJob) {
+    const Json* cls = document->find("class");
+    if (cls == nullptr || !cls->is_string() || cls->as_string().empty())
+      return fail(WireError::kBadRequest,
+                  "'submit_job' needs a non-empty string 'class'");
+    request.job_class = cls->as_string();
+    if (!read_int(*document, "size", &request.size, &int_error))
+      return fail(WireError::kBadRequest, int_error);
+    if (request.size < 1)
+      return fail(WireError::kBadRequest, "'size' must be >= 1");
+  }
+  if (request.op == Op::kCancelJob) {
+    if (!read_int(*document, "job", &request.job, &int_error))
+      return fail(WireError::kBadRequest, int_error);
+    if (request.job < 0)
+      return fail(WireError::kBadRequest,
+                  "'cancel_job' needs a non-negative integer 'job'");
+  }
   return request;
 }
 
@@ -134,6 +179,54 @@ std::string ok_response(const Json& id, std::string_view op) {
   response.set("id", id);
   response.set("ok", true);
   response.set("op", std::string(op));
+  return response.str();
+}
+
+std::string session_response(const Json& id, std::string_view op,
+                             std::string_view session) {
+  Json response = Json::object();
+  response.set("id", id);
+  response.set("ok", true);
+  response.set("op", std::string(op));
+  response.set("session", std::string(session));
+  return response.str();
+}
+
+std::string submit_response(const Json& id, std::string_view session,
+                            std::uint64_t job) {
+  Json response = Json::object();
+  response.set("id", id);
+  response.set("ok", true);
+  response.set("session", std::string(session));
+  response.set("job", static_cast<std::int64_t>(job));
+  return response.str();
+}
+
+std::string cancel_response(const Json& id, std::string_view session,
+                            std::uint64_t job) {
+  Json response = Json::object();
+  response.set("id", id);
+  response.set("ok", true);
+  response.set("session", std::string(session));
+  response.set("job", static_cast<std::int64_t>(job));
+  response.set("cancelled", true);
+  return response.str();
+}
+
+std::string snapshot_response(const Json& id, const SnapshotBody& body) {
+  Json response = Json::object();
+  response.set("id", id);
+  response.set("ok", true);
+  response.set("session", body.session);
+  response.set("jobs", static_cast<std::int64_t>(body.jobs));
+  response.set("classes", static_cast<std::int64_t>(body.classes));
+  response.set("machines", static_cast<std::int64_t>(body.machines));
+  response.set("solver", body.solver);
+  response.set("makespan", body.makespan);
+  response.set("t_bound", body.t_bound);
+  response.set("ratio", body.ratio);
+  response.set("valid", body.valid);
+  response.set("source", body.source);
   return response.str();
 }
 

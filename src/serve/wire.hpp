@@ -8,6 +8,11 @@
 ///   {"id":7,"op":"solve","spec":"uniform:n=40,m=4,seed=9"}
 ///   {"id":8,"op":"solve","instance":"msrs 1\nmachines 4\n..."}
 ///   {"op":"ping"} {"op":"stats"} {"op":"version"} {"op":"shutdown"}
+///   {"id":9,"op":"open_session","session":"s1","machines":8}
+///   {"id":10,"op":"submit_job","session":"s1","class":"r0","size":40}
+///   {"id":11,"op":"cancel_job","session":"s1","job":0}
+///   {"id":12,"op":"snapshot","session":"s1"}
+///   {"id":13,"op":"close_session","session":"s1"}
 /// \endverbatim
 /// `id` is echoed verbatim (null when absent); an optional `"wire":N`
 /// member asserts the client's protocol version and fails the request with
@@ -22,6 +27,8 @@
 /// and the stream continues with the next line.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -46,15 +53,22 @@ enum class WireError {
   kOverloaded,       ///< admission queue full (reject admission mode)
   kVersionMismatch,  ///< client `wire` version differs from kWireVersion
   kShuttingDown,     ///< service no longer accepts requests
+  kUnknownSession,   ///< session op names no open session
+  kUnknownJob,       ///< cancel_job names no alive job of the session
+  kSessionLimit,     ///< open_session would exceed the open-session cap
 };
 
 /// Every wire error code, in enum order — the telemetry layer pre-registers
-/// one counter per code so the `stats` error breakdown has a stable key set.
+/// one counter per code so the `stats` error breakdown has a stable key set
+/// (new codes are appended, never reordered: the enum value indexes the
+/// service's per-code counter table).
 inline constexpr WireError kAllWireErrors[] = {
     WireError::kParseError,   WireError::kBadRequest,
     WireError::kUnknownOp,    WireError::kBadSpec,
     WireError::kBadInstance,  WireError::kOverloaded,
     WireError::kVersionMismatch, WireError::kShuttingDown,
+    WireError::kUnknownSession,  WireError::kUnknownJob,
+    WireError::kSessionLimit,
 };
 
 /// The stable wire string of an error code (e.g. "overloaded").
@@ -67,6 +81,11 @@ enum class Op {
   kStats,     ///< service counters snapshot
   kVersion,   ///< schema versions (instance/bench/wire) of the service
   kShutdown,  ///< stop accepting, drain, exit the serve loop
+  kOpenSession,   ///< create a named mutable session (engine/session.hpp)
+  kSubmitJob,     ///< session mutation: add a job to a class
+  kCancelJob,     ///< session mutation: cancel a submitted job
+  kSnapshot,      ///< current session schedule (incremental repair path)
+  kCloseSession,  ///< drop a session and its state
 };
 
 /// One parsed request line.
@@ -78,6 +97,11 @@ struct Request {
                          ///< with `instance`)
   std::string instance;  ///< kSolve: instance_io text
   int budget_ms = 0;     ///< kSolve: portfolio effort gate (0 = default)
+  std::string session;   ///< session ops: the client-chosen session name
+  std::string job_class; ///< kSubmitJob: resource-class name (`"class"`)
+  int size = 0;          ///< kSubmitJob: job processing time (>= 1)
+  int job = -1;          ///< kCancelJob: session job id (-1 = absent)
+  int machines = 8;      ///< kOpenSession: machine pool size (>= 1)
 };
 
 /// Parses one JSONL request line. On failure returns std::nullopt and
@@ -112,6 +136,40 @@ std::string compose_response(const Json& id, const std::string& tail);
 
 /// Renders the acknowledgement line of ping/shutdown ops.
 std::string ok_response(const Json& id, std::string_view op);
+
+/// Renders the open_session/close_session acknowledgement (op + session
+/// name echoed): `{"id":..,"ok":true,"op":"open_session","session":"s1"}`.
+std::string session_response(const Json& id, std::string_view op,
+                             std::string_view session);
+
+/// Renders the submit_job response carrying the assigned session job id.
+std::string submit_response(const Json& id, std::string_view session,
+                            std::uint64_t job);
+
+/// Renders the cancel_job acknowledgement.
+std::string cancel_response(const Json& id, std::string_view session,
+                            std::uint64_t job);
+
+/// The body of a `snapshot` response: the session's current schedule
+/// summary plus repair provenance. Every field is a pure function of the
+/// session's mutation history (the session memo is session-local), so
+/// snapshot responses are byte-identical across shard counts and
+/// transports — the serving-layer invariant tests/test_session.cpp pins.
+struct SnapshotBody {
+  std::string session;   ///< session name (echoed)
+  std::size_t jobs = 0;      ///< alive jobs
+  std::size_t classes = 0;   ///< classes with at least one alive job
+  int machines = 0;          ///< machine pool size
+  std::string solver;        ///< winning solver ("empty" when no jobs)
+  double makespan = 0.0;     ///< schedule makespan, instance units
+  std::int64_t t_bound = 0;  ///< Lemma-9 bound of the current instance
+  double ratio = 0.0;        ///< makespan / t_bound
+  bool valid = false;        ///< schedule passed core/validate
+  std::string source;        ///< "repair" | "resolve" | "empty"
+};
+
+/// Renders a snapshot response line.
+std::string snapshot_response(const Json& id, const SnapshotBody& body);
 
 /// Renders the `version` response: instance-format, bench-schema and wire
 /// versions of this build (the driver's handshake target).

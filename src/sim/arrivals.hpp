@@ -1,0 +1,107 @@
+/// \file
+/// Arrival processes: deterministic churn traces for the online sessions.
+///
+/// A ChurnSpec names one submit/cancel/snapshot event stream — an arrival
+/// process (Poisson or bursty on/off) over a pool of resource classes —
+/// and, like GeneratorSpec (sim/spec.hpp), round-trips through a compact
+/// string such as `poisson:events=500,classes=8,m=4,seed=7`. The trace is a
+/// pure function of the spec: `generate_churn(spec)` derives every draw
+/// from a seed mixed out of the spec's fields (util/rng.hpp), so a spec
+/// string is a complete, shareable name for a churn workload — the load
+/// driver replays it over stdio/socket/TCP (`drive --churn`), CI replays a
+/// committed spec for the snapshot byte-identity smoke, and the E15 bench
+/// replays it against engine/session.hpp directly.
+///
+/// Determinism split: the event *structure* (kinds, classes, sizes, cancel
+/// targets) is produced exclusively from integer draws, so it is identical
+/// on every platform; event *timestamps* (`at_s`, used only for optional
+/// replay pacing) come from an independent child stream and never feed back
+/// into the structure.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace msrs {
+
+/// The arrival-process kinds. New values must be appended (the enum value
+/// is mixed into the trace seed, so reordering would change every trace).
+enum class ArrivalKind {
+  kPoisson,  ///< memoryless arrivals at a constant mean rate
+  kOnOff,    ///< bursty: alternating on-phases (rate x burst) and off-phases
+};
+
+/// Canonical lowercase name of an arrival kind ("poisson"/"onoff").
+constexpr const char* arrival_kind_name(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kOnOff: return "onoff";
+  }
+  return "?";
+}
+
+/// One churn workload: arrival process x sizing x mutation mix x seed.
+///
+/// The compact string form is `kind:key=value,...` with keys `events`,
+/// `classes`, `m` (machines), `max` (job size scale), `cancel` (cancel
+/// fraction), `snap` (snapshot every k churn events; 0 = final snapshot
+/// only), `rate` (mean arrivals/s, timing only), `burst`/`blen` (on/off
+/// rate multiplier and events per phase) and `seed`. `str()` renders the
+/// canonical form, which `parse_churn` round-trips exactly.
+struct ChurnSpec {
+  ArrivalKind kind = ArrivalKind::kPoisson;  ///< arrival process
+  int events = 200;       ///< churn (submit/cancel) events in the trace
+  int classes = 8;        ///< resource-class pool size
+  int machines = 8;       ///< machine pool of the session (`m=`)
+  Time max_size = 1000;   ///< job size scale (`max=`)
+  double cancel = 0.3;    ///< target fraction of cancel events (`cancel=`)
+  int snap_every = 10;    ///< snapshot after every k churn events (`snap=`)
+  double rate = 1000.0;   ///< mean arrivals per second (`rate=`; timing only)
+  double burst = 10.0;    ///< on/off: on-phase rate multiplier (`burst=`)
+  int burst_len = 32;     ///< on/off: events per phase (`blen=`)
+  std::uint64_t seed = 1; ///< RNG seed (`seed=`)
+
+  /// Canonical spec string; `parse_churn(str())` reproduces the spec.
+  std::string str() const;
+
+  /// Field-wise equality.
+  friend bool operator==(const ChurnSpec&, const ChurnSpec&) = default;
+};
+
+/// Parses a compact churn spec string. On failure returns std::nullopt and,
+/// when `error` is non-null, a message naming the offending token.
+std::optional<ChurnSpec> parse_churn(std::string_view text,
+                                     std::string* error = nullptr);
+
+/// One event of a churn trace.
+struct ChurnEvent {
+  /// Event kinds, in wire-op correspondence.
+  enum class Kind {
+    kSubmit,    ///< submit a job (`cls`, `size`)
+    kCancel,    ///< cancel a previously submitted job (`target`)
+    kSnapshot,  ///< observe the current schedule
+  };
+  Kind kind = Kind::kSubmit;  ///< discriminator
+  int cls = 0;                ///< kSubmit: class index in [0, classes)
+  Time size = 0;              ///< kSubmit: job processing time (>= 1)
+  /// kCancel: the submission index of the cancelled job — the position of
+  /// its submit event among all submits, which equals the session job id a
+  /// SessionEngine assigns (ids are a monotone per-session counter), so a
+  /// replayer can predict server job ids without parsing responses.
+  std::int64_t target = -1;
+  double at_s = 0.0;  ///< arrival offset from trace start (pacing only)
+};
+
+/// Generates the event trace of a spec (pure function; see file comment).
+/// Cancel events only ever target alive (not yet cancelled) submissions,
+/// and a cancel draw with nothing alive degrades to a submit, so the trace
+/// replays cleanly without unknown_job errors; adversarial cancel patterns
+/// are the fuzzers' job, not the generator's.
+std::vector<ChurnEvent> generate_churn(const ChurnSpec& spec);
+
+}  // namespace msrs

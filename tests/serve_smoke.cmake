@@ -55,3 +55,53 @@ endif()
 if(responses MATCHES "\"ok\":false.*\"ok\":false")
   message(FATAL_ERROR "more than one response failed:\n${responses}")
 endif()
+
+# Online-session churn: emit a deterministic Poisson submit/cancel/snapshot
+# trace and replay it through `serve` at two shard counts — session state
+# lives on one shard (routed by session-name hash) and snapshots are a pure
+# function of the mutation history, so the response streams must again be
+# byte-identical.
+execute_process(
+  COMMAND ${CLI} drive
+          --churn=poisson:events=200,classes=6,m=4,max=50,cancel=0.35,snap=5,seed=3
+          --emit=${WORKDIR}/churn.jsonl
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "drive --churn --emit failed with exit code ${rc}:\n${err}")
+endif()
+
+foreach(shards 1 4)
+  execute_process(
+    COMMAND ${CLI} serve --shards=${shards}
+    INPUT_FILE ${WORKDIR}/churn.jsonl
+    OUTPUT_FILE ${WORKDIR}/churn_responses_${shards}.jsonl
+    RESULT_VARIABLE rc ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "serve --shards=${shards} (churn) failed with exit code"
+            " ${rc}:\n${err}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORKDIR}/churn_responses_1.jsonl
+          ${WORKDIR}/churn_responses_4.jsonl
+  RESULT_VARIABLE differs)
+if(NOT differs EQUAL 0)
+  message(FATAL_ERROR
+          "churn responses differ between 1 shard and 4 shards")
+endif()
+
+file(READ ${WORKDIR}/churn_responses_4.jsonl churn_responses)
+if(NOT churn_responses MATCHES "\"op\":\"open_session\"")
+  message(FATAL_ERROR "churn replay produced no open_session response")
+endif()
+if(NOT churn_responses MATCHES "\"source\":")
+  message(FATAL_ERROR "churn replay produced no snapshot provenance")
+endif()
+if(churn_responses MATCHES "\"ok\":false")
+  message(FATAL_ERROR
+          "a churn response failed:\n${churn_responses}")
+endif()

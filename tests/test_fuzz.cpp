@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <future>
+#include <map>
+#include <set>
 #include <thread>
 
 #include "algo/baselines.hpp"
@@ -375,6 +377,123 @@ TEST(FramerFuzz, RandomlyChunkedTcpStreamAnswersEveryLineInOrder) {
   serve::request_stop();
   server.join();
   serve::reset_stop();
+}
+
+// ---------------- session churn fuzz ----------------
+
+// Model-based fuzzing of the online-session ops: random interleavings of
+// open/submit/cancel/snapshot/close — including cancels of unknown jobs,
+// double-cancels, cancels after snapshots, ops on unknown or closed
+// sessions, reopened names, and the open-session cap — replayed against a
+// live Service and checked op-by-op against an independent model. Every
+// defect must map to exactly the named wire error the model predicts, and
+// every snapshot must report a valid schedule. Returns the full response
+// transcript so the caller can assert per-seed determinism.
+std::string churn_fuzz_round(std::uint64_t seed) {
+  struct SessionModel {
+    std::set<std::uint64_t> alive;
+    std::uint64_t next_id = 0;
+  };
+  Rng rng(0x5e551a5eULL ^ seed * 0x9e3779b97f4a7c15ULL);
+  serve::ServiceOptions options;
+  options.shards = static_cast<unsigned>(rng.uniform(1, 4));
+  options.budget_ms = 5;
+  options.session_limit = 3;
+  serve::Service service(options);
+  std::map<std::string, SessionModel> open;
+  const char* names[] = {"s0", "s1", "s2", "s3"};
+  std::string transcript;
+  for (int step = 0; step < 60; ++step) {
+    const std::string session =
+        names[static_cast<std::size_t>(rng.uniform(0, 3))];
+    const auto found = open.find(session);
+    const bool exists = found != open.end();
+    const std::int64_t action = rng.uniform(0, 9);
+    std::string line, expect;
+    bool is_snapshot = false;
+    if (action <= 1) {
+      line = R"({"op":"open_session","session":")" + session +
+             R"(","machines":)" + std::to_string(rng.uniform(1, 4)) + "}";
+      if (exists) expect = "\"error\":\"bad_request\"";
+      else if (open.size() >= options.session_limit)
+        expect = "\"error\":\"session_limit\"";
+      else {
+        expect = "\"op\":\"open_session\"";
+        open.emplace(session, SessionModel{});
+      }
+    } else if (action <= 4) {
+      line = R"({"op":"submit_job","session":")" + session +
+             R"(","class":"c)" + std::to_string(rng.uniform(0, 2)) +
+             R"(","size":)" + std::to_string(rng.uniform(1, 40)) + "}";
+      if (!exists) {
+        expect = "\"error\":\"unknown_session\"";
+      } else {
+        expect = "\"job\":" + std::to_string(found->second.next_id);
+        found->second.alive.insert(found->second.next_id++);
+      }
+    } else if (action <= 6) {
+      // Half the cancels aim at a model-chosen alive job, half at an
+      // arbitrary id — which may be dead (double-cancel), never assigned,
+      // or accidentally alive; the model decides which response is right.
+      std::uint64_t target = static_cast<std::uint64_t>(rng.uniform(0, 9));
+      if (exists && !found->second.alive.empty() && rng.uniform(0, 1) == 0) {
+        auto it = found->second.alive.begin();
+        std::advance(it, rng.uniform(0, static_cast<std::int64_t>(
+                                            found->second.alive.size()) -
+                                            1));
+        target = *it;
+      }
+      line = R"({"op":"cancel_job","session":")" + session + R"(","job":)" +
+             std::to_string(target) + "}";
+      if (!exists) {
+        expect = "\"error\":\"unknown_session\"";
+      } else if (found->second.alive.count(target) > 0) {
+        expect = "\"cancelled\":true";
+        found->second.alive.erase(target);
+      } else {
+        expect = "\"error\":\"unknown_job\"";
+      }
+    } else if (action <= 7) {
+      line = R"({"op":"snapshot","session":")" + session + "\"}";
+      if (!exists) {
+        expect = "\"error\":\"unknown_session\"";
+      } else {
+        expect = "\"jobs\":" + std::to_string(found->second.alive.size());
+        is_snapshot = true;
+      }
+    } else {
+      line = R"({"op":"close_session","session":")" + session + "\"}";
+      if (!exists) {
+        expect = "\"error\":\"unknown_session\"";
+      } else {
+        expect = "\"op\":\"close_session\"";
+        open.erase(found);
+      }
+    }
+    const std::string response = service.handle(line);
+    EXPECT_NE(response.find(expect), std::string::npos)
+        << "seed " << seed << " step " << step << ": " << line << " -> "
+        << response;
+    // A snapshot of an open session is never an invalid schedule, however
+    // adversarial the preceding churn was.
+    if (is_snapshot) {
+      EXPECT_NE(response.find("\"valid\":true"), std::string::npos)
+          << "seed " << seed << " step " << step << ": " << response;
+    }
+    transcript += response;
+    transcript += '\n';
+  }
+  return transcript;
+}
+
+TEST(SessionChurnFuzz, RandomInterleavingsMatchTheModel) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed)
+    EXPECT_FALSE(churn_fuzz_round(seed).empty());
+}
+
+TEST(SessionChurnFuzz, RoundsAreDeterministicPerSeed) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed)
+    EXPECT_EQ(churn_fuzz_round(seed), churn_fuzz_round(seed)) << seed;
 }
 
 // ---------------- cross-algorithm coherence ----------------

@@ -258,6 +258,42 @@ TEST(Service, ShutdownDrainsAndRefusesNewWork) {
   EXPECT_NE(refused.find("\"error\":\"shutting_down\""), std::string::npos);
 }
 
+TEST(Service, ShutdownDrainsLiveSessionsAndRefusesNewSubmits) {
+  Service service(small_service(2));
+  ASSERT_NE(service
+                .handle(
+                    R"({"op":"open_session","session":"drain","machines":3})")
+                .find("\"ok\":true"),
+            std::string::npos);
+  // Queue mutations and an in-flight snapshot asynchronously, then shut
+  // down: the drain must flush every pending session mutation and answer
+  // the snapshot before returning — sessions are not dropped mid-churn.
+  std::atomic<int> answered{0};
+  for (int i = 0; i < 6; ++i)
+    service.submit(R"({"op":"submit_job","session":"drain","class":"c)" +
+                       std::to_string(i % 2) + R"(","size":)" +
+                       std::to_string(i + 5) + "}",
+                   [&](std::string&& response) {
+                     EXPECT_NE(response.find("\"ok\":true"),
+                               std::string::npos);
+                     answered.fetch_add(1);
+                   });
+  std::string snapshot;
+  service.submit(R"({"op":"snapshot","session":"drain"})",
+                 [&](std::string&& response) {
+                   snapshot = std::move(response);
+                   answered.fetch_add(1);
+                 });
+  EXPECT_TRUE(service.shutdown(std::chrono::seconds(60)));
+  EXPECT_EQ(answered.load(), 7);
+  EXPECT_NE(snapshot.find("\"jobs\":6"), std::string::npos) << snapshot;
+  EXPECT_NE(snapshot.find("\"valid\":true"), std::string::npos) << snapshot;
+  // Post-drain the session surface is closed for business, by name.
+  const std::string refused = service.handle(
+      R"({"op":"submit_job","session":"drain","class":"c0","size":9})");
+  EXPECT_NE(refused.find("\"error\":\"shutting_down\""), std::string::npos);
+}
+
 // ---------------- stdio transport ----------------
 
 std::string serve_all(const std::string& input, unsigned shards) {

@@ -442,6 +442,40 @@ TEST(TcpTransport, ShutdownOpAnswersDrainsAndExits) {
   server.stop();  // the loop already exited; this only joins
 }
 
+TEST(TcpTransport, ShutdownDrainsLiveSessionsInOrder) {
+  if (!tcp_transport_available())
+    GTEST_SKIP() << "no TCP transport on this platform";
+  TcpTestServer server(small_service(2), TcpOptions{});
+  TcpClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect(server.target(), &error)) << error;
+  // A live session's queued mutations and in-flight snapshot must all be
+  // answered, in request order, before the shutdown ack closes the stream.
+  ASSERT_TRUE(client.send_line(
+      R"({"id":1,"op":"open_session","session":"drain","machines":3})"));
+  for (int i = 0; i < 4; ++i)
+    ASSERT_TRUE(client.send_line(
+        R"({"id":)" + std::to_string(i + 2) +
+        R"(,"op":"submit_job","session":"drain","class":"c0","size":)" +
+        std::to_string(i + 7) + "}"));
+  ASSERT_TRUE(
+      client.send_line(R"({"id":6,"op":"snapshot","session":"drain"})"));
+  ASSERT_TRUE(client.send_line(R"({"id":7,"op":"shutdown"})"));
+  std::string line;
+  for (int id = 1; id <= 6; ++id) {
+    ASSERT_TRUE(client.recv_line(&line)) << "id " << id;
+    EXPECT_NE(line.find("\"id\":" + std::to_string(id)), std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"ok\":true"), std::string::npos) << line;
+  }
+  EXPECT_NE(line.find("\"jobs\":4"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"valid\":true"), std::string::npos) << line;
+  ASSERT_TRUE(client.recv_line(&line));
+  EXPECT_NE(line.find("\"op\":\"shutdown\""), std::string::npos);
+  EXPECT_FALSE(client.recv_line(&line));  // closed after the session drain
+  server.stop();
+}
+
 // ---------------- socket-transport budget race regression ----------------
 
 TEST(ServeSocketBudget, SlotFreesTheInstantAConnectionEnds) {

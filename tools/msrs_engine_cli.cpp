@@ -77,6 +77,8 @@ struct Options {
   unsigned conns = 1;        // drive: concurrent connections
   bool payload_spec = false; // drive: send spec strings, not instance text
   std::string emit;          // drive: write request JSONL instead
+  std::string churn;         // drive: churn spec (session-trace mode)
+  std::string churn_out;     // drive: conn-0 response capture file
   bool json_report = false;  // drive: machine-readable report
   // serve telemetry
   std::string trace;              // serve: JSONL span sink ("-" = stderr)
@@ -169,7 +171,8 @@ void print_usage(std::FILE* to) {
                "        [--requests=N] [--duration=S]\n"
                "        [--qps=Q] [--conns=C] [--payload=instance|spec]"
                " [--emit=FILE] [--json]\n"
-               "        [--stats-interval=S]\n"
+               "        [--stats-interval=S] [--churn=CHURNSPEC]"
+               " [--churn-out=FILE]\n"
                "      Replay the generated corpus against a running"
                " service; reports p50/p95/p99\n"
                "      latency, throughput and cache hit rate. --qps paces"
@@ -179,6 +182,15 @@ void print_usage(std::FILE* to) {
                "      --stats-interval polls `stats` mid-run and prints a"
                " live latency\n"
                "      decomposition table to stderr.\n"
+               "      --churn replays an online-session trace instead (one"
+               " session per\n"
+               "      connection, submit/cancel/snapshot in order);"
+               " --churn-out captures\n"
+               "      connection 0's response bytes. CHURNSPEC ="
+               " (poisson|onoff)[:key=v,...],\n"
+               "      keys: events, classes, m, max, cancel, snap, rate,"
+               " burst, blen, seed —\n"
+               "      e.g. poisson:events=200,cancel=0.3,snap=10,seed=1\n"
                "  stats (--socket=PATH | --tcp=HOST:PORT) [--json]\n"
                "      One-shot `stats` op against a running service:"
                " counters, queue depths,\n"
@@ -288,6 +300,9 @@ bool parse_flags(int argc, char** argv, int begin, Options* options) {
       else if (auto v20 = arg_value(argv[i], "conns"))
         options->conns = static_cast<unsigned>(std::stoul(*v20));
       else if (auto v21 = arg_value(argv[i], "emit")) options->emit = *v21;
+      else if (auto c1 = arg_value(argv[i], "churn")) options->churn = *c1;
+      else if (auto c2 = arg_value(argv[i], "churn-out"))
+        options->churn_out = *c2;
       else if (auto v22 = arg_value(argv[i], "payload")) {
         if (*v22 == "spec") options->payload_spec = true;
         else if (*v22 == "instance") options->payload_spec = false;
@@ -688,11 +703,14 @@ int run_drive(const Options& options) {
   drive_options.payload_spec = options.payload_spec;
   drive_options.stats_interval_s = options.stats_interval;
   drive_options.emit = options.emit;
+  drive_options.churn = options.churn;
+  drive_options.churn_out = options.churn_out;
   std::string error;
   const auto report = serve::drive(drive_options, &error);
   if (!report) {
     std::fprintf(stderr, "drive: %s\n", error.c_str());
     return error.find("bad_spec") != std::string::npos ||
+                   error.find("bad_churn") != std::string::npos ||
                    error.find("needs") != std::string::npos
                ? 2
                : 1;
