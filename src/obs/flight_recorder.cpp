@@ -1,0 +1,285 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <csignal>
+#include <cstring>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+namespace msrs::obs {
+namespace {
+
+// Binary dump magic: identifies (and versions) the raw ring format.
+constexpr char kDumpMagic[8] = {'M', 'S', 'R', 'S', 'F', 'R', '0', '1'};
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+#if !defined(_WIN32)
+// Async-signal-safe full write (EINTR retried, short writes resumed).
+void write_all(int fd, const void* data, std::size_t size) noexcept {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // nothing a handler can do about a failed dump fd
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+#endif
+
+}  // namespace
+
+std::string_view event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kAdmit: return "admit";
+    case EventKind::kDispatch: return "dispatch";
+    case EventKind::kSolveBegin: return "solve_begin";
+    case EventKind::kSolveEnd: return "solve_end";
+    case EventKind::kSessionOpen: return "session_open";
+    case EventKind::kSessionSubmit: return "session_submit";
+    case EventKind::kSessionCancel: return "session_cancel";
+    case EventKind::kSessionSnapshot: return "session_snapshot";
+    case EventKind::kSessionClose: return "session_close";
+    case EventKind::kWrite: return "write";
+    case EventKind::kShed: return "shed";
+    case EventKind::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::uint64_t recorder_ts_ns(std::chrono::steady_clock::time_point at) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          at.time_since_epoch())
+          .count());
+}
+
+thread_local FlightRecorder::ThreadCache FlightRecorder::tl_cache;
+
+FlightRecorder::FlightRecorder(RecorderOptions options)
+    : capacity_(round_up_pow2(options.capacity < 2 ? 2 : options.capacity)) {
+  labels_.push_back("");  // id 0: the empty label
+  label_ids_.emplace("", 0);
+}
+
+FlightRecorder::~FlightRecorder() {
+  // Invalidate the calling thread's cache entry if it points here; other
+  // threads' stale entries are keyed by owner pointer and never followed
+  // for a different recorder. A recorder must outlive its recording
+  // threads' use of it (the Service owns both).
+  if (tl_cache.owner == this) tl_cache = ThreadCache{};
+}
+
+FlightRecorder::Ring* FlightRecorder::register_thread() {
+  std::lock_guard lock(mutex_);
+  const std::thread::id self = std::this_thread::get_id();
+  const auto it = threads_.find(self);
+  Ring* ring = nullptr;
+  if (it != threads_.end()) {
+    ring = it->second;
+  } else if (rings_.size() < kMaxRings) {
+    rings_.push_back(std::make_unique<Ring>(capacity_));
+    ring = rings_.back().get();
+    threads_.emplace(self, ring);
+    const std::size_t index = ring_count_.load(std::memory_order_relaxed);
+    ring_table_[index].store(ring, std::memory_order_release);
+    ring_count_.store(index + 1, std::memory_order_release);
+  } else {
+    overflow_dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  tl_cache.owner = this;
+  tl_cache.ring = ring;
+  return ring;
+}
+
+std::uint16_t FlightRecorder::intern(std::string_view label) {
+  std::lock_guard lock(mutex_);
+  const auto it = label_ids_.find(std::string(label));
+  if (it != label_ids_.end()) return it->second;
+  if (labels_.size() >= 0xffff) return 0;  // table full: fall back to ""
+  const std::uint16_t id = static_cast<std::uint16_t>(labels_.size());
+  labels_.emplace_back(label);
+  label_ids_.emplace(labels_.back(), id);
+  return id;
+}
+
+std::string FlightRecorder::label(std::uint16_t id) const {
+  std::lock_guard lock(mutex_);
+  return id < labels_.size() ? labels_[id] : std::string();
+}
+
+FlightRecorder::Dump FlightRecorder::collect(bool canonical) const {
+  Dump dump;
+  dump.dropped = overflow_dropped_.load(std::memory_order_relaxed);
+  const std::size_t count = ring_count_.load(std::memory_order_acquire);
+  for (std::size_t r = 0; r < count; ++r) {
+    const Ring* ring = ring_table_[r].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t capacity = ring->mask + 1;
+    const std::uint64_t live = head < capacity ? head : capacity;
+    dump.dropped += head - live;
+    for (std::uint64_t n = live; n > 0; --n)
+      dump.events.push_back(ring->slots[(head - n) & ring->mask]);
+  }
+  const auto canonical_order = [](const RecorderEvent& a,
+                                  const RecorderEvent& b) {
+    if (a.seq != b.seq) return a.seq < b.seq;
+    return a.kind < b.kind;
+  };
+  const auto time_order = [](const RecorderEvent& a, const RecorderEvent& b) {
+    if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+    if (a.seq != b.seq) return a.seq < b.seq;
+    return a.kind < b.kind;
+  };
+  if (canonical)
+    std::sort(dump.events.begin(), dump.events.end(), canonical_order);
+  else
+    std::sort(dump.events.begin(), dump.events.end(), time_order);
+  return dump;
+}
+
+Json FlightRecorder::event_json(const RecorderEvent& event,
+                                bool canonical) const {
+  Json object = Json::object();
+  object.set("seq", static_cast<std::int64_t>(event.seq));
+  object.set("event", std::string(event_kind_name(event.kind)));
+  object.set("label", label(event.arg));
+  object.set("value", static_cast<std::int64_t>(event.value));
+  if (!canonical) {
+    object.set("ts_ns", static_cast<std::int64_t>(event.ts_ns));
+    object.set("shard", static_cast<std::int64_t>(
+                            event.shard == 0xff ? -1 : event.shard));
+  }
+  return object;
+}
+
+std::string FlightRecorder::render_jsonl(const Dump& dump,
+                                         bool canonical) const {
+  Json meta = Json::object();
+  meta.set("events", static_cast<std::int64_t>(dump.events.size()));
+  meta.set("dropped", static_cast<std::int64_t>(dump.dropped));
+  meta.set("canonical", canonical);
+  std::string out = meta.str();
+  out.push_back('\n');
+  for (const RecorderEvent& event : dump.events) {
+    out += event_json(event, canonical).str();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void FlightRecorder::dump_to_fd(int fd) const noexcept {
+#if !defined(_WIN32)
+  if (fd < 0) return;
+  write_all(fd, kDumpMagic, sizeof kDumpMagic);
+  const std::uint64_t count = ring_count_.load(std::memory_order_acquire);
+  write_all(fd, &count, sizeof count);
+  for (std::uint64_t r = 0; r < count; ++r) {
+    const Ring* ring = ring_table_[r].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    const std::uint64_t capacity = ring->mask + 1;
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    write_all(fd, &capacity, sizeof capacity);
+    write_all(fd, &head, sizeof head);
+    write_all(fd, ring->slots.data(), capacity * sizeof(RecorderEvent));
+  }
+#else
+  (void)fd;
+#endif
+}
+
+bool FlightRecorder::decode(const char* data, std::size_t size, Dump* out) {
+  if (out == nullptr || data == nullptr) return false;
+  std::size_t offset = 0;
+  const auto read = [&](void* into, std::size_t bytes) {
+    if (offset + bytes > size) return false;
+    std::memcpy(into, data + offset, bytes);
+    offset += bytes;
+    return true;
+  };
+  char magic[8];
+  if (!read(magic, sizeof magic) ||
+      std::memcmp(magic, kDumpMagic, sizeof magic) != 0)
+    return false;
+  std::uint64_t rings = 0;
+  if (!read(&rings, sizeof rings) || rings > kMaxRings) return false;
+  Dump dump;
+  for (std::uint64_t r = 0; r < rings; ++r) {
+    std::uint64_t capacity = 0, head = 0;
+    if (!read(&capacity, sizeof capacity) || !read(&head, sizeof head))
+      return false;
+    if (capacity == 0 || (capacity & (capacity - 1)) != 0 ||
+        capacity > (1u << 28))
+      return false;
+    std::vector<RecorderEvent> slots(capacity);
+    if (!read(slots.data(), capacity * sizeof(RecorderEvent))) return false;
+    const std::uint64_t live = head < capacity ? head : capacity;
+    dump.dropped += head - live;
+    for (std::uint64_t n = live; n > 0; --n) {
+      const RecorderEvent& event = slots[(head - n) & (capacity - 1)];
+      if (static_cast<std::size_t>(event.kind) >= kEventKindCount)
+        return false;
+      dump.events.push_back(event);
+    }
+  }
+  *out = std::move(dump);
+  return true;
+}
+
+std::size_t FlightRecorder::size() const {
+  std::size_t total = 0;
+  const std::size_t count = ring_count_.load(std::memory_order_acquire);
+  for (std::size_t r = 0; r < count; ++r) {
+    const Ring* ring = ring_table_[r].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    total += head < ring->mask + 1 ? head : ring->mask + 1;
+  }
+  return total;
+}
+
+// ---------------- fatal-signal dump ----------------
+
+namespace {
+
+std::atomic<FlightRecorder*> g_fatal_recorder{nullptr};
+std::atomic<int> g_fatal_fd{-1};
+
+#if !defined(_WIN32)
+void fatal_dump_handler(int signo) {
+  FlightRecorder* recorder = g_fatal_recorder.load(std::memory_order_acquire);
+  const int fd = g_fatal_fd.load(std::memory_order_acquire);
+  if (recorder != nullptr && fd >= 0) recorder->dump_to_fd(fd);
+  // Re-raise with the default disposition so the process still dies with
+  // the original signal (core dumps, exit status intact).
+  std::signal(signo, SIG_DFL);
+  ::raise(signo);
+}
+#endif
+
+}  // namespace
+
+void install_fatal_dump(FlightRecorder* recorder, int fd) {
+#if !defined(_WIN32)
+  g_fatal_recorder.store(recorder, std::memory_order_release);
+  g_fatal_fd.store(recorder != nullptr ? fd : -1, std::memory_order_release);
+  const auto disposition = recorder != nullptr ? fatal_dump_handler : SIG_DFL;
+  std::signal(SIGSEGV, disposition);
+  std::signal(SIGABRT, disposition);
+#else
+  (void)recorder;
+  (void)fd;
+#endif
+}
+
+}  // namespace msrs::obs

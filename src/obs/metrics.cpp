@@ -17,7 +17,12 @@ constexpr double kLatencyBucketsUs[] = {
 // Fixed-point scale of Histogram sums: merging integer stripes is exact.
 constexpr double kSumScale = 1024.0;
 
-// Prometheus sample name: prefix + [a-zA-Z0-9_] only.
+// Canonical number bytes (shared with the Json writer, so both exposition
+// formats agree on every digit).
+std::string number_str(double v) { return Json(v).str(); }
+
+}  // namespace
+
 std::string prometheus_name(std::string_view name) {
   std::string out = "msrs_";
   out.reserve(out.size() + name.size());
@@ -26,11 +31,19 @@ std::string prometheus_name(std::string_view name) {
   return out;
 }
 
-// Canonical number bytes (shared with the Json writer, so both exposition
-// formats agree on every digit).
-std::string number_str(double v) { return Json(v).str(); }
-
-}  // namespace
+std::string prometheus_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
 
 std::size_t stripe_index() noexcept {
   static std::atomic<std::size_t> next{0};
@@ -126,6 +139,18 @@ const Histogram::Snapshot* MetricsSnapshot::histogram(
 
 std::string MetricsSnapshot::prometheus() const {
   std::string out;
+  for (const auto& [name, labels] : info) {
+    const std::string sample = prometheus_name(name);
+    out += "# TYPE " + sample + " gauge\n";
+    out += sample + "{";
+    bool first = true;
+    for (const auto& [key, value] : labels) {
+      if (!first) out += ",";
+      first = false;
+      out += key + "=\"" + prometheus_label_value(value) + "\"";
+    }
+    out += "} 1\n";
+  }
   for (const auto& [name, value] : counters) {
     const std::string sample = prometheus_name(name);
     out += "# TYPE " + sample + " counter\n";
@@ -177,6 +202,15 @@ Json MetricsSnapshot::json() const {
   document.set("counters", std::move(counters_json));
   document.set("gauges", std::move(gauges_json));
   document.set("histograms", std::move(histograms_json));
+  if (!info.empty()) {
+    Json info_json = Json::object();
+    for (const auto& [name, labels] : info) {
+      Json entry = Json::object();
+      for (const auto& [key, value] : labels) entry.set(key, value);
+      info_json.set(name, std::move(entry));
+    }
+    document.set("info", std::move(info_json));
+  }
   return document;
 }
 

@@ -138,6 +138,14 @@ class Histogram {
   std::vector<std::atomic<std::uint64_t>> sums_;
 };
 
+/// The Prometheus sample name of a metric: `msrs_` + the name with every
+/// non-alphanumeric character replaced by '_'.
+std::string prometheus_name(std::string_view name);
+
+/// A Prometheus label value with `\`, `"` and newline escaped per the
+/// exposition format.
+std::string prometheus_label_value(std::string_view value);
+
 /// Deterministic point-in-time view of a whole registry: every metric,
 /// sorted by name within its kind.
 struct MetricsSnapshot {
@@ -145,6 +153,13 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, std::int64_t>> gauges;     ///< by name
   std::vector<std::pair<std::string, Histogram::Snapshot>>
       histograms;  ///< by name
+  /// Info-style series (e.g. `build_info`): rendered as a constant-1 gauge
+  /// whose labels carry the payload. Filled by the exposition layer
+  /// (Service::metrics_snapshot()), not by the registry itself, so raw
+  /// registry snapshots stay environment-independent.
+  std::vector<std::pair<std::string, std::vector<std::pair<std::string,
+                                                           std::string>>>>
+      info;
 
   /// The merged counter value, or `fallback` when `name` is absent.
   std::uint64_t counter_or(std::string_view name,
@@ -156,10 +171,12 @@ struct MetricsSnapshot {
 
   /// Renders a Prometheus-style text page ('.'/'-' become '_', names are
   /// prefixed `msrs_`, histograms expose cumulative `_bucket{le=...}`,
-  /// `_sum` and `_count` series). Byte-stable for equal metric states.
+  /// `_sum` and `_count` series, info series render as constant-1 gauges
+  /// with escaped label values). Byte-stable for equal metric states.
   std::string prometheus() const;
   /// Renders a Json object {counters:{...},gauges:{...},histograms:{...}}
-  /// with keys sorted by name (byte-stable for equal metric states).
+  /// with keys sorted by name (byte-stable for equal metric states); an
+  /// "info" member is appended only when info series are present.
   Json json() const;
 };
 

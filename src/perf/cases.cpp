@@ -909,6 +909,27 @@ std::vector<BenchRow> e14_obs(const Runner& runner) {
   }
 
   {
+    // The flight-recorder hot path: one lifecycle event per request, so
+    // record() must stay in the tens of nanoseconds (the ≤25 ns/event
+    // budget of docs/observability.md). The timestamp is caller-supplied
+    // (the serve path reuses its trace stamps), so a constant keeps the
+    // measured work identical to the hot loop's.
+    obs::FlightRecorder recorder({/*capacity=*/1 << 14});
+    const std::uint16_t label = recorder.intern("three_halves");
+    BenchRow row;
+    row.timing = runner.measure([&] {
+      for (std::size_t i = 0; i < kOps; ++i)
+        recorder.record(obs::EventKind::kSolveEnd, /*seq=*/i,
+                        /*ts_ns=*/123456789, /*shard=*/0, /*arg=*/label,
+                        /*value=*/1);
+    });
+    row.name = "recorder/record";
+    row.solver = "obs";
+    row.counters.emplace_back("per_op", static_cast<double>(kOps));
+    rows.push_back(std::move(row));
+  }
+
+  {
     // Read side: snapshot a fixed registry and render the Prometheus page.
     obs::MetricsRegistry registry;
     for (int c = 0; c < 16; ++c)

@@ -564,6 +564,12 @@ std::optional<DriveReport> drive(const DriveOptions& options,
   if (poller.joinable()) poller.join();
   const double elapsed_s =
       std::chrono::duration<double>(Clock::now() - start).count();
+  if (options.stats_interval_s > 0.0) {
+    // Flush the final partial window: a run shorter than the interval
+    // would otherwise end with no decomposition rows at all.
+    if (const std::optional<Json> document = fetch_stats(control))
+      std::cerr << render_stats_poll(*document, elapsed_s);
+  }
 
   DriveReport report;
   report.ok = ok_count.load();

@@ -1,0 +1,92 @@
+#include "serve/http.hpp"
+
+namespace msrs::serve {
+namespace {
+
+std::string_view status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+  }
+  return "Error";
+}
+
+}  // namespace
+
+HttpParse parse_http_request(std::string_view buffer, HttpRequest* request,
+                             std::size_t* head_len) {
+  // The head ends at the first blank line; accept CRLF and bare LF.
+  std::size_t consumed = 0;
+  if (const std::size_t crlf = buffer.find("\r\n\r\n");
+      crlf != std::string_view::npos) {
+    consumed = crlf + 4;
+  } else if (const std::size_t lf = buffer.find("\n\n");
+             lf != std::string_view::npos) {
+    consumed = lf + 2;
+  } else {
+    return HttpParse::kIncomplete;
+  }
+
+  std::string_view line = buffer.substr(0, buffer.find('\n'));
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) return HttpParse::kBad;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) return HttpParse::kBad;
+  const std::string_view version = line.substr(sp2 + 1);
+  if (version.substr(0, 5) != "HTTP/") return HttpParse::kBad;
+  if (request != nullptr) {
+    request->method = std::string(line.substr(0, sp1));
+    request->target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  }
+  if (head_len != nullptr) *head_len = consumed;
+  return HttpParse::kOk;
+}
+
+std::string http_response(int status, std::string_view content_type,
+                          std::string_view body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " ";
+  out += status_text(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string http_route(Service& service, const HttpRequest& request) {
+  if (request.method != "GET")
+    return http_response(405, "text/plain", "method not allowed\n");
+  std::string_view target = request.target;
+  std::string_view query;
+  if (const std::size_t q = target.find('?'); q != std::string_view::npos) {
+    query = target.substr(q + 1);
+    target = target.substr(0, q);
+  }
+  if (target == "/metrics")
+    return http_response(200, "text/plain; version=0.0.4",
+                         service.metrics_snapshot().prometheus());
+  if (target == "/healthz")
+    return service.accepting()
+               ? http_response(200, "text/plain", "ok\n")
+               : http_response(503, "text/plain", "draining\n");
+  if (target == "/recorder") {
+    const obs::FlightRecorder* recorder = service.recorder();
+    if (recorder == nullptr)
+      return http_response(404, "text/plain",
+                           "the flight recorder is disabled\n");
+    const bool canonical = query.find("canonical=1") != std::string_view::npos;
+    return http_response(200, "application/jsonl",
+                         recorder->jsonl(canonical));
+  }
+  if (target == "/watchdog")
+    return http_response(200, "application/json",
+                         service.watchdog().json().str() + "\n");
+  return http_response(404, "text/plain", "not found\n");
+}
+
+}  // namespace msrs::serve

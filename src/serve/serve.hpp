@@ -12,6 +12,7 @@
 
 #include "serve/driver.hpp"      // IWYU pragma: export
 #include "serve/event_loop.hpp"  // IWYU pragma: export
+#include "serve/http.hpp"        // IWYU pragma: export
 #include "serve/service.hpp"     // IWYU pragma: export
 #include "serve/socket.hpp"      // IWYU pragma: export
 #include "serve/tcp.hpp"         // IWYU pragma: export

@@ -1,5 +1,6 @@
 #include "serve/service.hpp"
 
+#include <fstream>
 #include <future>
 #include <utility>
 
@@ -29,6 +30,26 @@ std::uint64_t session_hash(const std::string& name) {
     h *= 1099511628211ULL;
   }
   return h;
+}
+
+// The dump_recorder response: dump meta plus every merged event, rendered
+// as ONE JSON document (the JSONL transport frames responses by line).
+std::string dump_recorder_response(const Json& id,
+                                   const obs::FlightRecorder& recorder,
+                                   bool canonical) {
+  const obs::FlightRecorder::Dump dump = recorder.collect(canonical);
+  Json response = Json::object();
+  response.set("id", id);
+  response.set("ok", true);
+  response.set("op", std::string("dump_recorder"));
+  response.set("canonical", canonical);
+  response.set("events", count_json(dump.events.size()));
+  response.set("dropped", count_json(static_cast<std::size_t>(dump.dropped)));
+  Json entries = Json::array();
+  for (const obs::RecorderEvent& event : dump.events)
+    entries.push_back(recorder.event_json(event, canonical));
+  response.set("entries", std::move(entries));
+  return response.str();
 }
 
 // The legacy counter-only body shared by both stats_response overloads.
@@ -134,6 +155,13 @@ std::string stats_response(const Json& id, const ServiceStats& stats,
     latency.set(stage, std::move(entry));
   }
   response.set("latency", std::move(latency));
+
+  // Appended last so earlier consumers' key order is untouched.
+  response.set("uptime_seconds",
+               Json(snapshot.gauge_or("serve.uptime_seconds")));
+  Json build = Json::object();
+  for (const auto& [key, value] : build_info_labels()) build.set(key, value);
+  response.set("build_info", std::move(build));
   return response.str();
 }
 
@@ -175,6 +203,25 @@ Service::Service(ServiceOptions options,
   session_repairs_c_ = &metrics_.counter("serve.session.repairs");
   session_fallbacks_c_ = &metrics_.counter("serve.session.fallbacks");
   session_active_g_ = &metrics_.gauge("serve.session.active");
+  uptime_g_ = &metrics_.gauge("serve.uptime_seconds");
+  start_ = std::chrono::steady_clock::now();
+
+  // Monitoring: the watchdog is always constructed (its obs.watchdog.*
+  // counters are part of the stable key set); the recorder is optional.
+  watchdog_ = std::make_unique<obs::Watchdog>(options_.watchdog, metrics_);
+  if (options_.recorder_events > 0) {
+    obs::RecorderOptions recorder_options;
+    recorder_options.capacity = options_.recorder_events;
+    recorder_ = std::make_unique<obs::FlightRecorder>(recorder_options);
+    // Pre-intern every label the hot path may attach, so record() callers
+    // never touch the intern lock.
+    error_label_.reserve(std::size(kAllWireErrors));
+    for (const WireError code : kAllWireErrors)
+      error_label_.push_back(recorder_->intern(wire_error_name(code)));
+    for (const std::string& solver : registry.names())
+      solver_label_.emplace(solver, recorder_->intern(solver));
+    solver_label_.emplace("empty", recorder_->intern("empty"));
+  }
 
   const unsigned shard_count = pool_.size();
   engine::PortfolioOptions portfolio;
@@ -211,6 +258,10 @@ void Service::respond_error(Done& done, const Json& id, WireError code,
   errors_c_->inc();
   error_code_c_[static_cast<std::size_t>(code)]->inc();
   responded_c_->inc();
+  if (recorder_ != nullptr && trace != nullptr)
+    recorder_->record(obs::EventKind::kError, trace->seq,
+                      obs::recorder_ts_ns(obs::TraceClock::now()), 0xff,
+                      error_label_[static_cast<std::size_t>(code)], 0);
   done(error_response(id, code, detail));
   if (trace != nullptr) {
     const double total =
@@ -237,6 +288,10 @@ void Service::submit(const std::string& line, Done done) {
   obs::TraceContext trace;
   trace.seq = seq_.fetch_add(1, std::memory_order_relaxed);
   trace.admit = obs::TraceClock::now();
+  if (recorder_ != nullptr)
+    recorder_->record(obs::EventKind::kAdmit, trace.seq,
+                      obs::recorder_ts_ns(trace.admit), 0xff, 0,
+                      static_cast<std::uint32_t>(line.size()));
   Json salvaged_id;
   WireError code = WireError::kParseError;
   std::string detail;
@@ -274,6 +329,15 @@ void Service::submit(const std::string& line, Done done) {
     case Op::kShutdown:
       accepting_.store(false);
       respond(done, ok_response(request->id, "shutdown"));
+      return;
+    case Op::kDumpRecorder:
+      if (recorder_ == nullptr) {
+        respond_error(done, request->id, WireError::kBadRequest,
+                      "the flight recorder is disabled", &trace);
+      } else {
+        respond(done, dump_recorder_response(request->id, *recorder_,
+                                             request->canonical));
+      }
       return;
     case Op::kOpenSession:
     case Op::kSubmitJob:
@@ -432,6 +496,11 @@ void Service::release_session_slot(Shard& shard) {
 
 void Service::process(Shard& shard, Item& item) {
   item.trace.dispatch = obs::TraceClock::now();
+  const std::uint8_t shard_id = static_cast<std::uint8_t>(shard.index);
+  if (recorder_ != nullptr)
+    recorder_->record(obs::EventKind::kDispatch, item.trace.seq,
+                      obs::recorder_ts_ns(item.trace.dispatch), shard_id, 0,
+                      0);
   if (abort_.load()) {
     respond_error(item.done, item.id, WireError::kShuttingDown,
                   "service stopped before this request was served",
@@ -445,9 +514,14 @@ void Service::process(Shard& shard, Item& item) {
     return;
   }
   item.trace.solve_begin = item.trace.dispatch;
+  if (recorder_ != nullptr)
+    recorder_->record(obs::EventKind::kSolveBegin, item.trace.seq,
+                      obs::recorder_ts_ns(item.trace.solve_begin), shard_id,
+                      0, 0);
   std::string response;
   std::string solver;
   const char* cache_state = "";
+  std::uint32_t cache_value = 0;  // recorder encoding: miss/hit/bypass
   if (item.budget_ms != 0) {
     // Non-default effort changes the result, so it must not share cache
     // entries with default-budget traffic; solve uncached.
@@ -457,12 +531,14 @@ void Service::process(Shard& shard, Item& item) {
         engine::PortfolioSolver(*registry_, per_request).solve(item.instance);
     solver = result.solver;
     cache_state = "bypass";
+    cache_value = 2;
     response = solve_response(item.id, result);
     shard.solved.fetch_add(1);
   } else if (const TailCache::Entry* entry = shard.cache.find(item.form)) {
     response = compose_response(item.id, entry->second.tail);
     solver = entry->second.solver;
     cache_state = "hit";
+    cache_value = 1;
   } else {
     engine::PortfolioResult result = shard.portfolio->solve(item.instance);
     std::string tail = solve_response_tail(result);
@@ -474,6 +550,13 @@ void Service::process(Shard& shard, Item& item) {
     shard.solved.fetch_add(1);
   }
   item.trace.solve_end = obs::TraceClock::now();
+  if (recorder_ != nullptr) {
+    const auto label = solver_label_.find(solver);
+    recorder_->record(obs::EventKind::kSolveEnd, item.trace.seq,
+                      obs::recorder_ts_ns(item.trace.solve_end), shard_id,
+                      label != solver_label_.end() ? label->second : 0,
+                      cache_value);
+  }
   // Mirror the (single-threaded) LRU counters into atomics for stats().
   const LruStats& cache = shard.cache.stats();
   shard.hits.store(cache.hits);
@@ -482,6 +565,10 @@ void Service::process(Shard& shard, Item& item) {
   shard.entries.store(cache.entries);
   shard.requests->inc();
   const obs::TraceClock::time_point end = obs::TraceClock::now();
+  if (recorder_ != nullptr)
+    recorder_->record(obs::EventKind::kWrite, item.trace.seq,
+                      obs::recorder_ts_ns(end), shard_id, 0,
+                      static_cast<std::uint32_t>(response.size()));
 
   // Stage decomposition: every solve request feeds the five lifecycle
   // histograms; spans are materialized only when sampled or slow. All
@@ -528,6 +615,8 @@ void Service::process_session(Shard& shard, Item& item) {
                   &item.trace);
   };
   std::string response;
+  obs::EventKind session_kind = obs::EventKind::kSessionClose;
+  std::uint32_t session_value = 0;  // per-kind recorder payload
   switch (item.op) {
     case Op::kOpenSession: {
       if (found != shard.sessions.end()) {
@@ -555,6 +644,8 @@ void Service::process_session(Shard& shard, Item& item) {
       session_active_g_->set(
           static_cast<std::int64_t>(active_sessions_.load()));
       session_opened_c_->inc();
+      session_kind = obs::EventKind::kSessionOpen;
+      session_value = static_cast<std::uint32_t>(item.machines);
       response = session_response(item.id, "open_session", item.session);
       break;
     }
@@ -563,6 +654,8 @@ void Service::process_session(Shard& shard, Item& item) {
       const std::uint64_t job =
           found->second->submit(item.job_class, item.size);
       session_submits_c_->inc();
+      session_kind = obs::EventKind::kSessionSubmit;
+      session_value = static_cast<std::uint32_t>(job);
       response = submit_response(item.id, item.session, job);
       break;
     }
@@ -577,6 +670,8 @@ void Service::process_session(Shard& shard, Item& item) {
         return;
       }
       session_cancels_c_->inc();
+      session_kind = obs::EventKind::kSessionCancel;
+      session_value = static_cast<std::uint32_t>(item.job);
       response = cancel_response(item.id, item.session,
                                  static_cast<std::uint64_t>(item.job));
       break;
@@ -601,6 +696,8 @@ void Service::process_session(Shard& shard, Item& item) {
       body.ratio = snap.result.ratio_vs_bound;
       body.valid = snap.result.valid;
       body.source = engine::snapshot_source_name(snap.source);
+      session_kind = obs::EventKind::kSessionSnapshot;
+      session_value = static_cast<std::uint32_t>(body.jobs);
       response = snapshot_response(item.id, body);
       break;
     }
@@ -620,6 +717,15 @@ void Service::process_session(Shard& shard, Item& item) {
   item.trace.solve_end = obs::TraceClock::now();
   shard.requests->inc();
   const obs::TraceClock::time_point end = obs::TraceClock::now();
+  if (recorder_ != nullptr) {
+    const std::uint8_t shard_id = static_cast<std::uint8_t>(shard.index);
+    recorder_->record(session_kind, item.trace.seq,
+                      obs::recorder_ts_ns(item.trace.solve_end), shard_id, 0,
+                      session_value);
+    recorder_->record(obs::EventKind::kWrite, item.trace.seq,
+                      obs::recorder_ts_ns(end), shard_id, 0,
+                      static_cast<std::uint32_t>(response.size()));
+  }
   // Session ops feed the same lifecycle histograms as solves ("solve"
   // covers the session mutation/repair work); spans stay solve-only.
   lat_admission_->record(obs::stage_us(item.trace.admit, item.trace.enqueue));
@@ -657,7 +763,24 @@ obs::MetricsSnapshot Service::metrics_snapshot() {
   for (const auto& shard : shards_)
     metrics_.gauge("serve.queue_depth." + std::to_string(shard->index))
         .set(static_cast<std::int64_t>(shard->queue.size()));
-  return metrics_.snapshot();
+  uptime_g_->set(std::chrono::duration_cast<std::chrono::seconds>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count());
+  obs::MetricsSnapshot snapshot = metrics_.snapshot();
+  snapshot.info.emplace_back("build_info", build_info_labels());
+  return snapshot;
+}
+
+bool Service::monitor_tick() {
+  std::lock_guard lock(monitor_mutex_);
+  if (!watchdog_->tick(metrics_snapshot())) return false;
+  if (recorder_ != nullptr && !options_.watchdog_dump.empty()) {
+    // Full (wall-clock) rendering: a post-mortem wants timestamps.
+    std::ofstream out(options_.watchdog_dump,
+                      std::ios::binary | std::ios::trunc);
+    out << recorder_->jsonl(false);
+  }
+  return true;
 }
 
 bool Service::shutdown(std::chrono::milliseconds deadline) {

@@ -83,6 +83,15 @@ struct ServiceOptions {
   /// the always-on slow-request log (obs/trace.hpp). An empty path only
   /// disables span emission; the slow log stays armed.
   obs::TraceOptions trace;
+  /// Flight-recorder per-thread ring capacity, in events (0 disables the
+  /// recorder; the solve path then skips every record() call).
+  std::size_t recorder_events = 1 << 14;
+  /// Anomaly-watchdog thresholds evaluated by monitor_tick() (all 0 =
+  /// the timeseries window is still kept, but nothing ever trips).
+  obs::WatchdogOptions watchdog;
+  /// File the watchdog overwrites with a full (wall-clock) recorder JSONL
+  /// dump when it trips ("" = count the trip, skip the file).
+  std::string watchdog_dump;
 };
 
 /// Snapshot of the service counters (the `stats` op payload).
@@ -152,9 +161,26 @@ class Service {
   obs::MetricsRegistry& metrics() { return metrics_; }
 
   /// Deterministically ordered snapshot of every metric, with the live
-  /// queue-depth gauges refreshed first (feeds the `stats` op and the
-  /// --metrics-dump Prometheus page).
+  /// queue-depth gauges and the uptime gauge refreshed first and the
+  /// `build_info` info series attached (feeds the `stats` op, the
+  /// --metrics-dump page, and the HTTP `/metrics` endpoint).
   obs::MetricsSnapshot metrics_snapshot();
+
+  /// The always-on flight recorder, or nullptr when disabled
+  /// (ServiceOptions::recorder_events == 0). Transports record their own
+  /// events (sheds) here; the fatal-signal dump installs against it.
+  obs::FlightRecorder* recorder() { return recorder_.get(); }
+
+  /// One monitoring interval: snapshots the metrics, feeds the anomaly
+  /// watchdog, and — when a threshold trips outside the cooldown — dumps
+  /// the recorder to ServiceOptions::watchdog_dump. Serialized internally;
+  /// the TCP event loop calls this once per monitor interval, tests call
+  /// it directly. Returns true when a dump fired.
+  bool monitor_tick();
+
+  /// The watchdog's retained timeseries window and trip state (diagnostic
+  /// JSON; tests and the `/recorder` HTTP surface read it).
+  const obs::Watchdog& watchdog() const { return *watchdog_; }
 
   /// Effective shard count.
   unsigned shards() const { return static_cast<unsigned>(shards_.size()); }
@@ -240,6 +266,15 @@ class Service {
   const engine::SolverRegistry* registry_;
   obs::MetricsRegistry metrics_;
   std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  std::unique_ptr<obs::Watchdog> watchdog_;
+  std::mutex monitor_mutex_;  // serializes monitor_tick()
+  std::chrono::steady_clock::time_point start_;
+  obs::Gauge* uptime_g_ = nullptr;
+  // Pre-interned recorder label ids (solver names by registry order plus
+  // the per-code error names), so the hot path never takes the intern lock.
+  std::vector<std::uint16_t> error_label_;  // by WireError enum value
+  std::unordered_map<std::string, std::uint16_t> solver_label_;
   // Hot-path metric handles, resolved once at construction (registry
   // addresses are stable for its lifetime).
   obs::Counter* received_c_ = nullptr;

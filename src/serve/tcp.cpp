@@ -205,12 +205,15 @@ void TcpClient::close() {}
 
 #if defined(__linux__)
 
+#include <atomic>
 #include <chrono>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "serve/conn_budget.hpp"
+#include "serve/http.hpp"
 
 namespace msrs::serve {
 namespace {
@@ -225,6 +228,8 @@ struct TcpConn {
   int fd = -1;
   LineFramer framer;
   std::unique_ptr<OrderedWriter> writer;
+  bool http = false;      // HTTP-listener connection (serve/http.hpp)
+  std::string http_buf;   // buffered request head of an HTTP connection
   bool reading = true;     // read interest armed (false while gated)
   bool want_write = false;  // write interest armed (partial flush pending)
   bool draining = false;   // no more reads; close once responses flush
@@ -258,16 +263,36 @@ class TcpServer {
             service.metrics().gauge("serve.tcp.write_buf_highwater")) {}
 
   int run(const std::string& host_port, std::string* error) {
-    std::string host;
-    std::uint16_t port = 0;
-    if (!parse_host_port(host_port, &host, &port, error)) return 1;
-    if (!listen_on(host, port, error)) return 1;
-    poller_ = make_poller(error);
-    if (!poller_) {
-      ::close(listen_fd_);
+    if (!host_port.empty()) {
+      std::string host;
+      std::uint16_t port = 0;
+      if (!parse_host_port(host_port, &host, &port, error)) return 1;
+      listen_fd_ = listen_on(host, port, error, options_.on_listen);
+      if (listen_fd_ < 0) return 1;
+    } else if (options_.http.empty()) {
+      if (error) *error = "no TCP target: need a JSONL or HTTP address";
       return 1;
     }
-    poller_->add(listen_fd_, /*want_read=*/true, /*want_write=*/false);
+    if (!options_.http.empty()) {
+      std::string host;
+      std::uint16_t port = 0;
+      if (!parse_host_port(options_.http, &host, &port, error) ||
+          (http_listen_fd_ =
+               listen_on(host, port, error, options_.on_http_listen)) < 0) {
+        if (listen_fd_ >= 0) ::close(listen_fd_);
+        return 1;
+      }
+    }
+    poller_ = make_poller(error);
+    if (!poller_) {
+      if (listen_fd_ >= 0) ::close(listen_fd_);
+      if (http_listen_fd_ >= 0) ::close(http_listen_fd_);
+      return 1;
+    }
+    if (listen_fd_ >= 0)
+      poller_->add(listen_fd_, /*want_read=*/true, /*want_write=*/false);
+    if (http_listen_fd_ >= 0)
+      poller_->add(http_listen_fd_, /*want_read=*/true, /*want_write=*/false);
     if (wakeup_.fd() >= 0)
       poller_->add(wakeup_.fd(), /*want_read=*/true, /*want_write=*/false);
     install_stop_signals();
@@ -279,34 +304,59 @@ class TcpServer {
       events.clear();
       poller_->wait(&events, tick);  // EINTR/timeout: housekeeping only
       now_ms_ = elapsed_ms();
-      for (const Poller::Event& event : events) {
-        if (event.fd == listen_fd_) {
-          accept_new();
-          continue;
-        }
-        if (event.fd == wakeup_.fd()) {
-          wakeup_.drain();
-          continue;
-        }
-        const auto it = conns_.find(event.fd);
-        if (it == conns_.end()) continue;  // closed earlier this batch
-        std::shared_ptr<TcpConn> conn = it->second;
-        if (event.readable && conn->reading) handle_read(conn);
-        if (conns_.count(event.fd) == 0) continue;  // closed by the read
-        if (event.writable && !flush_conn(conn)) {
-          close_conn(conn);
-          continue;
-        }
-        if (event.error && conns_.count(event.fd) != 0) close_conn(conn);
-      }
+      process_events(events);
       flush_dirty();
       reap_idle(expired);
+      monitor_maybe();
     }
     drain_and_close();
     return 0;
   }
 
  private:
+  // One poll batch: accepts on both listeners, wakeup drain, per-conn I/O.
+  void process_events(const std::vector<Poller::Event>& events) {
+    for (const Poller::Event& event : events) {
+      if (listen_fd_ >= 0 && event.fd == listen_fd_) {
+        accept_new(listen_fd_, /*http=*/false);
+        continue;
+      }
+      if (http_listen_fd_ >= 0 && event.fd == http_listen_fd_) {
+        accept_new(http_listen_fd_, /*http=*/true);
+        continue;
+      }
+      if (event.fd == wakeup_.fd()) {
+        wakeup_.drain();
+        continue;
+      }
+      const auto it = conns_.find(event.fd);
+      if (it == conns_.end()) continue;  // closed earlier this batch
+      std::shared_ptr<TcpConn> conn = it->second;
+      if (event.readable && conn->reading) {
+        if (conn->http)
+          handle_http_read(conn);
+        else
+          handle_read(conn);
+      }
+      if (conns_.count(event.fd) == 0) continue;  // closed by the read
+      if (event.writable && !flush_conn(conn)) {
+        close_conn(conn);
+        continue;
+      }
+      if (event.error && conns_.count(event.fd) != 0) close_conn(conn);
+    }
+  }
+
+  // Calls Service::monitor_tick() once per monitor interval of loop time.
+  void monitor_maybe() {
+    if (options_.monitor_interval_ms <= 0) return;
+    const std::uint64_t interval =
+        static_cast<std::uint64_t>(options_.monitor_interval_ms);
+    if (now_ms_ - last_monitor_ms_ < interval) return;
+    last_monitor_ms_ = now_ms_;
+    service_.monitor_tick();
+  }
+
   std::uint64_t elapsed_ms() const {
     return static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -314,8 +364,13 @@ class TcpServer {
             .count());
   }
 
-  bool listen_on(const std::string& host, std::uint16_t port,
-                 std::string* error) {
+  // Binds and listens on host:port; returns the fd (-1 + *error on
+  // failure) and reports the bound port through `notify` (ephemeral-port
+  // support for both the JSONL and the HTTP listener).
+  int listen_on(const std::string& host, std::uint16_t port,
+                std::string* error,
+                const std::function<void(std::uint16_t)>& notify) {
+    int listen_fd = -1;
     addrinfo hints = {};
     hints.ai_family = AF_UNSPEC;
     hints.ai_socktype = SOCK_STREAM;
@@ -325,7 +380,7 @@ class TcpServer {
                                  &hints, &results);
     if (rc != 0) {
       if (error) *error = "resolve " + host + ": " + ::gai_strerror(rc);
-      return false;
+      return -1;
     }
     for (const addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
       const int fd = ::socket(ai->ai_family,
@@ -336,49 +391,56 @@ class TcpServer {
       ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
       if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
           ::listen(fd, 512) == 0) {
-        listen_fd_ = fd;
+        listen_fd = fd;
         break;
       }
       ::close(fd);
     }
     ::freeaddrinfo(results);
-    if (listen_fd_ < 0) {
+    if (listen_fd < 0) {
       if (error)
         *error = "listen " + host + ":" + std::to_string(port) + ": " +
                  std::strerror(errno);
-      return false;
+      return -1;
     }
-    if (options_.on_listen) {
+    if (notify) {
       sockaddr_storage bound = {};
       socklen_t len = sizeof bound;
       std::uint16_t actual = port;
-      if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+      if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound),
                         &len) == 0) {
         if (bound.ss_family == AF_INET)
           actual = ntohs(reinterpret_cast<sockaddr_in*>(&bound)->sin_port);
         else if (bound.ss_family == AF_INET6)
           actual = ntohs(reinterpret_cast<sockaddr_in6*>(&bound)->sin6_port);
       }
-      options_.on_listen(actual);
+      notify(actual);
     }
-    return true;
+    return listen_fd;
   }
 
-  void accept_new() {
+  void accept_new(int listen_fd, bool http) {
     for (;;) {
-      const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+      const int fd = ::accept4(listen_fd, nullptr, nullptr,
                                SOCK_NONBLOCK | SOCK_CLOEXEC);
       if (fd < 0) {
         if (errno == EINTR) continue;
         return;  // EAGAIN: accepted everything pending
       }
       if (!budget_.try_acquire()) {
-        // Shed with one named line, then close. A fresh socket's send
-        // buffer is empty, so the single nonblocking send goes through.
+        if (obs::FlightRecorder* recorder = service_.recorder())
+          recorder->record(
+              obs::EventKind::kShed, 0,
+              obs::recorder_ts_ns(std::chrono::steady_clock::now()), 0xff, 0,
+              0);
+        // Shed with one named line (HTTP peers get a framed 503), then
+        // close. A fresh socket's send buffer is empty, so the single
+        // nonblocking send goes through.
         const std::string line =
-            error_response(Json(), WireError::kOverloaded,
-                           "connection limit reached") +
-            "\n";
+            http ? http_response(503, "text/plain", "overloaded\n")
+                 : error_response(Json(), WireError::kOverloaded,
+                                  "connection limit reached") +
+                       "\n";
         [[maybe_unused]] const ssize_t sent =
             ::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
         ::close(fd);
@@ -388,6 +450,7 @@ class TcpServer {
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
       auto conn = std::make_shared<TcpConn>(options_.max_line_bytes);
       conn->fd = fd;
+      conn->http = http;
       TcpConn* raw = conn.get();
       // The sink holds a raw pointer, not the shared_ptr (that would be a
       // conn -> writer -> sink -> conn cycle). Safe: every deliver() path
@@ -477,6 +540,59 @@ class TcpServer {
       return;
     }
     if (!service_.accepting()) begin_drain(conn);
+  }
+
+  // Reads an HTTP connection until its request head is complete, routes
+  // it, queues the single response and drains the connection (the
+  // responses carry `Connection: close` — one request per connection).
+  void handle_http_read(const std::shared_ptr<TcpConn>& conn) {
+    constexpr std::size_t kHeadBound = 8192;  // heads are a handful of lines
+    char chunk[4096];
+    bool eof = false;
+    for (;;) {
+      const ssize_t got = ::read(conn->fd, chunk, sizeof chunk);
+      if (got > 0) {
+        conn->http_buf.append(chunk, static_cast<std::size_t>(got));
+        if (options_.idle_timeout_ms > 0)
+          wheel_.arm(conn->fd, now_ms_ + options_.idle_timeout_ms);
+        continue;
+      }
+      if (got == 0) {
+        eof = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_conn(conn);
+      return;
+    }
+    if (conn->http_buf.size() > kHeadBound) {
+      queue_http(conn,
+                 http_response(400, "text/plain", "request head too large\n"));
+      return;
+    }
+    HttpRequest request;
+    const HttpParse parsed =
+        parse_http_request(conn->http_buf, &request, nullptr);
+    if (parsed == HttpParse::kIncomplete) {
+      if (eof) close_conn(conn);  // peer gave up mid-head
+      return;
+    }
+    queue_http(conn, parsed == HttpParse::kBad
+                         ? http_response(400, "text/plain", "bad request\n")
+                         : http_route(service_, request));
+  }
+
+  // Appends a complete HTTP response to the outbox and starts the drain.
+  void queue_http(const std::shared_ptr<TcpConn>& conn,
+                  std::string&& response) {
+    {
+      std::lock_guard lock(conn->mutex);
+      conn->outbox.append(response);
+      conn->outbox_highwater = std::max(conn->outbox_highwater,
+                                        conn->outbox.size() - conn->offset);
+    }
+    begin_drain(conn);
   }
 
   void reject_oversized(const std::shared_ptr<TcpConn>& conn) {
@@ -616,15 +732,38 @@ class TcpServer {
   }
 
   void drain_and_close() {
+    // The JSONL listener closes now; the HTTP listener stays up through
+    // the drain so `/healthz` keeps answering (with 503 — the service no
+    // longer accepts).
     if (listen_fd_ >= 0) {
       poller_->remove(listen_fd_);
       ::close(listen_fd_);
       listen_fd_ = -1;
     }
     // Every admitted request is answered (shutting_down past the
-    // deadline) before shutdown returns; wait_drained then guarantees the
-    // last sink invocation has happened — after this, outboxes are final.
-    service_.shutdown(std::chrono::seconds(30));
+    // deadline) before shutdown returns. That can take up to 30s, so it
+    // waits on a helper thread while this loop keeps serving HTTP scrapes
+    // and flushing response bytes to still-connected peers.
+    std::atomic<bool> drained{false};
+    std::thread waiter([this, &drained] {
+      service_.shutdown(std::chrono::seconds(30));
+      drained.store(true);
+      wakeup_.signal();
+    });
+    const int tick = options_.tick_ms <= 0 ? 100 : options_.tick_ms;
+    std::vector<Poller::Event> drain_events;
+    std::vector<int> drain_expired;
+    while (!drained.load()) {
+      drain_events.clear();
+      poller_->wait(&drain_events, tick);
+      now_ms_ = elapsed_ms();
+      process_events(drain_events);
+      flush_dirty();
+      reap_idle(drain_expired);
+    }
+    waiter.join();
+    // wait_drained guarantees the last sink invocation has happened —
+    // after this, outboxes are final.
     for (const auto& [fd, conn] : conns_) conn->writer->wait_drained();
     // Bounded flush phase: push the final outboxes to every peer still
     // reading; give up on the rest after the deadline.
@@ -648,6 +787,11 @@ class TcpServer {
     rest.reserve(conns_.size());
     for (const auto& [fd, conn] : conns_) rest.push_back(conn);
     for (const std::shared_ptr<TcpConn>& conn : rest) close_conn(conn);
+    if (http_listen_fd_ >= 0) {
+      poller_->remove(http_listen_fd_);
+      ::close(http_listen_fd_);
+      http_listen_fd_ = -1;
+    }
   }
 
   Service& service_;
@@ -665,6 +809,8 @@ class TcpServer {
   std::size_t read_hw_max_ = 0;
   std::size_t write_hw_max_ = 0;
   int listen_fd_ = -1;
+  int http_listen_fd_ = -1;
+  std::uint64_t last_monitor_ms_ = 0;  // last monitor_tick() loop time
   std::unordered_map<int, std::shared_ptr<TcpConn>> conns_;
   std::mutex dirty_mutex_;
   std::vector<int> dirty_;  // fds with freshly appended outbox bytes

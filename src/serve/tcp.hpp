@@ -54,6 +54,16 @@ struct TcpOptions {
   /// Invoked once from the serve loop with the bound port (useful with
   /// port 0 — tests and `serve --port-file`).
   std::function<void(std::uint16_t)> on_listen;
+  /// Optional HTTP exposition listener ("HOST:PORT", "" = disabled): the
+  /// same loop thread serves `GET /metrics`, `/healthz`, `/recorder` and
+  /// `/watchdog` (serve/http.hpp), one request per connection. While the
+  /// service drains, `/healthz` keeps answering — with 503.
+  std::string http;
+  /// Invoked once with the bound HTTP port (port 0 — `--http-port-file`).
+  std::function<void(std::uint16_t)> on_http_listen;
+  /// Monitoring cadence: the loop calls Service::monitor_tick() (watchdog
+  /// evaluation + auto-dump) at this interval. 0 disables ticking.
+  int monitor_interval_ms = 1000;
 };
 
 /// Splits "HOST:PORT" (the last ':' wins, so bracketless IPv6 hosts are
@@ -65,9 +75,11 @@ bool parse_host_port(const std::string& target, std::string* host,
 /// reported via TcpOptions::on_listen), accepts connections, and serves
 /// until a stop signal or a client `shutdown` op; then drains in-flight
 /// requests, flushes every connection's pending responses, and closes.
-/// Connection metrics land in the service's registry (`serve.tcp.*`).
-/// Returns the process exit code (0 = clean; 1 with `*error` filled on
-/// setup failure).
+/// While draining, the HTTP listener (TcpOptions::http) keeps serving so
+/// `/healthz` can report 503. An empty `host_port` is accepted when an
+/// HTTP target is configured (exposition-only loop). Connection metrics
+/// land in the service's registry (`serve.tcp.*`). Returns the process
+/// exit code (0 = clean; 1 with `*error` filled on setup failure).
 int serve_tcp(Service& service, const std::string& host_port,
               std::string* error, TcpOptions options = {});
 

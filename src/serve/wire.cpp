@@ -77,7 +77,16 @@ std::optional<Request> parse_request(const std::string& line, WireError* code,
   else if (name == "cancel_job") request.op = Op::kCancelJob;
   else if (name == "snapshot") request.op = Op::kSnapshot;
   else if (name == "close_session") request.op = Op::kCloseSession;
+  else if (name == "dump_recorder") request.op = Op::kDumpRecorder;
   else return fail(WireError::kUnknownOp, "unknown op '" + name + "'");
+
+  if (request.op == Op::kDumpRecorder) {
+    if (const Json* canonical = document->find("canonical")) {
+      if (!canonical->is_bool())
+        return fail(WireError::kBadRequest, "'canonical' must be a boolean");
+      request.canonical = canonical->as_bool();
+    }
+  }
 
   std::string int_error;
   if (!read_int(*document, "wire", &request.wire, &int_error))
@@ -240,6 +249,37 @@ std::string version_response(const Json& id) {
                static_cast<std::int64_t>(perf::kBenchSchemaVersion));
   response.set("wire", static_cast<std::int64_t>(kWireVersion));
   return response.str();
+}
+
+std::vector<std::pair<std::string, std::string>> build_info_labels() {
+  std::vector<std::pair<std::string, std::string>> labels;
+  labels.emplace_back("wire", std::to_string(kWireVersion));
+  labels.emplace_back("instance_format",
+                      std::to_string(kInstanceFormatVersion));
+  labels.emplace_back("bench_schema",
+                      std::to_string(perf::kBenchSchemaVersion));
+#if defined(__VERSION__)
+  labels.emplace_back("compiler", __VERSION__);
+#else
+  labels.emplace_back("compiler", "unknown");
+#endif
+#if defined(NDEBUG)
+  labels.emplace_back("build", "release");
+#else
+  labels.emplace_back("build", "debug");
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+  labels.emplace_back("sanitize", "address");
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  labels.emplace_back("sanitize", "address");
+#else
+  labels.emplace_back("sanitize", "none");
+#endif
+#else
+  labels.emplace_back("sanitize", "none");
+#endif
+  return labels;
 }
 
 }  // namespace msrs::serve

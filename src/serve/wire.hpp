@@ -32,6 +32,8 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "engine/portfolio.hpp"
 #include "util/json.hpp"
@@ -86,6 +88,7 @@ enum class Op {
   kCancelJob,     ///< session mutation: cancel a submitted job
   kSnapshot,      ///< current session schedule (incremental repair path)
   kCloseSession,  ///< drop a session and its state
+  kDumpRecorder,  ///< merged flight-recorder dump (obs/flight_recorder.hpp)
 };
 
 /// One parsed request line.
@@ -102,6 +105,9 @@ struct Request {
   int size = 0;          ///< kSubmitJob: job processing time (>= 1)
   int job = -1;          ///< kCancelJob: session job id (-1 = absent)
   int machines = 8;      ///< kOpenSession: machine pool size (>= 1)
+  /// kDumpRecorder: canonical (run-independent, sorted by request) vs full
+  /// (wall-clock order with timestamps + shard placement) rendering.
+  bool canonical = false;
 };
 
 /// Parses one JSONL request line. On failure returns std::nullopt and
@@ -174,5 +180,11 @@ std::string snapshot_response(const Json& id, const SnapshotBody& body);
 /// Renders the `version` response: instance-format, bench-schema and wire
 /// versions of this build (the driver's handshake target).
 std::string version_response(const Json& id);
+
+/// The `build_info` label set of this build: schema versions (wire,
+/// instance format, bench schema) plus compile-time provenance (compiler,
+/// build type, sanitizers). Rendered as a constant-1 info series on the
+/// Prometheus page and as an object in the `stats` op.
+std::vector<std::pair<std::string, std::string>> build_info_labels();
 
 }  // namespace msrs::serve

@@ -203,6 +203,57 @@ TEST(Registry, JsonExpositionCarriesQuantiles) {
   EXPECT_LE(h->find("p50")->as_number(), h->find("p99")->as_number());
 }
 
+TEST(Prometheus, NameMangling) {
+  // Dots (and anything non-alphanumeric) flatten to '_' under the msrs_
+  // namespace prefix.
+  EXPECT_EQ(prometheus_name("serve.received"), "msrs_serve_received");
+  EXPECT_EQ(prometheus_name("a-b c/d"), "msrs_a_b_c_d");
+  EXPECT_EQ(prometheus_name("ok_name_42"), "msrs_ok_name_42");
+}
+
+TEST(Prometheus, LabelValueEscaping) {
+  // The exposition format requires \\, \" and \n escaped inside label
+  // values — everything else passes through raw.
+  EXPECT_EQ(prometheus_label_value("plain"), "plain");
+  EXPECT_EQ(prometheus_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(prometheus_label_value("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(prometheus_label_value("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(prometheus_label_value("g++ (GCC) 13.2\n\"x\\y\""),
+            "g++ (GCC) 13.2\\n\\\"x\\\\y\\\"");
+}
+
+TEST(Prometheus, InfoSeriesRenderFirstWithEscapedLabels) {
+  MetricsRegistry registry;
+  registry.counter("serve.received").add(5);
+  MetricsSnapshot snapshot = registry.snapshot();
+  snapshot.info.emplace_back(
+      "build_info",
+      std::vector<std::pair<std::string, std::string>>{
+          {"wire", "1"}, {"compiler", "gcc \"13\"\nrelease"}});
+  const std::string page = snapshot.prometheus();
+  const std::size_t info_at =
+      page.find("msrs_build_info{wire=\"1\","
+                "compiler=\"gcc \\\"13\\\"\\nrelease\"} 1");
+  const std::size_t counter_at = page.find("msrs_serve_received 5");
+  ASSERT_NE(info_at, std::string::npos) << page;
+  ASSERT_NE(counter_at, std::string::npos);
+  EXPECT_LT(info_at, counter_at);  // info series lead the page
+  EXPECT_NE(page.find("# TYPE msrs_build_info gauge"), std::string::npos);
+  // The JSON exposition carries the same labels under "info".
+  const Json document = snapshot.json();
+  const Json* info = document.find("info");
+  ASSERT_NE(info, nullptr);
+  const Json* build = info->find("build_info");
+  ASSERT_NE(build, nullptr);
+  EXPECT_EQ(build->find("wire")->as_string(), "1");
+}
+
+TEST(Prometheus, NoInfoMeansNoInfoKeyInJson) {
+  MetricsRegistry registry;
+  registry.counter("x").inc();
+  EXPECT_EQ(registry.snapshot().json().find("info"), nullptr);
+}
+
 TEST(Trace, SpanLineIsValidJson) {
   Span span;
   span.seq = 7;

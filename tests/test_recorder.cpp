@@ -1,0 +1,437 @@
+// Flight recorder + anomaly watchdog: ring semantics (wrap, dropped
+// accounting), canonical-dump determinism across shard counts, the binary
+// fatal-signal dump format (dump_to_fd/decode round trip, and a real
+// fork()ed SIGSEGV), and the watchdog's threshold/cooldown behavior over
+// synthetic metric snapshots.
+#include <gtest/gtest.h>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "serve/serve.hpp"
+#include "util/json.hpp"
+
+namespace msrs::obs {
+namespace {
+
+// ---------------- recorder rings ----------------
+
+TEST(FlightRecorder, RecordsAndCollectsInOrder) {
+  FlightRecorder recorder;
+  const std::uint16_t label = recorder.intern("three_halves");
+  recorder.record(EventKind::kAdmit, 1, 100, 0xff, 0, 64);
+  recorder.record(EventKind::kSolveEnd, 1, 200, 0, label, 1);
+  recorder.record(EventKind::kWrite, 1, 300, 0, 0, 128);
+  const FlightRecorder::Dump dump = recorder.collect(/*canonical=*/true);
+  ASSERT_EQ(dump.events.size(), 3u);
+  EXPECT_EQ(dump.dropped, 0u);
+  // Canonical order is (seq, kind): the lifecycle enum order.
+  EXPECT_EQ(dump.events[0].kind, EventKind::kAdmit);
+  EXPECT_EQ(dump.events[1].kind, EventKind::kSolveEnd);
+  EXPECT_EQ(dump.events[2].kind, EventKind::kWrite);
+  EXPECT_EQ(recorder.label(dump.events[1].arg), "three_halves");
+  EXPECT_EQ(dump.events[1].value, 1u);  // cache hit
+}
+
+TEST(FlightRecorder, RingWrapKeepsNewestAndCountsDropped) {
+  FlightRecorder recorder({/*capacity=*/4});
+  for (std::uint64_t i = 0; i < 10; ++i)
+    recorder.record(EventKind::kAdmit, i, i * 10, 0xff, 0, 0);
+  EXPECT_EQ(recorder.size(), 4u);
+  const FlightRecorder::Dump dump = recorder.collect(/*canonical=*/true);
+  ASSERT_EQ(dump.events.size(), 4u);
+  EXPECT_EQ(dump.dropped, 6u);
+  // The survivors are the newest four, oldest first.
+  for (std::uint64_t i = 0; i < 4; ++i)
+    EXPECT_EQ(dump.events[i].seq, 6 + i);
+}
+
+TEST(FlightRecorder, TinyCapacityIsRoundedUpNotZero) {
+  FlightRecorder recorder({/*capacity=*/0});
+  recorder.record(EventKind::kAdmit, 1, 1, 0xff, 0, 0);
+  recorder.record(EventKind::kWrite, 1, 2, 0xff, 0, 0);
+  EXPECT_EQ(recorder.size(), 2u);  // minimum capacity is 2
+}
+
+TEST(FlightRecorder, PerThreadRingsMergeEveryThreadsEvents) {
+  FlightRecorder recorder;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&recorder, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i)
+        recorder.record(EventKind::kDispatch,
+                        static_cast<std::uint64_t>(t) * kPerThread + i, i,
+                        static_cast<std::uint8_t>(t), 0, 0);
+    });
+  for (std::thread& thread : threads) thread.join();
+  const FlightRecorder::Dump dump = recorder.collect(/*canonical=*/true);
+  EXPECT_EQ(dump.events.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(dump.dropped, 0u);
+  // Canonical order is strictly increasing in seq here.
+  for (std::size_t i = 1; i < dump.events.size(); ++i)
+    EXPECT_LT(dump.events[i - 1].seq, dump.events[i].seq);
+}
+
+TEST(FlightRecorder, InternIsIdempotentAndZeroIsEmpty) {
+  FlightRecorder recorder;
+  const std::uint16_t a = recorder.intern("greedy");
+  const std::uint16_t b = recorder.intern("greedy");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, 0);
+  EXPECT_EQ(recorder.label(0), "");
+  EXPECT_EQ(recorder.label(0xfffe), "");  // unknown id
+}
+
+TEST(FlightRecorder, JsonlRendersMetaLinePlusOneLinePerEvent) {
+  FlightRecorder recorder;
+  recorder.record(EventKind::kAdmit, 7, 100, 0xff, 0, 42);
+  recorder.record(EventKind::kWrite, 7, 200, 2, 0, 99);
+  const std::string canonical = recorder.jsonl(/*canonical=*/true);
+  std::istringstream lines(canonical);
+  std::string line;
+  std::vector<Json> parsed;
+  while (std::getline(lines, line)) {
+    const std::optional<Json> document = json_parse(line);
+    ASSERT_TRUE(document.has_value()) << line;
+    parsed.push_back(*document);
+  }
+  ASSERT_EQ(parsed.size(), 3u);  // meta + 2 events
+  EXPECT_EQ(parsed[0].find("events")->as_number(), 2.0);
+  EXPECT_EQ(parsed[0].find("dropped")->as_number(), 0.0);
+  EXPECT_TRUE(parsed[0].find("canonical")->as_bool());
+  // Canonical events carry no wall-clock or placement fields.
+  EXPECT_EQ(parsed[1].find("ts_ns"), nullptr);
+  EXPECT_EQ(parsed[1].find("shard"), nullptr);
+  EXPECT_EQ(parsed[1].find("event")->as_string(), "admit");
+  EXPECT_EQ(parsed[2].find("event")->as_string(), "write");
+  // The full rendering keeps them (shard 0xff renders as -1).
+  const std::string full = recorder.jsonl(/*canonical=*/false);
+  std::istringstream full_lines(full);
+  std::getline(full_lines, line);  // meta
+  std::getline(full_lines, line);  // admit @ ts 100
+  const std::optional<Json> admit = json_parse(line);
+  ASSERT_TRUE(admit.has_value());
+  EXPECT_EQ(admit->find("ts_ns")->as_number(), 100.0);
+  EXPECT_EQ(admit->find("shard")->as_number(), -1.0);
+}
+
+// ---------------- binary dump / decode ----------------
+
+#if !defined(_WIN32)
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+TEST(FlightRecorder, DumpToFdDecodeRoundTrip) {
+  FlightRecorder recorder({/*capacity=*/8});
+  const std::uint16_t label = recorder.intern("greedy");
+  for (std::uint64_t i = 0; i < 12; ++i)  // wraps: 4 dropped
+    recorder.record(EventKind::kSolveEnd, i, i * 7, 1, label, 0);
+  const std::string path = ::testing::TempDir() + "msrs_recorder_dump.bin";
+  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  ASSERT_GE(fd, 0);
+  recorder.dump_to_fd(fd);
+  ::close(fd);
+
+  const std::string bytes = read_file(path);
+  FlightRecorder::Dump dump;
+  ASSERT_TRUE(FlightRecorder::decode(bytes.data(), bytes.size(), &dump));
+  ASSERT_EQ(dump.events.size(), 8u);
+  EXPECT_EQ(dump.dropped, 4u);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(dump.events[i].seq, 4 + i);
+    EXPECT_EQ(dump.events[i].ts_ns, (4 + i) * 7);
+    EXPECT_EQ(dump.events[i].kind, EventKind::kSolveEnd);
+    EXPECT_EQ(dump.events[i].arg, label);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, DecodeRejectsGarbage) {
+  FlightRecorder::Dump dump;
+  EXPECT_FALSE(FlightRecorder::decode(nullptr, 0, &dump));
+  EXPECT_FALSE(FlightRecorder::decode("nope", 4, &dump));
+  const char wrong_magic[16] = {'X'};
+  EXPECT_FALSE(FlightRecorder::decode(wrong_magic, sizeof wrong_magic, &dump));
+  // A valid magic followed by a truncated body must be refused too.
+  FlightRecorder recorder({/*capacity=*/4});
+  recorder.record(EventKind::kAdmit, 1, 1, 0xff, 0, 0);
+  const std::string path = ::testing::TempDir() + "msrs_recorder_trunc.bin";
+  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  ASSERT_GE(fd, 0);
+  recorder.dump_to_fd(fd);
+  ::close(fd);
+  const std::string bytes = read_file(path);
+  ASSERT_GT(bytes.size(), 24u);
+  EXPECT_FALSE(
+      FlightRecorder::decode(bytes.data(), bytes.size() - 17, &dump));
+  EXPECT_TRUE(FlightRecorder::decode(bytes.data(), bytes.size(), &dump));
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, FatalSignalDumpSurvivesSigsegv) {
+  const std::string path = ::testing::TempDir() + "msrs_fatal_dump.bin";
+  std::remove(path.c_str());
+  const pid_t pid = ::fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) {
+    // Child: record a few events, install the handler on a pre-opened fd,
+    // and die by SIGSEGV. No gtest machinery past this point — exit codes
+    // and the dump file are the only channel back.
+    struct rlimit no_core = {0, 0};
+    ::setrlimit(RLIMIT_CORE, &no_core);  // skip core-dump generation
+    static FlightRecorder recorder({/*capacity=*/16});
+    recorder.record(EventKind::kAdmit, 41, 10, 0xff, 0, 7);
+    recorder.record(EventKind::kShed, 0, 20, 0xff, 0, 0);
+    const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    if (fd < 0) ::_exit(9);
+    install_fatal_dump(&recorder, fd);
+    ::raise(SIGSEGV);
+    ::_exit(8);  // unreachable: the handler re-raises with SIG_DFL
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited with " << status;
+  EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+  const std::string bytes = read_file(path);
+  ASSERT_FALSE(bytes.empty()) << "the handler wrote no dump";
+  FlightRecorder::Dump dump;
+  ASSERT_TRUE(FlightRecorder::decode(bytes.data(), bytes.size(), &dump));
+  ASSERT_EQ(dump.events.size(), 2u);
+  EXPECT_EQ(dump.events[0].seq, 41u);
+  EXPECT_EQ(dump.events[0].value, 7u);
+  EXPECT_EQ(dump.events[1].kind, EventKind::kShed);
+  std::remove(path.c_str());
+}
+
+#endif  // !defined(_WIN32)
+
+// ---------------- canonical-dump determinism ----------------
+
+// The canonical dump of the same sequential request stream must be
+// byte-identical at any shard count: no wall-clock, no shard placement,
+// labels resolved to strings, events sorted by (seq, kind).
+std::string canonical_dump_for_shards(unsigned shards) {
+  serve::ServiceOptions options;
+  options.shards = shards;
+  options.budget_ms = 10;
+  serve::Service service(options);
+  const std::vector<std::string> stream = {
+      R"({"id":1,"op":"solve","spec":"uniform:n=16,m=2,seed=1"})",
+      R"({"id":2,"op":"solve","spec":"uniform:n=16,m=2,seed=1"})",  // hit
+      R"({"id":3,"op":"solve","spec":"uniform:n=12,m=3,seed=2"})",
+      R"({"op":"open_session","session":"alpha","machines":2})",
+      R"({"op":"submit_job","session":"alpha","class":"c1","size":10})",
+      R"({"op":"snapshot","session":"alpha"})",
+      R"({"op":"close_session","session":"alpha"})",
+      "}{ not json",  // parse_error: the error path records too
+  };
+  for (const std::string& line : stream) (void)service.handle(line);
+  return service.handle(R"({"id":99,"op":"dump_recorder","canonical":true})");
+}
+
+TEST(FlightRecorder, CanonicalDumpIsByteIdenticalAcrossShardCounts) {
+  const std::string one = canonical_dump_for_shards(1);
+  const std::string two = canonical_dump_for_shards(2);
+  const std::string four = canonical_dump_for_shards(4);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, four);
+  // And it is a real dump: every lifecycle stage of request 1 is present.
+  const std::optional<Json> document = json_parse(one);
+  ASSERT_TRUE(document.has_value());
+  EXPECT_TRUE(document->find("ok")->as_bool());
+  EXPECT_TRUE(document->find("canonical")->as_bool());
+  const Json* entries = document->find("entries");
+  ASSERT_NE(entries, nullptr);
+  std::vector<std::string> kinds;
+  for (const Json& entry : entries->items())
+    if (entry.find("seq")->as_number() == 1.0)
+      kinds.push_back(entry.find("event")->as_string());
+  EXPECT_EQ(kinds, (std::vector<std::string>{"admit", "dispatch",
+                                             "solve_begin", "solve_end",
+                                             "write"}));
+}
+
+TEST(FlightRecorder, DisabledRecorderAnswersDumpWithNamedError) {
+  serve::ServiceOptions options;
+  options.shards = 1;
+  options.recorder_events = 0;  // disabled
+  serve::Service service(options);
+  const std::string response =
+      service.handle(R"({"op":"dump_recorder"})");
+  EXPECT_NE(response.find("\"error\":\"bad_request\""), std::string::npos);
+  EXPECT_EQ(service.recorder(), nullptr);
+}
+
+// ---------------- timeseries ring ----------------
+
+TEST(TimeseriesRing, WrapsKeepingTheNewestWindow) {
+  TimeseriesRing ring(3);
+  for (int i = 1; i <= 5; ++i) {
+    TimeseriesPoint point;
+    point.received = static_cast<std::uint64_t>(i);
+    ring.push(point);
+  }
+  ASSERT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.at(0).received, 3u);
+  EXPECT_EQ(ring.at(1).received, 4u);
+  EXPECT_EQ(ring.at(2).received, 5u);
+  EXPECT_EQ(ring.back().received, 5u);
+  EXPECT_EQ(ring.json().items().size(), 3u);
+}
+
+// ---------------- watchdog ----------------
+
+// A synthetic serving registry the tests mutate between ticks.
+struct WatchdogRig {
+  MetricsRegistry registry;
+  Counter& received = registry.counter("serve.received");
+  Counter& errors = registry.counter("serve.errors");
+  Gauge& queue = registry.gauge("serve.queue_depth.0");
+  Histogram& total = registry.histogram("serve.latency.total_us");
+};
+
+TEST(Watchdog, FirstTickOnlyEstablishesTheBaseline) {
+  WatchdogRig rig;
+  WatchdogOptions options;
+  options.error_rate_threshold = 0.01;
+  Watchdog watchdog(options, rig.registry);
+  rig.received.add(10);
+  rig.errors.add(10);  // 100% errors — but no baseline yet
+  EXPECT_FALSE(watchdog.tick(rig.registry.snapshot()));
+  rig.received.add(10);
+  rig.errors.add(10);
+  EXPECT_TRUE(watchdog.tick(rig.registry.snapshot()));
+  EXPECT_NE(watchdog.last_reason().find("error rate"), std::string::npos);
+}
+
+TEST(Watchdog, ErrorRateUsesIntervalDeltasNotTotals) {
+  WatchdogRig rig;
+  // A bad first minute followed by healthy intervals: cumulative rate
+  // stays high, but the watchdog must judge each interval on its own.
+  rig.received.add(100);
+  rig.errors.add(100);
+  WatchdogOptions options;
+  options.error_rate_threshold = 0.5;
+  Watchdog watchdog(options, rig.registry);
+  EXPECT_FALSE(watchdog.tick(rig.registry.snapshot()));  // baseline
+  rig.received.add(100);  // no new errors
+  EXPECT_FALSE(watchdog.tick(rig.registry.snapshot()));
+  EXPECT_EQ(watchdog.ring().back().errors, 0u);
+  EXPECT_EQ(watchdog.ring().back().received, 100u);
+}
+
+TEST(Watchdog, P99TripRequiresMinSamples) {
+  WatchdogRig rig;
+  WatchdogOptions options;
+  options.p99_threshold_us = 1000.0;
+  options.min_samples = 8;
+  Watchdog watchdog(options, rig.registry);
+  EXPECT_FALSE(watchdog.tick(rig.registry.snapshot()));  // baseline
+  rig.total.record(50000.0);  // one slow request in an idle interval
+  EXPECT_FALSE(watchdog.tick(rig.registry.snapshot()));
+  for (int i = 0; i < 16; ++i) rig.total.record(50000.0);
+  EXPECT_TRUE(watchdog.tick(rig.registry.snapshot()));
+  EXPECT_NE(watchdog.last_reason().find("p99"), std::string::npos);
+}
+
+TEST(Watchdog, QueueDepthSumsAcrossShardsAndTrips) {
+  WatchdogRig rig;
+  rig.registry.gauge("serve.queue_depth.1").set(30);
+  WatchdogOptions options;
+  options.queue_threshold = 40;
+  Watchdog watchdog(options, rig.registry);
+  EXPECT_FALSE(watchdog.tick(rig.registry.snapshot()));  // baseline
+  rig.queue.set(5);  // 5 + 30 = 35: under
+  EXPECT_FALSE(watchdog.tick(rig.registry.snapshot()));
+  rig.queue.set(20);  // 20 + 30 = 50: over
+  EXPECT_TRUE(watchdog.tick(rig.registry.snapshot()));
+  EXPECT_NE(watchdog.last_reason().find("queue depth 50"),
+            std::string::npos);
+}
+
+TEST(Watchdog, CooldownSuppressesRepeatDumpsButCountsTrips) {
+  WatchdogRig rig;
+  WatchdogOptions options;
+  options.error_rate_threshold = 0.1;
+  options.cooldown_ticks = 3;
+  Watchdog watchdog(options, rig.registry);
+  const auto trip = [&] {
+    rig.received.add(10);
+    rig.errors.add(10);
+    return watchdog.tick(rig.registry.snapshot());
+  };
+  EXPECT_FALSE(watchdog.tick(rig.registry.snapshot()));  // baseline
+  EXPECT_TRUE(trip());   // first trip dumps
+  EXPECT_FALSE(trip());  // still tripping, inside the cooldown
+  EXPECT_FALSE(trip());
+  EXPECT_TRUE(trip());  // cooldown elapsed: dump again
+  const MetricsSnapshot snapshot = rig.registry.snapshot();
+  EXPECT_EQ(snapshot.counter_or("obs.watchdog.trips"), 4u);
+  EXPECT_EQ(snapshot.counter_or("obs.watchdog.dumps"), 2u);
+  EXPECT_EQ(snapshot.counter_or("obs.watchdog.error_trips"), 4u);
+  EXPECT_EQ(snapshot.counter_or("obs.watchdog.ticks"), 5u);
+}
+
+TEST(Watchdog, JsonCarriesThresholdsReasonAndWindow) {
+  WatchdogRig rig;
+  WatchdogOptions options;
+  options.error_rate_threshold = 0.25;
+  Watchdog watchdog(options, rig.registry);
+  (void)watchdog.tick(rig.registry.snapshot());
+  const Json document = watchdog.json();
+  ASSERT_NE(document.find("thresholds"), nullptr);
+  EXPECT_EQ(document.find("thresholds")->find("error_rate")->as_number(),
+            0.25);
+  ASSERT_NE(document.find("last_reason"), nullptr);
+  ASSERT_NE(document.find("window"), nullptr);
+  EXPECT_EQ(document.find("window")->items().size(), 1u);
+}
+
+// Service::monitor_tick(): a tripping watchdog auto-dumps the recorder's
+// full (wall-clock) JSONL to the configured path.
+TEST(Watchdog, ServiceMonitorTickAutoDumpsOnTrip) {
+  const std::string path = ::testing::TempDir() + "msrs_watchdog_dump.jsonl";
+  std::remove(path.c_str());
+  serve::ServiceOptions options;
+  options.shards = 1;
+  options.budget_ms = 10;
+  options.watchdog.error_rate_threshold = 0.5;
+  options.watchdog_dump = path;
+  serve::Service service(options);
+  EXPECT_FALSE(service.monitor_tick());  // baseline
+  (void)service.handle("}{ not json");   // one request, one error: rate 1.0
+  EXPECT_TRUE(service.monitor_tick());
+  std::ifstream file(path);
+  ASSERT_TRUE(file.is_open());
+  std::string line;
+  ASSERT_TRUE(std::getline(file, line));
+  const std::optional<Json> meta = json_parse(line);
+  ASSERT_TRUE(meta.has_value());
+  EXPECT_FALSE(meta->find("canonical")->as_bool());
+  EXPECT_GT(meta->find("events")->as_number(), 0.0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace msrs::obs

@@ -402,6 +402,127 @@ TEST(Telemetry, StatsOpCarriesBreakdownsAndLatencyDecomposition) {
   }
 }
 
+TEST(Telemetry, StatsOpCarriesUptimeAndBuildInfo) {
+  Service service(small_service(1));
+  const std::optional<Json> stats =
+      json_parse(service.handle(R"({"op":"stats"})"));
+  ASSERT_TRUE(stats.has_value());
+  const Json* uptime = stats->find("uptime_seconds");
+  ASSERT_NE(uptime, nullptr);
+  EXPECT_GE(uptime->as_number(), 0.0);
+  const Json* build = stats->find("build_info");
+  ASSERT_NE(build, nullptr);
+  // The label set matches build_info_labels(), same order, no surprises.
+  const std::vector<std::pair<std::string, std::string>> labels =
+      build_info_labels();
+  ASSERT_EQ(build->members().size(), labels.size());
+  for (const auto& [key, value] : labels) {
+    const Json* member = build->find(key);
+    ASSERT_NE(member, nullptr) << key;
+    EXPECT_EQ(member->as_string(), value) << key;
+  }
+  ASSERT_NE(build->find("wire"), nullptr);
+  EXPECT_EQ(build->find("wire")->as_string(),
+            std::to_string(kWireVersion));
+}
+
+TEST(Telemetry, PrometheusPageLeadsWithBuildInfo) {
+  Service service(small_service(1));
+  const std::string page = service.metrics_snapshot().prometheus();
+  const std::size_t info_at = page.find("msrs_build_info{");
+  ASSERT_NE(info_at, std::string::npos);
+  EXPECT_NE(page.find("wire=\"" + std::to_string(kWireVersion) + "\""),
+            std::string::npos);
+  EXPECT_NE(page.find("msrs_serve_uptime_seconds"), std::string::npos);
+  // build_info renders before every plain counter series.
+  EXPECT_LT(info_at, page.find("msrs_serve_received"));
+}
+
+// ---------------- HTTP exposition ----------------
+
+TEST(Http, ParsesRequestHeadWithCrlfAndBareLf) {
+  HttpRequest request;
+  std::size_t head_len = 0;
+  EXPECT_EQ(parse_http_request("GET /metrics HTTP/1.1\r\n", &request,
+                               &head_len),
+            HttpParse::kIncomplete);  // blank line not buffered yet
+  EXPECT_EQ(parse_http_request(
+                "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\nTRAILING", &request,
+                &head_len),
+            HttpParse::kOk);
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/metrics");
+  EXPECT_EQ(head_len, std::string("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                          .size());
+  EXPECT_EQ(parse_http_request("GET /healthz HTTP/1.0\n\n", &request,
+                               &head_len),
+            HttpParse::kOk);
+  EXPECT_EQ(request.target, "/healthz");
+}
+
+TEST(Http, RejectsMalformedRequestLines) {
+  HttpRequest request;
+  for (const char* head :
+       {"NOSPACES\r\n\r\n", "GET /x\r\n\r\n", "GET  HTTP/1.1\r\n\r\n",
+        "GET /x SPDY/3\r\n\r\n"}) {
+    EXPECT_EQ(parse_http_request(head, &request, nullptr), HttpParse::kBad)
+        << head;
+  }
+}
+
+TEST(Http, ResponseCarriesStatusTypeLengthAndClose) {
+  const std::string response = http_response(200, "text/plain", "ok\n");
+  EXPECT_EQ(response.find("HTTP/1.1 200 OK\r\n"), 0u);
+  EXPECT_NE(response.find("Content-Type: text/plain\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 3\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close\r\n\r\nok\n"),
+            std::string::npos);
+  EXPECT_EQ(http_response(503, "text/plain", "draining\n")
+                .find("HTTP/1.1 503 Service Unavailable\r\n"),
+            0u);
+}
+
+TEST(Http, RoutesObservabilitySurfaces) {
+  Service service(small_service(1));
+  (void)service.handle(R"({"op":"solve","spec":"uniform:n=16,m=2,seed=1"})");
+
+  const std::string metrics =
+      http_route(service, {"GET", "/metrics"});
+  EXPECT_EQ(metrics.find("HTTP/1.1 200 OK"), 0u);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("msrs_serve_received"), std::string::npos);
+  EXPECT_NE(metrics.find("msrs_build_info{"), std::string::npos);
+
+  const std::string health = http_route(service, {"GET", "/healthz"});
+  EXPECT_EQ(health.find("HTTP/1.1 200 OK"), 0u);
+  EXPECT_NE(health.find("\r\n\r\nok\n"), std::string::npos);
+
+  const std::string recorder =
+      http_route(service, {"GET", "/recorder?canonical=1"});
+  EXPECT_EQ(recorder.find("HTTP/1.1 200 OK"), 0u);
+  EXPECT_NE(recorder.find("application/jsonl"), std::string::npos);
+  EXPECT_NE(recorder.find("\"canonical\":true"), std::string::npos);
+
+  const std::string watchdog = http_route(service, {"GET", "/watchdog"});
+  EXPECT_EQ(watchdog.find("HTTP/1.1 200 OK"), 0u);
+  EXPECT_NE(watchdog.find("\"thresholds\""), std::string::npos);
+
+  EXPECT_EQ(http_route(service, {"GET", "/nope"}).find("HTTP/1.1 404"), 0u);
+  EXPECT_EQ(http_route(service, {"POST", "/metrics"}).find("HTTP/1.1 405"),
+            0u);
+}
+
+TEST(Http, HealthzReports503WhileDrainingAndRecorder404WhenDisabled) {
+  ServiceOptions options = small_service(1);
+  options.recorder_events = 0;
+  Service service(options);
+  EXPECT_EQ(http_route(service, {"GET", "/recorder"}).find("HTTP/1.1 404"),
+            0u);
+  service.shutdown(std::chrono::seconds(5));
+  EXPECT_EQ(http_route(service, {"GET", "/healthz"}).find("HTTP/1.1 503"),
+            0u);
+}
+
 TEST(Telemetry, EveryErrorResponseIncrementsItsNamedCounter) {
   Service service(small_service(1));
   (void)service.handle("}{ not json");                       // parse_error

@@ -563,5 +563,196 @@ TEST(TcpTransport, Sustains256ConcurrentDriverConnections) {
   EXPECT_TRUE(wait_for_gauge(server.service(), "serve.tcp.active", 0));
 }
 
+// ---------------- HTTP exposition listener ----------------
+
+// TcpTestServer plus a second (HTTP) listener on its own ephemeral port.
+class HttpTestServer {
+ public:
+  explicit HttpTestServer(ServiceOptions service_options,
+                          TcpOptions options = {})
+      : service_(service_options) {
+    std::promise<std::uint16_t> jsonl_promise, http_promise;
+    std::future<std::uint16_t> jsonl_port = jsonl_promise.get_future();
+    std::future<std::uint16_t> http_port = http_promise.get_future();
+    options.on_listen = [&jsonl_promise](std::uint16_t p) {
+      jsonl_promise.set_value(p);
+    };
+    options.http = "127.0.0.1:0";
+    options.on_http_listen = [&http_promise](std::uint16_t p) {
+      http_promise.set_value(p);
+    };
+    options.tick_ms = 20;
+    thread_ = std::thread([this, options] {
+      std::string error;
+      code_ = serve_tcp(service_, "127.0.0.1:0", &error, options);
+      error_ = error;
+    });
+    jsonl_port_ = jsonl_port.get();
+    http_port_ = http_port.get();
+  }
+
+  ~HttpTestServer() { stop(); }
+
+  void stop() {
+    if (stopped_) return;
+    stopped_ = true;
+    request_stop();
+    thread_.join();
+    reset_stop();
+    EXPECT_EQ(code_, 0) << error_;
+  }
+
+  // Waits for the serve loop to exit on its own (shutdown-op tests).
+  void join() {
+    if (stopped_) return;
+    stopped_ = true;
+    thread_.join();
+    reset_stop();
+    EXPECT_EQ(code_, 0) << error_;
+  }
+
+  std::string jsonl_target() const {
+    return "127.0.0.1:" + std::to_string(jsonl_port_);
+  }
+  std::string http_target() const {
+    return "127.0.0.1:" + std::to_string(http_port_);
+  }
+  Service& service() { return service_; }
+
+ private:
+  Service service_;
+  std::thread thread_;
+  std::uint16_t jsonl_port_ = 0;
+  std::uint16_t http_port_ = 0;
+  int code_ = -1;
+  std::string error_;
+  bool stopped_ = false;
+};
+
+// One full HTTP exchange: sends raw bytes, reads to EOF (every route body
+// is newline-terminated, so a line-wise read loses nothing). Empty string
+// when the connection was refused.
+std::string http_exchange(const std::string& target,
+                          const std::string& request) {
+  TcpClient client;
+  std::string error;
+  if (!client.connect(target, &error)) return "";
+  if (!client.send_bytes(request.data(), request.size())) return "";
+  std::string out, line;
+  while (client.recv_line(&line)) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string http_get(const std::string& target, const std::string& path) {
+  return http_exchange(target,
+                       "GET " + path + " HTTP/1.1\r\nHost: test\r\n\r\n");
+}
+
+TEST(HttpListener, ServesMetricsHealthzAndRecorderMidRun) {
+  if (!tcp_transport_available())
+    GTEST_SKIP() << "no TCP transport on this platform";
+  HttpTestServer server(small_service(2));
+
+  // Real JSONL traffic on the sibling listener first.
+  TcpClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect(server.jsonl_target(), &error)) << error;
+  std::string response;
+  ASSERT_TRUE(client.send_line(
+      R"({"id":1,"op":"solve","spec":"uniform:n=14,m=3,seed=4"})"));
+  ASSERT_TRUE(client.recv_line(&response));
+  EXPECT_NE(response.find("\"ok\":true"), std::string::npos);
+
+  const std::string metrics = http_get(server.http_target(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("msrs_build_info{"), std::string::npos);
+  EXPECT_NE(metrics.find("msrs_serve_received"), std::string::npos);
+  EXPECT_NE(metrics.find("msrs_serve_latency_total_us_bucket"),
+            std::string::npos);
+
+  const std::string health = http_get(server.http_target(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  const std::string recorder =
+      http_get(server.http_target(), "/recorder?canonical=1");
+  EXPECT_NE(recorder.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(recorder.find("\"canonical\":true"), std::string::npos);
+  EXPECT_NE(recorder.find("\"event\":\"solve_end\""), std::string::npos);
+
+  const std::string watchdog = http_get(server.http_target(), "/watchdog");
+  EXPECT_NE(watchdog.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(watchdog.find("\"thresholds\""), std::string::npos);
+
+  client.close();
+  server.stop();
+}
+
+TEST(HttpListener, AnswersProtocolDefectsWithoutDying) {
+  if (!tcp_transport_available())
+    GTEST_SKIP() << "no TCP transport on this platform";
+  HttpTestServer server(small_service(1));
+  EXPECT_NE(http_get(server.http_target(), "/nope").find("HTTP/1.1 404"),
+            std::string::npos);
+  EXPECT_NE(http_exchange(server.http_target(),
+                          "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                .find("HTTP/1.1 405"),
+            std::string::npos);
+  EXPECT_NE(http_exchange(server.http_target(), "garbage\r\n\r\n")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+  // A request head over the 8 KiB bound is refused, not buffered forever.
+  const std::string huge =
+      "GET /" + std::string(10'000, 'x') + " HTTP/1.1\r\n\r\n";
+  EXPECT_NE(http_exchange(server.http_target(), huge).find("HTTP/1.1 400"),
+            std::string::npos);
+  // The loop survived all of it: a healthy exchange still works.
+  EXPECT_NE(http_get(server.http_target(), "/healthz").find("200 OK"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST(HttpListener, HealthzReports503WhileDraining) {
+  if (!tcp_transport_available())
+    GTEST_SKIP() << "no TCP transport on this platform";
+  ServiceOptions service_options = small_service(1);
+  service_options.budget_ms = 60;  // slow enough to observe the drain
+  HttpTestServer server(service_options);
+
+  // Queue several distinct slow solves, then ask for shutdown without
+  // reading the solve responses: the service drains while the HTTP
+  // listener keeps answering.
+  TcpClient worker;
+  std::string error;
+  ASSERT_TRUE(worker.connect(server.jsonl_target(), &error)) << error;
+  for (int seed = 1; seed <= 6; ++seed)
+    ASSERT_TRUE(worker.send_line(
+        R"({"op":"solve","budget_ms":60,"spec":"huge_heavy:n=2000,m=16,seed=)" +
+        std::to_string(seed) + "\"}"));
+  // One response read guarantees the queue is loaded before the shutdown.
+  std::string first;
+  ASSERT_TRUE(worker.recv_line(&first));
+  EXPECT_NE(first.find("\"ok\":true"), std::string::npos);
+  TcpClient closer;
+  ASSERT_TRUE(closer.connect(server.jsonl_target(), &error)) << error;
+  ASSERT_TRUE(closer.send_line(R"({"op":"shutdown"})"));
+
+  // Poll /healthz until the drain window reports 503 (or the loop exits,
+  // which would fail the expectation below).
+  bool saw_draining = false;
+  for (int i = 0; i < 500 && !saw_draining; ++i) {
+    const std::string health = http_get(server.http_target(), "/healthz");
+    if (health.empty()) break;  // listener closed: drain finished
+    if (health.find("HTTP/1.1 503") != std::string::npos &&
+        health.find("draining") != std::string::npos)
+      saw_draining = true;
+  }
+  EXPECT_TRUE(saw_draining) << "no 503 observed during the drain";
+  server.join();
+}
+
 }  // namespace
 }  // namespace msrs::serve

@@ -22,18 +22,23 @@
 //         --count=64 --requests=100000 --conns=4
 //
 // Legacy flag-only invocations (no subcommand) behave exactly like `solve`.
+#include <fcntl.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/instance_io.hpp"
 #include "engine/engine.hpp"
+#include "obs/flight_recorder.hpp"
 #include "perf/cli.hpp"
 #include "perf/reporter.hpp"
 #include "serve/serve.hpp"
@@ -88,6 +93,17 @@ struct Options {
                                   // ("" = off, "-" = stderr)
   std::size_t max_conns = 256;    // serve: socket connection budget
   double stats_interval = 0.0;    // drive: mid-run stats poll period, s
+  // serve observability (docs/observability.md)
+  std::string http;            // serve: HTTP exposition HOST:PORT ("" = off)
+  std::string http_port_file;  // serve: write bound HTTP HOST:PORT here
+  std::size_t recorder_events = 1 << 14;  // flight-recorder ring (0 = off)
+  std::string recorder_dump;   // serve: fatal-signal recorder dump file
+  double watchdog_p99_ms = 0.0;      // watchdog p99 threshold, ms (0 = off)
+  double watchdog_error_rate = 0.0;  // watchdog error-rate threshold (0=off)
+  std::size_t watchdog_queue = 0;    // watchdog queue-depth threshold (0=off)
+  double watchdog_interval = 1.0;    // watchdog tick period, seconds
+  std::string watchdog_dump;   // serve: watchdog auto-dump file
+  bool recorder = false;       // stats: fetch the flight recorder instead
 };
 
 std::optional<std::string> arg_value(const char* arg, const char* name) {
@@ -147,7 +163,13 @@ void print_usage(std::FILE* to) {
                " [--solvers=a,b] [--max-conns=C]\n"
                "        [--idle-timeout=MS] [--port-file=FILE]"
                " [--trace=FILE] [--trace-sample=N]\n"
-               "        [--slow-ms=MS] [--metrics-dump[=FILE]]\n"
+               "        [--slow-ms=MS] [--metrics-dump[=FILE]]"
+               " [--http=HOST:PORT]\n"
+               "        [--http-port-file=FILE] [--recorder-events=N]"
+               " [--recorder-dump=FILE]\n"
+               "        [--watchdog-p99-ms=MS] [--watchdog-error-rate=R]"
+               " [--watchdog-queue=N]\n"
+               "        [--watchdog-interval=S] [--watchdog-dump=FILE]\n"
                "      Long-running scheduling service: JSONL requests on"
                " stdin (default), a\n"
                "      UNIX socket, or TCP (epoll event loop; --tcp port 0"
@@ -166,6 +188,16 @@ void print_usage(std::FILE* to) {
                " --metrics-dump prints a\n"
                "      Prometheus-style metrics page at exit (see"
                " docs/observability.md).\n"
+               "      --http serves GET /metrics, /healthz, /recorder and"
+               " /watchdog on a\n"
+               "      second listener (any transport; port 0 +"
+               " --http-port-file supported).\n"
+               "      The flight recorder keeps the last N lifecycle events"
+               " per thread\n"
+               "      (--recorder-events=0 disables); --recorder-dump"
+               " writes them on a\n"
+               "      fatal signal; --watchdog-* thresholds auto-dump to"
+               " --watchdog-dump.\n"
                "  drive SPEC [SPEC ...] (--socket=PATH | --tcp=HOST:PORT)"
                " [--count=K]\n"
                "        [--requests=N] [--duration=S]\n"
@@ -191,11 +223,14 @@ void print_usage(std::FILE* to) {
                "      keys: events, classes, m, max, cancel, snap, rate,"
                " burst, blen, seed —\n"
                "      e.g. poisson:events=200,cancel=0.3,snap=10,seed=1\n"
-               "  stats (--socket=PATH | --tcp=HOST:PORT) [--json]\n"
+               "  stats (--socket=PATH | --tcp=HOST:PORT) [--json]"
+               " [--recorder]\n"
                "      One-shot `stats` op against a running service:"
                " counters, queue depths,\n"
                "      error/solver breakdowns and the per-stage latency"
                " decomposition.\n"
+               "      --recorder fetches the flight recorder's canonical"
+               " event dump instead.\n"
                "  version\n"
                "      Schema versions of the instance, bench and wire"
                " formats.\n"
@@ -327,6 +362,25 @@ bool parse_flags(int argc, char** argv, int begin, Options* options) {
         options->idle_timeout_ms = std::stoul(*v30);
       else if (auto v31 = arg_value(argv[i], "port-file"))
         options->port_file = *v31;
+      else if (auto v32 = arg_value(argv[i], "http")) options->http = *v32;
+      else if (auto v33 = arg_value(argv[i], "http-port-file"))
+        options->http_port_file = *v33;
+      else if (auto v34 = arg_value(argv[i], "recorder-events"))
+        options->recorder_events = std::stoul(*v34);
+      else if (auto v35 = arg_value(argv[i], "recorder-dump"))
+        options->recorder_dump = *v35;
+      else if (auto v36 = arg_value(argv[i], "watchdog-p99-ms"))
+        options->watchdog_p99_ms = std::stod(*v36);
+      else if (auto v37 = arg_value(argv[i], "watchdog-error-rate"))
+        options->watchdog_error_rate = std::stod(*v37);
+      else if (auto v38 = arg_value(argv[i], "watchdog-queue"))
+        options->watchdog_queue = std::stoul(*v38);
+      else if (auto v39 = arg_value(argv[i], "watchdog-interval"))
+        options->watchdog_interval = std::stod(*v39);
+      else if (auto v40 = arg_value(argv[i], "watchdog-dump"))
+        options->watchdog_dump = *v40;
+      else if (std::strcmp(argv[i], "--recorder") == 0)
+        options->recorder = true;
       else if (std::strcmp(argv[i], "--reject") == 0)
         options->reject = true;
       else if (std::strcmp(argv[i], "--json") == 0)
@@ -610,6 +664,18 @@ void dump_metrics(serve::Service& service, const std::string& target) {
   file << page;
 }
 
+// Writes the bound HTTP HOST:PORT of --http-port-file (port 0 serving).
+std::function<void(std::uint16_t)> http_port_writer(const Options& options) {
+  if (options.http_port_file.empty()) return {};
+  return [&options](std::uint16_t port) {
+    std::string host = options.http;
+    const std::size_t colon = host.rfind(':');
+    if (colon != std::string::npos) host.resize(colon);
+    std::ofstream file(options.http_port_file);
+    file << host << ':' << port << '\n';
+  };
+}
+
 int run_serve(const Options& options) {
   if (!check_solvers(options)) return 2;
   serve::ServiceOptions service_options;
@@ -622,10 +688,51 @@ int run_serve(const Options& options) {
   service_options.trace.path = options.trace;
   service_options.trace.sample_every = options.trace_sample;
   service_options.trace.slow_ms = options.slow_ms;
+  service_options.recorder_events = options.recorder_events;
+  service_options.watchdog.p99_threshold_us = options.watchdog_p99_ms * 1000.0;
+  service_options.watchdog.error_rate_threshold = options.watchdog_error_rate;
+  service_options.watchdog.queue_threshold =
+      static_cast<std::int64_t>(options.watchdog_queue);
+  service_options.watchdog_dump = options.watchdog_dump;
   serve::Service service(service_options);
   serve::install_stop_signals();
+  // --recorder-dump: pre-open the file so the fatal-signal handler only has
+  // to write(2) — no allocation, no open() in the handler.
+  int fatal_fd = -1;
+  if (!options.recorder_dump.empty() && service.recorder() != nullptr) {
+    fatal_fd = ::open(options.recorder_dump.c_str(),
+                      O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    if (fatal_fd < 0) {
+      std::fprintf(stderr, "serve: cannot open recorder dump %s\n",
+                   options.recorder_dump.c_str());
+      return 1;
+    }
+    obs::install_fatal_dump(service.recorder(), fatal_fd);
+  }
+  const int monitor_interval_ms =
+      options.watchdog_interval > 0.0
+          ? static_cast<int>(options.watchdog_interval * 1000.0)
+          : 0;
   if (options.socket.empty() && options.tcp.empty()) {
+    // stdio serve with --http: the exposition listener runs its own
+    // event loop on a helper thread while the main thread owns stdio.
+    std::thread http_thread;
+    if (!options.http.empty()) {
+      http_thread = std::thread([&] {
+        serve::TcpOptions http_options;
+        http_options.http = options.http;
+        http_options.on_http_listen = http_port_writer(options);
+        http_options.monitor_interval_ms = monitor_interval_ms;
+        std::string http_error;
+        if (serve::serve_tcp(service, "", &http_error, http_options) != 0)
+          std::fprintf(stderr, "serve: http: %s\n", http_error.c_str());
+      });
+    }
     const int code = serve::serve_stdio(service, std::cin, std::cout);
+    if (http_thread.joinable()) {
+      serve::request_stop();
+      http_thread.join();
+    }
     if (!options.metrics_dump.empty())
       dump_metrics(service, options.metrics_dump);
     return code;
@@ -636,6 +743,9 @@ int run_serve(const Options& options) {
     serve::TcpOptions tcp_options;
     tcp_options.max_connections = options.max_conns;
     tcp_options.idle_timeout_ms = options.idle_timeout_ms;
+    tcp_options.http = options.http;
+    tcp_options.on_http_listen = http_port_writer(options);
+    tcp_options.monitor_interval_ms = monitor_interval_ms;
     tcp_options.on_listen = [&options](std::uint16_t port) {
       std::string host = options.tcp;
       const std::size_t colon = host.rfind(':');
@@ -652,10 +762,26 @@ int run_serve(const Options& options) {
     std::fprintf(stderr, "serving on %s (%u shards, depth %zu, cache %zu)\n",
                  options.socket.c_str(), service.shards(),
                  options.queue_depth, options.serve_cache);
+    std::thread http_thread;
+    if (!options.http.empty()) {
+      http_thread = std::thread([&] {
+        serve::TcpOptions http_options;
+        http_options.http = options.http;
+        http_options.on_http_listen = http_port_writer(options);
+        http_options.monitor_interval_ms = monitor_interval_ms;
+        std::string http_error;
+        if (serve::serve_tcp(service, "", &http_error, http_options) != 0)
+          std::fprintf(stderr, "serve: http: %s\n", http_error.c_str());
+      });
+    }
     serve::SocketOptions socket_options;
     socket_options.max_connections = options.max_conns;
     code = serve::serve_socket(service, options.socket, &error,
                                socket_options);
+    if (http_thread.joinable()) {
+      serve::request_stop();
+      http_thread.join();
+    }
   }
   if (code != 0) std::fprintf(stderr, "serve: %s\n", error.c_str());
   if (!options.metrics_dump.empty())
@@ -679,7 +805,10 @@ int run_stats(const Options& options) {
     return 1;
   }
   std::string line;
-  if (!client->send_line("{\"op\":\"stats\"}") || !client->recv_line(&line)) {
+  const char* request = options.recorder
+                            ? "{\"op\":\"dump_recorder\",\"canonical\":true}"
+                            : "{\"op\":\"stats\"}";
+  if (!client->send_line(request) || !client->recv_line(&line)) {
     std::fprintf(stderr, "stats: service closed the connection\n");
     return 1;
   }
