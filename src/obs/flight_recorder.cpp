@@ -80,7 +80,7 @@ FlightRecorder::~FlightRecorder() {
 }
 
 FlightRecorder::Ring* FlightRecorder::register_thread() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   const std::thread::id self = std::this_thread::get_id();
   const auto it = threads_.find(self);
   Ring* ring = nullptr;
@@ -90,10 +90,14 @@ FlightRecorder::Ring* FlightRecorder::register_thread() {
     rings_.push_back(std::make_unique<Ring>(capacity_));
     ring = rings_.back().get();
     threads_.emplace(self, ring);
+    // relaxed: ring_count_ is only ever advanced under mutex_, so this
+    // read cannot race another writer; publication to lock-free readers
+    // happens through the release stores below.
     const std::size_t index = ring_count_.load(std::memory_order_relaxed);
     ring_table_[index].store(ring, std::memory_order_release);
     ring_count_.store(index + 1, std::memory_order_release);
   } else {
+    // relaxed: a monotone drop tally; readers take a point-in-time value.
     overflow_dropped_.fetch_add(1, std::memory_order_relaxed);
   }
   tl_cache.owner = this;
@@ -102,7 +106,7 @@ FlightRecorder::Ring* FlightRecorder::register_thread() {
 }
 
 std::uint16_t FlightRecorder::intern(std::string_view label) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = label_ids_.find(std::string(label));
   if (it != label_ids_.end()) return it->second;
   if (labels_.size() >= 0xffff) return 0;  // table full: fall back to ""
@@ -113,12 +117,13 @@ std::uint16_t FlightRecorder::intern(std::string_view label) {
 }
 
 std::string FlightRecorder::label(std::uint16_t id) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return id < labels_.size() ? labels_[id] : std::string();
 }
 
 FlightRecorder::Dump FlightRecorder::collect(bool canonical) const {
   Dump dump;
+  // relaxed: a statistical read of the monotone drop tally.
   dump.dropped = overflow_dropped_.load(std::memory_order_relaxed);
   const std::size_t count = ring_count_.load(std::memory_order_acquire);
   for (std::size_t r = 0; r < count; ++r) {

@@ -30,7 +30,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -38,6 +37,7 @@
 #include <vector>
 
 #include "util/json.hpp"
+#include "util/sync.hpp"
 
 namespace msrs::obs {
 
@@ -123,6 +123,8 @@ class FlightRecorder {
               std::uint32_t value) noexcept {
     Ring* ring = tl_cache.owner == this ? tl_cache.ring : register_thread();
     if (ring == nullptr) return;  // past the ring cap: dropped (counted)
+    // relaxed: single-writer ring — only this thread ever stores head, so
+    // reading our own last store needs no ordering.
     const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
     RecorderEvent& slot = ring->slots[head & ring->mask];
     slot.seq = seq;
@@ -201,11 +203,12 @@ class FlightRecorder {
   Ring* register_thread();
 
   std::size_t capacity_;
-  mutable std::mutex mutex_;  // guards rings_/threads_/labels_ registration
-  std::vector<std::unique_ptr<Ring>> rings_;
-  std::unordered_map<std::thread::id, Ring*> threads_;
-  std::vector<std::string> labels_;
-  std::unordered_map<std::string, std::uint16_t> label_ids_;
+  mutable util::Mutex mutex_;  // registration/intern lock
+  std::vector<std::unique_ptr<Ring>> rings_ MSRS_GUARDED_BY(mutex_);
+  std::unordered_map<std::thread::id, Ring*> threads_ MSRS_GUARDED_BY(mutex_);
+  std::vector<std::string> labels_ MSRS_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::uint16_t> label_ids_
+      MSRS_GUARDED_BY(mutex_);
   // Signal-safe view of the rings: a fixed pointer array published with
   // release stores, traversable from a handler without the mutex.
   std::atomic<Ring*> ring_table_[kMaxRings] = {};

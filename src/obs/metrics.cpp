@@ -47,6 +47,8 @@ std::string prometheus_label_value(std::string_view value) {
 
 std::size_t stripe_index() noexcept {
   static std::atomic<std::size_t> next{0};
+  // relaxed: only per-thread uniqueness of the ticket matters; stripe
+  // assignment publishes nothing.
   thread_local const std::size_t index =
       next.fetch_add(1, std::memory_order_relaxed) % kStripes;
   return index;
@@ -72,8 +74,11 @@ void Histogram::record(double value) noexcept {
   const std::size_t bucket = static_cast<std::size_t>(
       std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
   const std::size_t stripe = stripe_index();
+  // relaxed: independent monotone tallies on the caller's stripe; the
+  // snapshot merge only needs eventual sums, no cross-cell ordering.
   counts_[stripe * (bounds_.size() + 1) + bucket].fetch_add(
       1, std::memory_order_relaxed);
+  // relaxed: same stripe-local tally contract as the bucket counts.
   sums_[stripe].fetch_add(static_cast<std::uint64_t>(std::llround(v * kSumScale)),
                           std::memory_order_relaxed);
 }
@@ -83,12 +88,16 @@ Histogram::Snapshot Histogram::snapshot() const {
   snap.bounds = bounds_;
   snap.counts.assign(bounds_.size() + 1, 0);
   const std::size_t buckets = bounds_.size() + 1;
+  // relaxed: statistical reads; a snapshot racing a writer is a
+  // point-in-time estimate by contract.
   for (std::size_t stripe = 0; stripe < kStripes; ++stripe)
     for (std::size_t b = 0; b < buckets; ++b)
       snap.counts[b] +=
+          // relaxed: point-in-time statistical read (see above).
           counts_[stripe * buckets + b].load(std::memory_order_relaxed);
   std::uint64_t scaled_sum = 0;
   for (const auto& cell : sums_)
+    // relaxed: point-in-time statistical read (see above).
     scaled_sum += cell.load(std::memory_order_relaxed);
   for (const std::uint64_t c : snap.counts) snap.count += c;
   snap.sum = static_cast<double>(scaled_sum) / kSumScale;
@@ -215,7 +224,7 @@ Json MetricsSnapshot::json() const {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end())
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -224,7 +233,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end())
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -233,7 +242,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::span<const double> bounds) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end())
     it = histograms_
@@ -244,7 +253,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   snap.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_)
     snap.counters.emplace_back(name, counter->value());

@@ -24,13 +24,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/json.hpp"
+#include "util/sync.hpp"
 
 namespace msrs::obs {
 
@@ -53,6 +53,8 @@ class Counter {
  public:
   /// Adds `delta` to the calling thread's stripe.
   void add(std::uint64_t delta = 1) noexcept {
+    // relaxed: independent monotone tallies; readers only need each
+    // stripe's eventual sum, no ordering with other memory.
     cells_[stripe_index()].v.fetch_add(delta, std::memory_order_relaxed);
   }
   /// Shorthand for add(1).
@@ -61,6 +63,8 @@ class Counter {
   std::uint64_t value() const noexcept {
     std::uint64_t sum = 0;
     for (const Cell& cell : cells_)
+      // relaxed: a statistical read; stripes race with writers by design
+      // and the merged sum is only ever a point-in-time estimate.
       sum += cell.v.load(std::memory_order_relaxed);
     return sum;
   }
@@ -78,14 +82,17 @@ class Gauge {
  public:
   /// Replaces the value.
   void set(std::int64_t v) noexcept {
+    // relaxed: last-writer-wins telemetry value, no dependent data.
     value_.store(v, std::memory_order_relaxed);
   }
   /// Adjusts the value by `delta` (may be negative).
   void add(std::int64_t delta) noexcept {
+    // relaxed: atomic RMW keeps the tally exact; ordering is irrelevant.
     value_.fetch_add(delta, std::memory_order_relaxed);
   }
   /// Current value.
   std::int64_t value() const noexcept {
+    // relaxed: a statistical read of a telemetry value.
     return value_.load(std::memory_order_relaxed);
   }
 
@@ -186,23 +193,27 @@ struct MetricsSnapshot {
 class MetricsRegistry {
  public:
   /// The counter named `name`, created on first use.
-  Counter& counter(std::string_view name);
+  Counter& counter(std::string_view name) MSRS_EXCLUDES(mutex_);
   /// The gauge named `name`, created on first use.
-  Gauge& gauge(std::string_view name);
+  Gauge& gauge(std::string_view name) MSRS_EXCLUDES(mutex_);
   /// The histogram named `name`, created on first use with the given
   /// bucket bounds (empty = latency_buckets_us()); later calls return the
   /// existing histogram and ignore `bounds`.
   Histogram& histogram(std::string_view name,
-                       std::span<const double> bounds = {});
+                       std::span<const double> bounds = {})
+      MSRS_EXCLUDES(mutex_);
 
   /// Deterministic snapshot of every registered metric, sorted by name.
-  MetricsSnapshot snapshot() const;
+  MetricsSnapshot snapshot() const MSRS_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      MSRS_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      MSRS_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      MSRS_GUARDED_BY(mutex_);
 };
 
 }  // namespace msrs::obs

@@ -46,7 +46,7 @@ Tracer::Tracer(TraceOptions options) : options_(std::move(options)) {
 void Tracer::observe(const Span& span) {
   if (sampled(span.seq)) {
     const std::string line = span.line();
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (to_stderr_)
       std::fprintf(stderr, "%s\n", line.c_str());
     else
@@ -63,7 +63,7 @@ void Tracer::observe(const Span& span) {
 }
 
 void Tracer::flush() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (file_.is_open()) file_.flush();
 }
 

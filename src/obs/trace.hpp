@@ -16,10 +16,10 @@
 #include <chrono>
 #include <cstdint>
 #include <fstream>
-#include <mutex>
 #include <string>
 
 #include "util/json.hpp"
+#include "util/sync.hpp"
 
 namespace msrs::obs {
 
@@ -89,18 +89,19 @@ class Tracer {
 
   /// Routes one finished span: writes the JSON line when `sampled(seq)`,
   /// and the stderr slow line when `slow(total_us)`.
-  void observe(const Span& span);
+  void observe(const Span& span) MSRS_EXCLUDES(mutex_);
 
   /// Flushes the sink (shutdown path).
-  void flush();
+  void flush() MSRS_EXCLUDES(mutex_);
 
  private:
   TraceOptions options_;
   bool sink_open_ = false;
   bool to_stderr_ = false;
   bool failed_ = false;
-  std::mutex mutex_;
-  std::ofstream file_;
+  util::Mutex mutex_;
+  /// The JSONL span sink (all writes serialized under mutex_).
+  std::ofstream file_ MSRS_GUARDED_BY(mutex_);
 };
 
 /// Microseconds between two stamps (0 when either is unset/reversed).

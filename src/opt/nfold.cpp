@@ -116,7 +116,21 @@ class Augmenter {
     layers.push_back(layer);
     for (int block = 0; block < prob_.N; ++block) {
       std::unordered_map<std::int64_t, DpEntry> next;
+      // Visit the previous layer in sorted code order: with first-wins
+      // relaxation below, the surviving equal-cost predecessor is then the
+      // smallest code rather than whichever the hash order served first —
+      // hash iteration must not pick the reconstructed step vector.
+      std::vector<std::int64_t> frontier;
+      frontier.reserve(layers.back().size());
+      // order-insensitive: collect-then-sort; the visitation order is the
+      // sorted one, not the hash one.
       for (const auto& [code, entry] : layers.back()) {
+        static_cast<void>(entry);
+        frontier.push_back(code);
+      }
+      std::sort(frontier.begin(), frontier.end());
+      for (const std::int64_t code : frontier) {
+        const DpEntry& entry = layers.back().at(code);
         const auto state = decode(code);
         enumerate_block(block, x, gamma,
                         [&](const std::vector<std::int64_t>& v,
@@ -133,9 +147,21 @@ class Augmenter {
                           const std::int64_t to_code = encode(to);
                           const std::int64_t new_cost =
                               entry.cost + gamma * cost;
+                          // First-wins on equal cost: combined with the
+                          // sorted visitation above this keeps the
+                          // smallest equal-cost predecessor, at no
+                          // per-relaxation cost. In-place update: `step`
+                          // assignment reuses the vector's capacity, and
+                          // the found iterator is reused instead of a
+                          // second operator[] lookup.
                           auto it = next.find(to_code);
-                          if (it == next.end() || new_cost < it->second.cost)
-                            next[to_code] = DpEntry{new_cost, code, v};
+                          if (it == next.end()) {
+                            next.emplace(to_code, DpEntry{new_cost, code, v});
+                          } else if (new_cost < it->second.cost) {
+                            it->second.cost = new_cost;
+                            it->second.prev_code = code;
+                            it->second.step = v;
+                          }
                         });
       }
       layers.push_back(std::move(next));

@@ -16,7 +16,7 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 bool ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (draining_) return false;
     queue_.push(std::move(task));
     ++in_flight_;
@@ -26,17 +26,23 @@ bool ThreadPool::submit(std::function<void()> task) {
 }
 
 bool ThreadPool::shutdown(std::chrono::milliseconds deadline) {
-  std::unique_lock lock(mutex_);
+  bool drained = true;
+  // Manual lock()/unlock() rather than MutexLock: the lock must be dropped
+  // before notify_all() + join below, mid-function.
+  mutex_.lock();
   draining_ = true;
-  bool drained;
   if (deadline == std::chrono::milliseconds::max()) {
-    // An effectively infinite deadline must not feed wait_for (time_point
+    // An effectively infinite deadline must not feed wait_until (time_point
     // overflow); wait without one.
-    idle_.wait(lock, [this] { return in_flight_ == 0; });
-    drained = true;
+    while (in_flight_ != 0) idle_.wait(mutex_);
   } else {
-    drained =
-        idle_.wait_for(lock, deadline, [this] { return in_flight_ == 0; });
+    const auto until = util::deadline_after(deadline);
+    while (in_flight_ != 0) {
+      if (idle_.wait_until(mutex_, until) == std::cv_status::timeout) {
+        drained = in_flight_ == 0;
+        break;
+      }
+    }
   }
   if (!drained) {
     // Deadline passed: drop queued-but-unstarted tasks. Running tasks are
@@ -48,7 +54,7 @@ bool ThreadPool::shutdown(std::chrono::milliseconds deadline) {
     if (in_flight_ == 0) idle_.notify_all();  // concurrent wait_idle()
   }
   stopping_ = true;
-  lock.unlock();
+  mutex_.unlock();
   work_available_.notify_all();
   for (auto& worker : workers_)
     if (worker.joinable()) worker.join();
@@ -56,23 +62,23 @@ bool ThreadPool::shutdown(std::chrono::milliseconds deadline) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  idle_.wait(lock, [this] { return in_flight_ == 0; });
+  util::MutexLock lock(mutex_);
+  while (in_flight_ != 0) idle_.wait(mutex_);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      util::MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) work_available_.wait(mutex_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop();
     }
     task();
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       if (--in_flight_ == 0) idle_.notify_all();
     }
   }

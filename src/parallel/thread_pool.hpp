@@ -4,20 +4,24 @@
 // runs; this pool gives near-linear speedup for those embarrassingly parallel
 // sweeps while keeping results deterministic (work items carry their own
 // seeds, so the partitioning order cannot change any reported number).
+//
+// Lock discipline is machine-checked: queue/flag state is MSRS_GUARDED_BY
+// the pool mutex and clang's -Wthread-safety verifies every access (the
+// clang-thread-safety CI job builds with -Werror).
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace msrs {
 
@@ -34,7 +38,7 @@ class ThreadPool {
   // Enqueues a task. Tasks must not throw; exceptions terminate (by design —
   // harness work items report failures through their results, not exceptions).
   // Returns false (and drops the task) after shutdown() has begun.
-  bool submit(std::function<void()> task);
+  bool submit(std::function<void()> task) MSRS_EXCLUDES(mutex_);
 
   // Enqueues a task and returns a future for its result. Unlike submit(),
   // exceptions escaping the task are captured in the future (std::packaged_task
@@ -57,7 +61,7 @@ class ThreadPool {
   }
 
   // Blocks until all submitted tasks have finished.
-  void wait_idle();
+  void wait_idle() MSRS_EXCLUDES(mutex_);
 
   // Graceful drain-then-join: stops accepting new tasks, waits up to
   // `deadline` for the queued + running work to finish, then joins the
@@ -68,19 +72,21 @@ class ThreadPool {
   // destructor with an infinite deadline, so plain destruction still runs
   // every submitted task (the historical contract).
   bool shutdown(std::chrono::milliseconds deadline =
-                    std::chrono::milliseconds::max());
+                    std::chrono::milliseconds::max()) MSRS_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() MSRS_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
-  std::size_t in_flight_ = 0;
-  bool draining_ = false;  // submit() refuses; workers drain the queue
-  bool stopping_ = false;  // workers exit once the queue is empty
+  util::Mutex mutex_;
+  std::queue<std::function<void()>> queue_ MSRS_GUARDED_BY(mutex_);
+  util::CondVar work_available_;
+  util::CondVar idle_;
+  std::size_t in_flight_ MSRS_GUARDED_BY(mutex_) = 0;
+  // submit() refuses; workers drain the queue.
+  bool draining_ MSRS_GUARDED_BY(mutex_) = false;
+  // Workers exit once the queue is empty.
+  bool stopping_ MSRS_GUARDED_BY(mutex_) = false;
 };
 
 // Runs body(i) for i in [begin, end) across `threads` workers (0 = hardware

@@ -9,16 +9,17 @@
 /// drain the remaining items and then see end-of-stream.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "util/sync.hpp"
+
 namespace msrs::serve {
 
-/// Bounded MPMC FIFO. All operations are thread-safe.
+/// Bounded MPMC FIFO. All operations are thread-safe; the lock discipline
+/// is annotated for Clang's thread-safety analysis.
 ///
 /// Storage is a ring buffer preallocated at construction: pushing never
 /// allocates, so a producer's allocation count is independent of how far
@@ -35,12 +36,13 @@ class BoundedQueue {
   /// Blocks until space is available (backpressure), then enqueues by
   /// moving from `item`. Returns false — leaving `item` untouched — once
   /// the queue is closed, so the caller can still answer the request.
-  bool push(T& item) {
-    std::unique_lock lock(mutex_);
-    space_.wait(lock, [this] { return closed_ || count_ < ring_.size(); });
-    if (closed_) return false;
-    enqueue(item);
-    lock.unlock();
+  bool push(T& item) MSRS_EXCLUDES(mutex_) {
+    {
+      util::MutexLock lock(mutex_);
+      while (!closed_ && count_ >= ring_.size()) space_.wait(mutex_);
+      if (closed_) return false;
+      enqueue_locked(item);
+    }
     ready_.notify_one();
     return true;
   }
@@ -48,34 +50,36 @@ class BoundedQueue {
   /// Enqueues (moving from `item`) only if space is available right now;
   /// false — leaving `item` untouched — when full or closed (the caller
   /// turns this into a named rejection).
-  bool try_push(T& item) {
+  bool try_push(T& item) MSRS_EXCLUDES(mutex_) {
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       if (closed_ || count_ >= ring_.size()) return false;
-      enqueue(item);
+      enqueue_locked(item);
     }
     ready_.notify_one();
     return true;
   }
 
   /// Blocks for the next item; std::nullopt once closed and drained.
-  std::optional<T> pop() {
-    std::unique_lock lock(mutex_);
-    ready_.wait(lock, [this] { return closed_ || count_ > 0; });
-    if (count_ == 0) return std::nullopt;
-    std::optional<T> item(std::move(ring_[head_]));
-    head_ = (head_ + 1) % ring_.size();
-    --count_;
-    lock.unlock();
+  std::optional<T> pop() MSRS_EXCLUDES(mutex_) {
+    std::optional<T> item;
+    {
+      util::MutexLock lock(mutex_);
+      while (!closed_ && count_ == 0) ready_.wait(mutex_);
+      if (count_ == 0) return std::nullopt;
+      item.emplace(std::move(ring_[head_]));
+      head_ = (head_ + 1) % ring_.size();
+      --count_;
+    }
     space_.notify_one();
     return item;
   }
 
   /// Closes the queue: pending and future push() calls fail, consumers
   /// drain what is left. Idempotent.
-  void close() {
+  void close() MSRS_EXCLUDES(mutex_) {
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       closed_ = true;
     }
     ready_.notify_all();
@@ -83,24 +87,26 @@ class BoundedQueue {
   }
 
   /// Queued (not yet popped) items right now.
-  std::size_t size() const {
-    std::lock_guard lock(mutex_);
+  std::size_t size() const MSRS_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     return count_;
   }
 
  private:
-  void enqueue(T& item) {  // callers hold mutex_ and checked for space
+  // Callers hold mutex_ and have checked for space.
+  void enqueue_locked(T& item) MSRS_REQUIRES(mutex_) {
     ring_[(head_ + count_) % ring_.size()] = std::move(item);
     ++count_;
   }
 
-  mutable std::mutex mutex_;
-  std::condition_variable ready_;  // consumers wait: item or closed
-  std::condition_variable space_;  // producers wait: space or closed
-  std::vector<T> ring_;            // fixed slots; [head_, head_+count_)
-  std::size_t head_ = 0;
-  std::size_t count_ = 0;
-  bool closed_ = false;
+  mutable util::Mutex mutex_;
+  util::CondVar ready_;  // consumers wait: item or closed
+  util::CondVar space_;  // producers wait: space or closed
+  // Fixed slots; live items occupy [head_, head_+count_) mod size.
+  std::vector<T> ring_ MSRS_GUARDED_BY(mutex_);
+  std::size_t head_ MSRS_GUARDED_BY(mutex_) = 0;
+  std::size_t count_ MSRS_GUARDED_BY(mutex_) = 0;
+  bool closed_ MSRS_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace msrs::serve

@@ -41,12 +41,15 @@ class ConnectionBudget {
   /// budget; false (and `rejected` counted) at the budget — the caller
   /// sheds the connection with a named `overloaded` line.
   bool try_acquire() {
+    // relaxed: just the CAS loop's starting guess; the CAS itself
+    // (acq_rel) is what makes the slot claim authoritative.
     std::size_t current = active_.load(std::memory_order_relaxed);
     do {
       if (current >= limit_) {
         rejected_->inc();
         return false;
       }
+      // relaxed: failure order only reloads the guess for the next try.
     } while (!active_.compare_exchange_weak(current, current + 1,
                                             std::memory_order_acq_rel,
                                             std::memory_order_relaxed));
@@ -67,6 +70,8 @@ class ConnectionBudget {
 
   /// Live connections.
   std::size_t active() const {
+    // relaxed: a monitoring read; the count may move the next instant
+    // anyway, ordering buys nothing.
     return active_.load(std::memory_order_relaxed);
   }
 

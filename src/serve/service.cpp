@@ -204,7 +204,7 @@ Service::Service(ServiceOptions options,
   session_fallbacks_c_ = &metrics_.counter("serve.session.fallbacks");
   session_active_g_ = &metrics_.gauge("serve.session.active");
   uptime_g_ = &metrics_.gauge("serve.uptime_seconds");
-  start_ = std::chrono::steady_clock::now();
+  start_ = obs::TraceClock::now();
 
   // Monitoring: the watchdog is always constructed (its obs.watchdog.*
   // counters are part of the stable key set); the recorder is optional.
@@ -279,13 +279,15 @@ void Service::respond_error(Done& done, const Json& id, WireError code,
 }
 
 void Service::finish_item() {
-  std::lock_guard lock(pending_mutex_);
+  util::MutexLock lock(pending_mutex_);
   if (--pending_ == 0) drained_.notify_all();
 }
 
 void Service::submit(const std::string& line, Done done) {
   received_c_->inc();
   obs::TraceContext trace;
+  // relaxed: only uniqueness matters — each caller needs a distinct seq;
+  // nothing is published through this counter.
   trace.seq = seq_.fetch_add(1, std::memory_order_relaxed);
   trace.admit = obs::TraceClock::now();
   if (recorder_ != nullptr)
@@ -366,7 +368,7 @@ void Service::submit(const std::string& line, Done done) {
         // session_queue_budget slots of this shard's queue, so solve ops
         // behind it are delayed by a bounded number of cheap mutations.
         if (options_.reject_when_full) {
-          std::lock_guard lock(shard.session_gate_mutex);
+          util::MutexLock lock(shard.session_gate_mutex);
           if (shard.queued_session_ops >=
               options_.session_queue_budget) {
             rejected_c_->inc();
@@ -377,12 +379,10 @@ void Service::submit(const std::string& line, Done done) {
           }
           ++shard.queued_session_ops;
         } else {
-          std::unique_lock lock(shard.session_gate_mutex);
-          shard.session_gate_cv.wait(lock, [this, &shard] {
-            return !accepting_.load() ||
-                   shard.queued_session_ops <
-                       options_.session_queue_budget;
-          });
+          util::MutexLock lock(shard.session_gate_mutex);
+          while (accepting_.load() &&
+                 shard.queued_session_ops >= options_.session_queue_budget)
+            shard.session_gate_cv.wait(shard.session_gate_mutex);
           if (!accepting_.load()) {
             respond_error(item.done, item.id, WireError::kShuttingDown,
                           "service is shutting down", &item.trace);
@@ -392,7 +392,7 @@ void Service::submit(const std::string& line, Done done) {
         }
       }
       {
-        std::lock_guard lock(pending_mutex_);
+        util::MutexLock lock(pending_mutex_);
         ++pending_;
       }
       item.trace.enqueue = obs::TraceClock::now();
@@ -446,7 +446,7 @@ void Service::submit(const std::string& line, Done done) {
       *shards_[static_cast<std::size_t>(item.form.key % shards_.size())];
 
   {
-    std::lock_guard lock(pending_mutex_);
+    util::MutexLock lock(pending_mutex_);
     ++pending_;
   }
   item.trace.enqueue = obs::TraceClock::now();
@@ -488,7 +488,7 @@ void Service::shard_loop(Shard& shard) {
 void Service::release_session_slot(Shard& shard) {
   if (options_.session_queue_budget == 0) return;
   {
-    std::lock_guard lock(shard.session_gate_mutex);
+    util::MutexLock lock(shard.session_gate_mutex);
     if (shard.queued_session_ops > 0) --shard.queued_session_ops;
   }
   shard.session_gate_cv.notify_one();
@@ -764,7 +764,7 @@ obs::MetricsSnapshot Service::metrics_snapshot() {
     metrics_.gauge("serve.queue_depth." + std::to_string(shard->index))
         .set(static_cast<std::int64_t>(shard->queue.size()));
   uptime_g_->set(std::chrono::duration_cast<std::chrono::seconds>(
-                     std::chrono::steady_clock::now() - start_)
+                     obs::TraceClock::now() - start_)
                      .count());
   obs::MetricsSnapshot snapshot = metrics_.snapshot();
   snapshot.info.emplace_back("build_info", build_info_labels());
@@ -772,7 +772,7 @@ obs::MetricsSnapshot Service::metrics_snapshot() {
 }
 
 bool Service::monitor_tick() {
-  std::lock_guard lock(monitor_mutex_);
+  util::MutexLock lock(monitor_mutex_);
   if (!watchdog_->tick(metrics_snapshot())) return false;
   if (recorder_ != nullptr && !options_.watchdog_dump.empty()) {
     // Full (wall-clock) rendering: a post-mortem wants timestamps.
@@ -792,23 +792,30 @@ bool Service::shutdown(std::chrono::milliseconds deadline) {
       // !accepting() and answer shutting_down.
       shard->session_gate_cv.notify_all();
     }
-    bool drained;
+    bool drained = true;
     {
-      std::unique_lock lock(pending_mutex_);
+      util::MutexLock lock(pending_mutex_);
       if (deadline == std::chrono::milliseconds::max()) {
-        drained_.wait(lock, [this] { return pending_ == 0; });
-        drained = true;
+        // An effectively infinite deadline must not feed wait_until
+        // (time_point overflow); wait without one.
+        while (pending_ != 0) drained_.wait(pending_mutex_);
       } else {
-        drained = drained_.wait_for(lock, deadline,
-                                    [this] { return pending_ == 0; });
+        const auto until = util::deadline_after(deadline);
+        while (pending_ != 0) {
+          if (drained_.wait_until(pending_mutex_, until) ==
+              std::cv_status::timeout) {
+            drained = pending_ == 0;
+            break;
+          }
+        }
       }
     }
     if (!drained) {
       // Deadline passed: remaining queued items are answered with the
       // named shutting_down error (cheap), never silently dropped.
       abort_.store(true);
-      std::unique_lock lock(pending_mutex_);
-      drained_.wait(lock, [this] { return pending_ == 0; });
+      util::MutexLock lock(pending_mutex_);
+      while (pending_ != 0) drained_.wait(pending_mutex_);
     }
     pool_.shutdown();  // shard loops exit once their queues are drained
     tracer_->flush();

@@ -33,7 +33,6 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -50,6 +49,7 @@
 #include "serve/bounded_queue.hpp"
 #include "serve/wire.hpp"
 #include "util/json.hpp"
+#include "util/sync.hpp"
 
 namespace msrs::serve {
 
@@ -176,7 +176,7 @@ class Service {
   /// the recorder to ServiceOptions::watchdog_dump. Serialized internally;
   /// the TCP event loop calls this once per monitor interval, tests call
   /// it directly. Returns true when a dump fired.
-  bool monitor_tick();
+  bool monitor_tick() MSRS_EXCLUDES(monitor_mutex_);
 
   /// The watchdog's retained timeseries window and trip state (diagnostic
   /// JSON; tests and the `/recorder` HTTP surface read it).
@@ -190,7 +190,8 @@ class Service {
   /// deadline are answered with the named `shutting_down` error (callbacks
   /// always fire). Returns true when everything drained in time.
   /// Idempotent.
-  bool shutdown(std::chrono::milliseconds deadline);
+  bool shutdown(std::chrono::milliseconds deadline)
+      MSRS_EXCLUDES(pending_mutex_);
 
  private:
   struct Item {
@@ -247,9 +248,9 @@ class Service {
     /// session ops queued on this shard right now. Producers block (or
     /// shed) at the budget; the worker decrements and signals after each
     /// session op it finishes.
-    std::mutex session_gate_mutex;
-    std::condition_variable session_gate_cv;
-    std::size_t queued_session_ops = 0;  // guarded by session_gate_mutex
+    util::Mutex session_gate_mutex;
+    util::CondVar session_gate_cv;
+    std::size_t queued_session_ops MSRS_GUARDED_BY(session_gate_mutex) = 0;
   };
 
   void shard_loop(Shard& shard);
@@ -260,7 +261,8 @@ class Service {
   void respond_error(Done& done, const Json& id, WireError code,
                      std::string_view detail,
                      const obs::TraceContext* trace = nullptr);
-  void finish_item();  // pending_ bookkeeping of queued items
+  // pending_ bookkeeping of queued items.
+  void finish_item() MSRS_EXCLUDES(pending_mutex_);
 
   ServiceOptions options_;
   const engine::SolverRegistry* registry_;
@@ -268,7 +270,7 @@ class Service {
   std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<obs::FlightRecorder> recorder_;
   std::unique_ptr<obs::Watchdog> watchdog_;
-  std::mutex monitor_mutex_;  // serializes monitor_tick()
+  util::Mutex monitor_mutex_;  // serializes monitor_tick()
   std::chrono::steady_clock::time_point start_;
   obs::Gauge* uptime_g_ = nullptr;
   // Pre-interned recorder label ids (solver names by registry order plus
@@ -302,9 +304,10 @@ class Service {
   ThreadPool pool_;
   std::atomic<bool> accepting_{true};
   std::atomic<bool> abort_{false};  // deadline passed: fail queued items
-  std::mutex pending_mutex_;
-  std::condition_variable drained_;
-  std::size_t pending_ = 0;  // queued items whose callback has not fired
+  util::Mutex pending_mutex_;
+  util::CondVar drained_;
+  /// Queued items whose callback has not fired.
+  std::size_t pending_ MSRS_GUARDED_BY(pending_mutex_) = 0;
   std::once_flag shutdown_once_;
   bool shutdown_result_ = true;
 };

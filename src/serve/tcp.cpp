@@ -207,13 +207,13 @@ void TcpClient::close() {}
 
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "serve/conn_budget.hpp"
 #include "serve/http.hpp"
+#include "util/sync.hpp"
 
 namespace msrs::serve {
 namespace {
@@ -225,6 +225,12 @@ namespace {
 struct TcpConn {
   explicit TcpConn(std::size_t max_line_bytes) : framer(max_line_bytes) {}
 
+  // fd is deliberately NOT mutex-guarded: only the loop thread writes it
+  // (close_conn, under the lock), the loop thread reads it lock-free
+  // (single-writer, same thread), and the one cross-thread reader — the
+  // OrderedWriter sink — reads it under the lock, pairing with the locked
+  // write. The analysis cannot express "guarded for cross-thread access
+  // only", so the discipline is documented here instead.
   int fd = -1;
   LineFramer framer;
   std::unique_ptr<OrderedWriter> writer;
@@ -234,11 +240,14 @@ struct TcpConn {
   bool want_write = false;  // write interest armed (partial flush pending)
   bool draining = false;   // no more reads; close once responses flush
 
-  std::mutex mutex;  // guards everything below
-  std::string outbox;      // rendered response bytes pending write
-  std::size_t offset = 0;  // written prefix of outbox
-  std::size_t outbox_highwater = 0;
-  bool closed = false;  // sink drops late deliveries once set
+  util::Mutex mutex;
+  /// Rendered response bytes pending write.
+  std::string outbox MSRS_GUARDED_BY(mutex);
+  /// Written prefix of outbox.
+  std::size_t offset MSRS_GUARDED_BY(mutex) = 0;
+  std::size_t outbox_highwater MSRS_GUARDED_BY(mutex) = 0;
+  /// Sink drops late deliveries once set.
+  bool closed MSRS_GUARDED_BY(mutex) = false;
 };
 
 // The event loop: one thread owning the listen socket, every connection
@@ -460,7 +469,7 @@ class TcpServer {
           std::make_unique<OrderedWriter>([this, raw](const std::string& line) {
             int conn_fd = -1;
             {
-              std::lock_guard lock(raw->mutex);
+              util::MutexLock lock(raw->mutex);
               if (raw->closed) return;  // response after abrupt close
               raw->outbox.append(line);
               raw->outbox.push_back('\n');
@@ -477,9 +486,9 @@ class TcpServer {
     }
   }
 
-  void mark_dirty(int fd) {
+  void mark_dirty(int fd) MSRS_EXCLUDES(dirty_mutex_) {
     {
-      std::lock_guard lock(dirty_mutex_);
+      util::MutexLock lock(dirty_mutex_);
       dirty_.push_back(fd);
     }
     wakeup_.signal();
@@ -587,7 +596,7 @@ class TcpServer {
   void queue_http(const std::shared_ptr<TcpConn>& conn,
                   std::string&& response) {
     {
-      std::lock_guard lock(conn->mutex);
+      util::MutexLock lock(conn->mutex);
       conn->outbox.append(response);
       conn->outbox_highwater = std::max(conn->outbox_highwater,
                                         conn->outbox.size() - conn->offset);
@@ -616,7 +625,7 @@ class TcpServer {
     std::size_t pending = 0;
     std::size_t highwater = 0;
     {
-      std::lock_guard lock(conn->mutex);
+      util::MutexLock lock(conn->mutex);
       while (conn->offset < conn->outbox.size()) {
         const ssize_t sent =
             ::send(conn->fd, conn->outbox.data() + conn->offset,
@@ -663,16 +672,16 @@ class TcpServer {
     if (!conn->writer->drained()) return;
     bool empty = false;
     {
-      std::lock_guard lock(conn->mutex);
+      util::MutexLock lock(conn->mutex);
       empty = conn->offset >= conn->outbox.size();
     }
     if (empty) close_conn(conn);
   }
 
-  void flush_dirty() {
+  void flush_dirty() MSRS_EXCLUDES(dirty_mutex_) {
     std::vector<int> dirty;
     {
-      std::lock_guard lock(dirty_mutex_);
+      util::MutexLock lock(dirty_mutex_);
       dirty.swap(dirty_);
     }
     for (const int fd : dirty) {
@@ -702,7 +711,7 @@ class TcpServer {
     const int fd = conn->fd;
     std::size_t write_highwater = 0;
     {
-      std::lock_guard lock(conn->mutex);
+      util::MutexLock lock(conn->mutex);
       if (conn->closed) return;
       conn->closed = true;
       conn->fd = -1;  // the sink reads fd under this lock
@@ -764,6 +773,7 @@ class TcpServer {
     waiter.join();
     // wait_drained guarantees the last sink invocation has happened —
     // after this, outboxes are final.
+    // order-insensitive: waits on every writer; visiting order is moot.
     for (const auto& [fd, conn] : conns_) conn->writer->wait_drained();
     // Bounded flush phase: push the final outboxes to every peer still
     // reading; give up on the rest after the deadline.
@@ -773,6 +783,8 @@ class TcpServer {
     while (!conns_.empty() && std::chrono::steady_clock::now() < deadline) {
       std::vector<std::shared_ptr<TcpConn>> open;
       open.reserve(conns_.size());
+      // order-insensitive: collects handles to flush; each conn's bytes
+      // are ordered by its own OrderedWriter, never by this iteration.
       for (const auto& [fd, conn] : conns_) open.push_back(conn);
       for (const std::shared_ptr<TcpConn>& conn : open) {
         conn->draining = true;
@@ -785,6 +797,7 @@ class TcpServer {
     }
     std::vector<std::shared_ptr<TcpConn>> rest;
     rest.reserve(conns_.size());
+    // order-insensitive: every remaining conn gets closed; order is moot.
     for (const auto& [fd, conn] : conns_) rest.push_back(conn);
     for (const std::shared_ptr<TcpConn>& conn : rest) close_conn(conn);
     if (http_listen_fd_ >= 0) {
@@ -812,8 +825,9 @@ class TcpServer {
   int http_listen_fd_ = -1;
   std::uint64_t last_monitor_ms_ = 0;  // last monitor_tick() loop time
   std::unordered_map<int, std::shared_ptr<TcpConn>> conns_;
-  std::mutex dirty_mutex_;
-  std::vector<int> dirty_;  // fds with freshly appended outbox bytes
+  util::Mutex dirty_mutex_;
+  /// Fds with freshly appended outbox bytes.
+  std::vector<int> dirty_ MSRS_GUARDED_BY(dirty_mutex_);
 };
 
 }  // namespace

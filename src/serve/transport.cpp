@@ -1,5 +1,6 @@
 #include "serve/transport.hpp"
 
+#include <atomic>
 #include <csignal>
 #include <istream>
 #include <ostream>
@@ -7,12 +8,12 @@
 namespace msrs::serve {
 
 std::uint64_t OrderedWriter::reserve() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return next_reserve_++;
 }
 
 void OrderedWriter::deliver(std::uint64_t seq, std::string&& line) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   pending_.emplace(seq, std::move(line));
   // Release the contiguous ready prefix. Writing under the lock keeps the
   // sink single-threaded and the order exact.
@@ -26,12 +27,12 @@ void OrderedWriter::deliver(std::uint64_t seq, std::string&& line) {
 }
 
 void OrderedWriter::wait_drained() {
-  std::unique_lock lock(mutex_);
-  drained_.wait(lock, [this] { return next_write_ == next_reserve_; });
+  util::MutexLock lock(mutex_);
+  while (next_write_ != next_reserve_) drained_.wait(mutex_);
 }
 
 bool OrderedWriter::drained() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return next_write_ == next_reserve_;
 }
 
@@ -56,9 +57,20 @@ int serve_stdio(Service& service, std::istream& in, std::ostream& out) {
 
 namespace {
 
-volatile std::sig_atomic_t g_stop = 0;
+// std::atomic<int>, not volatile sig_atomic_t: request_stop() is called
+// from other threads (e.g. the socket server's shutdown op), and a plain
+// volatile written cross-thread is a C++ data race. std::atomic<int> is
+// lock-free on every supported target (checked below), which also keeps
+// it async-signal-safe for the handler write.
+std::atomic<int> g_stop{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal handler requires a lock-free stop flag");
 
-void on_stop_signal(int) { g_stop = 1; }
+void on_stop_signal(int) {
+  // relaxed: a standalone flag with no dependent data; readers only poll
+  // whether to stop, nothing is published through it.
+  g_stop.store(1, std::memory_order_relaxed);
+}
 
 }  // namespace
 
@@ -78,10 +90,13 @@ void install_stop_signals() {
 #endif
 }
 
-bool stop_requested() { return g_stop != 0; }
+// relaxed: see on_stop_signal — the flag carries no dependent data.
+bool stop_requested() { return g_stop.load(std::memory_order_relaxed) != 0; }
 
-void request_stop() { g_stop = 1; }
+// relaxed: see on_stop_signal — the flag carries no dependent data.
+void request_stop() { g_stop.store(1, std::memory_order_relaxed); }
 
-void reset_stop() { g_stop = 0; }
+// relaxed: see on_stop_signal — the flag carries no dependent data.
+void reset_stop() { g_stop.store(0, std::memory_order_relaxed); }
 
 }  // namespace msrs::serve

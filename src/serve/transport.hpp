@@ -10,15 +10,14 @@
 /// and every transport then drains in-flight requests before exiting.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "serve/service.hpp"
+#include "util/sync.hpp"
 
 namespace msrs::serve {
 
@@ -33,27 +32,30 @@ class OrderedWriter {
 
   /// Claims the next slot in the output order; pass the returned sequence
   /// number to deliver() exactly once.
-  std::uint64_t reserve();
+  std::uint64_t reserve() MSRS_EXCLUDES(mutex_);
 
   /// Hands in the response of slot `seq`; writes every contiguous
   /// now-ready line through the sink.
-  void deliver(std::uint64_t seq, std::string&& line);
+  void deliver(std::uint64_t seq, std::string&& line) MSRS_EXCLUDES(mutex_);
 
   /// Blocks until every reserved slot has been delivered and written.
-  void wait_drained();
+  void wait_drained() MSRS_EXCLUDES(mutex_);
 
   /// True when every reserved slot has been delivered and written — the
   /// non-blocking probe an event loop polls to decide whether a draining
   /// connection may close yet.
-  bool drained();
+  bool drained() MSRS_EXCLUDES(mutex_);
 
  private:
-  std::function<void(const std::string&)> sink_;
-  std::mutex mutex_;
-  std::condition_variable drained_;
-  std::map<std::uint64_t, std::string> pending_;  // delivered, not written
-  std::uint64_t next_reserve_ = 0;
-  std::uint64_t next_write_ = 0;
+  // The sink is only ever invoked under mutex_ (deliver's release loop),
+  // which is what serializes it; annotated accordingly.
+  std::function<void(const std::string&)> sink_ MSRS_GUARDED_BY(mutex_);
+  util::Mutex mutex_;
+  util::CondVar drained_;
+  /// Delivered but not yet written (waiting for their turn).
+  std::map<std::uint64_t, std::string> pending_ MSRS_GUARDED_BY(mutex_);
+  std::uint64_t next_reserve_ MSRS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t next_write_ MSRS_GUARDED_BY(mutex_) = 0;
 };
 
 /// Serves JSONL requests from `in` to `out` (one response line per request

@@ -1,0 +1,83 @@
+/// \file
+/// Clang thread-safety-analysis annotation macros (no-ops off Clang).
+///
+/// The concurrent subsystems — the thread pool, the serving layer's
+/// admission queues and per-connection outboxes, the telemetry registry,
+/// the flight recorder — document their lock discipline with these macros
+/// so `clang -Wthread-safety -Werror` (the `clang-thread-safety` CI job)
+/// machine-checks it at compile time: a guarded member touched without its
+/// mutex, a `_locked` helper called lock-free, or a lock released on one
+/// path but not another is a build error, not a latent race.
+///
+/// Conventions (docs/static_analysis.md has the full guide):
+///  - Mutex-guarded members are declared `MSRS_GUARDED_BY(mutex_)` and the
+///    mutex is a `util::Mutex` (util/sync.hpp) — the std type carries no
+///    capability attributes in libstdc++, so the analysis would be blind
+///    to it.
+///  - Private helpers that expect the caller to hold a lock are named
+///    `*_locked()` and annotated `MSRS_REQUIRES(mutex_)`.
+///  - Condition waits are `while (!pred) cv.wait(mutex_);` loops, not
+///    predicate lambdas: the analysis treats a lambda as a separate
+///    function and cannot see the lock held at its call site.
+///  - `MSRS_NO_THREAD_SAFETY_ANALYSIS` is a last resort and must carry a
+///    comment explaining why the discipline cannot be expressed.
+#pragma once
+
+#if defined(__clang__)
+#define MSRS_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define MSRS_THREAD_ANNOTATION_(x)  // no-op: GCC/MSVC have no TSA
+#endif
+
+/// Declares a type to be a capability (lockable) the analysis can track.
+#define MSRS_CAPABILITY(x) MSRS_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define MSRS_SCOPED_CAPABILITY MSRS_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Marks a data member as protected by the given capability.
+#define MSRS_GUARDED_BY(x) MSRS_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Marks a pointer member whose *pointee* is protected by the capability.
+#define MSRS_PT_GUARDED_BY(x) MSRS_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Declares that callers must hold the capability (exclusively).
+#define MSRS_REQUIRES(...) \
+  MSRS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Declares that callers must hold the capability at least shared.
+#define MSRS_REQUIRES_SHARED(...) \
+  MSRS_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Declares that the function acquires the capability and does not release
+/// it before returning.
+#define MSRS_ACQUIRE(...) \
+  MSRS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Declares that the function releases the capability.
+#define MSRS_RELEASE(...) \
+  MSRS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Declares a try-lock: acquires the capability iff the return value
+/// equals `success`.
+#define MSRS_TRY_ACQUIRE(success, ...) \
+  MSRS_THREAD_ANNOTATION_(try_acquire_capability(success, __VA_ARGS__))
+
+/// Declares that callers must NOT hold the capability (deadlock guard for
+/// functions that acquire it themselves).
+#define MSRS_EXCLUDES(...) MSRS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Declares that the function returns a reference to the capability that
+/// guards its result.
+#define MSRS_RETURN_CAPABILITY(x) MSRS_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Asserts at runtime semantics level that the capability is held (the
+/// analysis trusts the assertion).
+#define MSRS_ASSERT_CAPABILITY(x) \
+  MSRS_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Opts one function out of the analysis entirely. Always pair with a
+/// comment explaining why the discipline cannot be expressed.
+#define MSRS_NO_THREAD_SAFETY_ANALYSIS \
+  MSRS_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -1,0 +1,113 @@
+/// \file
+/// Annotated synchronization primitives: the mutex, scoped lock and
+/// condition variable every concurrent subsystem uses.
+///
+/// libstdc++'s `std::mutex`/`std::lock_guard` carry no thread-safety
+/// capability attributes, so Clang's `-Wthread-safety` analysis cannot see
+/// through them. These thin wrappers forward to the std types (zero-cost:
+/// every member is a one-line inline forward) while exposing the
+/// acquire/release semantics to the analysis via util/annotations.hpp.
+///
+/// CondVar deliberately waits on the Mutex itself (it is BasicLockable)
+/// instead of a `std::unique_lock`, so waits keep the scoped-capability
+/// model simple: the caller holds the Mutex for the whole visible scope
+/// and the wait's internal unlock/relock stays an implementation detail.
+/// Predicate waits are written as explicit `while (!pred) cv.wait(mu);`
+/// loops at the call site — a predicate lambda would be analyzed as a
+/// separate function that cannot prove the lock is held.
+///
+/// This file is on the project linter's clock allowlist: deadline_after()
+/// is the one sanctioned place that turns a relative shutdown deadline
+/// into a steady-clock time point (tools/lint/msrs_lint.py, rule
+/// `naked-clock`).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/annotations.hpp"
+
+namespace msrs::util {
+
+/// Annotated exclusive mutex (a thin wrapper over std::mutex).
+class MSRS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+
+  Mutex(const Mutex&) = delete;             ///< not copyable
+  Mutex& operator=(const Mutex&) = delete;  ///< not copyable
+
+  /// Blocks until the mutex is held.
+  void lock() MSRS_ACQUIRE() { mutex_.lock(); }
+  /// Releases the mutex.
+  void unlock() MSRS_RELEASE() { mutex_.unlock(); }
+  /// Acquires the mutex iff it is free right now.
+  bool try_lock() MSRS_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Scoped lock of a Mutex (the annotated std::lock_guard).
+class MSRS_SCOPED_CAPABILITY MutexLock {
+ public:
+  /// Acquires `mutex` for this scope.
+  explicit MutexLock(Mutex& mutex) MSRS_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  /// Releases the mutex.
+  ~MutexLock() MSRS_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;             ///< not copyable
+  MutexLock& operator=(const MutexLock&) = delete;  ///< not copyable
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable waiting on a Mutex. Notifications never require the
+/// lock; waits require it (and release/reacquire it internally).
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;             ///< not copyable
+  CondVar& operator=(const CondVar&) = delete;  ///< not copyable
+
+  /// Atomically releases `mutex`, sleeps until notified, reacquires.
+  /// Spurious wakeups happen: always call from a `while (!pred)` loop.
+  void wait(Mutex& mutex) MSRS_REQUIRES(mutex) { cv_.wait(mutex); }
+
+  /// wait() with a deadline; std::cv_status::timeout once `deadline`
+  /// passes. Same spurious-wakeup contract as wait().
+  std::cv_status wait_until(
+      Mutex& mutex, std::chrono::steady_clock::time_point deadline)
+      MSRS_REQUIRES(mutex) {
+    return cv_.wait_until(mutex, deadline);
+  }
+
+  /// Wakes one waiter.
+  void notify_one() noexcept { cv_.notify_one(); }
+  /// Wakes every waiter.
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+/// The steady-clock deadline `wait` from now, saturating instead of
+/// overflowing for effectively-infinite waits (milliseconds::max()).
+inline std::chrono::steady_clock::time_point deadline_after(
+    std::chrono::milliseconds wait) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point now = Clock::now();
+  // Compare in milliseconds: converting an effectively-infinite wait to
+  // the clock's (finer) duration first would overflow before the check.
+  const auto headroom = std::chrono::duration_cast<std::chrono::milliseconds>(
+      Clock::time_point::max() - now);
+  if (wait >= headroom) return Clock::time_point::max();
+  return now + wait;
+}
+
+}  // namespace msrs::util

@@ -107,8 +107,9 @@ TEST(Registry, SolverResultsCarryProvenance) {
     if (!solver->applicable(instance)) continue;
     const SolverResult result = solver->solve(instance);
     EXPECT_EQ(result.solver, solver->name());
-    if (result.ok)
+    if (result.ok) {
       EXPECT_TRUE(is_valid(instance, result.schedule)) << result.solver;
+    }
   }
 }
 
@@ -149,8 +150,9 @@ TEST(Portfolio, AttemptsRecordTheRaceAndWinnerIsBest) {
   bool winner_seen = false;
   for (const Attempt& attempt : result.attempts) {
     EXPECT_FALSE(attempt.solver.empty());
-    if (attempt.valid)
+    if (attempt.valid) {
       EXPECT_GE(attempt.makespan, result.makespan - 1e-9) << attempt.solver;
+    }
     if (attempt.solver == result.solver) winner_seen = true;
   }
   EXPECT_TRUE(winner_seen);

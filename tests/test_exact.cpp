@@ -85,8 +85,9 @@ TEST(ExactDecide, MatchesExactMakespan) {
     const ExactResult exact = exact_makespan(instance);
     ASSERT_TRUE(exact.optimal);
     EXPECT_EQ(exact_decide(instance, exact.makespan), 1);
-    if (exact.makespan > 1)
+    if (exact.makespan > 1) {
       EXPECT_EQ(exact_decide(instance, exact.makespan - 1), 0);
+    }
   }
 }
 

@@ -152,7 +152,9 @@ TEST(IoFuzz, RandomTextNeverCrashes) {
           rng.uniform(0, static_cast<std::int64_t>(sizeof alphabet) - 2))]);
     std::string error;
     const auto parsed = from_text(text, &error);
-    if (parsed.has_value()) EXPECT_TRUE(parsed->check().empty());
+    if (parsed.has_value()) {
+      EXPECT_TRUE(parsed->check().empty());
+    }
   }
 }
 
@@ -292,8 +294,9 @@ TEST(FramerFuzz, OverflowLatchIsMonotoneUnderRandomChunking) {
       offset += chunk;
       while (framer.next_line(&line)) {
       }
-      if (seen_overflow)
+      if (seen_overflow) {
         EXPECT_TRUE(framer.overflowed()) << "latch reset, round " << round;
+      }
       seen_overflow = framer.overflowed();
     }
   }

@@ -83,10 +83,10 @@ INSTANTIATE_TEST_SUITE_P(
                       SweepParam{Family::kSatellite, 90, 8},
                       SweepParam{Family::kPhotolith, 90, 8},
                       SweepParam{Family::kUnit, 100, 9}),
-    [](const auto& info) {
-      return std::string(family_name(info.param.family)) + "_n" +
-             std::to_string(info.param.jobs) + "_m" +
-             std::to_string(info.param.machines);
+    [](const auto& sweep) {
+      return std::string(family_name(sweep.param.family)) + "_n" +
+             std::to_string(sweep.param.jobs) + "_m" +
+             std::to_string(sweep.param.machines);
     });
 
 TEST(NoHuge, StressManySeeds) {

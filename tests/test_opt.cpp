@@ -222,9 +222,10 @@ TEST(NFoldSolver, RandomCrossCheckAgainstIlp) {
     const IlpResult reference = solve_ilp(flat);
 
     ASSERT_EQ(nfold_result.feasible, reference.feasible) << "round " << round;
-    if (reference.feasible)
+    if (reference.feasible) {
       EXPECT_EQ(nfold_result.objective, reference.objective)
           << "round " << round;
+    }
   }
 }
 

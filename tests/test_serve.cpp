@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -652,6 +653,40 @@ TEST(ServeSocket, ConnectionBudgetShedsExtraClients) {
   EXPECT_EQ(snapshot.counter_or("serve.conns.accepted"), 1u);
   EXPECT_EQ(snapshot.counter_or("serve.conns.rejected"), 1u);
   EXPECT_EQ(snapshot.gauge_or("serve.conns.active"), 0);
+}
+
+// ---------------- stop flag ----------------
+
+// Regression: the stop flag used to be a `volatile sig_atomic_t`, which is
+// async-signal-safe but NOT thread-safe — request_stop() from one thread
+// racing stop_requested() polls on the transport loop threads was a data
+// race (caught by TSan). The flag is now std::atomic<int>; this test
+// hammers it from several threads with a real signal delivery in the mix
+// so a regression shows up again under -fsanitize=thread.
+TEST(StopFlag, ConcurrentRequestAndSignalDelivery) {
+  reset_stop();
+  install_stop_signals();
+
+  std::atomic<int> observers_done{0};
+  std::vector<std::thread> readers;
+  readers.reserve(4);
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&observers_done] {
+      while (!stop_requested()) std::this_thread::yield();
+      observers_done.fetch_add(1);
+    });
+  }
+
+  std::thread requester([] { request_stop(); });
+  std::raise(SIGTERM);  // handler path: g_stop store from signal context
+
+  requester.join();
+  for (auto& reader : readers) reader.join();
+  EXPECT_EQ(observers_done.load(), 4);
+  EXPECT_TRUE(stop_requested());
+
+  reset_stop();
+  EXPECT_FALSE(stop_requested());
 }
 
 }  // namespace

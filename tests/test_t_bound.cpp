@@ -46,7 +46,9 @@ TEST(ThreeHalvesBound, MinimalityOnCandidates) {
     const Instance instance = generate(Family::kHugeHeavy, 24, 3, seed);
     const Time T = three_halves_bound(instance);
     const Time base = lower_bounds(instance).combined;
-    if (T > base) EXPECT_FALSE(census_ok(instance, T - 1)) << "seed " << seed;
+    if (T > base) {
+      EXPECT_FALSE(census_ok(instance, T - 1)) << "seed " << seed;
+    }
   }
 }
 

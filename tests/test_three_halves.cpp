@@ -72,10 +72,10 @@ INSTANTIATE_TEST_SUITE_P(
         SweepParam{Family::kPhotolith, 110, 9},
         SweepParam{Family::kAdversarialLpt, 24, 4},
         SweepParam{Family::kUnit, 80, 8}),
-    [](const auto& info) {
-      return std::string(family_name(info.param.family)) + "_n" +
-             std::to_string(info.param.jobs) + "_m" +
-             std::to_string(info.param.machines);
+    [](const auto& sweep) {
+      return std::string(family_name(sweep.param.family)) + "_n" +
+             std::to_string(sweep.param.jobs) + "_m" +
+             std::to_string(sweep.param.machines);
     });
 
 TEST(ThreeHalves, StressHugeHeavyManySeeds) {

@@ -44,8 +44,8 @@ TEST_P(FamilySweep, SeedsProduceDifferentInstances) {
 
 INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilySweep,
                          ::testing::ValuesIn(kAllFamilies),
-                         [](const auto& info) {
-                           return std::string(family_name(info.param));
+                         [](const auto& sweep) {
+                           return std::string(family_name(sweep.param));
                          });
 
 TEST(Workloads, JobCountRoughlyHonored) {
@@ -75,7 +75,9 @@ TEST(Workloads, UnitFamilyAllUnit) {
 TEST(Workloads, FamilyNamesDistinct) {
   for (const Family a : kAllFamilies)
     for (const Family b : kAllFamilies)
-      if (a != b) EXPECT_STRNE(family_name(a), family_name(b));
+      if (a != b) {
+        EXPECT_STRNE(family_name(a), family_name(b));
+      }
 }
 
 }  // namespace

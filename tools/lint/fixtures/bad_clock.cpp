@@ -1,0 +1,8 @@
+// Fixture: a direct clock call outside the allowlist must trip
+// `naked-clock`.
+#include <chrono>
+
+long long stamp() {
+  const auto now = std::chrono::steady_clock::now();
+  return now.time_since_epoch().count();
+}

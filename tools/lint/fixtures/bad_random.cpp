@@ -1,0 +1,8 @@
+// Fixture: unseeded randomness must trip `raw-random`.
+#include <cstdlib>
+#include <random>
+
+int noise() {
+  std::random_device device;
+  return static_cast<int>(device()) + rand();
+}

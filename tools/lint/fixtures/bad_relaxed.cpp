@@ -1,0 +1,7 @@
+// Fixture: memory_order_relaxed without a justification comment must
+// trip `relaxed-comment`.
+#include <atomic>
+
+std::atomic<int> counter{0};
+
+void bump() { counter.fetch_add(1, std::memory_order_relaxed); }

@@ -1,0 +1,8 @@
+// Fixture: stdout in library code must trip `stdout-library`.
+#include <cstdio>
+#include <iostream>
+
+void report(int value) {
+  std::cout << value << '\n';
+  printf("%d\n", value);
+}

@@ -1,0 +1,11 @@
+// Fixture: range-for over an unordered container with no justification
+// must trip `unordered-iteration`.
+#include <string>
+#include <unordered_map>
+
+std::string render() {
+  std::unordered_map<int, std::string> table;
+  std::string out;
+  for (const auto& [key, value] : table) out += value;
+  return out;
+}

@@ -1,0 +1,40 @@
+// Fixture: the justified/clean versions of every rule's pattern — the
+// linter must stay silent on all of them.
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::atomic<int> counter{0};
+
+void bump() {
+  // relaxed: a standalone tally; nothing is published through it.
+  counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t tally() {
+  std::unordered_map<int, std::string> table;
+  std::size_t total = 0;
+  // order-insensitive: a commutative sum; iteration order cannot show.
+  for (const auto& [key, value] : table) total += value.size();
+  return total;
+}
+
+void diagnostics(int value) {
+  // stderr is fine in library code; only stdout is reserved.
+  std::fprintf(stderr, "value=%d\n", value);
+}
+
+std::size_t lookup(const std::unordered_map<int, std::string>& table) {
+  // find()/at() on unordered containers is always fine — only
+  // iteration order is the hazard.
+  const auto it = table.find(1);
+  return it == table.end() ? 0 : it->second.size();
+}
+
+int sum(const std::vector<int>& values) {
+  int total = 0;
+  for (const int v : values) total += v;  // ordered container: fine
+  return total;
+}
